@@ -1,0 +1,42 @@
+//! # tasd-accelsim
+//!
+//! Analytical accelerator model for the TASD reproduction — the stand-in for the paper's
+//! Sparseloop-based evaluation (§5.1). Given a GEMM layer, its operand densities, and the
+//! TASD configuration chosen for it, the model counts effectual MACs and per-level data
+//! movement (DRAM → L2 SMEM → L1 SMEM → RF) under a decomposition-aware output-stationary
+//! dataflow, converts the counts to energy with per-access energy constants, and derives
+//! latency from the compute/memory bound — yielding energy, delay, and EDP per layer and
+//! per network.
+//!
+//! Modelled hardware designs (paper Table 3):
+//!
+//! | design | sparsity support |
+//! |---|---|
+//! | [`HwDesign::DenseTc`] | none (dense tensor core) |
+//! | [`HwDesign::Dstc`] | unstructured, both operands (dual-side sparse tensor core) |
+//! | [`HwDesign::TtcStcM4`] / [`HwDesign::TtcStcM8`] | 2:4 / 4:8 (+ dense), TASD 1 term |
+//! | [`HwDesign::TtcVegetaM4`] / [`HwDesign::TtcVegetaM8`] | N:4 / N:8 menus, TASD ≤ 2 terms |
+//! | [`HwDesign::Vegeta`] | N:8 menu but *no* TASD units (appendix ablation) |
+//!
+//! The [`realsys`] module additionally models an RTX-3080-class GPU with 2:4 sparse tensor
+//! cores for the paper's real-system experiment (Fig. 16), and [`area`] provides the
+//! comparator-tree area estimate for the TASD units (§5.4).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod area;
+pub mod config;
+pub mod designs;
+pub mod energy;
+pub mod metrics;
+pub mod realsys;
+pub mod simulator;
+pub mod workload;
+
+pub use config::AcceleratorConfig;
+pub use designs::HwDesign;
+pub use energy::EnergyModel;
+pub use metrics::{EnergyBreakdown, LayerMetrics, NetworkMetrics};
+pub use simulator::{simulate_layer, simulate_network};
+pub use workload::{LayerRun, OperandSide};

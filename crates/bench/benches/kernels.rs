@@ -1,0 +1,62 @@
+//! Criterion micro-benchmarks for the TASD kernels: structured decomposition, compressed
+//! N:M SpMM vs dense GEMM, and TASD-series GEMM.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tasd::{decompose, series_gemm, TasdConfig};
+use tasd_tensor::{gemm, CsrMatrix, MatrixGenerator, NmCompressed, NmPattern};
+
+fn bench_decomposition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decompose");
+    group.sample_size(20);
+    let mut gen = MatrixGenerator::seeded(1);
+    let a = gen.sparse_normal(256, 256, 0.8);
+    for cfg in ["2:4", "2:4+2:8", "4:8+2:8+1:8"] {
+        let config = TasdConfig::parse(cfg).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(cfg), &config, |b, config| {
+            b.iter(|| decompose(std::hint::black_box(&a), config));
+        });
+    }
+    group.finish();
+}
+
+fn bench_gemm_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_256");
+    group.sample_size(20);
+    let mut gen = MatrixGenerator::seeded(2);
+    let a = gen.sparse_normal(256, 256, 0.9);
+    let b = gen.normal(256, 64, 0.0, 1.0);
+    let pattern = NmPattern::new(2, 8).unwrap();
+    let nm = NmCompressed::from_dense(&a, pattern).unwrap();
+    let csr = CsrMatrix::from_dense(&a);
+    let series = decompose(&a, &TasdConfig::parse("4:8+1:8").unwrap());
+
+    group.bench_function("dense_gemm", |bench| {
+        bench.iter(|| gemm(std::hint::black_box(&a), std::hint::black_box(&b)).unwrap());
+    });
+    group.bench_function("nm_2_8_spmm", |bench| {
+        bench.iter(|| nm.spmm(std::hint::black_box(&b)).unwrap());
+    });
+    group.bench_function("csr_spmm", |bench| {
+        bench.iter(|| csr.spmm(std::hint::black_box(&b)).unwrap());
+    });
+    group.bench_function("tasd_series_gemm_4_8_plus_1_8", |bench| {
+        bench.iter(|| series_gemm(std::hint::black_box(&series), std::hint::black_box(&b)).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_nm_view(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nm_view_512");
+    group.sample_size(20);
+    let a = MatrixGenerator::seeded(3).normal(512, 512, 0.0, 1.0);
+    for m in [4usize, 8, 16] {
+        let pattern = NmPattern::new(m / 2, m).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(m), &pattern, |bench, p| {
+            bench.iter(|| p.view(std::hint::black_box(&a)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decomposition, bench_gemm_kernels, bench_nm_view);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion benchmarks of the TASDER optimizer passes and the analytical accelerator
+//! simulation — the "a few seconds per model" claim of paper §4.2.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tasd::PatternMenu;
+use tasd_accelsim::{simulate_network, AcceleratorConfig, HwDesign};
+use tasd_bench::{dense_layer_runs, layer_runs, EXPERIMENT_SEED};
+use tasd_models::profiles::sparse_model;
+use tasder::Tasder;
+
+fn bench_tasd_w_layer_wise(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tasder");
+    group.sample_size(10);
+    let spec = sparse_model(&tasd_models::resnet::resnet18(), 0.93, EXPERIMENT_SEED);
+    let tasder = Tasder::new(PatternMenu::vegeta_m8(), 2).with_seed(EXPERIMENT_SEED);
+    group.bench_function("layer_wise_tasd_w_resnet18", |b| {
+        b.iter(|| tasder.optimize_weights_layer_wise(std::hint::black_box(&spec)));
+    });
+    group.bench_function("layer_wise_tasd_a_resnet18", |b| {
+        let dense = tasd_models::resnet::resnet18();
+        let dense = tasd_models::profiles::dense_model_with_activation_sparsity(&dense, 1);
+        b.iter(|| tasder.optimize_activations_layer_wise(std::hint::black_box(&dense)));
+    });
+    group.finish();
+}
+
+fn bench_accelsim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("accelsim");
+    group.sample_size(10);
+    let spec = sparse_model(&tasd_models::resnet::resnet50(), 0.95, EXPERIMENT_SEED);
+    let tasder = Tasder::new(PatternMenu::vegeta_m8(), 2).with_seed(EXPERIMENT_SEED);
+    let transform = tasder.optimize_weights_layer_wise(&spec);
+    let runs = layer_runs(&spec, &transform, 1);
+    let dense_runs = dense_layer_runs(&spec, 1);
+    let config = AcceleratorConfig::standard();
+    group.bench_function("simulate_resnet50_ttc_vegeta", |b| {
+        b.iter(|| simulate_network(HwDesign::TtcVegetaM8, &config, std::hint::black_box(&runs)));
+    });
+    group.bench_function("simulate_resnet50_dstc", |b| {
+        b.iter(|| simulate_network(HwDesign::Dstc, &config, std::hint::black_box(&dense_runs)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tasd_w_layer_wise, bench_accelsim);
+criterion_main!(benches);

@@ -1,0 +1,202 @@
+//! # tasd-bench
+//!
+//! Shared support code for the per-figure benchmark binaries (`src/bin/*`), which
+//! regenerate every table and figure of the paper's evaluation section. The heavy lifting
+//! lives in the library crates; this crate wires TASDER's per-layer decisions into the
+//! accelerator model and formats the results the way the paper reports them.
+
+#![warn(missing_docs)]
+
+use serde::Serialize;
+use tasd_accelsim::{
+    simulate_network, AcceleratorConfig, HwDesign, LayerRun, NetworkMetrics, OperandSide,
+};
+use tasd_dnn::NetworkSpec;
+use tasd_models::representative::Workload;
+use tasder::{Tasder, TasdSide, TasdTransform};
+
+/// Standard seed used by every experiment binary so results are reproducible run to run.
+pub const EXPERIMENT_SEED: u64 = 0x7A5D_2025;
+
+/// Converts a TASDER transform into the per-layer runs the accelerator model consumes.
+pub fn layer_runs(spec: &NetworkSpec, transform: &TasdTransform, batch: usize) -> Vec<LayerRun> {
+    let side = match transform.side {
+        TasdSide::Weights => OperandSide::Weights,
+        TasdSide::Activations => OperandSide::Activations,
+    };
+    spec.layers
+        .iter()
+        .zip(&transform.assignments)
+        .map(|(layer, assignment)| {
+            LayerRun::from_spec(layer, batch, side, assignment.config.clone())
+        })
+        .collect()
+}
+
+/// Per-layer runs for a network executed with no TASD at all (the dense-TC and DSTC
+/// baselines, and the plain-VEGETA ablation on unstructured models).
+pub fn dense_layer_runs(spec: &NetworkSpec, batch: usize) -> Vec<LayerRun> {
+    spec.layers
+        .iter()
+        .map(|layer| LayerRun::from_spec(layer, batch, OperandSide::Weights, None))
+        .collect()
+}
+
+/// Result of simulating one workload on one design, with everything the figures need.
+#[derive(Debug, Clone, Serialize)]
+pub struct DesignResult {
+    /// Design label (paper naming).
+    pub design: String,
+    /// Total cycles.
+    pub cycles: f64,
+    /// Total energy in picojoules.
+    pub energy_pj: f64,
+    /// Energy-delay product in joule-seconds.
+    pub edp: f64,
+    /// EDP normalized to the dense TC baseline.
+    pub edp_normalized: f64,
+    /// Latency normalized to the dense TC baseline.
+    pub latency_normalized: f64,
+    /// Energy normalized to the dense TC baseline.
+    pub energy_normalized: f64,
+    /// Overall MAC reduction versus dense execution.
+    pub mac_reduction: f64,
+}
+
+/// Builds the TASDER optimizer for a given design (its pattern menu and term limit). For
+/// designs without structured support this returns `None`.
+pub fn tasder_for_design(design: HwDesign, base_accuracy: f64) -> Option<Tasder> {
+    design.pattern_menu().map(|menu| {
+        Tasder::new(menu, design.max_tasd_terms().max(1))
+            .with_quality_model(tasd_dnn::ProxyAccuracyModel::new(base_accuracy))
+            .with_seed(EXPERIMENT_SEED)
+    })
+}
+
+/// Simulates a workload on every design of the paper's main comparison (Fig. 12/13):
+/// the dense TC and DSTC run the model as-is, every TTC variant runs the TASDER-optimized
+/// transform for its own pattern menu.
+pub fn run_main_comparison(workload: Workload, batch: usize) -> Vec<(HwDesign, NetworkMetrics)> {
+    let spec = workload.network(EXPERIMENT_SEED);
+    let config = AcceleratorConfig::standard();
+    let mut results = Vec::new();
+    for design in HwDesign::main_comparison() {
+        let runs = match tasder_for_design(design, 0.761) {
+            None => dense_layer_runs(&spec, batch),
+            Some(tasder) => {
+                // Designs with TASD units follow the paper's policy: TASD-W for
+                // weight-sparse workloads, TASD-A for dense-weight workloads.
+                let transform = if workload.has_sparse_weights() {
+                    tasder.optimize_weights_layer_wise(&spec)
+                } else {
+                    tasder.optimize_activations_layer_wise(&spec)
+                };
+                layer_runs(&spec, &transform, batch)
+            }
+        };
+        results.push((design, simulate_network(design, &config, &runs)));
+    }
+    results
+}
+
+/// Normalizes a set of per-design metrics against the first entry whose design is the
+/// dense TC, producing one [`DesignResult`] per design.
+pub fn normalize_against_tc(results: &[(HwDesign, NetworkMetrics)]) -> Vec<DesignResult> {
+    let baseline = results
+        .iter()
+        .find(|(d, _)| *d == HwDesign::DenseTc)
+        .map(|(_, m)| m)
+        .expect("the comparison must include the dense TC baseline");
+    results
+        .iter()
+        .map(|(design, m)| DesignResult {
+            design: design.label().to_string(),
+            cycles: m.total_cycles(),
+            energy_pj: m.total_energy_pj(),
+            edp: m.edp(),
+            edp_normalized: m.edp() / baseline.edp(),
+            latency_normalized: m.total_cycles() / baseline.total_cycles(),
+            energy_normalized: m.total_energy_pj() / baseline.total_energy_pj(),
+            mac_reduction: m.mac_reduction(),
+        })
+        .collect()
+}
+
+/// Prints a Markdown-style table: a header row and one row per record.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n## {title}\n");
+    println!("| {} |", headers.join(" | "));
+    println!("|{}|", headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    for row in rows {
+        println!("| {} |", row.join(" | "));
+    }
+}
+
+/// Writes any serializable result to `results/<name>.json` (creating the directory), so
+/// figures can be re-plotted without re-running the simulation.
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let dir = std::path::Path::new("results");
+    if std::fs::create_dir_all(dir).is_err() {
+        eprintln!("warning: could not create results/ directory; skipping JSON output");
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialize {name}: {e}"),
+    }
+}
+
+/// Formats a ratio as the percentage improvement the paper quotes ("improves EDP by 83%"
+/// means the normalized EDP is 0.17).
+pub fn improvement_pct(normalized: f64) -> f64 {
+    (1.0 - normalized) * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tasd::PatternMenu;
+
+    #[test]
+    fn layer_runs_match_spec_length_and_side() {
+        let spec = Workload::SparseResNet50.network(1);
+        let tasder = Tasder::new(PatternMenu::vegeta_m8(), 2).with_seed(1);
+        let transform = tasder.optimize_weights_layer_wise(&spec);
+        let runs = layer_runs(&spec, &transform, 1);
+        assert_eq!(runs.len(), spec.num_layers());
+        assert!(runs.iter().all(|r| r.tasd_side == OperandSide::Weights));
+        // At least the very sparse layers should carry configurations.
+        assert!(runs.iter().filter(|r| r.tasd_config.is_some()).count() > spec.num_layers() / 2);
+    }
+
+    #[test]
+    fn dense_runs_have_no_configs() {
+        let spec = Workload::DenseBert.network(1);
+        let runs = dense_layer_runs(&spec, 1);
+        assert!(runs.iter().all(|r| r.tasd_config.is_none()));
+    }
+
+    #[test]
+    fn tasder_for_design_follows_menus() {
+        assert!(tasder_for_design(HwDesign::DenseTc, 0.76).is_none());
+        assert!(tasder_for_design(HwDesign::Dstc, 0.76).is_none());
+        let t = tasder_for_design(HwDesign::TtcVegetaM8, 0.76).unwrap();
+        assert_eq!(t.menu().m(), 8);
+        assert_eq!(t.max_terms(), 2);
+        let t4 = tasder_for_design(HwDesign::TtcStcM4, 0.76).unwrap();
+        assert_eq!(t4.menu().m(), 4);
+        assert_eq!(t4.max_terms(), 1);
+    }
+
+    #[test]
+    fn improvement_formatting() {
+        assert!((improvement_pct(0.17) - 83.0).abs() < 1e-9);
+        assert_eq!(improvement_pct(1.0), 0.0);
+        assert!(improvement_pct(1.12) < 0.0);
+    }
+}

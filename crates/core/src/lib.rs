@@ -1,0 +1,58 @@
+//! # tasd — Tensor Approximation via Structured Decomposition
+//!
+//! This crate is the primary contribution of the reproduced paper
+//! *"Enabling Unstructured Sparse Acceleration on Structured Sparse Accelerators"*
+//! (MLSys 2025): a method that approximates **any** sparse (or even dense) tensor `A` with
+//! a series of N:M structured sparse tensors,
+//!
+//! ```text
+//! A  ≃  A₁^{s₁} + A₂^{s₂} + … + Aₙ^{sₙ}
+//! ```
+//!
+//! where each term is extracted greedily — keep the largest-magnitude elements per
+//! M-element block — from the running residual. Because matrix algebra distributes over
+//! addition, `A·B` can then be executed as a sum of *structured* sparse GEMMs, each of
+//! which a structured sparse accelerator (2:4 sparse tensor core, VEGETA-style N:8 engine)
+//! supports natively.
+//!
+//! The crate provides:
+//!
+//! * [`TasdConfig`] — a decomposition configuration: an ordered list of N:M patterns.
+//! * [`decompose`] / [`TasdSeries`] — the greedy structured decomposition and the resulting
+//!   series of compressed terms, with reconstruction and error metrics.
+//! * [`series_gemm`] — approximated matrix multiplication executed term-by-term.
+//! * [`compose`] — the pattern-composition algebra (paper Table 2): which effective N:M
+//!   patterns a piece of hardware supports once TASD chaining is allowed.
+//! * [`analysis`] — the synthetic-data studies of the paper's Appendix A (drop fractions vs
+//!   density, matmul error vs approximated sparsity).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use tasd::{decompose, TasdConfig};
+//! use tasd_tensor::{Matrix, MatrixGenerator, relative_frobenius_error};
+//!
+//! let mut gen = MatrixGenerator::seeded(0);
+//! let a = gen.sparse_normal(64, 64, 0.7);           // unstructured 70% sparse
+//! let config = TasdConfig::parse("2:4+2:8").unwrap(); // two structured terms
+//! let series = decompose(&a, &config);
+//! let reconstructed = series.reconstruct();
+//! assert!(relative_frobenius_error(&a, &reconstructed) < 0.3);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod analysis;
+pub mod compose;
+pub mod config;
+pub mod decompose;
+pub mod series;
+
+pub use compose::{compose_pattern_table, ComposedPattern, PatternMenu};
+pub use config::TasdConfig;
+pub use decompose::{decompose, decompose_with_residual};
+pub use series::{series_gemm, series_gemm_into, DecompositionReport, TasdSeries};
+
+/// Result alias re-exported from the tensor substrate.
+pub type Result<T> = tasd_tensor::Result<T>;

@@ -1,0 +1,349 @@
+//! A small executable multi-layer perceptron.
+//!
+//! This is the end-to-end testbed: a network small enough to train and evaluate exactly,
+//! whose weights and activations TASD can be applied to so that selection algorithms can be
+//! validated against a *true* accuracy metric (the offline stand-in for the paper's
+//! ImageNet evaluation). Forward execution also doubles as the calibration engine for
+//! TASD-A: [`Mlp::forward_trace`] records every layer's input activations.
+
+use crate::activation::Activation;
+use crate::layer::LayerSpec;
+use crate::network::NetworkSpec;
+use tasd::{decompose, TasdConfig};
+use tasd_tensor::{gemm, Matrix, MatrixGenerator};
+
+/// One dense layer of the executable network.
+#[derive(Debug, Clone)]
+pub struct MlpLayer {
+    /// Weight matrix in GEMM orientation `(in_features, out_features)`.
+    pub weights: Matrix,
+    /// Bias vector of length `out_features`.
+    pub bias: Vec<f32>,
+    /// Activation applied to this layer's output.
+    pub activation: Activation,
+}
+
+impl MlpLayer {
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.weights.rows()
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.weights.cols()
+    }
+}
+
+/// Per-layer activation trace captured during a forward pass.
+#[derive(Debug, Clone)]
+pub struct ForwardTrace {
+    /// For each layer, the matrix of *input* activations it consumed (batch × in_features).
+    pub layer_inputs: Vec<Matrix>,
+    /// The network output logits (batch × classes).
+    pub logits: Matrix,
+}
+
+/// A small multi-layer perceptron with explicit weights.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<MlpLayer>,
+}
+
+impl Mlp {
+    /// Creates an MLP with the given layer sizes (`dims[0]` inputs → `dims.last()` outputs)
+    /// and hidden activation; the final layer has no activation (logits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two dimensions are given.
+    pub fn new(dims: &[usize], hidden_activation: Activation, seed: u64) -> Self {
+        assert!(dims.len() >= 2, "an MLP needs at least input and output dims");
+        let mut gen = MatrixGenerator::seeded(seed);
+        let mut layers = Vec::with_capacity(dims.len() - 1);
+        for w in dims.windows(2) {
+            let (fan_in, fan_out) = (w[0], w[1]);
+            let std = (2.0 / fan_in as f32).sqrt();
+            layers.push(MlpLayer {
+                weights: gen.normal(fan_in, fan_out, 0.0, std),
+                bias: vec![0.0; fan_out],
+                activation: hidden_activation,
+            });
+        }
+        if let Some(last) = layers.last_mut() {
+            last.activation = Activation::None;
+        }
+        Mlp { layers }
+    }
+
+    /// The layers of the network.
+    pub fn layers(&self) -> &[MlpLayer] {
+        &self.layers
+    }
+
+    /// Mutable access to the layers (the trainer and TASDER transforms use this).
+    pub fn layers_mut(&mut self) -> &mut Vec<MlpLayer> {
+        &mut self.layers
+    }
+
+    /// Number of layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.layers.first().map_or(0, MlpLayer::in_features)
+    }
+
+    /// Output dimensionality (number of classes).
+    pub fn output_dim(&self) -> usize {
+        self.layers.last().map_or(0, MlpLayer::out_features)
+    }
+
+    /// Forward pass: `inputs` is `(batch, input_dim)`, returns logits `(batch, output_dim)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input width does not match the first layer.
+    pub fn forward(&self, inputs: &Matrix) -> Matrix {
+        self.forward_trace(inputs).logits
+    }
+
+    /// Forward pass that also records each layer's input activations (for calibration and
+    /// for TASD-A evaluation).
+    pub fn forward_trace(&self, inputs: &Matrix) -> ForwardTrace {
+        let mut x = inputs.clone();
+        let mut layer_inputs = Vec::with_capacity(self.layers.len());
+        for layer in &self.layers {
+            assert_eq!(
+                x.cols(),
+                layer.in_features(),
+                "activation width does not match layer input"
+            );
+            layer_inputs.push(x.clone());
+            let mut z = gemm(&x, &layer.weights).expect("shapes checked above");
+            for i in 0..z.rows() {
+                let row = z.row_mut(i);
+                for (j, b) in layer.bias.iter().enumerate() {
+                    row[j] += b;
+                }
+            }
+            x = layer.activation.apply(&z);
+        }
+        ForwardTrace {
+            layer_inputs,
+            logits: x,
+        }
+    }
+
+    /// Forward pass with TASD applied to each layer's *input activations*: before layer
+    /// `i`'s GEMM, its input is decomposed with `configs[i]` and reconstructed (dropping
+    /// whatever the series drops). Layers with no entry in `configs` run unmodified.
+    ///
+    /// This is the software model of TASD-A (the hardware performs the same decomposition
+    /// in the TASD unit).
+    pub fn forward_with_activation_tasd(
+        &self,
+        inputs: &Matrix,
+        configs: &[Option<TasdConfig>],
+    ) -> Matrix {
+        let mut x = inputs.clone();
+        for (i, layer) in self.layers.iter().enumerate() {
+            if let Some(Some(cfg)) = configs.get(i) {
+                let series = decompose(&x, cfg);
+                x = series.reconstruct();
+            }
+            let mut z = gemm(&x, &layer.weights).expect("shape mismatch in tasd forward");
+            for r in 0..z.rows() {
+                let row = z.row_mut(r);
+                for (j, b) in layer.bias.iter().enumerate() {
+                    row[j] += b;
+                }
+            }
+            x = layer.activation.apply(&z);
+        }
+        x
+    }
+
+    /// Predicted class per sample (argmax of logits).
+    pub fn predict(&self, inputs: &Matrix) -> Vec<usize> {
+        argmax_rows(&self.forward(inputs))
+    }
+
+    /// Classification accuracy on `(inputs, labels)`.
+    pub fn accuracy(&self, inputs: &Matrix, labels: &[usize]) -> f64 {
+        let preds = self.predict(inputs);
+        accuracy_from_predictions(&preds, labels)
+    }
+
+    /// Classification accuracy with activation-TASD applied (see
+    /// [`Mlp::forward_with_activation_tasd`]).
+    pub fn accuracy_with_activation_tasd(
+        &self,
+        inputs: &Matrix,
+        labels: &[usize],
+        configs: &[Option<TasdConfig>],
+    ) -> f64 {
+        let preds = argmax_rows(&self.forward_with_activation_tasd(inputs, configs));
+        accuracy_from_predictions(&preds, labels)
+    }
+
+    /// Returns a copy of this network with layer `layer_idx`'s weights decomposed with
+    /// `config` and reconstructed (the software model of TASD-W).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer_idx` is out of range.
+    #[must_use]
+    pub fn with_weight_tasd(&self, layer_idx: usize, config: &TasdConfig) -> Mlp {
+        let mut out = self.clone();
+        let w = &out.layers[layer_idx].weights;
+        let series = decompose(w, config);
+        out.layers[layer_idx].weights = series.reconstruct();
+        out
+    }
+
+    /// The network spec (layer IR) corresponding to this executable network, for feeding
+    /// the same model into the optimizer and the accelerator simulator. `tokens` is the
+    /// batch size the spec should assume.
+    pub fn to_spec(&self, name: &str, tokens: usize) -> NetworkSpec {
+        let layers = self
+            .layers
+            .iter()
+            .enumerate()
+            .map(|(i, l)| {
+                LayerSpec::linear(
+                    format!("fc{i}"),
+                    l.in_features(),
+                    l.out_features(),
+                    tokens,
+                    l.activation,
+                )
+                .with_weight_sparsity(tasd_tensor::sparsity_degree(&l.weights))
+            })
+            .collect();
+        NetworkSpec::new(name, layers)
+    }
+}
+
+/// Argmax of every row.
+pub(crate) fn argmax_rows(m: &Matrix) -> Vec<usize> {
+    (0..m.rows())
+        .map(|i| {
+            m.row(i)
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .map(|(j, _)| j)
+                .unwrap_or(0)
+        })
+        .collect()
+}
+
+/// Fraction of predictions matching the labels.
+pub(crate) fn accuracy_from_predictions(preds: &[usize], labels: &[usize]) -> f64 {
+    assert_eq!(preds.len(), labels.len(), "prediction/label count mismatch");
+    if preds.is_empty() {
+        return 0.0;
+    }
+    preds
+        .iter()
+        .zip(labels)
+        .filter(|(p, l)| p == l)
+        .count() as f64
+        / preds.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_shapes() {
+        let mlp = Mlp::new(&[16, 32, 8, 4], Activation::Relu, 1);
+        assert_eq!(mlp.num_layers(), 3);
+        assert_eq!(mlp.input_dim(), 16);
+        assert_eq!(mlp.output_dim(), 4);
+        assert_eq!(mlp.layers()[0].out_features(), 32);
+        // Last layer emits raw logits.
+        assert_eq!(mlp.layers()[2].activation, Activation::None);
+        assert_eq!(mlp.layers()[0].activation, Activation::Relu);
+    }
+
+    #[test]
+    fn forward_shapes_and_trace() {
+        let mlp = Mlp::new(&[8, 16, 3], Activation::Relu, 2);
+        let x = MatrixGenerator::seeded(5).normal(10, 8, 0.0, 1.0);
+        let trace = mlp.forward_trace(&x);
+        assert_eq!(trace.logits.shape(), (10, 3));
+        assert_eq!(trace.layer_inputs.len(), 2);
+        assert_eq!(trace.layer_inputs[0].shape(), (10, 8));
+        assert_eq!(trace.layer_inputs[1].shape(), (10, 16));
+        // Hidden activations are ReLU outputs: non-negative.
+        assert!(trace.layer_inputs[1].iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn predictions_and_accuracy() {
+        let mlp = Mlp::new(&[4, 8, 2], Activation::Relu, 3);
+        let x = MatrixGenerator::seeded(6).normal(20, 4, 0.0, 1.0);
+        let preds = mlp.predict(&x);
+        assert_eq!(preds.len(), 20);
+        assert!(preds.iter().all(|&p| p < 2));
+        // Accuracy against its own predictions is 1.
+        assert_eq!(mlp.accuracy(&x, &preds), 1.0);
+    }
+
+    #[test]
+    fn dense_tasd_config_is_a_noop() {
+        let mlp = Mlp::new(&[8, 16, 4], Activation::Relu, 7);
+        let x = MatrixGenerator::seeded(8).normal(12, 8, 0.0, 1.0);
+        let baseline = mlp.forward(&x);
+        let dense_cfgs = vec![Some(TasdConfig::dense(8)); mlp.num_layers()];
+        let with_tasd = mlp.forward_with_activation_tasd(&x, &dense_cfgs);
+        assert!(baseline.approx_eq(&with_tasd, 1e-5));
+        let w_tasd = mlp.with_weight_tasd(0, &TasdConfig::dense(8));
+        assert!(w_tasd.forward(&x).approx_eq(&baseline, 1e-5));
+    }
+
+    #[test]
+    fn aggressive_activation_tasd_changes_output() {
+        let mlp = Mlp::new(&[16, 32, 4], Activation::Relu, 9);
+        let x = MatrixGenerator::seeded(10).normal(6, 16, 0.0, 1.0);
+        let baseline = mlp.forward(&x);
+        let cfgs = vec![Some(TasdConfig::parse("1:8").unwrap()); mlp.num_layers()];
+        let approx = mlp.forward_with_activation_tasd(&x, &cfgs);
+        assert_eq!(approx.shape(), baseline.shape());
+        assert!(!baseline.approx_eq(&approx, 1e-6), "1:8 on dense input must perturb output");
+    }
+
+    #[test]
+    fn weight_tasd_reduces_weight_density() {
+        let mlp = Mlp::new(&[32, 64, 4], Activation::Relu, 11);
+        let cfg = TasdConfig::parse("2:8").unwrap();
+        let modified = mlp.with_weight_tasd(0, &cfg);
+        let dens = 1.0
+            - tasd_tensor::sparsity_degree(&modified.layers()[0].weights);
+        assert!(dens <= 0.25 + 1e-9, "density {dens}");
+        // Other layers untouched.
+        assert_eq!(modified.layers()[1].weights, mlp.layers()[1].weights);
+    }
+
+    #[test]
+    fn to_spec_mirrors_structure() {
+        let mlp = Mlp::new(&[8, 16, 4], Activation::Gelu, 13);
+        let spec = mlp.to_spec("mini", 32);
+        assert_eq!(spec.num_layers(), 2);
+        assert_eq!(spec.layers[0].gemm_dims(1), (32, 16, 8));
+        assert_eq!(spec.layers[0].activation, Activation::Gelu);
+        assert_eq!(spec.layers[1].activation, Activation::None);
+    }
+
+    #[test]
+    fn argmax_helper() {
+        let m = Matrix::from_rows(&[vec![0.1, 0.9, 0.2], vec![3.0, -1.0, 2.0]]);
+        assert_eq!(argmax_rows(&m), vec![1, 0]);
+        assert_eq!(accuracy_from_predictions(&[1, 0], &[1, 1]), 0.5);
+    }
+}

@@ -1,0 +1,46 @@
+//! # tasd-dnn
+//!
+//! DNN substrate for the TASD reproduction. The paper applies TASD to the CONV and FC
+//! layers of real networks (ResNet-50, BERT, …); this crate provides everything needed to
+//! stand in for those networks offline:
+//!
+//! * [`Activation`] / [`LayerKind`] / [`LayerSpec`] / [`NetworkSpec`] — a layer IR that
+//!   records, for every CONV/FC layer, its GEMM dimensions after im2col lowering, the
+//!   activation function that follows it, and its position in the network.
+//! * [`WeightSet`] — materialized weight matrices for a network spec, generated with
+//!   per-layer sparsity profiles (unstructured magnitude-pruned, N:M structured, or dense)
+//!   so TASD-W has real tensors to decompose.
+//! * [`calibration`] — per-layer activation statistics (sparsity, pseudo-density) gathered
+//!   either from synthetic activation profiles or by running an executable network over a
+//!   calibration set, exactly the input TASD-A needs.
+//! * [`quality`] — the model-quality signal: a proxy-accuracy model driven by per-layer
+//!   approximation error, plus exact accuracy evaluation for small executable networks.
+//! * [`executable`] / [`dataset`] / [`train`] — a small multi-layer perceptron that can be
+//!   trained on a synthetic classification task, so the TASDER selection algorithms can be
+//!   validated against a *true* accuracy metric end to end.
+//!
+//! The paper-scale networks themselves (ResNet, VGG, BERT, ViT, ConvNeXt shapes and their
+//! SparseZoo-like sparsity profiles) live in the `tasd-models` crate.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod activation;
+pub mod calibration;
+pub mod dataset;
+pub mod executable;
+pub mod layer;
+pub mod network;
+pub mod pruning;
+pub mod quality;
+pub mod train;
+pub mod weights;
+
+pub use activation::Activation;
+pub use calibration::{ActivationStats, CalibrationProfile};
+pub use dataset::SyntheticDataset;
+pub use executable::Mlp;
+pub use layer::{LayerKind, LayerSpec};
+pub use network::NetworkSpec;
+pub use quality::ProxyAccuracyModel;
+pub use weights::{WeightInit, WeightSet};

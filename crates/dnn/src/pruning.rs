@@ -1,0 +1,133 @@
+//! Pruning utilities applied on top of materialized weights or network specs.
+
+use crate::network::NetworkSpec;
+use crate::weights::WeightSet;
+use tasd_tensor::{magnitude_prune, Matrix, NmPattern};
+
+/// Applies a per-layer weight-sparsity profile to a network spec (one value per layer,
+/// in order). Extra profile entries are ignored; missing entries leave layers unchanged.
+#[must_use]
+pub fn apply_sparsity_profile(spec: &NetworkSpec, profile: &[f64]) -> NetworkSpec {
+    let mut out = spec.clone();
+    for (layer, &s) in out.layers.iter_mut().zip(profile) {
+        layer.weight_sparsity = s.clamp(0.0, 1.0);
+    }
+    out
+}
+
+/// Globally magnitude-prunes a weight set to an overall target sparsity: all weights of all
+/// layers are ranked together and the smallest are removed, which naturally gives different
+/// layers different sparsity degrees (the behaviour behind the paper's Fig. 6 profile).
+pub fn global_magnitude_prune(weights: &mut WeightSet, target_sparsity: f64) {
+    let target_sparsity = target_sparsity.clamp(0.0, 1.0);
+    // Collect all magnitudes to find the global threshold.
+    let mut mags: Vec<f32> = Vec::new();
+    for (_, w) in weights.iter() {
+        mags.extend(w.iter().map(|&x| x.abs()));
+    }
+    if mags.is_empty() {
+        return;
+    }
+    mags.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let cutoff_idx = ((mags.len() as f64) * target_sparsity) as usize;
+    let threshold = if cutoff_idx >= mags.len() {
+        f32::INFINITY
+    } else {
+        mags[cutoff_idx]
+    };
+    let names: Vec<String> = weights.layer_names().to_vec();
+    for name in names {
+        let w = weights.weight_mut(&name).expect("iterating known layers");
+        w.map_inplace(|x| if x.abs() < threshold { 0.0 } else { x });
+    }
+}
+
+/// Magnitude-prunes a single weight matrix to the given sparsity (re-exported convenience).
+#[must_use]
+pub fn prune_layer(weights: &Matrix, sparsity: f64) -> Matrix {
+    magnitude_prune(weights, sparsity)
+}
+
+/// Structurally prunes every layer of a weight set to the N:M pattern (the HW-aware
+/// structured-pruning baseline, which in the paper requires model fine-tuning to recover
+/// accuracy).
+pub fn structured_prune(weights: &mut WeightSet, pattern: NmPattern) {
+    let names: Vec<String> = weights.layer_names().to_vec();
+    for name in names {
+        let w = weights.weight_mut(&name).expect("iterating known layers");
+        pattern.view_inplace(w);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Activation;
+    use crate::layer::LayerSpec;
+    use crate::weights::{PruningRegime, WeightInit};
+
+    fn spec() -> NetworkSpec {
+        NetworkSpec::new(
+            "t",
+            vec![
+                LayerSpec::linear("a", 64, 64, 4, Activation::Relu),
+                LayerSpec::linear("b", 128, 64, 4, Activation::Relu),
+                LayerSpec::linear("c", 32, 16, 4, Activation::None),
+            ],
+        )
+    }
+
+    #[test]
+    fn profile_application() {
+        let s = apply_sparsity_profile(&spec(), &[0.9, 0.5]);
+        assert_eq!(s.layers[0].weight_sparsity, 0.9);
+        assert_eq!(s.layers[1].weight_sparsity, 0.5);
+        assert_eq!(s.layers[2].weight_sparsity, 0.0);
+    }
+
+    #[test]
+    fn global_prune_hits_overall_target_with_nonuniform_layers() {
+        let mut ws =
+            WeightSet::materialize(&spec(), PruningRegime::Dense, WeightInit::Kaiming, 11);
+        global_magnitude_prune(&mut ws, 0.8);
+        let overall = ws.overall_sparsity();
+        assert!((overall - 0.8).abs() < 0.01, "overall {overall}");
+        // Kaiming init gives different layers different scales, so per-layer sparsity
+        // should not be uniform.
+        let profile = ws.sparsity_profile();
+        let spread = profile
+            .iter()
+            .fold(f64::NEG_INFINITY, |a, &b| a.max(b))
+            - profile.iter().fold(f64::INFINITY, |a, &b| a.min(b));
+        assert!(spread > 0.02, "profile {profile:?}");
+    }
+
+    #[test]
+    fn global_prune_extremes() {
+        let mut ws =
+            WeightSet::materialize(&spec(), PruningRegime::Dense, WeightInit::Kaiming, 2);
+        global_magnitude_prune(&mut ws, 0.0);
+        assert!(ws.overall_sparsity() < 1e-6);
+        global_magnitude_prune(&mut ws, 1.0);
+        assert!((ws.overall_sparsity() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn structured_prune_enforces_pattern_everywhere() {
+        let mut ws =
+            WeightSet::materialize(&spec(), PruningRegime::Dense, WeightInit::Kaiming, 3);
+        let p = NmPattern::new(1, 4).unwrap();
+        structured_prune(&mut ws, p);
+        for (_, w) in ws.iter() {
+            assert!(p.is_satisfied_by(w));
+        }
+        assert!((ws.overall_sparsity() - 0.75).abs() < 0.01);
+    }
+
+    #[test]
+    fn prune_layer_matches_tensor_primitive() {
+        let m = Matrix::from_rows(&[vec![0.1, 2.0, -3.0, 0.4]]);
+        let p = prune_layer(&m, 0.5);
+        assert_eq!(p.row(0), &[0.0, 2.0, -3.0, 0.0]);
+    }
+}

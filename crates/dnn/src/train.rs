@@ -1,0 +1,234 @@
+//! Mini-batch SGD training for the executable MLP (softmax cross-entropy).
+//!
+//! Only what the end-to-end testbed needs: enough of a trainer to reach high accuracy on
+//! the synthetic classification task so that TASD-induced accuracy drops are measurable.
+
+use crate::dataset::SyntheticDataset;
+use crate::executable::Mlp;
+use tasd_tensor::{gemm, Matrix};
+
+/// Hyper-parameters for [`train`].
+#[derive(Debug, Clone, Copy)]
+pub struct TrainConfig {
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// SGD learning rate.
+    pub learning_rate: f32,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 30,
+            batch_size: 32,
+            learning_rate: 0.05,
+        }
+    }
+}
+
+/// Per-epoch training telemetry.
+#[derive(Debug, Clone)]
+pub struct TrainReport {
+    /// Mean cross-entropy loss per epoch.
+    pub epoch_losses: Vec<f64>,
+    /// Training-set accuracy after the final epoch.
+    pub final_train_accuracy: f64,
+}
+
+/// Row-wise softmax.
+pub fn softmax(logits: &Matrix) -> Matrix {
+    let mut out = logits.clone();
+    for i in 0..out.rows() {
+        let row = out.row_mut(i);
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum.max(f32::MIN_POSITIVE);
+        }
+    }
+    out
+}
+
+/// Mean cross-entropy loss of `logits` against integer `labels`.
+pub fn cross_entropy(logits: &Matrix, labels: &[usize]) -> f64 {
+    assert_eq!(logits.rows(), labels.len(), "batch size mismatch");
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let probs = softmax(logits);
+    let mut loss = 0.0f64;
+    for (i, &label) in labels.iter().enumerate() {
+        let p = probs[(i, label)].max(1e-12);
+        loss -= (p as f64).ln();
+    }
+    loss / labels.len() as f64
+}
+
+/// Trains `mlp` in place on `data` with mini-batch SGD and softmax cross-entropy.
+pub fn train(mlp: &mut Mlp, data: &SyntheticDataset, config: &TrainConfig) -> TrainReport {
+    let mut epoch_losses = Vec::with_capacity(config.epochs);
+    for _ in 0..config.epochs {
+        let mut epoch_loss = 0.0f64;
+        let mut batches = 0usize;
+        let mut start = 0usize;
+        while start < data.len() {
+            let (x, labels) = data.batch(start, config.batch_size);
+            start += config.batch_size;
+            if labels.is_empty() {
+                break;
+            }
+            epoch_loss += train_step(mlp, &x, labels, config.learning_rate);
+            batches += 1;
+        }
+        epoch_losses.push(epoch_loss / batches.max(1) as f64);
+    }
+    let final_train_accuracy = mlp.accuracy(data.features(), data.labels());
+    TrainReport {
+        epoch_losses,
+        final_train_accuracy,
+    }
+}
+
+/// One SGD step on a mini-batch; returns the batch's mean cross-entropy loss.
+fn train_step(mlp: &mut Mlp, x: &Matrix, labels: &[usize], lr: f32) -> f64 {
+    // Forward pass, caching layer inputs and pre-activations.
+    let mut inputs: Vec<Matrix> = Vec::with_capacity(mlp.num_layers());
+    let mut preacts: Vec<Matrix> = Vec::with_capacity(mlp.num_layers());
+    let mut act = x.clone();
+    for layer in mlp.layers() {
+        inputs.push(act.clone());
+        let mut z = gemm(&act, &layer.weights).expect("trainer shape mismatch");
+        for i in 0..z.rows() {
+            let row = z.row_mut(i);
+            for (j, b) in layer.bias.iter().enumerate() {
+                row[j] += b;
+            }
+        }
+        preacts.push(z.clone());
+        act = layer.activation.apply(&z);
+    }
+    let logits = act;
+    let loss = cross_entropy(&logits, labels);
+
+    // Backward pass: dL/dlogits = softmax - onehot, averaged over the batch.
+    let batch = labels.len() as f32;
+    let mut grad = softmax(&logits);
+    for (i, &label) in labels.iter().enumerate() {
+        grad[(i, label)] -= 1.0;
+    }
+    grad = grad.scale(1.0 / batch);
+
+    let num_layers = mlp.num_layers();
+    for li in (0..num_layers).rev() {
+        // Gradient through the activation of layer li (the last layer has no activation).
+        let layer_act = mlp.layers()[li].activation;
+        let dz = if li == num_layers - 1 {
+            grad.clone()
+        } else {
+            let pre = &preacts[li];
+            Matrix::from_fn(grad.rows(), grad.cols(), |i, j| {
+                grad[(i, j)] * layer_act.derivative(pre[(i, j)])
+            })
+        };
+        // Weight and bias gradients.
+        let dw = gemm(&inputs[li].transpose(), &dz).expect("gradient shapes");
+        let mut db = vec![0.0f32; dz.cols()];
+        for i in 0..dz.rows() {
+            for (j, acc) in db.iter_mut().enumerate() {
+                *acc += dz[(i, j)];
+            }
+        }
+        // Gradient w.r.t. the layer input, to propagate backwards.
+        let dinput = gemm(&dz, &mlp.layers()[li].weights.transpose()).expect("gradient shapes");
+        // SGD update.
+        {
+            let layer = &mut mlp.layers_mut()[li];
+            layer.weights = layer.weights.try_sub(&dw.scale(lr)).expect("same shape");
+            for (b, g) in layer.bias.iter_mut().zip(&db) {
+                *b -= lr * g;
+            }
+        }
+        grad = dinput;
+    }
+    loss
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Activation;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let logits = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![-1.0, 0.0, 1.0]]);
+        let p = softmax(&logits);
+        for i in 0..2 {
+            let s: f32 = p.row(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+            assert!(p.row(i).iter().all(|&v| v > 0.0));
+        }
+        // Monotone: larger logit -> larger probability.
+        assert!(p[(0, 2)] > p[(0, 1)] && p[(0, 1)] > p[(0, 0)]);
+    }
+
+    #[test]
+    fn cross_entropy_prefers_correct_class() {
+        let good = Matrix::from_rows(&[vec![5.0, 0.0]]);
+        let bad = Matrix::from_rows(&[vec![0.0, 5.0]]);
+        assert!(cross_entropy(&good, &[0]) < cross_entropy(&bad, &[0]));
+        assert!(cross_entropy(&good, &[0]) < 0.1);
+    }
+
+    #[test]
+    fn training_reduces_loss_and_reaches_high_accuracy() {
+        let data = SyntheticDataset::gaussian_clusters(400, 16, 4, 2.5, 42);
+        let (train_set, test_set) = data.split(0.8);
+        let mut mlp = Mlp::new(&[16, 32, 4], Activation::Relu, 7);
+        let before = mlp.accuracy(test_set.features(), test_set.labels());
+        let report = train(
+            &mut mlp,
+            &train_set,
+            &TrainConfig {
+                epochs: 40,
+                batch_size: 32,
+                learning_rate: 0.05,
+            },
+        );
+        let after = mlp.accuracy(test_set.features(), test_set.labels());
+        assert!(
+            report.epoch_losses.first().unwrap() > report.epoch_losses.last().unwrap(),
+            "loss did not decrease: {:?}",
+            report.epoch_losses
+        );
+        assert!(after > before, "accuracy did not improve ({before} -> {after})");
+        assert!(after > 0.85, "test accuracy too low: {after}");
+        assert!(report.final_train_accuracy > 0.85);
+    }
+
+    #[test]
+    fn training_works_with_gelu_hidden_layers() {
+        let data = SyntheticDataset::gaussian_clusters(300, 12, 3, 2.5, 17);
+        let mut mlp = Mlp::new(&[12, 24, 3], Activation::Gelu, 3);
+        let report = train(
+            &mut mlp,
+            &data,
+            &TrainConfig {
+                epochs: 30,
+                batch_size: 32,
+                learning_rate: 0.05,
+            },
+        );
+        assert!(report.final_train_accuracy > 0.8, "{}", report.final_train_accuracy);
+    }
+
+    #[test]
+    fn empty_batch_is_harmless() {
+        assert_eq!(cross_entropy(&Matrix::zeros(0, 3), &[]), 0.0);
+    }
+}

@@ -1,0 +1,85 @@
+//! ConvNeXt-Tiny layer-shape builder (Liu et al., 2022).
+//!
+//! ConvNeXt blocks consist of a 7×7 depthwise convolution followed by two pointwise (1×1)
+//! convolutions with a GELU in between. The depthwise convolutions do not lower to the
+//! dense GEMM form TASD targets (each output channel reads a single input channel) and
+//! contribute only a few percent of the model's MACs, so — as documented in DESIGN.md —
+//! the spec records the stem, the downsampling convolutions, and the pointwise expansion /
+//! reduction convolutions, which carry essentially all of the GEMM work TASD can touch.
+
+use tasd_dnn::{Activation, LayerSpec, NetworkSpec};
+use tasd_tensor::Conv2dDims;
+
+/// ConvNeXt-Tiny: depths [3, 3, 9, 3], widths [96, 192, 384, 768], 224×224 input.
+pub fn convnext_tiny() -> NetworkSpec {
+    let depths = [3usize, 3, 9, 3];
+    let dims = [96usize, 192, 384, 768];
+    let sizes = [56usize, 28, 14, 7];
+    let mut layers = Vec::new();
+    // Stem: 4x4 stride-4 convolution, 3 -> 96, 224 -> 56.
+    layers.push(LayerSpec::conv(
+        "stem",
+        Conv2dDims::square(3, 96, 224, 4, 4, 0),
+        Activation::None,
+    ));
+    for (stage, ((&depth, &dim), &size)) in depths.iter().zip(&dims).zip(&sizes).enumerate() {
+        if stage > 0 {
+            // Downsample layer: 2x2 stride-2 convolution from the previous width.
+            layers.push(LayerSpec::conv(
+                format!("downsample{stage}"),
+                Conv2dDims::square(dims[stage - 1], dim, size * 2, 2, 2, 0),
+                Activation::None,
+            ));
+        }
+        for b in 0..depth {
+            // Pointwise expansion (dim -> 4*dim) with GELU, then reduction (4*dim -> dim).
+            layers.push(LayerSpec::conv(
+                format!("stage{stage}.block{b}.pw1"),
+                Conv2dDims::square(dim, dim * 4, size, 1, 1, 0),
+                Activation::Gelu,
+            ));
+            layers.push(LayerSpec::conv(
+                format!("stage{stage}.block{b}.pw2"),
+                Conv2dDims::square(dim * 4, dim, size, 1, 1, 0),
+                Activation::None,
+            ));
+        }
+    }
+    layers.push(LayerSpec::linear("head", 768, 1000, 1, Activation::None));
+    NetworkSpec::new("convnext-tiny", layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_totals() {
+        let net = convnext_tiny();
+        // stem + 3 downsamples + 18 blocks x 2 pointwise convs + head.
+        assert_eq!(net.num_layers(), 1 + 3 + 18 * 2 + 1);
+        // ~4.0 GMACs for the pointwise/stem path (the full model is ~4.5 including
+        // depthwise convs); ~27 M params.
+        let gmacs = net.total_dense_macs(1) as f64 / 1e9;
+        assert!((3.5..4.6).contains(&gmacs), "GMACs {gmacs}");
+        let mparams = net.total_weight_params() as f64 / 1e6;
+        assert!((25.0..30.0).contains(&mparams), "Mparams {mparams}");
+    }
+
+    #[test]
+    fn uses_gelu_only() {
+        let net = convnext_tiny();
+        assert!(!net.has_relu_activations());
+        assert!(net.iter().any(|l| l.activation == Activation::Gelu));
+    }
+
+    #[test]
+    fn expansion_ratio_is_four() {
+        let net = convnext_tiny();
+        let pw1 = net.layer("stage2.block0.pw1").unwrap();
+        let (_, n, k) = pw1.gemm_dims(1);
+        assert_eq!(n, 4 * k / 1, "expansion produces 4x channels");
+        assert_eq!(k, 384);
+        assert_eq!(n, 1536);
+    }
+}

@@ -1,0 +1,87 @@
+//! # tasd-models
+//!
+//! Model zoo for the TASD reproduction. Every network the paper evaluates is described here
+//! as a [`tasd_dnn::NetworkSpec`] — the ordered CONV/FC layers with their im2col GEMM
+//! dimensions and activation functions — together with SparseZoo-like per-layer sparsity
+//! profiles and the paper's representative layers (Table 4).
+//!
+//! The shapes are the standard ImageNet / BERT-base geometries:
+//!
+//! * ResNet-18/34/50/101 ([`resnet`])
+//! * VGG-11/16 ([`vgg`])
+//! * BERT-base and ViT-B/16 ([`transformer`])
+//! * ConvNeXt-Tiny ([`convnext`])
+//!
+//! Use [`by_name`] to look a model up by its paper name (e.g. `"resnet50"`, `"bert-base"`).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod convnext;
+pub mod profiles;
+pub mod representative;
+pub mod resnet;
+pub mod transformer;
+pub mod vgg;
+
+pub use profiles::{activation_sparsity_profile, sparsezoo_like_profile};
+pub use representative::{representative_layers, RepresentativeLayer, Workload};
+
+use tasd_dnn::NetworkSpec;
+
+/// Looks up a model specification by name.
+///
+/// Supported names: `resnet18`, `resnet34`, `resnet50`, `resnet101`, `vgg11`, `vgg16`,
+/// `bert-base`, `vit-b-16`, `convnext-tiny`.
+///
+/// # Example
+///
+/// ```
+/// let rn50 = tasd_models::by_name("resnet50").unwrap();
+/// assert_eq!(rn50.name, "resnet50");
+/// assert!(rn50.num_layers() > 50);
+/// ```
+pub fn by_name(name: &str) -> Option<NetworkSpec> {
+    match name {
+        "resnet18" => Some(resnet::resnet18()),
+        "resnet34" => Some(resnet::resnet34()),
+        "resnet50" => Some(resnet::resnet50()),
+        "resnet101" => Some(resnet::resnet101()),
+        "vgg11" => Some(vgg::vgg11()),
+        "vgg16" => Some(vgg::vgg16()),
+        "bert-base" => Some(transformer::bert_base(128)),
+        "vit-b-16" => Some(transformer::vit_b_16()),
+        "convnext-tiny" => Some(convnext::convnext_tiny()),
+        _ => None,
+    }
+}
+
+/// All model names known to [`by_name`].
+pub fn model_names() -> Vec<&'static str> {
+    vec![
+        "resnet18",
+        "resnet34",
+        "resnet50",
+        "resnet101",
+        "vgg11",
+        "vgg16",
+        "bert-base",
+        "vit-b-16",
+        "convnext-tiny",
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_all_names() {
+        for name in model_names() {
+            let spec = by_name(name).unwrap_or_else(|| panic!("missing {name}"));
+            assert!(spec.num_layers() > 0, "{name} has no layers");
+            assert!(spec.total_dense_macs(1) > 0, "{name} has no MACs");
+        }
+        assert!(by_name("alexnet").is_none());
+    }
+}

@@ -1,0 +1,196 @@
+//! SparseZoo-like sparsity profiles.
+//!
+//! The paper's sparse workloads come from SparseZoo: models pruned with *global* magnitude
+//! pruning to ≈95 % overall weight sparsity, which leaves different layers with different
+//! sparsity degrees (Fig. 6 — early, small layers stay denser; large mid/late layers are
+//! pruned hardest). Activation sparsity similarly varies per layer between roughly 35 % and
+//! 85 % for ReLU networks. These profiles synthesize both shapes deterministically.
+
+use tasd_dnn::NetworkSpec;
+use tasd_tensor::MatrixGenerator;
+
+/// Produces a per-layer *weight* sparsity profile for `spec` whose parameter-weighted mean
+/// equals `overall_sparsity`, with the qualitative shape of a globally magnitude-pruned
+/// model (larger layers are pruned harder, the first convolution and the classifier stay
+/// noticeably denser), plus small deterministic per-layer jitter.
+///
+/// # Panics
+///
+/// Panics if `overall_sparsity` is not within `[0, 1)`.
+pub fn sparsezoo_like_profile(spec: &NetworkSpec, overall_sparsity: f64, seed: u64) -> Vec<f64> {
+    assert!(
+        (0.0..1.0).contains(&overall_sparsity),
+        "overall sparsity must be in [0, 1)"
+    );
+    if spec.num_layers() == 0 {
+        return Vec::new();
+    }
+    if overall_sparsity == 0.0 {
+        return vec![0.0; spec.num_layers()];
+    }
+    let params: Vec<f64> = spec.iter().map(|l| l.weight_params() as f64).collect();
+    let total_params: f64 = params.iter().sum();
+    let median = {
+        let mut sorted = params.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted[sorted.len() / 2]
+    };
+    let mut gen = MatrixGenerator::seeded(seed);
+    // Raw keep-fractions: small layers keep relatively more of their weights.
+    let mut keep: Vec<f64> = params
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| {
+            let size_factor = (median / p.max(1.0)).powf(0.25).clamp(0.6, 3.0);
+            let first_layer_bonus = if i == 0 { 2.0 } else { 1.0 };
+            let jitter = 1.0 + 0.15 * (gen.unit() as f64 - 0.5);
+            (1.0 - overall_sparsity) * size_factor * first_layer_bonus * jitter
+        })
+        .collect();
+    // Rescale so the parameter-weighted mean keep-fraction matches the target, then clamp.
+    for _ in 0..8 {
+        let kept_params: f64 = keep.iter().zip(&params).map(|(k, p)| k * p).sum();
+        let target_kept = (1.0 - overall_sparsity) * total_params;
+        let scale = target_kept / kept_params.max(1e-12);
+        for k in keep.iter_mut() {
+            *k = (*k * scale).clamp(0.005, 1.0);
+        }
+    }
+    keep.iter().map(|k| (1.0 - k).clamp(0.0, 0.995)).collect()
+}
+
+/// Produces a per-layer *input-activation* sparsity profile for `spec`: layers whose input
+/// comes from a ReLU-family activation get a sparsity in roughly 0.35–0.85 (varying by
+/// depth, as in Fig. 6), and layers fed by GELU/Swish or the raw network input get 0.
+pub fn activation_sparsity_profile(spec: &NetworkSpec, seed: u64) -> Vec<f64> {
+    let mut gen = MatrixGenerator::seeded(seed.wrapping_add(0x5EED));
+    let n = spec.num_layers();
+    (0..n)
+        .map(|i| {
+            if i == 0 {
+                // The first layer reads the network input (dense images / embeddings).
+                return 0.0;
+            }
+            let producer = &spec.layers[i - 1];
+            if !producer.activation.induces_sparsity() {
+                return 0.0;
+            }
+            // Deeper ReLU layers tend to be sparser; add deterministic jitter.
+            let depth_frac = i as f64 / n.max(1) as f64;
+            let base = 0.40 + 0.35 * depth_frac;
+            (base + 0.10 * (gen.unit() as f64 - 0.5)).clamp(0.2, 0.9)
+        })
+        .collect()
+}
+
+/// Applies both profiles (weight sparsity of `overall_sparsity`, ReLU activation sparsity)
+/// to `spec`, returning the annotated network — the offline stand-in for downloading a
+/// SparseZoo checkpoint.
+#[must_use]
+pub fn sparse_model(spec: &NetworkSpec, overall_sparsity: f64, seed: u64) -> NetworkSpec {
+    let weight_profile = sparsezoo_like_profile(spec, overall_sparsity, seed);
+    let act_profile = activation_sparsity_profile(spec, seed);
+    let mut out = spec.clone();
+    for ((layer, w), a) in out.layers.iter_mut().zip(&weight_profile).zip(&act_profile) {
+        layer.weight_sparsity = *w;
+        layer.input_activation_sparsity = *a;
+    }
+    out
+}
+
+/// Annotates a *dense* model with its natural activation sparsity only (weights stay
+/// dense) — the "dense ResNet-50 / dense BERT" workloads of the paper.
+#[must_use]
+pub fn dense_model_with_activation_sparsity(spec: &NetworkSpec, seed: u64) -> NetworkSpec {
+    let act_profile = activation_sparsity_profile(spec, seed);
+    let mut out = spec.clone();
+    for (layer, a) in out.layers.iter_mut().zip(&act_profile) {
+        layer.weight_sparsity = 0.0;
+        layer.input_activation_sparsity = *a;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resnet::resnet50;
+    use crate::transformer::bert_base;
+
+    #[test]
+    fn weight_profile_hits_overall_target() {
+        let spec = resnet50();
+        let profile = sparsezoo_like_profile(&spec, 0.95, 1);
+        assert_eq!(profile.len(), spec.num_layers());
+        let params: Vec<f64> = spec.iter().map(|l| l.weight_params() as f64).collect();
+        let total: f64 = params.iter().sum();
+        let overall: f64 = profile
+            .iter()
+            .zip(&params)
+            .map(|(s, p)| s * p)
+            .sum::<f64>()
+            / total;
+        assert!((overall - 0.95).abs() < 0.01, "overall {overall}");
+        // Every layer within [0, 0.995].
+        assert!(profile.iter().all(|&s| (0.0..=0.995).contains(&s)));
+        // Figure-6 shape: the first conv is notably denser than the median layer.
+        let mut sorted = profile.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sorted[sorted.len() / 2];
+        assert!(profile[0] < median, "first layer {} vs median {median}", profile[0]);
+        // Layers are not all identical.
+        let spread = sorted.last().unwrap() - sorted.first().unwrap();
+        assert!(spread > 0.05, "spread {spread}");
+    }
+
+    #[test]
+    fn weight_profile_is_deterministic() {
+        let spec = resnet50();
+        assert_eq!(
+            sparsezoo_like_profile(&spec, 0.9, 7),
+            sparsezoo_like_profile(&spec, 0.9, 7)
+        );
+        assert_ne!(
+            sparsezoo_like_profile(&spec, 0.9, 7),
+            sparsezoo_like_profile(&spec, 0.9, 8)
+        );
+    }
+
+    #[test]
+    fn zero_sparsity_profile_is_all_zero() {
+        let spec = resnet50();
+        assert!(sparsezoo_like_profile(&spec, 0.0, 1).iter().all(|&s| s == 0.0));
+    }
+
+    #[test]
+    fn activation_profile_respects_activations() {
+        let rn = resnet50();
+        let profile = activation_sparsity_profile(&rn, 3);
+        assert_eq!(profile[0], 0.0, "first layer input is dense");
+        // Most ResNet layers read ReLU outputs and should be 0.2-0.9 sparse.
+        let relu_fed = profile.iter().skip(1).filter(|&&s| s > 0.0).count();
+        assert!(relu_fed > rn.num_layers() / 2);
+        assert!(profile.iter().all(|&s| (0.0..=0.9).contains(&s)));
+
+        // BERT uses GELU, so activation sparsity must be zero everywhere.
+        let bert = bert_base(128);
+        let bert_profile = activation_sparsity_profile(&bert, 3);
+        assert!(bert_profile.iter().all(|&s| s == 0.0));
+    }
+
+    #[test]
+    fn sparse_model_annotates_both_profiles() {
+        let spec = sparse_model(&resnet50(), 0.95, 11);
+        assert!((spec.overall_weight_sparsity() - 0.95).abs() < 0.01);
+        assert!(spec.layers.iter().skip(1).any(|l| l.input_activation_sparsity > 0.0));
+        let dense = dense_model_with_activation_sparsity(&resnet50(), 11);
+        assert_eq!(dense.overall_weight_sparsity(), 0.0);
+        assert!(dense.layers.iter().skip(1).any(|l| l.input_activation_sparsity > 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "overall sparsity")]
+    fn profile_rejects_out_of_range_target() {
+        let _ = sparsezoo_like_profile(&resnet50(), 1.0, 1);
+    }
+}

@@ -1,0 +1,246 @@
+//! ResNet layer-shape builders (He et al., 2016) for ImageNet inputs (224×224).
+//!
+//! Every convolution is recorded with its im2col GEMM dimensions; batch-norm and pooling
+//! layers carry no TASD-relevant compute and are folded into the activation annotation
+//! (ReLU follows every convolution except the residual-add positions, which still feed a
+//! ReLU before the next block — for TASD purposes each conv's output passes through ReLU).
+
+use tasd_dnn::{Activation, LayerSpec, NetworkSpec};
+use tasd_tensor::Conv2dDims;
+
+/// The stem shared by all ImageNet ResNets: 7×7/2 convolution producing 64 channels at
+/// 112×112, followed by a 3×3/2 max-pool (no MACs) down to 56×56.
+fn stem(layers: &mut Vec<LayerSpec>) {
+    layers.push(LayerSpec::conv(
+        "conv1",
+        Conv2dDims::square(3, 64, 224, 7, 2, 3),
+        Activation::Relu,
+    ));
+}
+
+/// Appends one *basic block* (two 3×3 convolutions) used by ResNet-18/34.
+fn basic_block(
+    layers: &mut Vec<LayerSpec>,
+    name: &str,
+    in_ch: usize,
+    out_ch: usize,
+    in_size: usize,
+    stride: usize,
+) {
+    layers.push(LayerSpec::conv(
+        format!("{name}.conv1"),
+        Conv2dDims::square(in_ch, out_ch, in_size, 3, stride, 1),
+        Activation::Relu,
+    ));
+    let mid_size = in_size / stride;
+    layers.push(LayerSpec::conv(
+        format!("{name}.conv2"),
+        Conv2dDims::square(out_ch, out_ch, mid_size, 3, 1, 1),
+        Activation::Relu,
+    ));
+    if stride != 1 || in_ch != out_ch {
+        layers.push(LayerSpec::conv(
+            format!("{name}.downsample"),
+            Conv2dDims::square(in_ch, out_ch, in_size, 1, stride, 0),
+            Activation::None,
+        ));
+    }
+}
+
+/// Appends one *bottleneck block* (1×1 reduce, 3×3, 1×1 expand) used by ResNet-50/101.
+fn bottleneck_block(
+    layers: &mut Vec<LayerSpec>,
+    name: &str,
+    in_ch: usize,
+    mid_ch: usize,
+    in_size: usize,
+    stride: usize,
+) {
+    let out_ch = mid_ch * 4;
+    layers.push(LayerSpec::conv(
+        format!("{name}.conv1"),
+        Conv2dDims::square(in_ch, mid_ch, in_size, 1, 1, 0),
+        Activation::Relu,
+    ));
+    layers.push(LayerSpec::conv(
+        format!("{name}.conv2"),
+        Conv2dDims::square(mid_ch, mid_ch, in_size, 3, stride, 1),
+        Activation::Relu,
+    ));
+    let out_size = in_size / stride;
+    layers.push(LayerSpec::conv(
+        format!("{name}.conv3"),
+        Conv2dDims::square(mid_ch, out_ch, out_size, 1, 1, 0),
+        Activation::Relu,
+    ));
+    if stride != 1 || in_ch != out_ch {
+        layers.push(LayerSpec::conv(
+            format!("{name}.downsample"),
+            Conv2dDims::square(in_ch, out_ch, in_size, 1, stride, 0),
+            Activation::None,
+        ));
+    }
+}
+
+/// Builds a basic-block ResNet with the given per-stage block counts (ResNet-18/34).
+fn basic_resnet(name: &str, blocks: [usize; 4]) -> NetworkSpec {
+    let mut layers = Vec::new();
+    stem(&mut layers);
+    let stage_channels = [64usize, 128, 256, 512];
+    let stage_sizes = [56usize, 28, 14, 7];
+    let mut in_ch = 64usize;
+    for (stage, (&out_ch, &count)) in stage_channels.iter().zip(&blocks).enumerate() {
+        for b in 0..count {
+            let stride = if stage > 0 && b == 0 { 2 } else { 1 };
+            // The block's spatial input: the previous stage's output size, except the
+            // first block of a striding stage which reads the larger map.
+            let in_size = if stride == 2 {
+                stage_sizes[stage] * 2
+            } else {
+                stage_sizes[stage]
+            };
+            basic_block(
+                &mut layers,
+                &format!("layer{}.{b}", stage + 1),
+                in_ch,
+                out_ch,
+                in_size,
+                stride,
+            );
+            in_ch = out_ch;
+        }
+    }
+    layers.push(LayerSpec::linear("fc", 512, 1000, 1, Activation::None));
+    NetworkSpec::new(name, layers)
+}
+
+/// Builds a bottleneck ResNet with the given per-stage block counts (ResNet-50/101).
+fn bottleneck_resnet(name: &str, blocks: [usize; 4]) -> NetworkSpec {
+    let mut layers = Vec::new();
+    stem(&mut layers);
+    let stage_mid = [64usize, 128, 256, 512];
+    let stage_sizes = [56usize, 28, 14, 7];
+    let mut in_ch = 64usize;
+    for (stage, (&mid_ch, &count)) in stage_mid.iter().zip(&blocks).enumerate() {
+        for b in 0..count {
+            let stride = if stage > 0 && b == 0 { 2 } else { 1 };
+            let in_size = if stride == 2 {
+                stage_sizes[stage] * 2
+            } else {
+                stage_sizes[stage]
+            };
+            bottleneck_block(
+                &mut layers,
+                &format!("layer{}.{b}", stage + 1),
+                in_ch,
+                mid_ch,
+                in_size,
+                stride,
+            );
+            in_ch = mid_ch * 4;
+        }
+    }
+    layers.push(LayerSpec::linear("fc", 2048, 1000, 1, Activation::None));
+    NetworkSpec::new(name, layers)
+}
+
+/// ResNet-18: basic blocks [2, 2, 2, 2].
+pub fn resnet18() -> NetworkSpec {
+    basic_resnet("resnet18", [2, 2, 2, 2])
+}
+
+/// ResNet-34: basic blocks [3, 4, 6, 3].
+pub fn resnet34() -> NetworkSpec {
+    basic_resnet("resnet34", [3, 4, 6, 3])
+}
+
+/// ResNet-50: bottleneck blocks [3, 4, 6, 3].
+pub fn resnet50() -> NetworkSpec {
+    bottleneck_resnet("resnet50", [3, 4, 6, 3])
+}
+
+/// ResNet-101: bottleneck blocks [3, 4, 23, 3].
+pub fn resnet101() -> NetworkSpec {
+    bottleneck_resnet("resnet101", [3, 4, 23, 3])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet50_totals_match_reference() {
+        let net = resnet50();
+        // 53 convolutions + 1 FC (the torchvision layer count).
+        assert_eq!(net.num_layers(), 54);
+        // ~4.1 GMACs and ~25.5 M parameters for ImageNet ResNet-50.
+        let gmacs = net.total_dense_macs(1) as f64 / 1e9;
+        assert!((3.7..4.4).contains(&gmacs), "GMACs {gmacs}");
+        let mparams = net.total_weight_params() as f64 / 1e6;
+        assert!((22.0..26.5).contains(&mparams), "Mparams {mparams}");
+    }
+
+    #[test]
+    fn resnet18_and_34_totals() {
+        let r18 = resnet18();
+        let r34 = resnet34();
+        // 1.8 GMACs / 11.2 M params and 3.6 GMACs / 21.3 M params respectively
+        // (conv + fc only).
+        let g18 = r18.total_dense_macs(1) as f64 / 1e9;
+        let g34 = r34.total_dense_macs(1) as f64 / 1e9;
+        assert!((1.6..2.0).contains(&g18), "resnet18 GMACs {g18}");
+        assert!((3.3..3.9).contains(&g34), "resnet34 GMACs {g34}");
+        assert!(r34.num_layers() > r18.num_layers());
+        // ResNet-18: stem + 16 block convs + 3 downsample convs + fc.
+        assert_eq!(r18.num_layers(), 1 + 16 + 3 + 1);
+        // ResNet-34: stem + 32 block convs + 3 downsample convs + fc.
+        assert_eq!(r34.num_layers(), 1 + 32 + 3 + 1);
+    }
+
+    #[test]
+    fn resnet101_is_deeper_than_resnet50() {
+        let r50 = resnet50();
+        let r101 = resnet101();
+        assert!(r101.num_layers() > r50.num_layers());
+        assert!(r101.total_dense_macs(1) > r50.total_dense_macs(1));
+        let gmacs = r101.total_dense_macs(1) as f64 / 1e9;
+        assert!((7.0..8.2).contains(&gmacs), "resnet101 GMACs {gmacs}");
+    }
+
+    #[test]
+    fn table4_layers_exist_in_resnet50() {
+        let net = resnet50();
+        // Paper Table 4 representative ResNet-50 GEMMs.
+        let has = |m: usize, n: usize, k: usize| {
+            net.iter()
+                .any(|l| l.gemm_dims(1) == (m, n, k))
+        };
+        assert!(has(784, 128, 1152), "L1 M784-N128-K1152 missing");
+        assert!(has(3136, 64, 576), "L2 M3136-N64-K576 missing");
+        assert!(has(196, 256, 2304), "L3 M196-N256-K2304 missing");
+    }
+
+    #[test]
+    fn every_conv_follows_relu_except_downsample_and_fc() {
+        let net = resnet50();
+        for layer in &net {
+            if layer.name.contains("downsample") || layer.name == "fc" {
+                assert_eq!(layer.activation, Activation::None);
+            } else {
+                assert_eq!(layer.activation, Activation::Relu, "layer {}", layer.name);
+            }
+        }
+        assert!(net.has_relu_activations());
+    }
+
+    #[test]
+    fn spatial_sizes_chain_consistently() {
+        // The output pixel count of each stage's last conv matches the next stage's input.
+        let net = resnet50();
+        let l2 = net.layer("layer2.0.conv2").unwrap();
+        let (m, _, _) = l2.gemm_dims(1);
+        assert_eq!(m, 28 * 28);
+        let l4 = net.layer("layer4.2.conv3").unwrap();
+        assert_eq!(l4.gemm_dims(1).0, 7 * 7);
+    }
+}

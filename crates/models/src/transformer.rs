@@ -1,0 +1,152 @@
+//! Transformer layer-shape builders: BERT-base (Devlin et al.) and ViT-B/16
+//! (Dosovitskiy et al.).
+//!
+//! Each encoder block contributes six GEMM layers: the Q/K/V projections, the attention
+//! output projection, and the two feed-forward (MLP) layers. The attention score GEMMs
+//! (`QKᵀ` and `·V`) are activation–activation products with no weight operand, so TASD-W
+//! does not apply to them and the paper leaves them untouched; they are omitted from the
+//! spec (their MAC share at sequence length 128 is small). GELU follows the first MLP
+//! layer, which is what makes the pseudo-density heuristic necessary for these models.
+
+use tasd_dnn::{Activation, LayerSpec, NetworkSpec};
+use tasd_tensor::Conv2dDims;
+
+/// Appends one transformer encoder block's GEMM layers.
+fn encoder_block(
+    layers: &mut Vec<LayerSpec>,
+    name: &str,
+    hidden: usize,
+    ffn: usize,
+    tokens: usize,
+) {
+    for proj in ["query", "key", "value"] {
+        layers.push(LayerSpec::linear(
+            format!("{name}.attn.{proj}"),
+            hidden,
+            hidden,
+            tokens,
+            Activation::None,
+        ));
+    }
+    layers.push(LayerSpec::linear(
+        format!("{name}.attn.output"),
+        hidden,
+        hidden,
+        tokens,
+        Activation::None,
+    ));
+    layers.push(LayerSpec::linear(
+        format!("{name}.ffn.fc1"),
+        hidden,
+        ffn,
+        tokens,
+        Activation::Gelu,
+    ));
+    layers.push(LayerSpec::linear(
+        format!("{name}.ffn.fc2"),
+        ffn,
+        hidden,
+        tokens,
+        Activation::None,
+    ));
+}
+
+/// BERT-base: 12 encoder blocks, hidden 768, FFN 3072, evaluated at the given sequence
+/// length (the paper uses 128).
+pub fn bert_base(seq_len: usize) -> NetworkSpec {
+    let mut layers = Vec::new();
+    for b in 0..12 {
+        encoder_block(&mut layers, &format!("encoder.{b}"), 768, 3072, seq_len);
+    }
+    NetworkSpec::new("bert-base", layers)
+}
+
+/// ViT-B/16 for 224×224 inputs: a 16×16/16 patch-embedding convolution (3 → 768) producing
+/// 196 patch tokens (plus the class token, 197 total), followed by 12 encoder blocks with
+/// hidden 768 and MLP 3072.
+pub fn vit_b_16() -> NetworkSpec {
+    let mut layers = Vec::new();
+    layers.push(LayerSpec::conv(
+        "patch_embed",
+        Conv2dDims::square(3, 768, 224, 16, 16, 0),
+        Activation::None,
+    ));
+    let tokens = 197;
+    for b in 0..12 {
+        encoder_block(&mut layers, &format!("encoder.{b}"), 768, 3072, tokens);
+    }
+    layers.push(LayerSpec::linear("head", 768, 1000, 1, Activation::None));
+    NetworkSpec::new("vit-b-16", layers)
+}
+
+/// Returns `true` if the named layer is one of the feed-forward (MLP) layers — the layers
+/// the paper replaces with TASD/TFC in a Transformer block (Fig. 8d). Applying TASD to the
+/// attention projections was found to hurt model quality (§4.3).
+pub fn is_ffn_layer(layer_name: &str) -> bool {
+    layer_name.contains(".ffn.")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bert_base_reference_totals() {
+        let net = bert_base(128);
+        // 12 blocks x 6 GEMM layers.
+        assert_eq!(net.num_layers(), 72);
+        // ~85 M parameters in the encoder GEMMs (embeddings excluded).
+        let mparams = net.total_weight_params() as f64 / 1e6;
+        assert!((80.0..90.0).contains(&mparams), "Mparams {mparams}");
+        // ~10.9 GMACs at sequence length 128 for the weight GEMMs.
+        let gmacs = net.total_dense_macs(1) as f64 / 1e9;
+        assert!((10.0..12.0).contains(&gmacs), "GMACs {gmacs}");
+    }
+
+    #[test]
+    fn table4_bert_layers_exist() {
+        let net = bert_base(128);
+        // Paper Table 4 (M and N are written swapped relative to our (tokens, out, in)
+        // convention): QKV projection 128x768x768, FFN fc1 128x3072x768, fc2 128x768x3072.
+        let has = |m: usize, n: usize, k: usize| net.iter().any(|l| l.gemm_dims(1) == (m, n, k));
+        assert!(has(128, 768, 768));
+        assert!(has(128, 3072, 768));
+        assert!(has(128, 768, 3072));
+    }
+
+    #[test]
+    fn bert_uses_gelu_not_relu() {
+        let net = bert_base(128);
+        assert!(!net.has_relu_activations());
+        assert!(net
+            .iter()
+            .any(|l| l.activation == Activation::Gelu));
+    }
+
+    #[test]
+    fn ffn_layer_classification() {
+        assert!(is_ffn_layer("encoder.3.ffn.fc1"));
+        assert!(!is_ffn_layer("encoder.3.attn.query"));
+    }
+
+    #[test]
+    fn vit_reference_totals() {
+        let net = vit_b_16();
+        // patch embed + 72 encoder GEMMs + head.
+        assert_eq!(net.num_layers(), 74);
+        let mparams = net.total_weight_params() as f64 / 1e6;
+        assert!((85.0..90.0).contains(&mparams), "Mparams {mparams}");
+        // ~17 GMACs at 197 tokens.
+        let gmacs = net.total_dense_macs(1) as f64 / 1e9;
+        assert!((15.0..19.0).contains(&gmacs), "GMACs {gmacs}");
+        // Patch embedding produces 196 tokens.
+        assert_eq!(net.layer("patch_embed").unwrap().gemm_dims(1).0, 196);
+    }
+
+    #[test]
+    fn sequence_length_scales_macs_linearly() {
+        let short = bert_base(64);
+        let long = bert_base(128);
+        assert_eq!(short.total_dense_macs(1) * 2, long.total_dense_macs(1));
+    }
+}

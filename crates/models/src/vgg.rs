@@ -1,0 +1,150 @@
+//! VGG layer-shape builders (Simonyan & Zisserman) for ImageNet inputs (224×224).
+
+use tasd_dnn::{Activation, LayerSpec, NetworkSpec};
+use tasd_tensor::Conv2dDims;
+
+/// One entry of a VGG configuration string: a convolution producing the given channel
+/// count, or a max-pool (which halves the spatial size and carries no MACs).
+#[derive(Debug, Clone, Copy)]
+enum VggItem {
+    Conv(usize),
+    Pool,
+}
+
+fn build(name: &str, config: &[VggItem]) -> NetworkSpec {
+    let mut layers = Vec::new();
+    let mut in_ch = 3usize;
+    let mut size = 224usize;
+    let mut conv_idx = 0usize;
+    for item in config {
+        match *item {
+            VggItem::Conv(out_ch) => {
+                layers.push(LayerSpec::conv(
+                    format!("features.conv{conv_idx}"),
+                    Conv2dDims::square(in_ch, out_ch, size, 3, 1, 1),
+                    Activation::Relu,
+                ));
+                in_ch = out_ch;
+                conv_idx += 1;
+            }
+            VggItem::Pool => size /= 2,
+        }
+    }
+    // Classifier: 512×7×7 → 4096 → 4096 → 1000.
+    layers.push(LayerSpec::linear(
+        "classifier.fc1",
+        512 * 7 * 7,
+        4096,
+        1,
+        Activation::Relu,
+    ));
+    layers.push(LayerSpec::linear(
+        "classifier.fc2",
+        4096,
+        4096,
+        1,
+        Activation::Relu,
+    ));
+    layers.push(LayerSpec::linear(
+        "classifier.fc3",
+        4096,
+        1000,
+        1,
+        Activation::None,
+    ));
+    NetworkSpec::new(name, layers)
+}
+
+/// VGG-11 (configuration "A").
+pub fn vgg11() -> NetworkSpec {
+    use VggItem::{Conv, Pool};
+    build(
+        "vgg11",
+        &[
+            Conv(64),
+            Pool,
+            Conv(128),
+            Pool,
+            Conv(256),
+            Conv(256),
+            Pool,
+            Conv(512),
+            Conv(512),
+            Pool,
+            Conv(512),
+            Conv(512),
+            Pool,
+        ],
+    )
+}
+
+/// VGG-16 (configuration "D").
+pub fn vgg16() -> NetworkSpec {
+    use VggItem::{Conv, Pool};
+    build(
+        "vgg16",
+        &[
+            Conv(64),
+            Conv(64),
+            Pool,
+            Conv(128),
+            Conv(128),
+            Pool,
+            Conv(256),
+            Conv(256),
+            Conv(256),
+            Pool,
+            Conv(512),
+            Conv(512),
+            Conv(512),
+            Pool,
+            Conv(512),
+            Conv(512),
+            Conv(512),
+            Pool,
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vgg16_reference_totals() {
+        let net = vgg16();
+        // 13 convs + 3 FCs; ~15.5 GMACs; ~138 M params.
+        assert_eq!(net.num_layers(), 16);
+        let gmacs = net.total_dense_macs(1) as f64 / 1e9;
+        assert!((14.5..16.0).contains(&gmacs), "GMACs {gmacs}");
+        let mparams = net.total_weight_params() as f64 / 1e6;
+        assert!((130.0..142.0).contains(&mparams), "Mparams {mparams}");
+    }
+
+    #[test]
+    fn vgg11_reference_totals() {
+        let net = vgg11();
+        assert_eq!(net.num_layers(), 11);
+        let gmacs = net.total_dense_macs(1) as f64 / 1e9;
+        assert!((7.0..8.0).contains(&gmacs), "GMACs {gmacs}");
+    }
+
+    #[test]
+    fn classifier_dominates_parameters_but_not_macs() {
+        let net = vgg16();
+        let fc1 = net.layer("classifier.fc1").unwrap();
+        assert_eq!(fc1.weight_params(), 25088 * 4096);
+        assert!(fc1.weight_params() > net.total_weight_params() / 2);
+        assert!(fc1.dense_macs(1) < net.total_dense_macs(1) / 10);
+    }
+
+    #[test]
+    fn spatial_sizes_halve_at_pools() {
+        let net = vgg16();
+        // Last conv runs at 14x14 (before the final pool).
+        let last_conv = net.layer("features.conv12").unwrap();
+        assert_eq!(last_conv.gemm_dims(1).0, 14 * 14);
+        // First conv runs at 224x224.
+        assert_eq!(net.layer("features.conv0").unwrap().gemm_dims(1).0, 224 * 224);
+    }
+}

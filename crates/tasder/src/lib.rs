@@ -1,0 +1,55 @@
+//! # tasder — the TASD optimizer framework
+//!
+//! TASDER (paper §4) is the system-software layer between model developers and structured
+//! sparse hardware. It takes a DNN model, sample/calibration data, the hardware's supported
+//! structured-sparsity patterns, and a couple of hyper-parameters, and returns a *TASD
+//! transformation*: for every CONV/FC layer, the TASD series configuration its weights
+//! (TASD-W) or activations (TASD-A) should be decomposed with, subject to keeping ≥ 99 % of
+//! the original model quality.
+//!
+//! The crate provides:
+//!
+//! * [`Tasder`] — the optimizer facade (pattern menu, term limit, α, quality model, seed).
+//! * [`tasd_w`] — network-wise (exhaustive) and layer-wise (greedy, dropped-non-zeros
+//!   ordered) weight-side selection.
+//! * [`tasd_a`] — calibration-driven, sparsity / pseudo-density based activation-side
+//!   selection with the α aggressiveness knob.
+//! * [`TasdTransform`] / [`LayerAssignment`] — the resulting per-layer configuration, with
+//!   damage estimates, MAC-reduction accounting, and quality estimates.
+//!
+//! The optimizer is hardware-agnostic: it only needs the pattern menu and term limit. The
+//! accelerator model that turns a transform into energy/latency/EDP lives in
+//! `tasd-accelsim`, and the two are wired together by the benchmark harness.
+//!
+//! # Example
+//!
+//! ```
+//! use tasd::PatternMenu;
+//! use tasd_dnn::{Activation, LayerSpec, NetworkSpec, ProxyAccuracyModel};
+//! use tasder::Tasder;
+//!
+//! // A small unstructured-sparse model (90% sparse weights).
+//! let spec = NetworkSpec::new(
+//!     "tiny",
+//!     vec![
+//!         LayerSpec::linear("fc1", 256, 256, 64, Activation::Relu).with_weight_sparsity(0.9),
+//!         LayerSpec::linear("fc2", 256, 64, 64, Activation::None).with_weight_sparsity(0.9),
+//!     ],
+//! );
+//! let tasder = Tasder::new(PatternMenu::vegeta_m8(), 2)
+//!     .with_quality_model(ProxyAccuracyModel::new(0.76));
+//! let transform = tasder.optimize_weights_layer_wise(&spec);
+//! assert!(transform.meets_quality_threshold());
+//! assert!(transform.mac_reduction(&spec) > 0.5);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod optimizer;
+pub mod tasd_a;
+pub mod tasd_w;
+pub mod transform;
+
+pub use optimizer::Tasder;
+pub use transform::{LayerAssignment, TasdSide, TasdTransform};

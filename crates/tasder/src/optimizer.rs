@@ -1,0 +1,209 @@
+//! The TASDER facade: one object bundling the hardware description and hyper-parameters,
+//! mirroring the system overview of the paper's Fig. 5 (inputs: DNN model, sample data,
+//! supported structured sparsity patterns, hyper-parameters; output: transformed model).
+
+use crate::transform::TasdTransform;
+use crate::{tasd_a, tasd_w};
+use tasd::PatternMenu;
+use tasd_dnn::calibration::CalibrationProfile;
+use tasd_dnn::{NetworkSpec, ProxyAccuracyModel};
+
+/// The TASDER optimizer.
+///
+/// Construct it with the target hardware's [`PatternMenu`] and TASD term limit, optionally
+/// adjust the quality model, α, and seed, then call one of the `optimize_*` methods.
+#[derive(Debug, Clone)]
+pub struct Tasder {
+    menu: PatternMenu,
+    max_terms: usize,
+    alpha: f64,
+    quality: ProxyAccuracyModel,
+    calibration_batches: usize,
+    seed: u64,
+}
+
+impl Tasder {
+    /// Creates an optimizer for hardware supporting `menu` with at most `max_terms` TASD
+    /// terms, using default hyper-parameters (α = 0.05, ResNet-50-class base accuracy).
+    pub fn new(menu: PatternMenu, max_terms: usize) -> Self {
+        Tasder {
+            menu,
+            max_terms,
+            alpha: 0.05,
+            quality: ProxyAccuracyModel::new(0.761),
+            calibration_batches: 8,
+            seed: 0x7A5D,
+        }
+    }
+
+    /// Sets the α aggressiveness knob for TASD-A (paper §4.3).
+    #[must_use]
+    pub fn with_alpha(mut self, alpha: f64) -> Self {
+        self.alpha = alpha;
+        self
+    }
+
+    /// Sets the proxy quality model (base accuracy + sensitivity).
+    #[must_use]
+    pub fn with_quality_model(mut self, quality: ProxyAccuracyModel) -> Self {
+        self.quality = quality;
+        self
+    }
+
+    /// Sets the number of calibration batches profiled for TASD-A.
+    #[must_use]
+    pub fn with_calibration_batches(mut self, batches: usize) -> Self {
+        self.calibration_batches = batches.max(1);
+        self
+    }
+
+    /// Sets the RNG seed used for damage-estimation sampling.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The hardware pattern menu this optimizer targets.
+    pub fn menu(&self) -> &PatternMenu {
+        &self.menu
+    }
+
+    /// The TASD term limit of the target hardware.
+    pub fn max_terms(&self) -> usize {
+        self.max_terms
+    }
+
+    /// Layer-wise TASD-W (the paper's default for weight-sparse models).
+    pub fn optimize_weights_layer_wise(&self, spec: &NetworkSpec) -> TasdTransform {
+        tasd_w::layer_wise(spec, &self.menu, self.max_terms, self.quality, self.seed)
+    }
+
+    /// Network-wise TASD-W (single configuration for every layer).
+    pub fn optimize_weights_network_wise(&self, spec: &NetworkSpec) -> TasdTransform {
+        tasd_w::network_wise(spec, &self.menu, self.max_terms, self.quality, self.seed)
+    }
+
+    /// Layer-wise TASD-A using a synthetic calibration profile derived from the spec's
+    /// recorded activation sparsity (the offline substitution for a real calibration set).
+    pub fn optimize_activations_layer_wise(&self, spec: &NetworkSpec) -> TasdTransform {
+        let profile = CalibrationProfile::synthetic(spec, self.calibration_batches, self.seed);
+        self.optimize_activations_with_profile(spec, &profile)
+    }
+
+    /// Layer-wise TASD-A with an explicit calibration profile (e.g. one measured by running
+    /// an executable network over real calibration batches).
+    pub fn optimize_activations_with_profile(
+        &self,
+        spec: &NetworkSpec,
+        profile: &CalibrationProfile,
+    ) -> TasdTransform {
+        tasd_a::layer_wise(
+            spec,
+            profile,
+            &self.menu,
+            self.max_terms,
+            self.alpha,
+            self.quality,
+            self.seed,
+        )
+    }
+
+    /// Network-wise TASD-A.
+    pub fn optimize_activations_network_wise(&self, spec: &NetworkSpec) -> TasdTransform {
+        let profile = CalibrationProfile::synthetic(spec, self.calibration_batches, self.seed);
+        tasd_a::network_wise(
+            spec,
+            &profile,
+            &self.menu,
+            self.max_terms,
+            self.quality,
+            self.seed,
+        )
+    }
+
+    /// The paper's per-workload policy (§5.1): weight-sparse models use TASD-W, dense
+    /// models use TASD-A; the two are never combined.
+    pub fn optimize(&self, spec: &NetworkSpec) -> TasdTransform {
+        if spec.overall_weight_sparsity() > 0.05 {
+            self.optimize_weights_layer_wise(spec)
+        } else {
+            self.optimize_activations_layer_wise(spec)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transform::TasdSide;
+    use tasd_models::{representative::Workload, sparsezoo_like_profile};
+
+    #[test]
+    fn policy_picks_tasd_w_for_sparse_and_tasd_a_for_dense() {
+        let tasder = Tasder::new(PatternMenu::vegeta_m8(), 2);
+        let sparse = Workload::SparseResNet50.network(1);
+        let dense = Workload::DenseResNet50.network(1);
+        let tw = tasder.optimize(&sparse);
+        let ta = tasder.optimize(&dense);
+        assert_eq!(tw.side, TasdSide::Weights);
+        assert_eq!(ta.side, TasdSide::Activations);
+        assert!(tw.meets_quality_threshold());
+        assert!(ta.meets_quality_threshold());
+    }
+
+    #[test]
+    fn sparse_resnet50_reaches_paper_scale_mac_reduction() {
+        // Paper: layer-wise TASD-W on 95% sparse ResNet-50 cuts compute roughly in half or
+        // better (Fig. 20 reports 49% MAC reduction across ResNet/VGG; Fig. 12 implies
+        // ~60% cycle reduction for sparse ResNet-50).
+        let tasder = Tasder::new(PatternMenu::vegeta_m8(), 2);
+        let spec = Workload::SparseResNet50.network(3);
+        let t = tasder.optimize_weights_layer_wise(&spec);
+        assert!(t.meets_quality_threshold());
+        let reduction = t.mac_reduction(&spec);
+        assert!(
+            reduction > 0.40,
+            "sparse ResNet-50 MAC reduction only {reduction}"
+        );
+    }
+
+    #[test]
+    fn dense_resnet50_tasd_a_reduces_macs_without_breaking_quality() {
+        let tasder = Tasder::new(PatternMenu::vegeta_m8(), 2).with_alpha(0.05);
+        let spec = Workload::DenseResNet50.network(3);
+        let t = tasder.optimize_activations_layer_wise(&spec);
+        assert!(t.meets_quality_threshold());
+        let reduction = t.mac_reduction(&spec);
+        assert!(
+            reduction > 0.15,
+            "dense ResNet-50 TASD-A MAC reduction only {reduction}"
+        );
+    }
+
+    #[test]
+    fn flexible_menu_beats_fixed_menu_on_sparse_weights() {
+        let spec = sparsezoo_like_spec();
+        let vegeta = Tasder::new(PatternMenu::vegeta_m8(), 2).optimize_weights_layer_wise(&spec);
+        let stc = Tasder::new(PatternMenu::stc_m4(), 1).optimize_weights_layer_wise(&spec);
+        assert!(vegeta.mac_reduction(&spec) >= stc.mac_reduction(&spec) - 1e-9);
+        assert!(vegeta.mac_reduction(&spec) > 0.4);
+    }
+
+    fn sparsezoo_like_spec() -> tasd_dnn::NetworkSpec {
+        let base = tasd_models::resnet::resnet18();
+        let profile = sparsezoo_like_profile(&base, 0.93, 5);
+        tasd_dnn::pruning::apply_sparsity_profile(&base, &profile)
+    }
+
+    #[test]
+    fn builder_knobs_are_applied() {
+        let t = Tasder::new(PatternMenu::vegeta_m8(), 2)
+            .with_alpha(0.2)
+            .with_seed(99)
+            .with_calibration_batches(3)
+            .with_quality_model(ProxyAccuracyModel::new(0.9));
+        assert_eq!(t.max_terms(), 2);
+        assert_eq!(t.menu().m(), 8);
+    }
+}

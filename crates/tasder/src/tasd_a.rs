@@ -1,0 +1,406 @@
+//! TASD-A: selecting activation-side configurations (paper §4.3).
+//!
+//! Activations are dynamic, so configurations cannot be picked by measuring exact drops on
+//! the deployment data. Instead TASDER profiles the model on a small calibration set and
+//! uses a *sparsity-based selection*: for each layer with effective activation sparsity
+//! `S(L)` (measured directly for ReLU inputs, or as `1 − pseudo-density` for GELU/Swish
+//! inputs), pick the most aggressive hardware configuration whose approximated sparsity is
+//! below `S(L) + α`. The hyper-parameter α trades accuracy for compute: larger α allows
+//! configurations that drop more non-zeros.
+
+use crate::transform::{LayerAssignment, TasdSide, TasdTransform};
+use tasd::{decompose, PatternMenu, TasdConfig};
+use tasd_dnn::calibration::CalibrationProfile;
+use tasd_dnn::quality::LayerDamage;
+use tasd_dnn::{NetworkSpec, ProxyAccuracyModel};
+use tasd_tensor::{dropped_magnitude_fraction, dropped_nonzero_fraction, MatrixGenerator};
+
+/// Picks the configuration for one layer given its effective activation sparsity: the menu
+/// option (within `max_terms`) with the largest approximated sparsity that is still below
+/// `effective_sparsity + alpha`. Returns `None` (dense execution) when even the most
+/// conservative option over-approximates.
+pub fn select_config(
+    menu: &PatternMenu,
+    max_terms: usize,
+    effective_sparsity: f64,
+    alpha: f64,
+) -> Option<TasdConfig> {
+    let budget = effective_sparsity + alpha;
+    if budget <= 0.0 {
+        return None;
+    }
+    // densest_config_within takes a *density* bound: approximated sparsity < budget
+    // means kept density > 1 - budget, and we want the most aggressive (lowest density)
+    // admissible config, i.e. the one with the largest approximated sparsity <= budget.
+    let mut best: Option<TasdConfig> = None;
+    for cfg in menu.configurations(max_terms) {
+        // Skip dense execution and term combinations that keep the whole block anyway
+        // (e.g. 4:8+4:8) — they admit no skipping and are never worth the decomposition.
+        if cfg.is_dense() || cfg.kept_density() >= 1.0 - 1e-9 {
+            continue;
+        }
+        if cfg.approximated_sparsity() <= budget + 1e-12 {
+            let better = match &best {
+                None => true,
+                Some(b) => {
+                    cfg.approximated_sparsity() > b.approximated_sparsity()
+                        || (cfg.approximated_sparsity() == b.approximated_sparsity()
+                            && cfg.order() < b.order())
+                }
+            };
+            if better {
+                best = Some(cfg);
+            }
+        }
+    }
+    best
+}
+
+/// Whether a layer is eligible for a TASD-A layer in front of it: its input must come from
+/// an activation function (ReLU family → sparse input; GELU/Swish → skewed dense input).
+/// The first layer reads the raw network input and is never transformed (paper Fig. 8).
+pub fn eligible_for_activation_tasd(spec: &NetworkSpec, layer_index: usize) -> bool {
+    if layer_index == 0 {
+        return false;
+    }
+    let producer = &spec.layers[layer_index - 1];
+    producer.activation.induces_sparsity()
+        || matches!(
+            producer.activation,
+            tasd_dnn::Activation::Gelu | tasd_dnn::Activation::Swish
+        )
+}
+
+/// Estimates the damage of decomposing a layer's input activations with `config`, by
+/// decomposing a synthetic activation sample with the layer's observed sparsity
+/// (ReLU-style) or a GELU-shaped dense sample.
+fn estimate_activation_damage(
+    config: &TasdConfig,
+    relu_input: bool,
+    sparsity: f64,
+    seed: u64,
+    layer_index: usize,
+) -> LayerDamage {
+    let mut gen = MatrixGenerator::seeded(seed ^ (layer_index as u64).wrapping_mul(0x51_7C_C1));
+    let sample = if relu_input {
+        gen.sparse_normal(64, 256, sparsity.clamp(0.0, 0.999)).map(|x| x.abs())
+    } else {
+        gen.gelu_activations(64, 256)
+    };
+    let series = decompose(&sample, config);
+    let approx = series.reconstruct();
+    LayerDamage {
+        dropped_nonzero_fraction: dropped_nonzero_fraction(&sample, &approx),
+        dropped_magnitude_fraction: dropped_magnitude_fraction(&sample, &approx),
+    }
+}
+
+/// Layer-wise TASD-A: per-layer sparsity-based selection using the calibration profile,
+/// followed by a quality check that backs the most damaging layers off to dense execution
+/// until the 99 % retention estimate is met.
+pub fn layer_wise(
+    spec: &NetworkSpec,
+    profile: &CalibrationProfile,
+    menu: &PatternMenu,
+    max_terms: usize,
+    alpha: f64,
+    quality: ProxyAccuracyModel,
+    seed: u64,
+) -> TasdTransform {
+    let mut transform = TasdTransform::all_dense(spec, TasdSide::Activations, quality);
+    for (li, layer) in spec.layers.iter().enumerate() {
+        if !eligible_for_activation_tasd(spec, li) {
+            continue;
+        }
+        let Some(stats) = profile.layer(&layer.name) else {
+            continue;
+        };
+        let effective_sparsity = stats.effective_sparsity();
+        let Some(config) = select_config(menu, max_terms, effective_sparsity, alpha) else {
+            continue;
+        };
+        let damage = estimate_activation_damage(
+            &config,
+            stats.relu_input,
+            stats.mean_sparsity,
+            seed,
+            li,
+        );
+        transform.assignments[li] = LayerAssignment {
+            layer: layer.name.clone(),
+            config: Some(config.clone()),
+            damage,
+            kept_fraction: config.kept_density(),
+        };
+    }
+    // Back off the most damaging assignments until the quality estimate recovers: each
+    // step downgrades the worst layer to the next more conservative menu option (larger
+    // kept density), falling back to dense execution when nothing gentler exists.
+    while !transform.meets_quality_threshold() {
+        let worst = transform
+            .assignments
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.config.is_some())
+            .max_by(|a, b| {
+                a.1.damage
+                    .dropped_magnitude_fraction
+                    .partial_cmp(&b.1.damage.dropped_magnitude_fraction)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|(i, _)| i);
+        let Some(i) = worst else { break };
+        let current_kept = transform.assignments[i]
+            .config
+            .as_ref()
+            .map_or(1.0, TasdConfig::kept_density);
+        // The next more conservative option: smallest kept density strictly above the
+        // current one.
+        let next = menu
+            .configurations(max_terms)
+            .into_iter()
+            .filter(|c| {
+                !c.is_dense()
+                    && c.kept_density() < 1.0 - 1e-9
+                    && c.kept_density() > current_kept + 1e-9
+            })
+            .min_by(|a, b| {
+                a.kept_density()
+                    .partial_cmp(&b.kept_density())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+        match next {
+            Some(config) => {
+                let stats = profile
+                    .layer(&spec.layers[i].name)
+                    .expect("assigned layers have calibration stats");
+                let damage = estimate_activation_damage(
+                    &config,
+                    stats.relu_input,
+                    stats.mean_sparsity,
+                    seed,
+                    i,
+                );
+                transform.assignments[i] = LayerAssignment {
+                    layer: spec.layers[i].name.clone(),
+                    config: Some(config.clone()),
+                    damage,
+                    kept_fraction: config.kept_density(),
+                };
+            }
+            None => {
+                transform.assignments[i] = LayerAssignment::dense(&spec.layers[i].name);
+            }
+        }
+    }
+    transform
+}
+
+/// Network-wise TASD-A: one configuration for every eligible layer, chosen exhaustively as
+/// the most aggressive option whose quality estimate survives the 99 % check.
+pub fn network_wise(
+    spec: &NetworkSpec,
+    profile: &CalibrationProfile,
+    menu: &PatternMenu,
+    max_terms: usize,
+    quality: ProxyAccuracyModel,
+    seed: u64,
+) -> TasdTransform {
+    let mut configs = menu.configurations(max_terms);
+    configs.retain(|c| !c.is_dense() && c.kept_density() < 1.0 - 1e-9);
+    configs.sort_by(|a, b| {
+        a.kept_density()
+            .partial_cmp(&b.kept_density())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    for config in configs {
+        let transform = apply_uniform(spec, profile, &config, quality, seed);
+        if transform.meets_quality_threshold() {
+            return transform;
+        }
+    }
+    TasdTransform::all_dense(spec, TasdSide::Activations, quality)
+}
+
+/// Applies one configuration to every eligible layer without quality filtering (used by the
+/// network-wise search and the Fig. 14 sweeps).
+pub fn apply_uniform(
+    spec: &NetworkSpec,
+    profile: &CalibrationProfile,
+    config: &TasdConfig,
+    quality: ProxyAccuracyModel,
+    seed: u64,
+) -> TasdTransform {
+    let mut transform = TasdTransform::all_dense(spec, TasdSide::Activations, quality);
+    for (li, layer) in spec.layers.iter().enumerate() {
+        if !eligible_for_activation_tasd(spec, li) {
+            continue;
+        }
+        let Some(stats) = profile.layer(&layer.name) else {
+            continue;
+        };
+        let damage =
+            estimate_activation_damage(config, stats.relu_input, stats.mean_sparsity, seed, li);
+        transform.assignments[li] = LayerAssignment {
+            layer: layer.name.clone(),
+            config: Some(config.clone()),
+            damage,
+            kept_fraction: config.kept_density(),
+        };
+    }
+    transform
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tasd_dnn::{Activation, LayerSpec};
+
+    fn quality() -> ProxyAccuracyModel {
+        ProxyAccuracyModel::new(0.761)
+    }
+
+    /// A ReLU CNN-like spec with varying activation sparsity.
+    fn relu_spec() -> NetworkSpec {
+        NetworkSpec::new(
+            "relu-net",
+            vec![
+                LayerSpec::linear("l0", 256, 256, 64, Activation::Relu),
+                LayerSpec::linear("l1", 256, 256, 64, Activation::Relu)
+                    .with_input_activation_sparsity(0.7),
+                LayerSpec::linear("l2", 256, 256, 64, Activation::Relu)
+                    .with_input_activation_sparsity(0.45),
+                LayerSpec::linear("l3", 256, 64, 64, Activation::None)
+                    .with_input_activation_sparsity(0.6),
+            ],
+        )
+    }
+
+    /// A GELU (BERT-like) spec: dense activations, pseudo-density path.
+    fn gelu_spec() -> NetworkSpec {
+        NetworkSpec::new(
+            "gelu-net",
+            vec![
+                LayerSpec::linear("fc1", 256, 1024, 64, Activation::Gelu),
+                LayerSpec::linear("fc2", 1024, 256, 64, Activation::None),
+            ],
+        )
+    }
+
+    #[test]
+    fn select_config_matches_sparsity_budget() {
+        let menu = PatternMenu::vegeta_m8();
+        // Menu options by approximated sparsity: 1:8 = 0.875, 2:8 = 0.75, 2:8+1:8 = 0.625,
+        // 4:8 = 0.5, 4:8+1:8 = 0.375, 4:8+2:8 = 0.25.
+        // 60% sparse + alpha 0: best admissible option is 4:8 (0.5).
+        let c = select_config(&menu, 2, 0.6, 0.0).unwrap();
+        assert_eq!(c.to_string(), "4:8");
+        // 70% sparse admits the composed 3:8 (2:8+1:8, approximated sparsity 0.625).
+        assert_eq!(
+            select_config(&menu, 2, 0.7, 0.0).unwrap().to_string(),
+            "2:8+1:8"
+        );
+        // 80% sparse admits 2:8 (0.75).
+        assert_eq!(select_config(&menu, 2, 0.8, 0.0).unwrap().to_string(), "2:8");
+        // 90% admits 1:8 (0.875).
+        assert_eq!(select_config(&menu, 2, 0.9, 0.0).unwrap().to_string(), "1:8");
+        // Nearly dense input with no alpha: even the most conservative two-term option
+        // (4:8+2:8, approximated sparsity 0.25) over-approximates.
+        assert!(select_config(&menu, 2, 0.1, 0.0).is_none());
+        // A large alpha forces an aggressive choice anyway.
+        assert_eq!(
+            select_config(&menu, 2, 0.1, 0.5).unwrap().to_string(),
+            "4:8"
+        );
+    }
+
+    #[test]
+    fn alpha_increases_aggressiveness() {
+        let menu = PatternMenu::vegeta_m8();
+        let conservative = select_config(&menu, 2, 0.55, 0.0).unwrap();
+        let aggressive = select_config(&menu, 2, 0.55, 0.25).unwrap();
+        assert!(aggressive.approximated_sparsity() >= conservative.approximated_sparsity());
+    }
+
+    #[test]
+    fn eligibility_rules() {
+        let spec = relu_spec();
+        assert!(!eligible_for_activation_tasd(&spec, 0));
+        assert!(eligible_for_activation_tasd(&spec, 1));
+        let gelu = gelu_spec();
+        assert!(eligible_for_activation_tasd(&gelu, 1));
+        assert!(!eligible_for_activation_tasd(&gelu, 0));
+    }
+
+    #[test]
+    fn layer_wise_tasd_a_on_relu_network() {
+        let spec = relu_spec();
+        let profile = CalibrationProfile::synthetic(&spec, 4, 1);
+        let menu = PatternMenu::vegeta_m8();
+        let t = layer_wise(&spec, &profile, &menu, 2, 0.05, quality(), 1);
+        assert!(t.meets_quality_threshold());
+        // The 70%-sparse layer should get a configuration; MAC reduction should follow.
+        assert!(t.assignment("l1").unwrap().config.is_some());
+        assert!(t.mac_reduction(&spec) > 0.1, "reduction {}", t.mac_reduction(&spec));
+        // The first layer must stay dense.
+        assert!(t.assignment("l0").unwrap().config.is_none());
+    }
+
+    #[test]
+    fn gelu_network_still_benefits_via_pseudo_density() {
+        let spec = gelu_spec();
+        let profile = CalibrationProfile::synthetic(&spec, 4, 2);
+        let menu = PatternMenu::vegeta_m8();
+        let t = layer_wise(&spec, &profile, &menu, 2, 0.05, quality(), 2);
+        assert!(t.meets_quality_threshold());
+        // fc2 reads GELU outputs: pseudo-density allows a configuration even though the
+        // tensor has no exact zeros.
+        assert!(t.assignment("fc2").unwrap().config.is_some());
+        assert!(t.mac_reduction(&spec) > 0.05);
+    }
+
+    #[test]
+    fn layer_wise_beats_or_matches_network_wise() {
+        // Use a per-layer sensitivity appropriate for a 4-layer toy model: the uniform
+        // (network-wise) choice is then bound by its least-sparse layer, while the
+        // layer-wise choice adapts per layer — the Fig. 14 comparison.
+        let strict = ProxyAccuracyModel::new(0.761).with_sensitivity(0.1);
+        let spec = relu_spec();
+        let profile = CalibrationProfile::synthetic(&spec, 4, 3);
+        let menu = PatternMenu::vegeta_m8();
+        let lw = layer_wise(&spec, &profile, &menu, 2, 0.05, strict, 3);
+        let nw = network_wise(&spec, &profile, &menu, 2, strict, 3);
+        assert!(nw.meets_quality_threshold());
+        assert!(lw.meets_quality_threshold());
+        // Layer-wise adapts per layer and should match the uniform choice's compute
+        // reduction (small tolerance: the uniform search is exhaustive, the per-layer
+        // heuristic is not) while spending strictly less of the quality budget per unit of
+        // reduction in the aggregate.
+        assert!(
+            lw.mac_reduction(&spec) >= nw.mac_reduction(&spec) - 0.05,
+            "layer-wise {} vs network-wise {}",
+            lw.mac_reduction(&spec),
+            nw.mac_reduction(&spec)
+        );
+    }
+
+    #[test]
+    fn backoff_restores_quality_when_alpha_is_reckless() {
+        let spec = relu_spec();
+        let profile = CalibrationProfile::synthetic(&spec, 4, 4);
+        let menu = PatternMenu::vegeta_m8();
+        // An absurd alpha initially picks 1:8 everywhere; the quality loop must back off.
+        let t = layer_wise(&spec, &profile, &menu, 2, 0.9, quality(), 4);
+        assert!(t.meets_quality_threshold());
+    }
+
+    #[test]
+    fn uniform_application_skips_ineligible_layers() {
+        let spec = relu_spec();
+        let profile = CalibrationProfile::synthetic(&spec, 4, 5);
+        let cfg = TasdConfig::parse("4:8").unwrap();
+        let t = apply_uniform(&spec, &profile, &cfg, quality(), 5);
+        assert!(t.assignment("l0").unwrap().config.is_none());
+        assert!(t.assignment("l1").unwrap().config.is_some());
+    }
+}

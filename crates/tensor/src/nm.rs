@@ -1,0 +1,283 @@
+//! Fine-grained N:M structured sparsity patterns and views.
+//!
+//! An N:M pattern constrains every block of M consecutive elements along a row to contain
+//! at most N non-zeros (paper §2.1). The *view* of a matrix under a pattern keeps, in every
+//! block, the N elements of largest magnitude and drops the rest — exactly the greedy
+//! extraction step that TASD uses to produce one structured term.
+
+use crate::{Matrix, Result, TensorError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A fine-grained N:M structured sparsity pattern: at most `n` non-zeros in every block of
+/// `m` consecutive elements of a row.
+///
+/// # Example
+///
+/// ```
+/// use tasd_tensor::NmPattern;
+///
+/// let p = NmPattern::new(2, 4).unwrap();
+/// assert_eq!(p.approximated_sparsity(), 0.5);
+/// assert_eq!(p.to_string(), "2:4");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NmPattern {
+    n: usize,
+    m: usize,
+}
+
+impl NmPattern {
+    /// Creates an N:M pattern.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidPattern`] if `m == 0`, `n == 0`, or `n > m`.
+    pub fn new(n: usize, m: usize) -> Result<Self> {
+        if m == 0 || n == 0 || n > m {
+            return Err(TensorError::InvalidPattern { n, m });
+        }
+        Ok(NmPattern { n, m })
+    }
+
+    /// The maximum number of non-zeros per block (N).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The block size (M).
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Returns `true` if this pattern keeps every element (`n == m`), i.e. it is dense.
+    pub fn is_dense(&self) -> bool {
+        self.n == self.m
+    }
+
+    /// The sparsity degree this pattern *enforces*: `1 - n/m`.
+    ///
+    /// The paper calls this the "approximated sparsity" of a configuration (e.g. both 1:4
+    /// and 2:8 have an approximated sparsity of 75 %).
+    pub fn approximated_sparsity(&self) -> f64 {
+        1.0 - self.density()
+    }
+
+    /// The density this pattern allows: `n/m`.
+    pub fn density(&self) -> f64 {
+        self.n as f64 / self.m as f64
+    }
+
+    /// Returns `true` if `matrix` already satisfies this pattern (every length-M block of
+    /// every row contains at most N non-zeros). The trailing partial block of a row whose
+    /// width is not a multiple of M is checked as-is.
+    pub fn is_satisfied_by(&self, matrix: &Matrix) -> bool {
+        for i in 0..matrix.rows() {
+            let row = matrix.row(i);
+            for block in row.chunks(self.m) {
+                let nnz = block.iter().filter(|&&x| x != 0.0).count();
+                if nnz > self.n {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Produces the N:M view of `matrix`: in every length-M block of every row, the N
+    /// elements of largest magnitude are kept and all others are set to zero (ties keep the
+    /// earliest element). Rows whose width is not a multiple of M treat the trailing
+    /// partial block as its own (shorter) block.
+    ///
+    /// This is lossy whenever a block has more than N non-zeros; the dropped values are
+    /// exactly `matrix - view`.
+    pub fn view(&self, matrix: &Matrix) -> Matrix {
+        let mut out = matrix.clone();
+        self.view_inplace(&mut out);
+        out
+    }
+
+    /// In-place variant of [`NmPattern::view`].
+    pub fn view_inplace(&self, matrix: &mut Matrix) {
+        let m = self.m;
+        let n = self.n;
+        for i in 0..matrix.rows() {
+            let row = matrix.row_mut(i);
+            for block in row.chunks_mut(m) {
+                keep_top_n(block, n);
+            }
+        }
+    }
+
+    /// Returns the residual `matrix - view(matrix)`, i.e. the elements dropped by the view.
+    pub fn residual(&self, matrix: &Matrix) -> Matrix {
+        let view = self.view(matrix);
+        matrix.try_sub(&view).expect("view preserves shape")
+    }
+
+    /// Number of blocks per row for a matrix with `cols` columns (including a trailing
+    /// partial block).
+    pub fn blocks_per_row(&self, cols: usize) -> usize {
+        cols.div_ceil(self.m)
+    }
+
+    /// Maximum number of non-zeros a matrix of the given shape can hold under this pattern.
+    pub fn max_nonzeros(&self, rows: usize, cols: usize) -> usize {
+        let full_blocks = cols / self.m;
+        let tail = cols % self.m;
+        rows * (full_blocks * self.n + tail.min(self.n))
+    }
+}
+
+/// Keeps the `n` largest-magnitude entries of `block` and zeroes the rest.
+///
+/// Ties are broken in favour of earlier positions, which makes the extraction
+/// deterministic (important for reproducible decompositions).
+pub(crate) fn keep_top_n(block: &mut [f32], n: usize) {
+    if block.len() <= n {
+        return;
+    }
+    // Indices sorted by descending magnitude, stable on ties.
+    let mut idx: Vec<usize> = (0..block.len()).collect();
+    idx.sort_by(|&a, &b| {
+        block[b]
+            .abs()
+            .partial_cmp(&block[a].abs())
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    for &i in idx.iter().skip(n) {
+        block[i] = 0.0;
+    }
+}
+
+impl fmt::Display for NmPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.n, self.m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validation() {
+        assert!(NmPattern::new(2, 4).is_ok());
+        assert!(NmPattern::new(4, 4).is_ok());
+        assert!(NmPattern::new(0, 4).is_err());
+        assert!(NmPattern::new(5, 4).is_err());
+        assert!(NmPattern::new(1, 0).is_err());
+    }
+
+    #[test]
+    fn display_and_density() {
+        let p = NmPattern::new(2, 8).unwrap();
+        assert_eq!(p.to_string(), "2:8");
+        assert_eq!(p.density(), 0.25);
+        assert_eq!(p.approximated_sparsity(), 0.75);
+        assert!(NmPattern::new(8, 8).unwrap().is_dense());
+        assert!(!p.is_dense());
+    }
+
+    #[test]
+    fn paper_figure4_first_term() {
+        // Matrix A from Figure 4: rows [1,3,0,0,2,4,4,1] and [2,0,0,0,0,3,1,4].
+        let a = Matrix::from_rows(&[
+            vec![1.0, 3.0, 0.0, 0.0, 2.0, 4.0, 4.0, 1.0],
+            vec![2.0, 0.0, 0.0, 0.0, 0.0, 3.0, 1.0, 4.0],
+        ]);
+        let p24 = NmPattern::new(2, 4).unwrap();
+        let a1 = p24.view(&a);
+        // Expected 2:4 view from the paper: [1,3,0,0 | 0,4,4,0] and [2,0,0,0 | 0,3,0,4].
+        let expected = Matrix::from_rows(&[
+            vec![1.0, 3.0, 0.0, 0.0, 0.0, 4.0, 4.0, 0.0],
+            vec![2.0, 0.0, 0.0, 0.0, 0.0, 3.0, 0.0, 4.0],
+        ]);
+        assert_eq!(a1, expected);
+        // The extracted term covers 84% of the total magnitude (21 of 25).
+        assert_eq!(a1.sum(), 21.0);
+        assert_eq!(a.sum(), 25.0);
+        // Residual has the remaining 3 non-zeros summing to 4.
+        let r1 = p24.residual(&a);
+        assert_eq!(r1.count_nonzeros(), 3);
+        assert_eq!(r1.sum(), 4.0);
+    }
+
+    #[test]
+    fn view_is_idempotent_and_satisfies_pattern() {
+        let a = Matrix::from_rows(&[vec![5.0, -1.0, 2.0, 3.0, 0.5, 0.0, 7.0, -2.0]]);
+        let p = NmPattern::new(1, 4).unwrap();
+        let v = p.view(&a);
+        assert!(p.is_satisfied_by(&v));
+        assert_eq!(p.view(&v), v);
+        // Largest magnitude kept per block.
+        assert_eq!(v.row(0), &[5.0, 0.0, 0.0, 0.0, 0.0, 0.0, 7.0, 0.0]);
+    }
+
+    #[test]
+    fn view_plus_residual_reconstructs() {
+        let a = Matrix::from_fn(4, 8, |i, j| ((i * 8 + j) % 5) as f32 - 2.0);
+        let p = NmPattern::new(2, 4).unwrap();
+        let v = p.view(&a);
+        let r = p.residual(&a);
+        assert_eq!(v.try_add(&r).unwrap(), a);
+        // View and residual have disjoint supports.
+        for (x, y) in v.iter().zip(r.iter()) {
+            assert!(*x == 0.0 || *y == 0.0);
+        }
+    }
+
+    #[test]
+    fn dense_pattern_view_is_identity() {
+        let a = Matrix::from_fn(3, 8, |i, j| (i + j) as f32);
+        let p = NmPattern::new(8, 8).unwrap();
+        assert_eq!(p.view(&a), a);
+        assert!(p.is_satisfied_by(&a));
+    }
+
+    #[test]
+    fn partial_trailing_block() {
+        // 6 columns with a 4-block pattern: second block has only 2 elements.
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]]);
+        let p = NmPattern::new(1, 4).unwrap();
+        let v = p.view(&a);
+        assert_eq!(v.row(0), &[0.0, 0.0, 0.0, 4.0, 0.0, 6.0]);
+        assert_eq!(p.blocks_per_row(6), 2);
+        assert_eq!(p.max_nonzeros(1, 6), 2);
+    }
+
+    #[test]
+    fn is_satisfied_detects_violation() {
+        let ok = Matrix::from_rows(&[vec![1.0, 0.0, 2.0, 0.0]]);
+        let bad = Matrix::from_rows(&[vec![1.0, 1.0, 2.0, 0.0]]);
+        let p = NmPattern::new(2, 4).unwrap();
+        assert!(p.is_satisfied_by(&ok));
+        assert!(!p.is_satisfied_by(&bad));
+        let p1 = NmPattern::new(1, 4).unwrap();
+        assert!(!p1.is_satisfied_by(&ok));
+        assert!(!p1.is_satisfied_by(&bad));
+    }
+
+    #[test]
+    fn max_nonzeros_counts() {
+        let p = NmPattern::new(2, 8).unwrap();
+        assert_eq!(p.max_nonzeros(4, 16), 4 * 4);
+        assert_eq!(p.max_nonzeros(1, 8), 2);
+        assert_eq!(p.max_nonzeros(1, 9), 3); // trailing block of 1 keeps min(1, 2)=1
+    }
+
+    #[test]
+    fn keep_top_n_tie_break_is_stable() {
+        let mut block = [2.0, -2.0, 2.0, 1.0];
+        keep_top_n(&mut block, 2);
+        assert_eq!(block, [2.0, -2.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn ordering_of_patterns_is_consistent() {
+        let a = NmPattern::new(1, 4).unwrap();
+        let b = NmPattern::new(2, 4).unwrap();
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,368 @@
+//! Compressed storage for N:M structured sparse matrices.
+//!
+//! A structured-sparse tensor core does not consume a dense matrix with zeros; it consumes
+//! a *compressed* operand: for every M-element block, up to N values plus small metadata
+//! indices recording which lanes those values came from (NVIDIA's sparse tensor core uses
+//! 2-bit metadata per kept value for 2:4). [`NmCompressed`] is that representation, and its
+//! [`NmCompressed::spmm`] kernel performs only the effectual MACs — one per stored value
+//! per output column — which is what the accelerator model counts.
+
+use crate::nm::NmPattern;
+use crate::{Matrix, Result, TensorError};
+use serde::{Deserialize, Serialize};
+
+/// One stored entry of a compressed block: the value and its lane index within the block.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct Entry {
+    /// Column offset within the M-element block.
+    lane: u8,
+    /// The kept value.
+    value: f32,
+}
+
+/// An N:M structured sparse matrix in compressed (values + metadata) form.
+///
+/// # Example
+///
+/// ```
+/// use tasd_tensor::{Matrix, NmCompressed, NmPattern};
+///
+/// let dense = Matrix::from_rows(&[vec![0.0, 5.0, 0.0, -2.0, 1.0, 0.0, 0.0, 0.0]]);
+/// let p = NmPattern::new(2, 4).unwrap();
+/// let c = NmCompressed::from_dense(&dense, p).unwrap();
+/// assert_eq!(c.nnz(), 3);
+/// assert_eq!(c.to_dense(), dense);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NmCompressed {
+    rows: usize,
+    cols: usize,
+    pattern: NmPattern,
+    /// Entries stored block-major: for row `i` and block `b`, the entries live at
+    /// `block_ptr[i * blocks_per_row + b] .. block_ptr[i * blocks_per_row + b + 1]`.
+    entries: Vec<Entry>,
+    block_ptr: Vec<usize>,
+}
+
+impl NmCompressed {
+    /// Compresses a dense matrix that satisfies (or is to be clamped to) the N:M pattern.
+    ///
+    /// If the matrix does not satisfy the pattern, the N:M *view* is taken first (largest
+    /// magnitudes kept), so this constructor is total; use
+    /// [`NmCompressed::from_dense_strict`] to reject non-conforming inputs instead.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible for any well-formed matrix, but returns `Result` to keep the
+    /// signature uniform with the strict constructor.
+    pub fn from_dense(matrix: &Matrix, pattern: NmPattern) -> Result<Self> {
+        let view = if pattern.is_satisfied_by(matrix) {
+            matrix.clone()
+        } else {
+            pattern.view(matrix)
+        };
+        Self::compress_conforming(&view, pattern)
+    }
+
+    /// Compresses a dense matrix, returning an error if it does not already satisfy the
+    /// pattern.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::CorruptCompressed`] if any block violates the pattern.
+    pub fn from_dense_strict(matrix: &Matrix, pattern: NmPattern) -> Result<Self> {
+        if !pattern.is_satisfied_by(matrix) {
+            return Err(TensorError::CorruptCompressed(format!(
+                "matrix does not satisfy {pattern} pattern"
+            )));
+        }
+        Self::compress_conforming(matrix, pattern)
+    }
+
+    fn compress_conforming(matrix: &Matrix, pattern: NmPattern) -> Result<Self> {
+        let rows = matrix.rows();
+        let cols = matrix.cols();
+        let bpr = pattern.blocks_per_row(cols);
+        let mut entries = Vec::new();
+        let mut block_ptr = Vec::with_capacity(rows * bpr + 1);
+        block_ptr.push(0);
+        for i in 0..rows {
+            let row = matrix.row(i);
+            for block in row.chunks(pattern.m()) {
+                for (lane, &v) in block.iter().enumerate() {
+                    if v != 0.0 {
+                        entries.push(Entry {
+                            lane: lane as u8,
+                            value: v,
+                        });
+                    }
+                }
+                block_ptr.push(entries.len());
+            }
+        }
+        Ok(NmCompressed {
+            rows,
+            cols,
+            pattern,
+            entries,
+            block_ptr,
+        })
+    }
+
+    /// Number of rows of the logical (dense) matrix.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns of the logical (dense) matrix.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Shape of the logical matrix as `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// The N:M pattern this matrix conforms to.
+    pub fn pattern(&self) -> NmPattern {
+        self.pattern
+    }
+
+    /// Number of stored (non-zero) values.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Sparsity degree of the logical matrix.
+    pub fn sparsity(&self) -> f64 {
+        if self.rows * self.cols == 0 {
+            0.0
+        } else {
+            1.0 - self.nnz() as f64 / (self.rows * self.cols) as f64
+        }
+    }
+
+    /// Storage footprint in bytes: 4 bytes per value plus `ceil(log2(M))` bits of metadata
+    /// per value, rounded up to whole bytes per matrix (the format a sparse tensor core
+    /// would consume).
+    pub fn storage_bytes(&self) -> usize {
+        let meta_bits_per_value = usize::BITS as usize
+            - (self.pattern.m().max(2) - 1).leading_zeros() as usize;
+        let value_bytes = self.nnz() * 4;
+        let meta_bytes = (self.nnz() * meta_bits_per_value).div_ceil(8);
+        value_bytes + meta_bytes
+    }
+
+    /// Expands back to a dense matrix.
+    pub fn to_dense(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        let bpr = self.pattern.blocks_per_row(self.cols);
+        for i in 0..self.rows {
+            for b in 0..bpr {
+                let base_col = b * self.pattern.m();
+                let blk = i * bpr + b;
+                for e in &self.entries[self.block_ptr[blk]..self.block_ptr[blk + 1]] {
+                    out[(i, base_col + e.lane as usize)] = e.value;
+                }
+            }
+        }
+        out
+    }
+
+    /// Structured sparse matrix multiply: `C = self * B`, performing one MAC per stored
+    /// value per output column (ineffectual MACs are skipped by construction).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `self.cols() != b.rows()`.
+    pub fn spmm(&self, b: &Matrix) -> Result<Matrix> {
+        let mut c = Matrix::zeros(self.rows, b.cols());
+        self.spmm_into(b, &mut c)?;
+        Ok(c)
+    }
+
+    /// Accumulating variant of [`NmCompressed::spmm`]: `C += self * B`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes are inconsistent.
+    pub fn spmm_into(&self, b: &Matrix, c: &mut Matrix) -> Result<()> {
+        if self.cols != b.rows() {
+            return Err(TensorError::ShapeMismatch {
+                op: "nm spmm",
+                lhs: self.shape(),
+                rhs: b.shape(),
+            });
+        }
+        if c.rows() != self.rows || c.cols() != b.cols() {
+            return Err(TensorError::ShapeMismatch {
+                op: "nm spmm accumulator",
+                lhs: (self.rows, b.cols()),
+                rhs: c.shape(),
+            });
+        }
+        let bpr = self.pattern.blocks_per_row(self.cols);
+        let n = b.cols();
+        for i in 0..self.rows {
+            let c_row = c.row_mut(i);
+            for blk_in_row in 0..bpr {
+                let base_col = blk_in_row * self.pattern.m();
+                let blk = i * bpr + blk_in_row;
+                for e in &self.entries[self.block_ptr[blk]..self.block_ptr[blk + 1]] {
+                    let k = base_col + e.lane as usize;
+                    let b_row = b.row(k);
+                    let v = e.value;
+                    for j in 0..n {
+                        c_row[j] += v * b_row[j];
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of effectual MACs this operand contributes to a GEMM with `n_cols` output
+    /// columns.
+    pub fn effectual_macs(&self, n_cols: usize) -> u64 {
+        self.nnz() as u64 * n_cols as u64
+    }
+
+    /// Verifies internal structural invariants (monotone block pointers, lane bounds,
+    /// per-block entry count within N). Useful for property tests and after deserialization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::CorruptCompressed`] describing the first violated invariant.
+    pub fn validate(&self) -> Result<()> {
+        let bpr = self.pattern.blocks_per_row(self.cols);
+        if self.block_ptr.len() != self.rows * bpr + 1 {
+            return Err(TensorError::CorruptCompressed(format!(
+                "block_ptr length {} does not match {} blocks",
+                self.block_ptr.len(),
+                self.rows * bpr
+            )));
+        }
+        if *self.block_ptr.last().unwrap_or(&0) != self.entries.len() {
+            return Err(TensorError::CorruptCompressed(
+                "final block pointer does not cover all entries".to_string(),
+            ));
+        }
+        for w in self.block_ptr.windows(2) {
+            if w[1] < w[0] {
+                return Err(TensorError::CorruptCompressed(
+                    "block pointers are not monotone".to_string(),
+                ));
+            }
+            if w[1] - w[0] > self.pattern.n() {
+                return Err(TensorError::CorruptCompressed(format!(
+                    "a block stores {} values, exceeding N={}",
+                    w[1] - w[0],
+                    self.pattern.n()
+                )));
+            }
+        }
+        for e in &self.entries {
+            if (e.lane as usize) >= self.pattern.m() {
+                return Err(TensorError::CorruptCompressed(format!(
+                    "lane {} out of bounds for M={}",
+                    e.lane,
+                    self.pattern.m()
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::gemm;
+    use crate::random::MatrixGenerator;
+
+    #[test]
+    fn round_trip_conforming_matrix() {
+        let p = NmPattern::new(2, 4).unwrap();
+        let dense = MatrixGenerator::seeded(1).structured_nm(16, 32, p);
+        let c = NmCompressed::from_dense_strict(&dense, p).unwrap();
+        assert_eq!(c.to_dense(), dense);
+        assert_eq!(c.nnz(), dense.count_nonzeros());
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn from_dense_clamps_nonconforming() {
+        let dense = Matrix::filled(2, 8, 1.0);
+        let p = NmPattern::new(2, 4).unwrap();
+        let c = NmCompressed::from_dense(&dense, p).unwrap();
+        assert_eq!(c.nnz(), 2 * 2 * 2);
+        assert!(p.is_satisfied_by(&c.to_dense()));
+        assert!(NmCompressed::from_dense_strict(&dense, p).is_err());
+    }
+
+    #[test]
+    fn spmm_matches_dense_gemm_on_view() {
+        let mut gen = MatrixGenerator::seeded(5);
+        let p = NmPattern::new(2, 8).unwrap();
+        let a = gen.sparse_normal(24, 32, 0.5);
+        let view = p.view(&a);
+        let b = gen.normal(32, 12, 0.0, 1.0);
+        let c_sparse = NmCompressed::from_dense(&a, p).unwrap().spmm(&b).unwrap();
+        let c_dense = gemm(&view, &b).unwrap();
+        assert!(c_sparse.approx_eq(&c_dense, 1e-4));
+    }
+
+    #[test]
+    fn spmm_into_accumulates() {
+        let p = NmPattern::new(1, 4).unwrap();
+        let a = Matrix::from_rows(&[vec![2.0, 0.0, 0.0, 0.0]]);
+        let c = NmCompressed::from_dense_strict(&a, p).unwrap();
+        let b = Matrix::filled(4, 3, 1.0);
+        let mut acc = Matrix::filled(1, 3, 10.0);
+        c.spmm_into(&b, &mut acc).unwrap();
+        assert_eq!(acc, Matrix::filled(1, 3, 12.0));
+    }
+
+    #[test]
+    fn shape_mismatch_errors() {
+        let p = NmPattern::new(2, 4).unwrap();
+        let a = NmCompressed::from_dense(&Matrix::zeros(2, 8), p).unwrap();
+        assert!(a.spmm(&Matrix::zeros(4, 4)).is_err());
+        let b = Matrix::zeros(8, 3);
+        let mut bad_acc = Matrix::zeros(3, 3);
+        assert!(a.spmm_into(&b, &mut bad_acc).is_err());
+    }
+
+    #[test]
+    fn storage_bytes_reflects_metadata_width() {
+        let p4 = NmPattern::new(2, 4).unwrap();
+        let p8 = NmPattern::new(2, 8).unwrap();
+        let dense = Matrix::from_rows(&[vec![1.0, 0.0, 2.0, 0.0, 0.0, 3.0, 0.0, 4.0]]);
+        let c4 = NmCompressed::from_dense(&dense, p4).unwrap();
+        let c8 = NmCompressed::from_dense(&dense, p8).unwrap();
+        assert_eq!(c4.nnz(), 4);
+        assert_eq!(c8.nnz(), 2);
+        // 2-bit metadata for M=4, 3-bit for M=8.
+        assert_eq!(c4.storage_bytes(), 4 * 4 + 1);
+        assert_eq!(c8.storage_bytes(), 2 * 4 + 1);
+    }
+
+    #[test]
+    fn sparsity_and_effectual_macs() {
+        let p = NmPattern::new(2, 4).unwrap();
+        let dense = Matrix::from_rows(&[vec![1.0, 0.0, 2.0, 0.0, 0.0, 0.0, 0.0, 0.0]]);
+        let c = NmCompressed::from_dense_strict(&dense, p).unwrap();
+        assert_eq!(c.sparsity(), 0.75);
+        assert_eq!(c.effectual_macs(16), 2 * 16);
+    }
+
+    #[test]
+    fn empty_matrix_handled() {
+        let p = NmPattern::new(2, 4).unwrap();
+        let c = NmCompressed::from_dense(&Matrix::zeros(0, 0), p).unwrap();
+        assert_eq!(c.nnz(), 0);
+        assert_eq!(c.sparsity(), 0.0);
+        c.validate().unwrap();
+    }
+}

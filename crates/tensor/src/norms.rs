@@ -1,0 +1,187 @@
+//! Norms and error metrics used to quantify TASD approximation quality.
+
+use crate::Matrix;
+
+/// Frobenius norm of a matrix: `sqrt(sum(x^2))`.
+///
+/// # Example
+///
+/// ```
+/// use tasd_tensor::{frobenius_norm, Matrix};
+///
+/// let m = Matrix::from_rows(&[vec![3.0, 4.0]]);
+/// assert_eq!(frobenius_norm(&m), 5.0);
+/// ```
+pub fn frobenius_norm(m: &Matrix) -> f64 {
+    m.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt()
+}
+
+/// Relative Frobenius error `||a - b||_F / ||a||_F`.
+///
+/// This is the matrix-multiplication error metric of the paper's Appendix A
+/// (`||(A - A*)B|| / ||AB||` when applied to products). Returns `0.0` when both matrices
+/// are all-zero and `f64::INFINITY` when only the reference is all-zero.
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn relative_frobenius_error(reference: &Matrix, approx: &Matrix) -> f64 {
+    assert_eq!(
+        reference.shape(),
+        approx.shape(),
+        "relative error requires matching shapes"
+    );
+    let diff = reference.try_sub(approx).expect("shapes already checked");
+    let denom = frobenius_norm(reference);
+    let num = frobenius_norm(&diff);
+    if denom == 0.0 {
+        if num == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        num / denom
+    }
+}
+
+/// Mean squared error between two matrices.
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn mean_squared_error(a: &Matrix, b: &Matrix) -> f64 {
+    assert_eq!(a.shape(), b.shape(), "mse requires matching shapes");
+    if a.is_empty() {
+        return 0.0;
+    }
+    a.iter()
+        .zip(b.iter())
+        .map(|(&x, &y)| {
+            let d = (x - y) as f64;
+            d * d
+        })
+        .sum::<f64>()
+        / a.len() as f64
+}
+
+/// Maximum absolute element-wise difference between two matrices.
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn max_abs_error(a: &Matrix, b: &Matrix) -> f64 {
+    assert_eq!(a.shape(), b.shape(), "max abs error requires matching shapes");
+    a.iter()
+        .zip(b.iter())
+        .map(|(&x, &y)| ((x - y) as f64).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Fraction of the reference's non-zero elements that are zeroed in `approx`
+/// (the paper's "percentage of dropped non-zeros").
+///
+/// Returns `0.0` when the reference has no non-zeros.
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn dropped_nonzero_fraction(reference: &Matrix, approx: &Matrix) -> f64 {
+    assert_eq!(reference.shape(), approx.shape(), "shapes must match");
+    let total = reference.count_nonzeros();
+    if total == 0 {
+        return 0.0;
+    }
+    let dropped = reference
+        .iter()
+        .zip(approx.iter())
+        .filter(|(&r, &a)| r != 0.0 && a == 0.0)
+        .count();
+    dropped as f64 / total as f64
+}
+
+/// Fraction of the reference's total magnitude (sum of absolute values) that is lost in
+/// `approx` (the paper's "percentage of dropped total magnitude").
+///
+/// Returns `0.0` when the reference is all-zero.
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn dropped_magnitude_fraction(reference: &Matrix, approx: &Matrix) -> f64 {
+    assert_eq!(reference.shape(), approx.shape(), "shapes must match");
+    let total = reference.abs_sum();
+    if total == 0.0 {
+        return 0.0;
+    }
+    let dropped: f64 = reference
+        .iter()
+        .zip(approx.iter())
+        .filter(|(&r, &a)| r != 0.0 && a == 0.0)
+        .map(|(&r, _)| r.abs() as f64)
+        .sum();
+    dropped / total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NmPattern;
+
+    #[test]
+    fn frobenius_basics() {
+        assert_eq!(frobenius_norm(&Matrix::zeros(3, 3)), 0.0);
+        let m = Matrix::identity(4);
+        assert_eq!(frobenius_norm(&m), 2.0);
+    }
+
+    #[test]
+    fn relative_error_zero_for_identical() {
+        let m = Matrix::from_fn(5, 5, |i, j| (i * j) as f32);
+        assert_eq!(relative_frobenius_error(&m, &m), 0.0);
+    }
+
+    #[test]
+    fn relative_error_handles_zero_reference() {
+        let z = Matrix::zeros(2, 2);
+        assert_eq!(relative_frobenius_error(&z, &z), 0.0);
+        let nz = Matrix::filled(2, 2, 1.0);
+        assert!(relative_frobenius_error(&z, &nz).is_infinite());
+    }
+
+    #[test]
+    fn mse_and_max_abs() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0, 4.0]]);
+        let b = Matrix::from_rows(&[vec![1.0, 2.0, 3.0, 6.0]]);
+        assert_eq!(mean_squared_error(&a, &b), 1.0);
+        assert_eq!(max_abs_error(&a, &b), 2.0);
+        assert_eq!(mean_squared_error(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn dropped_fraction_matches_paper_example() {
+        // Figure 4: the 2:4 view of A drops 3 of 10 non-zeros (30%) and 4 of 25 magnitude (16%).
+        let a = Matrix::from_rows(&[
+            vec![1.0, 3.0, 0.0, 0.0, 2.0, 4.0, 4.0, 1.0],
+            vec![2.0, 0.0, 0.0, 0.0, 0.0, 3.0, 1.0, 4.0],
+        ]);
+        let view = NmPattern::new(2, 4).unwrap().view(&a);
+        assert!((dropped_nonzero_fraction(&a, &view) - 0.3).abs() < 1e-9);
+        assert!((dropped_magnitude_fraction(&a, &view) - 4.0 / 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dropped_fraction_zero_reference() {
+        let z = Matrix::zeros(2, 4);
+        assert_eq!(dropped_nonzero_fraction(&z, &z), 0.0);
+        assert_eq!(dropped_magnitude_fraction(&z, &z), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "matching shapes")]
+    fn relative_error_shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 2);
+        let b = Matrix::zeros(2, 3);
+        let _ = relative_frobenius_error(&a, &b);
+    }
+}

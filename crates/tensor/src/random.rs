@@ -1,0 +1,296 @@
+//! Seeded random matrix generation for experiments.
+//!
+//! The paper's synthetic-data studies (Appendix A) use uniform and normal value
+//! distributions with controlled densities; the DNN experiments need magnitude-pruned
+//! weights with per-layer sparsity targets. All generators here are deterministic given a
+//! seed so every experiment in this repository is reproducible.
+
+use crate::{Matrix, NmPattern};
+use rand::distributions::Distribution;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Deterministic random matrix generator.
+///
+/// # Example
+///
+/// ```
+/// use tasd_tensor::MatrixGenerator;
+///
+/// let mut gen = MatrixGenerator::seeded(42);
+/// let a = gen.sparse_normal(64, 64, 0.8);
+/// let sparsity = 1.0 - a.count_nonzeros() as f64 / a.len() as f64;
+/// assert!((sparsity - 0.8).abs() < 0.02);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MatrixGenerator {
+    rng: ChaCha8Rng,
+}
+
+impl MatrixGenerator {
+    /// Creates a generator with the given seed.
+    pub fn seeded(seed: u64) -> Self {
+        MatrixGenerator {
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// Matrix with elements drawn uniformly from `[lo, hi)`.
+    pub fn uniform(&mut self, rows: usize, cols: usize, lo: f32, hi: f32) -> Matrix {
+        let rng = &mut self.rng;
+        Matrix::from_fn(rows, cols, |_, _| rng.gen_range(lo..hi))
+    }
+
+    /// Matrix with elements drawn from a normal distribution.
+    pub fn normal(&mut self, rows: usize, cols: usize, mean: f32, std_dev: f32) -> Matrix {
+        let dist = NormalApprox::new(mean, std_dev);
+        let rng = &mut self.rng;
+        Matrix::from_fn(rows, cols, |_, _| dist.sample(rng))
+    }
+
+    /// Unstructured sparse matrix: each element is zero with probability `sparsity` and
+    /// otherwise drawn uniformly from `[0, 1)` (the distribution used by the paper's
+    /// Appendix A matrix-multiplication study).
+    pub fn sparse_uniform(&mut self, rows: usize, cols: usize, sparsity: f64) -> Matrix {
+        let rng = &mut self.rng;
+        Matrix::from_fn(rows, cols, |_, _| {
+            if rng.gen_bool(sparsity.clamp(0.0, 1.0)) {
+                0.0
+            } else {
+                rng.gen_range(0.0..1.0)
+            }
+        })
+    }
+
+    /// Unstructured sparse matrix with normally-distributed non-zeros
+    /// (mean 0, std 1/3 — the distribution used in the paper's Appendix A drop study).
+    pub fn sparse_normal(&mut self, rows: usize, cols: usize, sparsity: f64) -> Matrix {
+        let dist = NormalApprox::new(0.0, 1.0 / 3.0);
+        let rng = &mut self.rng;
+        Matrix::from_fn(rows, cols, |_, _| {
+            if rng.gen_bool(sparsity.clamp(0.0, 1.0)) {
+                0.0
+            } else {
+                dist.sample(rng)
+            }
+        })
+    }
+
+    /// Dense weight matrix followed by global magnitude pruning to exactly the requested
+    /// sparsity degree (fraction of zeros). This mimics unstructured magnitude pruning of a
+    /// trained layer: small-magnitude weights are removed first.
+    pub fn magnitude_pruned(&mut self, rows: usize, cols: usize, sparsity: f64) -> Matrix {
+        let dense = self.normal(rows, cols, 0.0, 1.0);
+        magnitude_prune(&dense, sparsity)
+    }
+
+    /// Matrix that exactly satisfies an N:M structured pattern: in each block, `n` randomly
+    /// chosen positions hold normally-distributed values and the rest are zero.
+    pub fn structured_nm(&mut self, rows: usize, cols: usize, pattern: NmPattern) -> Matrix {
+        let mut out = Matrix::zeros(rows, cols);
+        let dist = NormalApprox::new(0.0, 1.0);
+        for i in 0..rows {
+            let row = out.row_mut(i);
+            for block in row.chunks_mut(pattern.m()) {
+                let len = block.len();
+                let mut idx: Vec<usize> = (0..len).collect();
+                idx.shuffle(&mut self.rng);
+                for &p in idx.iter().take(pattern.n().min(len)) {
+                    block[p] = dist.sample(&mut self.rng);
+                }
+            }
+        }
+        out
+    }
+
+    /// Activation-like matrix: values drawn from a normal distribution and passed through
+    /// ReLU, producing roughly `50%` natural sparsity; `shift` moves the pre-activation
+    /// mean so callers can dial the sparsity degree up or down.
+    pub fn relu_activations(&mut self, rows: usize, cols: usize, shift: f32) -> Matrix {
+        let pre = self.normal(rows, cols, shift, 1.0);
+        pre.map(|x| x.max(0.0))
+    }
+
+    /// GELU-like activation matrix: (almost entirely) free of exact zeros but with many
+    /// tiny-magnitude values — the skewed distribution the paper's pseudo-density heuristic
+    /// targets. Pre-activations are drawn with a negative mean (−1.0, σ = 1.5), matching
+    /// the emergent "lazy neuron" behaviour of trained Transformer FFNs where most GELU
+    /// outputs sit near zero and a minority carry the magnitude (Li et al., 2023).
+    pub fn gelu_activations(&mut self, rows: usize, cols: usize) -> Matrix {
+        let pre = self.normal(rows, cols, -1.5, 1.5);
+        pre.map(gelu)
+    }
+
+    /// Returns a uniformly random value in `[0, 1)`, exposed so callers sharing this
+    /// generator do not need a second RNG.
+    pub fn unit(&mut self) -> f32 {
+        self.rng.gen_range(0.0..1.0)
+    }
+
+    /// Draws a value from a normal distribution with the given parameters.
+    pub fn normal_scalar(&mut self, mean: f32, std_dev: f32) -> f32 {
+        NormalApprox::new(mean, std_dev).sample(&mut self.rng)
+    }
+
+    /// Random index below `bound`.
+    pub fn index(&mut self, bound: usize) -> usize {
+        self.rng.gen_range(0..bound)
+    }
+}
+
+/// Gaussian error linear unit, used to synthesize GELU-style dense activations.
+pub fn gelu(x: f32) -> f32 {
+    // tanh approximation of GELU (Hendrycks & Gimpel, 2016).
+    0.5 * x * (1.0 + ((0.797_884_6 * (x + 0.044_715 * x * x * x)).tanh()))
+}
+
+/// Globally magnitude-prunes `m` to the requested sparsity degree (fraction of zeros),
+/// removing the smallest-magnitude elements first.
+pub fn magnitude_prune(m: &Matrix, sparsity: f64) -> Matrix {
+    let sparsity = sparsity.clamp(0.0, 1.0);
+    let total = m.len();
+    let n_zero = ((total as f64) * sparsity).round() as usize;
+    if n_zero == 0 {
+        return m.clone();
+    }
+    let mut mags: Vec<(f32, usize)> = m
+        .as_slice()
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| (x.abs(), i))
+        .collect();
+    mags.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    let mut out = m.clone();
+    let slice = out.as_mut_slice();
+    for &(_, i) in mags.iter().take(n_zero.min(total)) {
+        slice[i] = 0.0;
+    }
+    out
+}
+
+/// Box–Muller normal sampler (keeps the dependency surface to `rand` core only).
+#[derive(Debug, Clone, Copy)]
+struct NormalApprox {
+    mean: f32,
+    std_dev: f32,
+}
+
+impl NormalApprox {
+    fn new(mean: f32, std_dev: f32) -> Self {
+        NormalApprox { mean, std_dev }
+    }
+}
+
+impl Distribution<f32> for NormalApprox {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
+        self.mean + self.std_dev * z
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{pseudo_density, sparsity_degree};
+
+    #[test]
+    fn generation_is_deterministic_for_same_seed() {
+        let a = MatrixGenerator::seeded(3).normal(8, 8, 0.0, 1.0);
+        let b = MatrixGenerator::seeded(3).normal(8, 8, 0.0, 1.0);
+        let c = MatrixGenerator::seeded(4).normal(8, 8, 0.0, 1.0);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let m = MatrixGenerator::seeded(1).uniform(32, 32, -2.0, 3.0);
+        assert!(m.iter().all(|&x| (-2.0..3.0).contains(&x)));
+    }
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let m = MatrixGenerator::seeded(9).normal(64, 64, 5.0, 2.0);
+        let mean = m.sum() / m.len() as f32;
+        assert!((mean - 5.0).abs() < 0.2, "mean {mean}");
+        let var: f32 =
+            m.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / m.len() as f32;
+        assert!((var.sqrt() - 2.0).abs() < 0.2, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn sparse_uniform_hits_target_density() {
+        let m = MatrixGenerator::seeded(5).sparse_uniform(128, 128, 0.75);
+        let s = sparsity_degree(&m);
+        assert!((s - 0.75).abs() < 0.02, "sparsity {s}");
+        assert!(m.iter().all(|&x| (0.0..1.0).contains(&x)));
+    }
+
+    #[test]
+    fn magnitude_prune_exact_count_and_smallest_first() {
+        let m = Matrix::from_rows(&[vec![0.1, -5.0, 0.2, 3.0, -0.05, 1.0, 2.0, -0.3]]);
+        let pruned = magnitude_prune(&m, 0.5);
+        assert_eq!(pruned.count_zeros(), 4);
+        // The 4 smallest magnitudes (0.05, 0.1, 0.2, 0.3) are removed.
+        assert_eq!(
+            pruned.row(0),
+            &[0.0, -5.0, 0.0, 3.0, 0.0, 1.0, 2.0, 0.0]
+        );
+    }
+
+    #[test]
+    fn magnitude_pruned_generator_matches_target() {
+        let m = MatrixGenerator::seeded(2).magnitude_pruned(64, 64, 0.95);
+        let s = sparsity_degree(&m);
+        assert!((s - 0.95).abs() < 1e-3, "sparsity {s}");
+    }
+
+    #[test]
+    fn structured_generator_satisfies_pattern() {
+        let p = NmPattern::new(2, 8).unwrap();
+        let m = MatrixGenerator::seeded(7).structured_nm(16, 64, p);
+        assert!(p.is_satisfied_by(&m));
+        // Every block holds exactly n non-zeros (with overwhelming probability the sampled
+        // normal values are non-zero).
+        assert_eq!(m.count_nonzeros(), p.max_nonzeros(16, 64));
+    }
+
+    #[test]
+    fn relu_activations_are_nonnegative_and_sparse() {
+        let m = MatrixGenerator::seeded(8).relu_activations(64, 64, 0.0);
+        assert!(m.iter().all(|&x| x >= 0.0));
+        let s = sparsity_degree(&m);
+        assert!((0.4..0.6).contains(&s), "sparsity {s}");
+        // Positive shift reduces sparsity.
+        let denser = MatrixGenerator::seeded(8).relu_activations(64, 64, 1.0);
+        assert!(sparsity_degree(&denser) < s);
+    }
+
+    #[test]
+    fn gelu_activations_are_dense_but_skewed() {
+        let m = MatrixGenerator::seeded(8).gelu_activations(64, 64);
+        // GELU never clips to zero the way ReLU does; a handful of exact zeros can appear
+        // from f32 tanh saturation on extreme negative pre-activations, nothing more.
+        assert!(sparsity_degree(&m) < 0.02, "sparsity {}", sparsity_degree(&m));
+        // Many tiny-magnitude values: the median magnitude is far below the max.
+        let mut mags: Vec<f32> = m.iter().map(|x| x.abs()).collect();
+        mags.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = mags[mags.len() / 2];
+        let max = *mags.last().unwrap();
+        assert!(median < max / 4.0, "median {median}, max {max}");
+        // Pseudo-density is meaningfully below 1: a subset of elements carries 99% of the
+        // magnitude, which is what TASD-A's pseudo-density heuristic keys on.
+        assert!(pseudo_density(&m, 0.99) < 0.85);
+    }
+
+    #[test]
+    fn gelu_function_shape() {
+        assert!(gelu(0.0).abs() < 1e-6);
+        assert!(gelu(3.0) > 2.9);
+        assert!(gelu(-3.0).abs() < 0.01);
+        assert!(gelu(-0.5) < 0.0);
+    }
+}

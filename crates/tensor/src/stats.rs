@@ -1,0 +1,214 @@
+//! Sparsity statistics: degrees, distributions, and pseudo-density.
+
+use crate::Matrix;
+
+/// Sparsity degree of a matrix: the fraction of exactly-zero elements.
+///
+/// # Example
+///
+/// ```
+/// use tasd_tensor::{sparsity_degree, Matrix};
+///
+/// let m = Matrix::from_rows(&[vec![0.0, 1.0, 0.0, 2.0]]);
+/// assert_eq!(sparsity_degree(&m), 0.5);
+/// ```
+pub fn sparsity_degree(m: &Matrix) -> f64 {
+    if m.is_empty() {
+        return 0.0;
+    }
+    m.count_zeros() as f64 / m.len() as f64
+}
+
+/// Density of a matrix: the fraction of non-zero elements (`1 - sparsity`).
+pub fn density(m: &Matrix) -> f64 {
+    1.0 - sparsity_degree(m)
+}
+
+/// Pseudo-density (paper §4.3): the smallest fraction of elements (taken in decreasing
+/// magnitude order) whose combined magnitude reaches `preserve_fraction` of the total
+/// magnitude of the tensor.
+///
+/// For ReLU outputs this roughly matches `1 - sparsity`; for GELU/Swish outputs (which
+/// have no exact zeros but many tiny values) it captures how concentrated the magnitude
+/// is, which is what TASD-A uses to pick a configuration for non-ReLU networks.
+///
+/// Returns `0.0` for an all-zero or empty matrix.
+pub fn pseudo_density(m: &Matrix, preserve_fraction: f64) -> f64 {
+    if m.is_empty() {
+        return 0.0;
+    }
+    let preserve_fraction = preserve_fraction.clamp(0.0, 1.0);
+    let total: f64 = m.abs_sum();
+    if total == 0.0 {
+        return 0.0;
+    }
+    let mut mags: Vec<f64> = m.iter().map(|&x| x.abs() as f64).collect();
+    mags.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+    let target = total * preserve_fraction;
+    let mut acc = 0.0;
+    let mut count = 0usize;
+    for v in mags {
+        if acc >= target {
+            break;
+        }
+        acc += v;
+        count += 1;
+    }
+    count as f64 / m.len() as f64
+}
+
+/// Per-block non-zero histogram: `hist[k]` is the number of length-`m` row blocks that
+/// contain exactly `k` non-zeros. The trailing partial block of each row is included.
+pub fn block_nnz_histogram(matrix: &Matrix, m: usize) -> Vec<usize> {
+    assert!(m > 0, "block size must be positive");
+    let mut hist = vec![0usize; m + 1];
+    for i in 0..matrix.rows() {
+        for block in matrix.row(i).chunks(m) {
+            let nnz = block.iter().filter(|&&x| x != 0.0).count();
+            hist[nnz] += 1;
+        }
+    }
+    hist
+}
+
+/// The `q`-th percentile (0.0–1.0) of a data slice, using nearest-rank interpolation.
+///
+/// Returns `None` for an empty slice.
+pub fn percentile(data: &[f64], q: f64) -> Option<f64> {
+    if data.is_empty() {
+        return None;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let rank = (q * (sorted.len() - 1) as f64).round() as usize;
+    Some(sorted[rank])
+}
+
+/// Running summary statistics for a stream of scalar observations (used to accumulate
+/// per-layer activation sparsity over calibration batches).
+#[derive(Debug, Clone, Default)]
+pub struct RunningStats {
+    values: Vec<f64>,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, value: f64) {
+        self.values.push(value);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Mean of the observations, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.values.is_empty() {
+            None
+        } else {
+            Some(self.values.iter().sum::<f64>() / self.values.len() as f64)
+        }
+    }
+
+    /// Minimum observation, or `None` if empty.
+    pub fn min(&self) -> Option<f64> {
+        self.values.iter().copied().fold(None, |acc, v| match acc {
+            None => Some(v),
+            Some(a) => Some(a.min(v)),
+        })
+    }
+
+    /// Maximum observation, or `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        self.values.iter().copied().fold(None, |acc, v| match acc {
+            None => Some(v),
+            Some(a) => Some(a.max(v)),
+        })
+    }
+
+    /// The `q`-th percentile (0.0–1.0) of the observations, or `None` if empty.
+    pub fn percentile(&self, q: f64) -> Option<f64> {
+        percentile(&self.values, q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MatrixGenerator;
+
+    #[test]
+    fn sparsity_and_density_sum_to_one() {
+        let m = MatrixGenerator::seeded(1).sparse_uniform(32, 32, 0.6);
+        assert!((sparsity_degree(&m) + density(&m) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sparsity_of_empty_matrix_is_zero() {
+        assert_eq!(sparsity_degree(&Matrix::zeros(0, 0)), 0.0);
+    }
+
+    #[test]
+    fn pseudo_density_on_relu_matches_density() {
+        let m = Matrix::from_rows(&[vec![0.0, 2.0, 0.0, 3.0, 0.0, 0.0, 1.0, 0.0]]);
+        // 3 of 8 elements carry all the magnitude.
+        let pd = pseudo_density(&m, 0.999);
+        assert!((pd - 3.0 / 8.0).abs() < 1e-9, "pseudo-density {pd}");
+    }
+
+    #[test]
+    fn pseudo_density_skewed_distribution() {
+        // One dominant element carries 99% of the magnitude.
+        let m = Matrix::from_rows(&[vec![100.0, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1]]);
+        let pd = pseudo_density(&m, 0.99);
+        assert!(pd <= 2.0 / 8.0, "pseudo-density {pd}");
+        // Preserving 100% requires every non-zero element.
+        assert_eq!(pseudo_density(&m, 1.0), 1.0);
+    }
+
+    #[test]
+    fn pseudo_density_all_zero_is_zero() {
+        assert_eq!(pseudo_density(&Matrix::zeros(4, 4), 0.99), 0.0);
+    }
+
+    #[test]
+    fn block_histogram_counts() {
+        let m = Matrix::from_rows(&[
+            vec![1.0, 0.0, 0.0, 0.0, 1.0, 1.0, 1.0, 1.0],
+            vec![0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 2.0, 0.0],
+        ]);
+        let hist = block_nnz_histogram(&m, 4);
+        assert_eq!(hist, vec![1, 1, 1, 0, 1]);
+        assert_eq!(hist.iter().sum::<usize>(), 4);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let data = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&data, 0.0), Some(1.0));
+        assert_eq!(percentile(&data, 0.5), Some(3.0));
+        assert_eq!(percentile(&data, 1.0), Some(5.0));
+        assert_eq!(percentile(&[], 0.5), None);
+    }
+
+    #[test]
+    fn running_stats_accumulation() {
+        let mut s = RunningStats::new();
+        assert_eq!(s.mean(), None);
+        for v in [0.2, 0.4, 0.6] {
+            s.push(v);
+        }
+        assert_eq!(s.count(), 3);
+        assert!((s.mean().unwrap() - 0.4).abs() < 1e-12);
+        assert_eq!(s.min(), Some(0.2));
+        assert_eq!(s.max(), Some(0.6));
+        assert_eq!(s.percentile(0.99), Some(0.6));
+    }
+}

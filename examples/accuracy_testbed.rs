@@ -1,0 +1,62 @@
+//! End-to-end accuracy testbed: train a small MLP on a synthetic classification task, then
+//! measure *true* (not proxy) accuracy as TASD is applied to its weights and activations.
+//! This is the offline stand-in for the paper's ImageNet accuracy evaluation: it shows the
+//! same flat-then-cliff behaviour as configurations get more aggressive, and that the
+//! 99 %-retention constraint is meaningful.
+//!
+//! Run with: `cargo run --release --example accuracy_testbed`
+
+use tasd::TasdConfig;
+use tasd_dnn::dataset::SyntheticDataset;
+use tasd_dnn::executable::Mlp;
+use tasd_dnn::quality::meets_accuracy_criterion;
+use tasd_dnn::train::{train, TrainConfig};
+use tasd_dnn::Activation;
+
+fn main() {
+    // Train the testbed network.
+    let data = SyntheticDataset::gaussian_clusters(1200, 32, 6, 2.5, 11);
+    let (train_set, test_set) = data.split(0.8);
+    let mut mlp = Mlp::new(&[32, 64, 48, 6], Activation::Relu, 3);
+    let report = train(&mut mlp, &train_set, &TrainConfig::default());
+    let base_acc = mlp.accuracy(test_set.features(), test_set.labels());
+    println!(
+        "trained MLP: train accuracy {:.1}%, test accuracy {:.1}%",
+        report.final_train_accuracy * 100.0,
+        base_acc * 100.0
+    );
+
+    // TASD-W sweep: decompose the (dense) hidden-layer weights with increasingly
+    // aggressive configurations and measure real accuracy.
+    println!("\nTASD-W on layer 1 weights (dense weights -> accuracy falls with aggressiveness):");
+    for cfg in ["6:8", "4:8+1:8", "4:8", "2:8+1:8", "2:8", "1:8"] {
+        let config = TasdConfig::parse(cfg).unwrap();
+        let modified = mlp.with_weight_tasd(1, &config);
+        let acc = modified.accuracy(test_set.features(), test_set.labels());
+        println!(
+            "  {:>8}: test accuracy {:>5.1}%  (retention {:>5.1}%, meets 99%: {})",
+            cfg,
+            acc * 100.0,
+            acc / base_acc * 100.0,
+            meets_accuracy_criterion(base_acc, acc)
+        );
+    }
+
+    // TASD-A sweep: decompose every hidden layer's input activations at runtime.
+    println!("\nTASD-A on all hidden activations (ReLU outputs are ~50% sparse):");
+    for cfg in ["6:8", "4:8+1:8", "4:8", "2:8", "1:8"] {
+        let config = TasdConfig::parse(cfg).unwrap();
+        let configs: Vec<Option<TasdConfig>> = (0..mlp.num_layers())
+            .map(|i| if i == 0 { None } else { Some(config.clone()) })
+            .collect();
+        let acc =
+            mlp.accuracy_with_activation_tasd(test_set.features(), test_set.labels(), &configs);
+        println!(
+            "  {:>8}: test accuracy {:>5.1}%  (retention {:>5.1}%, meets 99%: {})",
+            cfg,
+            acc * 100.0,
+            acc / base_acc * 100.0,
+            meets_accuracy_criterion(base_acc, acc)
+        );
+    }
+}

@@ -1,0 +1,62 @@
+//! Domain scenario: a GELU-based network (BERT-base) has no exact activation sparsity, so
+//! TASD-A falls back to the pseudo-density heuristic (paper §4.3). This example profiles
+//! the model, shows the per-layer pseudo-density statistics, and runs TASD-A end to end.
+//!
+//! Run with: `cargo run --release --example bert_pseudo_density`
+
+use tasd::PatternMenu;
+use tasd_accelsim::{simulate_network, AcceleratorConfig, HwDesign, LayerRun, OperandSide};
+use tasd_dnn::calibration::CalibrationProfile;
+use tasd_models::representative::Workload;
+use tasder::Tasder;
+
+fn main() {
+    let spec = Workload::DenseBert.network(7);
+    println!("workload: {spec}");
+    assert!(!spec.has_relu_activations(), "BERT is GELU-based: no exact activation sparsity");
+
+    // Calibration: per-layer sparsity is ~0, but pseudo-density is well below 1.
+    let profile = CalibrationProfile::synthetic(&spec, 8, 7);
+    println!("\ncalibration statistics (first encoder block):");
+    for stats in profile.layers.iter().take(6) {
+        println!(
+            "  {:<24} sparsity {:>5.1}%  pseudo-density {:>5.1}%  effective sparsity {:>5.1}%",
+            stats.layer,
+            stats.mean_sparsity * 100.0,
+            stats.mean_pseudo_density * 100.0,
+            stats.effective_sparsity() * 100.0
+        );
+    }
+
+    // TASD-A with the pseudo-density-driven selection.
+    let tasder = Tasder::new(PatternMenu::vegeta_m8(), 2).with_seed(7).with_alpha(0.05);
+    let transform = tasder.optimize_activations_with_profile(&spec, &profile);
+    println!(
+        "\nTASD-A: {} of {} layers decomposed, MAC reduction {:.1}%, meets 99% constraint: {}",
+        transform.num_tasd_layers(),
+        spec.num_layers(),
+        transform.mac_reduction(&spec) * 100.0,
+        transform.meets_quality_threshold()
+    );
+
+    // EDP on the TTC versus the dense tensor core.
+    let config = AcceleratorConfig::standard();
+    let dense_runs: Vec<LayerRun> = spec
+        .layers
+        .iter()
+        .map(|l| LayerRun::from_spec(l, 1, OperandSide::Activations, None))
+        .collect();
+    let tasd_runs: Vec<LayerRun> = spec
+        .layers
+        .iter()
+        .zip(&transform.assignments)
+        .map(|(l, a)| LayerRun::from_spec(l, 1, OperandSide::Activations, a.config.clone()))
+        .collect();
+    let tc = simulate_network(HwDesign::DenseTc, &config, &dense_runs);
+    let ttc = simulate_network(HwDesign::TtcVegetaM8, &config, &tasd_runs);
+    println!(
+        "\nnormalized EDP on TTC-VEGETA-M8: {:.3} ({:.1}% improvement over the dense TC)",
+        ttc.edp() / tc.edp(),
+        (1.0 - ttc.edp() / tc.edp()) * 100.0
+    );
+}

@@ -1,0 +1,52 @@
+//! Quickstart: decompose an unstructured sparse matrix into a TASD series and execute an
+//! approximated matrix multiplication term by term.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use tasd::{decompose, series_gemm, TasdConfig};
+use tasd_tensor::{gemm, relative_frobenius_error, Matrix, MatrixGenerator};
+
+fn main() {
+    // The 2x8 example matrix from the paper's Figure 4.
+    let a = Matrix::from_rows(&[
+        vec![1.0, 3.0, 0.0, 0.0, 2.0, 4.0, 4.0, 1.0],
+        vec![2.0, 0.0, 0.0, 0.0, 0.0, 3.0, 1.0, 4.0],
+    ]);
+    println!("original matrix A (sum = {}):\n{a:?}\n", a.sum());
+
+    // One structured term (2:4): a lossy view keeping the two largest values per 4-block.
+    let one_term = decompose(&a, &TasdConfig::parse("2:4").unwrap());
+    let report = one_term.report(&a);
+    println!(
+        "A ~= A1(2:4):  kept {} of {} non-zeros, dropped {:.0}% of the magnitude",
+        report.kept_nonzeros,
+        report.original_nonzeros,
+        report.dropped_magnitude_fraction * 100.0
+    );
+
+    // Two terms (2:4 + 2:8): for this matrix the decomposition is lossless.
+    let two_terms = decompose(&a, &TasdConfig::parse("2:4+2:8").unwrap());
+    println!(
+        "A ~= A1(2:4) + A2(2:8): reconstruction exact? {}\n",
+        two_terms.reconstruct() == a
+    );
+
+    // Approximated GEMM on a larger unstructured-sparse operand.
+    let mut gen = MatrixGenerator::seeded(7);
+    let big_a = gen.sparse_normal(256, 256, 0.85); // 85% sparse, unstructured
+    let b = gen.normal(256, 64, 0.0, 1.0);
+    let exact = gemm(&big_a, &b).expect("shapes match");
+    for cfg in ["2:4", "4:8", "4:8+1:8", "4:8+2:8"] {
+        let series = decompose(&big_a, &TasdConfig::parse(cfg).unwrap());
+        let approx = series_gemm(&series, &b).expect("shapes match");
+        println!(
+            "config {:>8}: kept {:>5} of {} non-zeros, GEMM relative error {:.4}, effectual MACs {:.1}% of dense",
+            cfg,
+            series.nnz(),
+            big_a.count_nonzeros(),
+            relative_frobenius_error(&exact, &approx),
+            100.0 * series.effectual_macs(b.cols()) as f64
+                / (256.0 * 256.0 * b.cols() as f64)
+        );
+    }
+}

@@ -1,0 +1,100 @@
+//! Cross-crate integration tests: decomposition (tasd) + compressed kernels (tasd-tensor)
+//! executed through the accelerator workload path (tasd-accelsim).
+
+use tasd::{decompose, series_gemm, TasdConfig};
+use tasd_accelsim::{simulate_layer, AcceleratorConfig, HwDesign, LayerRun, OperandSide};
+use tasd_tensor::{gemm, relative_frobenius_error, sparsity_degree, MatrixGenerator, NmPattern};
+
+#[test]
+fn decomposition_error_tracks_simulated_compute_savings() {
+    // The same configuration must simultaneously (a) bound the numerical error of the
+    // software GEMM and (b) produce the MAC savings the accelerator model credits.
+    let mut gen = MatrixGenerator::seeded(100);
+    let sparsity = 0.9;
+    let a = gen.sparse_normal(512, 512, sparsity);
+    let b = gen.normal(512, 128, 0.0, 1.0);
+    let exact = gemm(&a, &b).unwrap();
+
+    let config = TasdConfig::parse("4:8+1:8").unwrap();
+    let series = decompose(&a, &config);
+    let approx = series_gemm(&series, &b).unwrap();
+    let error = relative_frobenius_error(&exact, &approx);
+    assert!(error < 0.05, "software error {error}");
+
+    let run = LayerRun {
+        name: "it".to_string(),
+        dims: (128, 512, 512),
+        weight_density: 1.0 - sparsity_degree(&a),
+        activation_density: 1.0,
+        tasd_side: OperandSide::Weights,
+        tasd_config: Some(config),
+    };
+    let metrics = simulate_layer(HwDesign::TtcVegetaM8, &AcceleratorConfig::standard(), &run);
+    // The hardware executes exactly the configuration's slot fraction (5 of 8 per block),
+    // which always upper-bounds the values the decomposition actually stored.
+    let kept_software = series.nnz() as f64 / (a.rows() * a.cols()) as f64;
+    let kept_hardware = metrics.effectual_macs / metrics.dense_macs;
+    assert!((kept_hardware - 0.625).abs() < 1e-9, "hardware kept {kept_hardware}");
+    assert!(
+        kept_software <= kept_hardware,
+        "software kept {kept_software} cannot exceed hardware slots {kept_hardware}"
+    );
+}
+
+#[test]
+fn lossless_series_is_bit_exact_through_the_whole_stack() {
+    // A matrix that already satisfies 2:8 decomposes losslessly with one term, and the
+    // series GEMM matches the dense GEMM exactly (same additions, same order per row).
+    let mut gen = MatrixGenerator::seeded(200);
+    let pattern = NmPattern::new(2, 8).unwrap();
+    let a = gen.structured_nm(64, 128, pattern);
+    let b = gen.normal(128, 32, 0.0, 1.0);
+    let series = decompose(&a, &TasdConfig::single(pattern));
+    assert_eq!(series.reconstruct(), a);
+    let approx = series_gemm(&series, &b).unwrap();
+    let exact = gemm(&a, &b).unwrap();
+    assert!(approx.approx_eq(&exact, 1e-4));
+}
+
+#[test]
+fn table2_composed_patterns_execute_as_their_effective_pattern() {
+    // 5:8 is not native to VEGETA but 4:8+1:8 is; the composed series must keep exactly
+    // what a hypothetical native 5:8 view would keep.
+    let mut gen = MatrixGenerator::seeded(300);
+    let a = gen.normal(64, 64, 0.0, 1.0); // dense input saturates every block
+    let composed = decompose(&a, &TasdConfig::parse("4:8+1:8").unwrap());
+    let native = NmPattern::new(5, 8).unwrap().view(&a);
+    assert_eq!(composed.reconstruct(), native);
+}
+
+#[test]
+fn more_flexible_hardware_never_does_worse_on_the_same_layer() {
+    let mut gen = MatrixGenerator::seeded(400);
+    let a = gen.sparse_normal(256, 256, 0.8);
+    let config = AcceleratorConfig::standard();
+    // The layer's best config per design menu, chosen as the densest admissible option.
+    let density = 1.0 - sparsity_degree(&a);
+    let mut last_edp = f64::INFINITY;
+    for design in [HwDesign::TtcStcM4, HwDesign::TtcStcM8, HwDesign::TtcVegetaM8] {
+        let menu = design.pattern_menu().unwrap();
+        let best = menu.densest_config_within(
+            (density * 1.3).min(1.0),
+            design.max_tasd_terms().max(1),
+        );
+        let run = LayerRun {
+            name: "flex".to_string(),
+            dims: (256, 256, 256),
+            weight_density: density,
+            activation_density: 1.0,
+            tasd_side: OperandSide::Weights,
+            tasd_config: best,
+        };
+        let edp = simulate_layer(design, &config, &run).edp(1.0);
+        assert!(
+            edp <= last_edp * 1.05,
+            "{} EDP {edp} vs previous {last_edp}",
+            design.label()
+        );
+        last_edp = edp;
+    }
+}

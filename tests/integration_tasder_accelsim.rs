@@ -1,0 +1,80 @@
+//! Cross-crate integration tests: model zoo → TASDER → accelerator model, checking the
+//! paper's headline qualitative results end to end.
+
+use tasd_accelsim::HwDesign;
+use tasd_bench::{normalize_against_tc, run_main_comparison};
+use tasd_models::representative::Workload;
+
+fn edp_of(results: &[tasd_bench::DesignResult], design: HwDesign) -> f64 {
+    results
+        .iter()
+        .find(|r| r.design == design.label())
+        .map(|r| r.edp_normalized)
+        .expect("design present")
+}
+
+#[test]
+fn sparse_resnet50_ttc_vegeta_beats_everything_on_edp() {
+    let results = normalize_against_tc(&run_main_comparison(Workload::SparseResNet50, 1));
+    let ttc = edp_of(&results, HwDesign::TtcVegetaM8);
+    let tc = edp_of(&results, HwDesign::DenseTc);
+    let stc = edp_of(&results, HwDesign::TtcStcM4);
+    assert_eq!(tc, 1.0);
+    // Paper: 83% EDP improvement for sparse ResNet-50 on TTC-VEGETA-M8; we require the
+    // same "who wins" with at least a 2x improvement and the flexibility ordering.
+    assert!(ttc < 0.5, "TTC-VEGETA-M8 normalized EDP {ttc}");
+    assert!(ttc < stc, "flexible menu must beat the fixed 2:4 menu");
+}
+
+#[test]
+fn dense_bert_dstc_is_worse_than_tc_but_ttc_is_better() {
+    let results = normalize_against_tc(&run_main_comparison(Workload::DenseBert, 1));
+    let dstc = edp_of(&results, HwDesign::Dstc);
+    let ttc = edp_of(&results, HwDesign::TtcVegetaM8);
+    // Paper: DSTC is 167% worse on dense BERT; TTC-VEGETA-M8 improves EDP by 61%.
+    assert!(dstc > 1.0, "DSTC should lose on a fully dense workload (got {dstc})");
+    assert!(ttc < 1.0, "TTC should win on dense BERT via TASD-A (got {ttc})");
+}
+
+#[test]
+fn dstc_wins_most_on_doubly_sparse_resnet50() {
+    let results = normalize_against_tc(&run_main_comparison(Workload::SparseResNet50, 1));
+    let dstc = edp_of(&results, HwDesign::Dstc);
+    assert!(dstc < 0.4, "DSTC exploits both sparsities on sparse ResNet-50 (got {dstc})");
+    // TTC is competitive with DSTC (same ballpark) without the 35% area overhead.
+    let ttc = edp_of(&results, HwDesign::TtcVegetaM8);
+    assert!(ttc < dstc * 3.0);
+}
+
+#[test]
+fn every_ttc_design_improves_edp_on_every_workload() {
+    // Paper §5.2: "Unlike DSTC, TASD-based TTC accelerators improve EDP over the TC
+    // baseline for all workloads."
+    for workload in Workload::all() {
+        let results = normalize_against_tc(&run_main_comparison(workload, 1));
+        for design in [
+            HwDesign::TtcStcM4,
+            HwDesign::TtcStcM8,
+            HwDesign::TtcVegetaM4,
+            HwDesign::TtcVegetaM8,
+        ] {
+            let edp = edp_of(&results, design);
+            assert!(
+                edp <= 1.0 + 1e-9,
+                "{} on {:?}: normalized EDP {edp} exceeds the dense TC",
+                design.label(),
+                workload
+            );
+        }
+    }
+}
+
+#[test]
+fn increasing_menu_flexibility_increases_benefit() {
+    // Paper §5.2: "the extra flexibility (increasing M) in the baseline accelerator
+    // increases the benefit."
+    let results = normalize_against_tc(&run_main_comparison(Workload::SparseResNet50, 1));
+    let stc_m4 = edp_of(&results, HwDesign::TtcStcM4);
+    let vegeta_m8 = edp_of(&results, HwDesign::TtcVegetaM8);
+    assert!(vegeta_m8 <= stc_m4 + 1e-9);
+}
