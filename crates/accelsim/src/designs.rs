@@ -132,14 +132,8 @@ mod tests {
     fn pattern_menus_match_table3() {
         assert!(HwDesign::DenseTc.pattern_menu().is_none());
         assert!(HwDesign::Dstc.pattern_menu().is_none());
-        assert_eq!(
-            HwDesign::TtcStcM4.pattern_menu().unwrap().native_n(),
-            &[2]
-        );
-        assert_eq!(
-            HwDesign::TtcStcM8.pattern_menu().unwrap().native_n(),
-            &[4]
-        );
+        assert_eq!(HwDesign::TtcStcM4.pattern_menu().unwrap().native_n(), &[2]);
+        assert_eq!(HwDesign::TtcStcM8.pattern_menu().unwrap().native_n(), &[4]);
         assert_eq!(
             HwDesign::TtcVegetaM8.pattern_menu().unwrap().native_n(),
             &[1, 2, 4]

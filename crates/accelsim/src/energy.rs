@@ -58,7 +58,10 @@ mod tests {
         assert!(e.l2_pj > e.l1_pj);
         assert!(e.l1_pj > e.rf_pj);
         assert!(e.mac_pj > e.rf_pj);
-        assert!(e.tasd_unit_pj < e.l1_pj, "TASD unit must be cheaper than an SMEM access");
+        assert!(
+            e.tasd_unit_pj < e.l1_pj,
+            "TASD unit must be cheaper than an SMEM access"
+        );
         assert!(e.unstructured_index_pj < e.mac_pj * 2.0);
     }
 

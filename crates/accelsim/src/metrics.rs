@@ -175,8 +175,7 @@ impl NormalizedMetrics {
     pub fn against(metrics: &NetworkMetrics, baseline: &NetworkMetrics) -> Self {
         NormalizedMetrics {
             latency: metrics.total_cycles() / baseline.total_cycles().max(f64::MIN_POSITIVE),
-            energy: metrics.total_energy_pj()
-                / baseline.total_energy_pj().max(f64::MIN_POSITIVE),
+            energy: metrics.total_energy_pj() / baseline.total_energy_pj().max(f64::MIN_POSITIVE),
             edp: metrics.edp() / baseline.edp().max(f64::MIN_POSITIVE),
         }
     }

@@ -92,7 +92,11 @@ pub struct RealSystemPoint {
 /// Sweeps the number of TASD-W layers from 0 to every CONV/FC layer of `spec`, converting
 /// layers in descending order of dense MACs (the order TASDER's greedy pass would convert
 /// them, since big layers buy the most time for the least accuracy risk).
-pub fn sweep_tasd_layers(model: &GpuModel, spec: &NetworkSpec, batch: usize) -> Vec<RealSystemPoint> {
+pub fn sweep_tasd_layers(
+    model: &GpuModel,
+    spec: &NetworkSpec,
+    batch: usize,
+) -> Vec<RealSystemPoint> {
     let mut order: Vec<usize> = (0..spec.num_layers()).collect();
     order.sort_by_key(|&i| std::cmp::Reverse(spec.layers[i].dense_macs(batch)));
     (0..=spec.num_layers())
@@ -151,7 +155,11 @@ mod tests {
             assert!(w[1].speedup >= w[0].speedup - 1e-12);
         }
         let full = sweep.last().unwrap();
-        assert!(full.speedup > 1.05, "full conversion speedup {}", full.speedup);
+        assert!(
+            full.speedup > 1.05,
+            "full conversion speedup {}",
+            full.speedup
+        );
         // Amdahl: never reaches the raw kernel speedup.
         assert!(full.speedup < model.sparse_kernel_speedup);
     }
@@ -179,7 +187,12 @@ mod tests {
             Conv2dDims::square(3, 64, 224, 7, 2, 3),
             Activation::Relu,
         )];
-        let stages = [(64usize, 56usize, 6usize), (128, 28, 8), (256, 14, 12), (512, 7, 6)];
+        let stages = [
+            (64usize, 56usize, 6usize),
+            (128, 28, 8),
+            (256, 14, 12),
+            (512, 7, 6),
+        ];
         for (ch, size, count) in stages {
             for i in 0..count {
                 layers.push(LayerSpec::conv(
@@ -213,6 +226,9 @@ mod tests {
         let small_batch = model.latency_ns(&net, 1, &[]);
         let big_batch = model.latency_ns(&net, 64, &[]);
         assert!(big_batch > small_batch);
-        assert!(big_batch < small_batch * 64.0, "fixed overheads must not scale");
+        assert!(
+            big_batch < small_batch * 64.0,
+            "fixed overheads must not scale"
+        );
     }
 }

@@ -221,6 +221,7 @@ mod tests {
             activation_density: 0.5,
             tasd_side: OperandSide::Weights,
             tasd_config: tasd.map(|s| TasdConfig::parse(s).unwrap()),
+            plan: None,
         }
     }
 
@@ -233,6 +234,7 @@ mod tests {
             activation_density: 1.0,
             tasd_side: side,
             tasd_config: tasd.map(|s| TasdConfig::parse(s).unwrap()),
+            plan: None,
         }
     }
 
@@ -269,7 +271,10 @@ mod tests {
         let tc = simulate_layer(HwDesign::DenseTc, &cfg(), &dense);
         let dstc_dense = simulate_layer(HwDesign::Dstc, &cfg(), &dense);
         assert!(dstc_dense.edp(1.0) > tc.edp(1.0));
-        assert!(dstc_dense.cycles > tc.cycles, "imbalance penalty must show up");
+        assert!(
+            dstc_dense.cycles > tc.cycles,
+            "imbalance penalty must show up"
+        );
         // For the doubly-sparse layer, DSTC beats the dense TC by a wide margin.
         let tc_sparse = simulate_layer(HwDesign::DenseTc, &cfg(), &sparse);
         assert!(dstc.edp(1.0) < 0.5 * tc_sparse.edp(1.0));
@@ -299,9 +304,13 @@ mod tests {
             activation_density: 0.5,
             tasd_side: OperandSide::Activations,
             tasd_config: Some(TasdConfig::parse("4:8+1:8").unwrap()),
+            plan: None,
         };
         let ttc = simulate_layer(HwDesign::TtcVegetaM8, &cfg(), &run);
-        assert!(ttc.energy.tasd_unit > 0.0, "dynamic decomposition must cost energy");
+        assert!(
+            ttc.energy.tasd_unit > 0.0,
+            "dynamic decomposition must cost energy"
+        );
         // 4:8+1:8 keeps 5 of 8 slots per block.
         assert!((ttc.effectual_macs / ttc.dense_macs - 0.625).abs() < 1e-9);
         // Plain VEGETA has no TASD units: runs densely, no TASD-unit energy.
@@ -350,6 +359,7 @@ mod tests {
             activation_density: 1.0,
             tasd_side: OperandSide::Weights,
             tasd_config: Some(TasdConfig::parse("1:8").unwrap()),
+            plan: None,
         };
         let c = cfg();
         let m = simulate_layer(HwDesign::TtcVegetaM8, &c, &run);
@@ -362,7 +372,10 @@ mod tests {
 
     #[test]
     fn network_simulation_aggregates_layers() {
-        let runs = vec![sparse_conv_layer(Some("2:8")), sparse_conv_layer(Some("1:8"))];
+        let runs = vec![
+            sparse_conv_layer(Some("2:8")),
+            sparse_conv_layer(Some("1:8")),
+        ];
         let net = simulate_network(HwDesign::TtcVegetaM8, &cfg(), &runs);
         assert_eq!(net.layers.len(), 2);
         let sum: f64 = net.layers.iter().map(|l| l.cycles).sum();

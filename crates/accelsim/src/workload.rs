@@ -1,7 +1,7 @@
 //! Per-layer workload descriptions consumed by the simulator.
 
 use serde::{Deserialize, Serialize};
-use tasd::TasdConfig;
+use tasd::{ExecutionEngine, MatmulPlan, TasdConfig};
 use tasd_dnn::LayerSpec;
 
 /// Which operand of the GEMM is the "stationary"/decomposed side that structured-sparse
@@ -35,6 +35,11 @@ pub struct LayerRun {
     /// The TASD configuration chosen for the decomposed operand; `None` means the layer
     /// runs densely (no decomposition).
     pub tasd_config: Option<TasdConfig>,
+    /// The execution engine's plan for this layer's GEMM (backend per term, estimated
+    /// effectual MACs), when the run was built through
+    /// [`LayerRun::from_spec_with_engine`]. Purely informational for the analytical
+    /// model — reports use it to show how software would execute the same layer.
+    pub plan: Option<MatmulPlan>,
 }
 
 impl LayerRun {
@@ -53,7 +58,37 @@ impl LayerRun {
             activation_density: 1.0 - spec.input_activation_sparsity,
             tasd_side,
             tasd_config,
+            plan: None,
         }
+    }
+
+    /// Builds a run from a [`LayerSpec`] and attaches the execution engine's shape-only
+    /// plan for the decomposed operand ([`ExecutionEngine::plan_dims`]): the decomposed
+    /// tensor is treated as the engine's left-hand operand and the streamed dimension as
+    /// the output width, so the plan's estimated MACs match the layer's effectual MACs.
+    pub fn from_spec_with_engine(
+        engine: &ExecutionEngine,
+        spec: &LayerSpec,
+        batch: usize,
+        tasd_side: OperandSide,
+        tasd_config: Option<TasdConfig>,
+    ) -> Self {
+        let mut run = Self::from_spec(spec, batch, tasd_side, tasd_config);
+        let (m, n, k) = run.dims;
+        // Engine convention: lhs is (rows × cols) multiplied into out_cols columns.
+        // Weights (K×N) stream against M output columns; activations (M×K) against N.
+        let (lhs_rows, lhs_cols, out_cols) = match run.tasd_side {
+            OperandSide::Weights => (k, n, m),
+            OperandSide::Activations => (m, k, n),
+        };
+        run.plan = Some(engine.plan_dims(
+            lhs_rows,
+            lhs_cols,
+            out_cols,
+            run.tasd_side_density(),
+            run.tasd_config.as_ref(),
+        ));
+        run
     }
 
     /// Dense MAC count of this GEMM.
@@ -178,6 +213,38 @@ mod tests {
         assert!((run.kept_fraction() - 0.625).abs() < 1e-12);
         assert_eq!(run.num_terms(), 2);
         assert!((run.other_side_density() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_spec_with_engine_attaches_a_matching_plan() {
+        let engine = ExecutionEngine::global();
+        let cfg = TasdConfig::parse("4:8+1:8").unwrap();
+        let run = LayerRun::from_spec_with_engine(
+            engine,
+            &spec(),
+            1,
+            OperandSide::Weights,
+            Some(cfg.clone()),
+        );
+        let plan = run.plan.as_ref().expect("engine-built runs carry a plan");
+        // Weights are only 10% dense, so the first term absorbs all of it and the second
+        // is empty: the plan's MAC estimate tracks the tensor, the hardware kept fraction
+        // tracks the configuration.
+        assert_eq!(plan.num_terms(), cfg.order());
+        let planned_fraction = plan.compute_fraction();
+        // (estimated MACs are truncated to whole integers, hence the loose tolerance)
+        assert!(
+            (planned_fraction - 0.1).abs() < 1e-4,
+            "planned {planned_fraction}"
+        );
+        assert!(planned_fraction <= run.kept_fraction());
+        // Dense (no-config) runs plan a single undecomposed term.
+        let dense = LayerRun::from_spec_with_engine(engine, &spec(), 1, OperandSide::Weights, None);
+        assert_eq!(dense.plan.as_ref().unwrap().num_terms(), 1);
+        // The plain constructor attaches no plan.
+        assert!(LayerRun::from_spec(&spec(), 1, OperandSide::Weights, None)
+            .plan
+            .is_none());
     }
 
     #[test]

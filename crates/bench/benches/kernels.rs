@@ -1,9 +1,11 @@
-//! Criterion micro-benchmarks for the TASD kernels: structured decomposition, compressed
-//! N:M SpMM vs dense GEMM, and TASD-series GEMM.
+//! Criterion micro-benchmarks for the TASD kernels: structured decomposition (cold vs
+//! engine-cached), and GEMM over the unified backend layer — every kernel dispatches
+//! through the [`GemmBackend`] trait, exactly as production call sites do.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use tasd::{decompose, series_gemm, TasdConfig};
-use tasd_tensor::{gemm, CsrMatrix, MatrixGenerator, NmCompressed, NmPattern};
+use tasd::{ExecutionEngine, TasdConfig};
+use tasd_tensor::backend::{CsrBackend, DenseBackend, GemmBackend, NmBackend};
+use tasd_tensor::{CsrMatrix, Matrix, MatrixGenerator, NmCompressed, NmPattern};
 
 fn bench_decomposition(c: &mut Criterion) {
     let mut group = c.benchmark_group("decompose");
@@ -13,9 +15,16 @@ fn bench_decomposition(c: &mut Criterion) {
     for cfg in ["2:4", "2:4+2:8", "4:8+2:8+1:8"] {
         let config = TasdConfig::parse(cfg).unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(cfg), &config, |b, config| {
-            b.iter(|| decompose(std::hint::black_box(&a), config));
+            b.iter(|| tasd::decompose(std::hint::black_box(&a), config));
         });
     }
+    // The engine path: after the first (cold) call every iteration is a cache hit, which
+    // is the serving-path behaviour the DecompositionCache exists for.
+    let engine = ExecutionEngine::builder().build();
+    let config = TasdConfig::parse("2:4+2:8").unwrap();
+    group.bench_function("engine_cached_2:4+2:8", |b| {
+        b.iter(|| engine.decompose(std::hint::black_box(&a), &config));
+    });
     group.finish();
 }
 
@@ -28,19 +37,57 @@ fn bench_gemm_kernels(c: &mut Criterion) {
     let pattern = NmPattern::new(2, 8).unwrap();
     let nm = NmCompressed::from_dense(&a, pattern).unwrap();
     let csr = CsrMatrix::from_dense(&a);
-    let series = decompose(&a, &TasdConfig::parse("4:8+1:8").unwrap());
+    let engine = ExecutionEngine::builder().build();
+    let series = engine.decompose(&a, &TasdConfig::parse("4:8+1:8").unwrap());
 
-    group.bench_function("dense_gemm", |bench| {
-        bench.iter(|| gemm(std::hint::black_box(&a), std::hint::black_box(&b)).unwrap());
+    let dense = DenseBackend::default();
+    group.bench_function("dense_backend", |bench| {
+        bench.iter(|| {
+            let mut c_out = Matrix::zeros(a.rows(), b.cols());
+            dense
+                .gemm_into(
+                    std::hint::black_box(&a),
+                    std::hint::black_box(&b),
+                    &mut c_out,
+                )
+                .unwrap();
+            c_out
+        });
     });
-    group.bench_function("nm_2_8_spmm", |bench| {
-        bench.iter(|| nm.spmm(std::hint::black_box(&b)).unwrap());
+    let nm_backend = NmBackend;
+    group.bench_function("nm_2_8_backend", |bench| {
+        bench.iter(|| {
+            let mut c_out = Matrix::zeros(nm.rows(), b.cols());
+            nm_backend
+                .gemm_into(
+                    std::hint::black_box(&nm),
+                    std::hint::black_box(&b),
+                    &mut c_out,
+                )
+                .unwrap();
+            c_out
+        });
     });
-    group.bench_function("csr_spmm", |bench| {
-        bench.iter(|| csr.spmm(std::hint::black_box(&b)).unwrap());
+    let csr_backend = CsrBackend;
+    group.bench_function("csr_backend", |bench| {
+        bench.iter(|| {
+            let mut c_out = Matrix::zeros(csr.rows(), b.cols());
+            csr_backend
+                .gemm_into(
+                    std::hint::black_box(&csr),
+                    std::hint::black_box(&b),
+                    &mut c_out,
+                )
+                .unwrap();
+            c_out
+        });
     });
-    group.bench_function("tasd_series_gemm_4_8_plus_1_8", |bench| {
-        bench.iter(|| series_gemm(std::hint::black_box(&series), std::hint::black_box(&b)).unwrap());
+    group.bench_function("engine_series_gemm_4_8_plus_1_8", |bench| {
+        bench.iter(|| {
+            engine
+                .series_gemm(std::hint::black_box(&series), std::hint::black_box(&b))
+                .unwrap()
+        });
     });
     group.finish();
 }
@@ -58,5 +105,10 @@ fn bench_nm_view(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_decomposition, bench_gemm_kernels, bench_nm_view);
+criterion_group!(
+    benches,
+    bench_decomposition,
+    bench_gemm_kernels,
+    bench_nm_view
+);
 criterion_main!(benches);

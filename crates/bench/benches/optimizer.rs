@@ -30,8 +30,8 @@ fn bench_accelsim(c: &mut Criterion) {
     let spec = sparse_model(&tasd_models::resnet::resnet50(), 0.95, EXPERIMENT_SEED);
     let tasder = Tasder::new(PatternMenu::vegeta_m8(), 2).with_seed(EXPERIMENT_SEED);
     let transform = tasder.optimize_weights_layer_wise(&spec);
-    let runs = layer_runs(&spec, &transform, 1);
-    let dense_runs = dense_layer_runs(&spec, 1);
+    let runs = layer_runs(tasder.engine(), &spec, &transform, 1);
+    let dense_runs = dense_layer_runs(tasder.engine(), &spec, 1);
     let config = AcceleratorConfig::standard();
     group.bench_function("simulate_resnet50_ttc_vegeta", |b| {
         b.iter(|| simulate_network(HwDesign::TtcVegetaM8, &config, std::hint::black_box(&runs)));

@@ -22,7 +22,13 @@ fn main() {
     }
     print_table(
         "TASD-unit area overhead per 256-PE TTC (comparator-tree model)",
-        &["block size", "TASD units (Little's law)", "GE per unit", "GE per PE", "overhead"],
+        &[
+            "block size",
+            "TASD units (Little's law)",
+            "GE per unit",
+            "GE per PE",
+            "overhead",
+        ],
         &rows,
     );
     println!(

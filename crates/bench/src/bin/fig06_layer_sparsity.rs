@@ -32,7 +32,13 @@ fn main() {
     let data: Vec<(String, f64, f64)> = spec
         .layers
         .iter()
-        .map(|l| (l.name.clone(), l.weight_sparsity, l.input_activation_sparsity))
+        .map(|l| {
+            (
+                l.name.clone(),
+                l.weight_sparsity,
+                l.input_activation_sparsity,
+            )
+        })
         .collect();
     write_json("fig06_layer_sparsity", &data);
     println!("(wrote results/fig06_layer_sparsity.json)");

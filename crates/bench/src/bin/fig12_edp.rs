@@ -30,7 +30,10 @@ fn main() {
             })
             .collect();
         print_table(
-            &format!("{} — Overall (normalized EDP vs dense TC)", workload.label()),
+            &format!(
+                "{} — Overall (normalized EDP vs dense TC)",
+                workload.label()
+            ),
             &["design", "EDP (norm.)", "EDP improvement", "MAC reduction"],
             &rows,
         );
@@ -54,7 +57,11 @@ fn main() {
             vec![design.clone(), format!("{:.3}", geo.exp())]
         })
         .collect();
-    print_table("Geomean normalized EDP across workloads", &["design", "EDP (norm.)"], &geo_rows);
+    print_table(
+        "Geomean normalized EDP across workloads",
+        &["design", "EDP (norm.)"],
+        &geo_rows,
+    );
 
     write_json("fig12_edp", &all);
     println!("\n(wrote results/fig12_edp.json)");
@@ -66,14 +73,14 @@ fn per_layer_bars(workload: Workload) {
     let spec = workload.network(EXPERIMENT_SEED);
     let config = AcceleratorConfig::standard();
     let design = HwDesign::TtcVegetaM8;
-    let tasder = Tasder::new(design.pattern_menu().expect("ttc has a menu"), 2)
-        .with_seed(EXPERIMENT_SEED);
+    let tasder =
+        Tasder::new(design.pattern_menu().expect("ttc has a menu"), 2).with_seed(EXPERIMENT_SEED);
     let transform = if workload.has_sparse_weights() {
         tasder.optimize_weights_layer_wise(&spec)
     } else {
         tasder.optimize_activations_layer_wise(&spec)
     };
-    let runs = layer_runs(&spec, &transform, 1);
+    let runs = layer_runs(tasder.engine(), &spec, &transform, 1);
     let mut rows = Vec::new();
     for rep in representative_layers(workload) {
         let Some(name) = find_layer_by_dims(&spec, rep.gemm_dims) else {
@@ -91,7 +98,10 @@ fn per_layer_bars(workload: Workload) {
         ]);
     }
     print_table(
-        &format!("{} — representative layers, TTC-VEGETA-M8 EDP vs TC", workload.label()),
+        &format!(
+            "{} — representative layers, TTC-VEGETA-M8 EDP vs TC",
+            workload.label()
+        ),
         &["layer", "name", "EDP (norm.)"],
         &rows,
     );

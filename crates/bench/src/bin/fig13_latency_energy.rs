@@ -21,7 +21,10 @@ fn main() {
             })
             .collect();
         print_table(
-            &format!("{} — normalized latency / energy vs dense TC", workload.label()),
+            &format!(
+                "{} — normalized latency / energy vs dense TC",
+                workload.label()
+            ),
             &["design", "latency (norm.)", "energy (norm.)"],
             &rows,
         );

@@ -2,6 +2,7 @@
 //! N:4 / N:8 / N:16 configurations) and the layer-wise TASDER result, for TASD-W on the
 //! 95 % sparse ResNet-50 (upper plot) and TASD-A on the dense ResNet-50 (lower plot).
 
+use tasd::ExecutionEngine;
 use tasd::{PatternMenu, TasdConfig};
 use tasd_bench::{print_table, write_json, EXPERIMENT_SEED};
 use tasd_dnn::calibration::CalibrationProfile;
@@ -30,13 +31,24 @@ fn weight_side(quality: ProxyAccuracyModel) {
     let mut data = Vec::new();
     for m in [4usize, 8, 16] {
         for cfg in uniform_configs(m) {
-            let t = tasd_w::apply_uniform(&spec, &cfg, quality, EXPERIMENT_SEED);
+            let t = tasd_w::apply_uniform(
+                ExecutionEngine::global(),
+                &spec,
+                &cfg,
+                quality,
+                EXPERIMENT_SEED,
+            );
             rows.push(vec![
                 format!("network-wise N:{m}"),
                 cfg.to_string(),
                 format!("{:.1}%", t.approximated_sparsity(&spec) * 100.0),
                 format!("{:.2}%", t.estimated_accuracy() * 100.0),
-                if t.meets_quality_threshold() { "yes" } else { "no" }.to_string(),
+                if t.meets_quality_threshold() {
+                    "yes"
+                } else {
+                    "no"
+                }
+                .to_string(),
             ]);
             data.push((
                 format!("network-wise N:{m}"),
@@ -56,7 +68,12 @@ fn weight_side(quality: ProxyAccuracyModel) {
         "per-layer".to_string(),
         format!("{:.1}%", lw.approximated_sparsity(&spec) * 100.0),
         format!("{:.2}%", lw.estimated_accuracy() * 100.0),
-        if lw.meets_quality_threshold() { "yes" } else { "no" }.to_string(),
+        if lw.meets_quality_threshold() {
+            "yes"
+        } else {
+            "no"
+        }
+        .to_string(),
     ]);
     data.push((
         "layer-wise N:8".to_string(),
@@ -66,7 +83,13 @@ fn weight_side(quality: ProxyAccuracyModel) {
     ));
     print_table(
         "TASD-W on sparse ResNet-50: accuracy vs approximated sparsity",
-        &["strategy", "config", "approximated sparsity", "est. top-1", "meets 99%?"],
+        &[
+            "strategy",
+            "config",
+            "approximated sparsity",
+            "est. top-1",
+            "meets 99%?",
+        ],
         &rows,
     );
     write_json("fig14_tasd_w", &data);
@@ -79,13 +102,25 @@ fn activation_side(quality: ProxyAccuracyModel) {
     let mut data = Vec::new();
     for m in [4usize, 8, 16] {
         for cfg in uniform_configs(m) {
-            let t = tasd_a::apply_uniform(&spec, &profile, &cfg, quality, EXPERIMENT_SEED);
+            let t = tasd_a::apply_uniform(
+                ExecutionEngine::global(),
+                &spec,
+                &profile,
+                &cfg,
+                quality,
+                EXPERIMENT_SEED,
+            );
             rows.push(vec![
                 format!("network-wise N:{m}"),
                 cfg.to_string(),
                 format!("{:.1}%", t.approximated_sparsity(&spec) * 100.0),
                 format!("{:.2}%", t.estimated_accuracy() * 100.0),
-                if t.meets_quality_threshold() { "yes" } else { "no" }.to_string(),
+                if t.meets_quality_threshold() {
+                    "yes"
+                } else {
+                    "no"
+                }
+                .to_string(),
             ]);
             data.push((
                 format!("network-wise N:{m}"),
@@ -104,7 +139,12 @@ fn activation_side(quality: ProxyAccuracyModel) {
         "per-layer".to_string(),
         format!("{:.1}%", lw.approximated_sparsity(&spec) * 100.0),
         format!("{:.2}%", lw.estimated_accuracy() * 100.0),
-        if lw.meets_quality_threshold() { "yes" } else { "no" }.to_string(),
+        if lw.meets_quality_threshold() {
+            "yes"
+        } else {
+            "no"
+        }
+        .to_string(),
     ]);
     data.push((
         "layer-wise N:8".to_string(),
@@ -114,7 +154,13 @@ fn activation_side(quality: ProxyAccuracyModel) {
     ));
     print_table(
         "TASD-A on dense ResNet-50: accuracy vs approximated sparsity",
-        &["strategy", "config", "approximated sparsity", "est. top-1", "meets 99%?"],
+        &[
+            "strategy",
+            "config",
+            "approximated sparsity",
+            "est. top-1",
+            "meets 99%?",
+        ],
         &rows,
     );
     write_json("fig14_tasd_a", &data);

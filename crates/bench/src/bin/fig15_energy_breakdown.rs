@@ -28,8 +28,7 @@ fn main() {
     let ttc = simulate_layer(HwDesign::TtcVegetaM8, &config, &run);
 
     let mut rows = Vec::new();
-    for ((label, tc_e), (_, ttc_e)) in tc.energy.components().iter().zip(ttc.energy.components())
-    {
+    for ((label, tc_e), (_, ttc_e)) in tc.energy.components().iter().zip(ttc.energy.components()) {
         rows.push(vec![
             label.to_string(),
             format!("{:.3e}", tc_e),

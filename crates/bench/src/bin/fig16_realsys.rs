@@ -2,7 +2,7 @@
 //! tensor cores, sweeping the number of converted layers of a sparse ResNet-34 and
 //! reporting the end-to-end speedup together with the estimated accuracy.
 
-use tasd::TasdConfig;
+use tasd::{ExecutionEngine, TasdConfig};
 use tasd_accelsim::realsys::{sweep_tasd_layers, GpuModel};
 use tasd_bench::{print_table, write_json, EXPERIMENT_SEED};
 use tasd_dnn::ProxyAccuracyModel;
@@ -19,6 +19,7 @@ fn main() {
     // Per-layer 2:4 damage, so accuracy can be tracked as layers are converted in the same
     // (largest-MACs-first) order the speedup sweep uses.
     let uniform = tasd_w::apply_uniform(
+        ExecutionEngine::global(),
         &spec,
         &TasdConfig::parse("2:4").expect("valid"),
         quality,
@@ -54,7 +55,12 @@ fn main() {
     }
     print_table(
         "Sparse ResNet-34 on RTX-3080-class GPU: speedup & accuracy vs #TASD-W (2:4) layers",
-        &["layers with TASD", "perf. improvement", "est. top-1", "accuracy drop"],
+        &[
+            "layers with TASD",
+            "perf. improvement",
+            "est. top-1",
+            "accuracy drop",
+        ],
         &rows,
     );
     write_json("fig16_realsys", &data);

@@ -28,7 +28,13 @@ fn main() {
         .collect();
     print_table(
         "Dropped non-zeros / magnitude vs density (normal distribution, 128x128)",
-        &["density", "TASD series", "dropped non-zeros (%)", "dropped magnitude (%)", "MSE"],
+        &[
+            "density",
+            "TASD series",
+            "dropped non-zeros (%)",
+            "dropped magnitude (%)",
+            "MSE",
+        ],
         &rows,
     );
     // Also report the uniform distribution, as the appendix compares both.
@@ -52,7 +58,12 @@ fn main() {
         .collect();
     print_table(
         "Dropped non-zeros / magnitude vs density (uniform distribution, 128x128)",
-        &["density", "TASD series", "dropped non-zeros (%)", "dropped magnitude (%)"],
+        &[
+            "density",
+            "TASD series",
+            "dropped non-zeros (%)",
+            "dropped magnitude (%)",
+        ],
         &urows,
     );
     write_json("fig17_synthetic_drops", &points);

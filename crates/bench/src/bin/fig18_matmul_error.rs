@@ -20,7 +20,12 @@ fn main() {
         .collect();
     print_table(
         "Matrix-multiplication error vs approximated sparsity (256x256, uniform values)",
-        &["A sparsity", "config", "approximated sparsity", "relative error"],
+        &[
+            "A sparsity",
+            "config",
+            "approximated sparsity",
+            "relative error",
+        ],
         &rows,
     );
     write_json("fig18_matmul_error", &points);

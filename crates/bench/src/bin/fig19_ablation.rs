@@ -3,6 +3,7 @@
 //! activation decomposition) — on dense, unstructured-pruned and structured-pruned
 //! ResNet-50 and BERT.
 
+use tasd::ExecutionEngine;
 use tasd::{PatternMenu, TasdConfig};
 use tasd_accelsim::{simulate_network, AcceleratorConfig, HwDesign};
 use tasd_bench::{dense_layer_runs, layer_runs, print_table, write_json, EXPERIMENT_SEED};
@@ -16,20 +17,29 @@ fn main() {
     let mut all = Vec::new();
     let mut rows = Vec::new();
     for (label, spec, structured) in model_variants() {
-        let tc = simulate_network(HwDesign::DenseTc, &config, &dense_layer_runs(&spec, 1));
-        let dstc = simulate_network(HwDesign::Dstc, &config, &dense_layer_runs(&spec, 1));
+        let tc = simulate_network(
+            HwDesign::DenseTc,
+            &config,
+            &dense_layer_runs(ExecutionEngine::global(), &spec, 1),
+        );
+        let dstc = simulate_network(
+            HwDesign::Dstc,
+            &config,
+            &dense_layer_runs(ExecutionEngine::global(), &spec, 1),
+        );
 
         // Plain VEGETA: can only exploit offline structured-pruned (2:8-style) weights.
         let vegeta_runs = if structured {
             let uniform = tasd_w::apply_uniform(
+                ExecutionEngine::global(),
                 &spec,
                 &TasdConfig::parse("2:8").expect("valid"),
                 tasd_dnn::ProxyAccuracyModel::new(0.761),
                 EXPERIMENT_SEED,
             );
-            layer_runs(&spec, &uniform, 1)
+            layer_runs(ExecutionEngine::global(), &spec, &uniform, 1)
         } else {
-            dense_layer_runs(&spec, 1)
+            dense_layer_runs(ExecutionEngine::global(), &spec, 1)
         };
         let vegeta = simulate_network(HwDesign::Vegeta, &config, &vegeta_runs);
 
@@ -37,8 +47,11 @@ fn main() {
         // but with no TASD units there is no dynamic activation decomposition.
         let tasder = Tasder::new(PatternMenu::vegeta_m8(), 2).with_seed(EXPERIMENT_SEED);
         let w_transform = tasder.optimize_weights_layer_wise(&spec);
-        let vegeta_tasder =
-            simulate_network(HwDesign::Vegeta, &config, &layer_runs(&spec, &w_transform, 1));
+        let vegeta_tasder = simulate_network(
+            HwDesign::Vegeta,
+            &config,
+            &layer_runs(ExecutionEngine::global(), &spec, &w_transform, 1),
+        );
 
         // TTC-VEGETA + TASDER: weight-side for sparse models, activation-side for dense.
         let ttc_transform = if spec.overall_weight_sparsity() > 0.05 {
@@ -49,7 +62,7 @@ fn main() {
         let ttc = simulate_network(
             HwDesign::TtcVegetaM8,
             &config,
-            &layer_runs(&spec, &ttc_transform, 1),
+            &layer_runs(ExecutionEngine::global(), &spec, &ttc_transform, 1),
         );
 
         let base_edp = tc.edp();
@@ -61,11 +74,23 @@ fn main() {
             format!("{:.3}", norm(&vegeta_tasder)),
             format!("{:.3}", norm(&ttc)),
         ]);
-        all.push((label, norm(&dstc), norm(&vegeta), norm(&vegeta_tasder), norm(&ttc)));
+        all.push((
+            label,
+            norm(&dstc),
+            norm(&vegeta),
+            norm(&vegeta_tasder),
+            norm(&ttc),
+        ));
     }
     print_table(
         "Normalized EDP (vs dense TC): DSTC / VEGETA / VEGETA+TASDER / TTC-VEGETA+TASDER",
-        &["model", "DSTC", "VEGETA", "VEGETA w/ TASDER", "TTC-VEGETA w/ TASDER"],
+        &[
+            "model",
+            "DSTC",
+            "VEGETA",
+            "VEGETA w/ TASDER",
+            "TTC-VEGETA w/ TASDER",
+        ],
         &rows,
     );
     write_json("fig19_ablation", &all);

@@ -12,15 +12,13 @@ fn main() {
         .map(|row| {
             vec![
                 row.target.to_string(),
-                row.series
-                    .as_ref()
-                    .map_or("-".to_string(), |s| {
-                        if s.is_dense() {
-                            "Dense".to_string()
-                        } else {
-                            s.to_string()
-                        }
-                    }),
+                row.series.as_ref().map_or("-".to_string(), |s| {
+                    if s.is_dense() {
+                        "Dense".to_string()
+                    } else {
+                        s.to_string()
+                    }
+                }),
             ]
         })
         .collect();
@@ -49,7 +47,11 @@ fn main() {
                 ]
             })
             .collect();
-        print_table(&format!("{label} composition table"), &["pattern", "TASD series"], &rows);
+        print_table(
+            &format!("{label} composition table"),
+            &["pattern", "TASD series"],
+            &rows,
+        );
     }
     write_json("table2_patterns", &table);
     println!("\n(wrote results/table2_patterns.json)");

@@ -33,11 +33,21 @@ fn main() {
             design.max_tasd_terms().to_string(),
             format!("{:.2}x", design.relative_area()),
         ]);
-        data.push((design.label().to_string(), menu, design.max_tasd_terms(), design.relative_area()));
+        data.push((
+            design.label().to_string(),
+            menu,
+            design.max_tasd_terms(),
+            design.relative_area(),
+        ));
     }
     print_table(
         "Hardware designs (sparsity support, TASD term limit, relative area)",
-        &["design", "native sparsity support", "TASD terms", "relative area"],
+        &[
+            "design",
+            "native sparsity support",
+            "TASD terms",
+            "relative area",
+        ],
         &rows,
     );
     write_json("table3_designs", &data);

@@ -8,18 +8,27 @@
 #![warn(missing_docs)]
 
 use serde::Serialize;
+use tasd::ExecutionEngine;
 use tasd_accelsim::{
     simulate_network, AcceleratorConfig, HwDesign, LayerRun, NetworkMetrics, OperandSide,
 };
 use tasd_dnn::NetworkSpec;
 use tasd_models::representative::Workload;
-use tasder::{Tasder, TasdSide, TasdTransform};
+use tasder::{TasdSide, TasdTransform, Tasder};
 
 /// Standard seed used by every experiment binary so results are reproducible run to run.
 pub const EXPERIMENT_SEED: u64 = 0x7A5D_2025;
 
 /// Converts a TASDER transform into the per-layer runs the accelerator model consumes.
-pub fn layer_runs(spec: &NetworkSpec, transform: &TasdTransform, batch: usize) -> Vec<LayerRun> {
+/// Each run carries the execution engine's plan for its GEMM
+/// ([`LayerRun::from_spec_with_engine`]), so reports can show software backend choices
+/// next to the hardware cost model.
+pub fn layer_runs(
+    engine: &ExecutionEngine,
+    spec: &NetworkSpec,
+    transform: &TasdTransform,
+    batch: usize,
+) -> Vec<LayerRun> {
     let side = match transform.side {
         TasdSide::Weights => OperandSide::Weights,
         TasdSide::Activations => OperandSide::Activations,
@@ -28,17 +37,23 @@ pub fn layer_runs(spec: &NetworkSpec, transform: &TasdTransform, batch: usize) -
         .iter()
         .zip(&transform.assignments)
         .map(|(layer, assignment)| {
-            LayerRun::from_spec(layer, batch, side, assignment.config.clone())
+            LayerRun::from_spec_with_engine(engine, layer, batch, side, assignment.config.clone())
         })
         .collect()
 }
 
 /// Per-layer runs for a network executed with no TASD at all (the dense-TC and DSTC
 /// baselines, and the plain-VEGETA ablation on unstructured models).
-pub fn dense_layer_runs(spec: &NetworkSpec, batch: usize) -> Vec<LayerRun> {
+pub fn dense_layer_runs(
+    engine: &ExecutionEngine,
+    spec: &NetworkSpec,
+    batch: usize,
+) -> Vec<LayerRun> {
     spec.layers
         .iter()
-        .map(|layer| LayerRun::from_spec(layer, batch, OperandSide::Weights, None))
+        .map(|layer| {
+            LayerRun::from_spec_with_engine(engine, layer, batch, OperandSide::Weights, None)
+        })
         .collect()
 }
 
@@ -82,7 +97,7 @@ pub fn run_main_comparison(workload: Workload, batch: usize) -> Vec<(HwDesign, N
     let mut results = Vec::new();
     for design in HwDesign::main_comparison() {
         let runs = match tasder_for_design(design, 0.761) {
-            None => dense_layer_runs(&spec, batch),
+            None => dense_layer_runs(ExecutionEngine::global(), &spec, batch),
             Some(tasder) => {
                 // Designs with TASD units follow the paper's policy: TASD-W for
                 // weight-sparse workloads, TASD-A for dense-weight workloads.
@@ -91,7 +106,7 @@ pub fn run_main_comparison(workload: Workload, batch: usize) -> Vec<(HwDesign, N
                 } else {
                     tasder.optimize_activations_layer_wise(&spec)
                 };
-                layer_runs(&spec, &transform, batch)
+                layer_runs(tasder.engine(), &spec, &transform, batch)
             }
         };
         results.push((design, simulate_network(design, &config, &runs)));
@@ -126,7 +141,10 @@ pub fn normalize_against_tc(results: &[(HwDesign, NetworkMetrics)]) -> Vec<Desig
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     println!("\n## {title}\n");
     println!("| {} |", headers.join(" | "));
-    println!("|{}|", headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    println!(
+        "|{}|",
+        headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
     for row in rows {
         println!("| {} |", row.join(" | "));
     }
@@ -134,6 +152,9 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
 
 /// Writes any serializable result to `results/<name>.json` (creating the directory), so
 /// figures can be re-plotted without re-running the simulation.
+///
+/// In the offline shim build (`crates/compat/serde_json`) serialization is stubbed: this
+/// degrades to a warning and the binaries' stdout tables remain the primary output.
 pub fn write_json<T: Serialize>(name: &str, value: &T) {
     let dir = std::path::Path::new("results");
     if std::fs::create_dir_all(dir).is_err() {
@@ -167,18 +188,31 @@ mod tests {
         let spec = Workload::SparseResNet50.network(1);
         let tasder = Tasder::new(PatternMenu::vegeta_m8(), 2).with_seed(1);
         let transform = tasder.optimize_weights_layer_wise(&spec);
-        let runs = layer_runs(&spec, &transform, 1);
+        let runs = layer_runs(tasder.engine(), &spec, &transform, 1);
         assert_eq!(runs.len(), spec.num_layers());
         assert!(runs.iter().all(|r| r.tasd_side == OperandSide::Weights));
         // At least the very sparse layers should carry configurations.
         assert!(runs.iter().filter(|r| r.tasd_config.is_some()).count() > spec.num_layers() / 2);
+        // Engine-built runs all carry plans consistent with their configuration.
+        assert!(runs.iter().all(|r| r.plan.is_some()));
+        for run in &runs {
+            let plan = run.plan.as_ref().unwrap();
+            assert!(
+                plan.compute_fraction() <= run.kept_fraction() + 1e-9,
+                "{}",
+                run.name
+            );
+        }
     }
 
     #[test]
     fn dense_runs_have_no_configs() {
         let spec = Workload::DenseBert.network(1);
-        let runs = dense_layer_runs(&spec, 1);
+        let runs = dense_layer_runs(ExecutionEngine::global(), &spec, 1);
         assert!(runs.iter().all(|r| r.tasd_config.is_none()));
+        assert!(runs
+            .iter()
+            .all(|r| r.plan.as_ref().is_some_and(|p| p.num_terms() == 1)));
     }
 
     #[test]

@@ -1,0 +1,161 @@
+//! Offline stand-in for the `rand_chacha` crate (see `crates/compat/README.md`).
+//!
+//! [`ChaCha8Rng`] runs a genuine ChaCha keystream with 8 rounds (Bernstein 2008). The
+//! `seed_from_u64` key expansion differs from upstream `rand_chacha` (SplitMix64 here), so
+//! *streams are not bit-identical to crates.io*; everything in this repository only relies
+//! on determinism for a fixed seed and on statistical quality, both of which hold.
+
+use rand::{RngCore, SeedableRng};
+
+const CHACHA_ROUNDS: usize = 8;
+
+/// A deterministic ChaCha8 random number generator.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    /// Key/nonce state words 4..16 of the ChaCha matrix (words 0..4 are constants).
+    state: [u32; 12],
+    /// Buffered keystream block.
+    block: [u32; 16],
+    /// Next unread word in `block` (16 = exhausted).
+    cursor: usize,
+    /// Block counter.
+    counter: u64,
+}
+
+#[inline(always)]
+fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut s = [0u32; 16];
+        // "expand 32-byte k" constants.
+        s[0] = 0x6170_7865;
+        s[1] = 0x3320_646E;
+        s[2] = 0x7962_2D32;
+        s[3] = 0x6B20_6574;
+        s[4..16].copy_from_slice(&self.state);
+        // Counter occupies the first two nonce words.
+        s[12] = self.counter as u32;
+        s[13] = (self.counter >> 32) as u32;
+        let input = s;
+        for _ in 0..CHACHA_ROUNDS / 2 {
+            // Column round.
+            quarter_round(&mut s, 0, 4, 8, 12);
+            quarter_round(&mut s, 1, 5, 9, 13);
+            quarter_round(&mut s, 2, 6, 10, 14);
+            quarter_round(&mut s, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut s, 0, 5, 10, 15);
+            quarter_round(&mut s, 1, 6, 11, 12);
+            quarter_round(&mut s, 2, 7, 8, 13);
+            quarter_round(&mut s, 3, 4, 9, 14);
+        }
+        for (out, (mixed, orig)) in self.block.iter_mut().zip(s.iter().zip(input.iter())) {
+            *out = mixed.wrapping_add(*orig);
+        }
+        self.counter = self.counter.wrapping_add(1);
+        self.cursor = 0;
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        if self.cursor >= 16 {
+            self.refill();
+        }
+        let w = self.block[self.cursor];
+        self.cursor += 1;
+        w
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut state = [0u32; 12];
+        // Expand the u64 seed into the 8 key words; nonce words start at zero.
+        for pair in 0..4 {
+            let w = splitmix64(&mut sm);
+            state[pair * 2] = w as u32;
+            state[pair * 2 + 1] = (w >> 32) as u32;
+        }
+        ChaCha8Rng {
+            state,
+            block: [0; 16],
+            cursor: 16,
+            counter: 0,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        (hi << 32) | lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        let mut b = ChaCha8Rng::seed_from_u64(7);
+        let mut c = ChaCha8Rng::seed_from_u64(8);
+        let sa: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let sb: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        let sc: Vec<u64> = (0..64).map(|_| c.next_u64()).collect();
+        assert_eq!(sa, sb);
+        assert_ne!(sa, sc);
+    }
+
+    #[test]
+    fn keystream_is_statistically_plausible() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        // Mean of uniform [0,1) samples should sit near 0.5.
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| rng.gen_range(0.0f64..1.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+        // All 64 bit positions toggle.
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut ones = 0u64;
+        let mut zeros = 0u64;
+        for _ in 0..256 {
+            let w = rng.next_u64();
+            ones |= w;
+            zeros |= !w;
+        }
+        assert_eq!(ones, u64::MAX);
+        assert_eq!(zeros, u64::MAX);
+    }
+
+    #[test]
+    fn clone_preserves_stream_position() {
+        let mut a = ChaCha8Rng::seed_from_u64(3);
+        for _ in 0..10 {
+            a.next_u64();
+        }
+        let mut b = a.clone();
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

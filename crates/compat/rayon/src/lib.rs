@@ -1,0 +1,331 @@
+//! Offline stand-in for the `rayon` crate (see `crates/compat/README.md`).
+//!
+//! Implements the parallel-iterator surface this workspace uses on top of
+//! [`std::thread::scope`]: `par_iter().map().collect()`, `par_iter().enumerate().map()`,
+//! `par_chunks_mut(..).enumerate().for_each(..)`, plus [`join`] and
+//! [`current_num_threads`]. Work is statically partitioned into contiguous index blocks —
+//! no work stealing — which is the right shape for the uniform row-block workloads here.
+//! Results always come back in input order.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads used by the parallel primitives (the available hardware
+/// parallelism, overridable with the standard `RAYON_NUM_THREADS` variable).
+pub fn current_num_threads() -> usize {
+    if let Ok(s) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = s.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs both closures, potentially in parallel, and returns both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let mut rb = None;
+    let ra = std::thread::scope(|s| {
+        let handle = s.spawn(b);
+        let ra = a();
+        rb = Some(handle.join().expect("rayon::join worker panicked"));
+        ra
+    });
+    (ra, rb.expect("join completed"))
+}
+
+/// Evaluates `f(i)` for `i in 0..len` across worker threads, returning results in order.
+fn parallel_map_indexed<R, F>(len: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let workers = current_num_threads().min(len).max(1);
+    if workers == 1 || len <= 1 {
+        return (0..len).map(f).collect();
+    }
+    let mut slots: Vec<Option<R>> = (0..len).map(|_| None).collect();
+    let chunk = len.div_ceil(workers);
+    std::thread::scope(|s| {
+        for (w, out) in slots.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            s.spawn(move || {
+                let base = w * chunk;
+                for (off, slot) in out.iter_mut().enumerate() {
+                    *slot = Some(f(base + off));
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("worker filled every slot"))
+        .collect()
+}
+
+/// Conversion from an ordered result vector, mirroring `FromParallelIterator` for the
+/// collection types this workspace collects into.
+pub trait FromParallelVec<T>: Sized {
+    /// Builds the collection from results in input order.
+    fn from_parallel_vec(v: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelVec<T> for Vec<T> {
+    fn from_parallel_vec(v: Vec<T>) -> Self {
+        v
+    }
+}
+
+/// Borrowed parallel iterator over a slice, mirroring `rayon::slice::Iter`.
+#[derive(Debug)]
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Pairs every item with its index.
+    pub fn enumerate(self) -> ParIterEnumerate<'a, T> {
+        ParIterEnumerate { items: self.items }
+    }
+
+    /// Maps every item through `f` in parallel.
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// Enumerated parallel iterator.
+#[derive(Debug)]
+pub struct ParIterEnumerate<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIterEnumerate<'a, T> {
+    /// Maps every `(index, item)` pair through `f` in parallel.
+    pub fn map<R, F>(self, f: F) -> ParEnumerateMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn((usize, &'a T)) -> R + Sync,
+    {
+        ParEnumerateMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// Mapped parallel iterator (terminal: `collect`).
+#[derive(Debug)]
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T, R, F> ParMap<'a, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    /// Runs the map across worker threads and collects results in input order.
+    pub fn collect<C: FromParallelVec<R>>(self) -> C {
+        let items = self.items;
+        let f = &self.f;
+        C::from_parallel_vec(parallel_map_indexed(items.len(), |i| f(&items[i])))
+    }
+}
+
+/// Enumerated-and-mapped parallel iterator (terminal: `collect`).
+#[derive(Debug)]
+pub struct ParEnumerateMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T, R, F> ParEnumerateMap<'a, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn((usize, &'a T)) -> R + Sync,
+{
+    /// Runs the map across worker threads and collects results in input order.
+    pub fn collect<C: FromParallelVec<R>>(self) -> C {
+        let items = self.items;
+        let f = &self.f;
+        C::from_parallel_vec(parallel_map_indexed(items.len(), |i| f((i, &items[i]))))
+    }
+}
+
+/// `par_iter` entry point, mirroring `rayon::iter::IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type yielded by the parallel iterator.
+    type Item: Sync + 'a;
+
+    /// Borrowing parallel iterator over this collection.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Parallel mutable chunking of slices, mirroring `rayon::slice::ParallelSliceMut`.
+pub trait ParallelSliceMut<T: Send> {
+    /// Splits the slice into mutable chunks of `chunk_size` (last may be shorter) that can
+    /// be processed in parallel.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParChunksMut {
+            slice: self,
+            chunk_size,
+        }
+    }
+}
+
+/// Parallel mutable chunk iterator.
+#[derive(Debug)]
+pub struct ParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pairs every chunk with its index.
+    pub fn enumerate(self) -> ParChunksMutEnumerate<'a, T> {
+        ParChunksMutEnumerate { inner: self }
+    }
+
+    /// Processes every chunk in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut [T]) + Sync,
+    {
+        self.enumerate().for_each(|(_, chunk)| f(chunk));
+    }
+}
+
+/// Enumerated parallel mutable chunk iterator (terminal: `for_each`).
+#[derive(Debug)]
+pub struct ParChunksMutEnumerate<'a, T> {
+    inner: ParChunksMut<'a, T>,
+}
+
+impl<'a, T: Send> ParChunksMutEnumerate<'a, T> {
+    /// Processes every `(index, chunk)` pair in parallel: chunks are distributed across
+    /// worker threads in contiguous groups.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut [T])) + Sync,
+    {
+        let chunks: Vec<(usize, &mut [T])> = self
+            .inner
+            .slice
+            .chunks_mut(self.inner.chunk_size)
+            .enumerate()
+            .collect();
+        let n_chunks = chunks.len();
+        let workers = current_num_threads().min(n_chunks).max(1);
+        if workers == 1 {
+            for item in chunks {
+                f(item);
+            }
+            return;
+        }
+        let group = n_chunks.div_ceil(workers);
+        let mut remaining = chunks;
+        std::thread::scope(|s| {
+            while !remaining.is_empty() {
+                let take = group.min(remaining.len());
+                let batch: Vec<(usize, &mut [T])> = remaining.drain(..take).collect();
+                let f = &f;
+                s.spawn(move || {
+                    for item in batch {
+                        f(item);
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// Mirrors `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{FromParallelVec, IntoParallelRefIterator, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_map_collect_preserves_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = input.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_enumerate_map_sees_correct_indices() {
+        let input = vec!["a"; 257];
+        let out: Vec<usize> = input.par_iter().enumerate().map(|(i, _)| i).collect();
+        assert_eq!(out, (0..257).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_chunks_mut_touches_every_element_once() {
+        let mut data = vec![0u32; 1003];
+        data.par_chunks_mut(64)
+            .enumerate()
+            .for_each(|(idx, chunk)| {
+                for v in chunk.iter_mut() {
+                    *v += 1 + idx as u32;
+                }
+            });
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, 1 + (i / 64) as u32, "element {i}");
+        }
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = super::join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn thread_count_is_positive() {
+        assert!(super::current_num_threads() >= 1);
+    }
+}

@@ -1,0 +1,21 @@
+//! Offline stand-in for the `serde` crate (see `crates/compat/README.md`).
+//!
+//! `Serialize` and `Deserialize` are blanket-implemented marker traits and the derive
+//! macros are no-ops, so `#[derive(Serialize, Deserialize)]` and `T: Serialize` bounds
+//! compile exactly as they would against real serde — there is simply no serialization
+//! framework behind them. Swap this shim for crates.io serde in the workspace manifest to
+//! get real (de)serialization without touching library code.
+
+/// Marker stand-in for `serde::Serialize`. Blanket-implemented for every type.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`. Blanket-implemented for every type.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde_derive` (see `crates/compat/README.md`).
+//!
+//! The derive macros emit nothing: the sibling `serde` shim blanket-implements its marker
+//! traits for every type, so there is no impl to generate. `#[serde(...)]` helper
+//! attributes are accepted and ignored.
+
+use proc_macro::TokenStream;
+
+/// No-op derive for the shim `serde::Serialize` marker trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op derive for the shim `serde::Deserialize` marker trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,51 @@
+//! Offline stand-in for the `serde_json` crate (see `crates/compat/README.md`).
+//!
+//! The shim `serde` provides no serialization framework, so JSON encoding cannot be
+//! performed: both entry points return [`Error::Stubbed`]. Call sites in this workspace
+//! treat JSON dumps as optional side outputs and degrade to a warning.
+
+use std::fmt;
+
+/// Error type mirroring `serde_json::Error`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// Serialization is unavailable in the offline shim build.
+    Stubbed,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "serde_json is stubbed in this offline build (crates/compat/serde_json); \
+             JSON output is unavailable"
+        )
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias mirroring `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Stubbed `serde_json::to_string_pretty`: always returns [`Error::Stubbed`].
+pub fn to_string_pretty<T: ?Sized + serde::Serialize>(_value: &T) -> Result<String> {
+    Err(Error::Stubbed)
+}
+
+/// Stubbed `serde_json::to_string`: always returns [`Error::Stubbed`].
+pub fn to_string<T: ?Sized + serde::Serialize>(_value: &T) -> Result<String> {
+    Err(Error::Stubbed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stub_reports_itself() {
+        let err = to_string_pretty(&42u32).unwrap_err();
+        assert!(err.to_string().contains("stubbed"));
+    }
+}

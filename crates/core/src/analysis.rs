@@ -218,7 +218,10 @@ mod tests {
                 .find(|p| p.a_sparsity == 0.8 && p.block_m == 4 && p.n == n)
                 .unwrap()
                 .error;
-            assert!(e80 <= e20 + 1e-6, "n={n}: sparse-A error {e80} vs dense-A {e20}");
+            assert!(
+                e80 <= e20 + 1e-6,
+                "n={n}: sparse-A error {e80} vs dense-A {e20}"
+            );
         }
         // N:8 is more expressive than N:4 at the same approximated sparsity (e.g. 2:8 vs 1:4).
         let e_1_4 = points
@@ -231,7 +234,10 @@ mod tests {
             .find(|p| p.a_sparsity == 0.8 && p.block_m == 8 && p.n == 2)
             .unwrap()
             .error;
-        assert!(e_2_8 <= e_1_4 + 1e-6, "2:8 ({e_2_8}) should beat 1:4 ({e_1_4})");
+        assert!(
+            e_2_8 <= e_1_4 + 1e-6,
+            "2:8 ({e_2_8}) should beat 1:4 ({e_1_4})"
+        );
         // A full-density view (n == m) is lossless.
         assert!(points
             .iter()

@@ -155,8 +155,7 @@ impl PatternMenu {
                     None => true,
                     Some(b) => {
                         cfg.kept_density() > b.kept_density()
-                            || (cfg.kept_density() == b.kept_density()
-                                && cfg.order() < b.order())
+                            || (cfg.kept_density() == b.kept_density() && cfg.order() < b.order())
                     }
                 };
                 if better {

@@ -223,7 +223,10 @@ mod tests {
         let mixed = TasdConfig::parse("2:4+2:8").unwrap();
         assert_eq!(mixed.effective_pattern(), None);
         let over = TasdConfig::parse("4:8+4:8+4:8").unwrap();
-        assert_eq!(over.effective_pattern(), Some(NmPattern::new(8, 8).unwrap()));
+        assert_eq!(
+            over.effective_pattern(),
+            Some(NmPattern::new(8, 8).unwrap())
+        );
     }
 
     #[test]

@@ -204,6 +204,8 @@ mod tests {
         let series = decompose(&a, &cfg);
         let kept = series.reconstruct().count_nonzeros() as f64 / a.len() as f64;
         assert!((kept - cfg.kept_density()).abs() < 1e-9);
-        assert!((sparsity_degree(&series.reconstruct()) - cfg.approximated_sparsity()).abs() < 1e-9);
+        assert!(
+            (sparsity_degree(&series.reconstruct()) - cfg.approximated_sparsity()).abs() < 1e-9
+        );
     }
 }

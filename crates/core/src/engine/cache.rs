@@ -1,0 +1,215 @@
+//! LRU cache of decomposition results.
+
+use crate::config::TasdConfig;
+use crate::series::TasdSeries;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Cache key: a 64-bit content fingerprint of the matrix
+/// ([`Matrix::fingerprint`](tasd_tensor::Matrix::fingerprint)), its shape, and the
+/// decomposition configuration. Two requests with the same key get the same series.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) struct CacheKey {
+    pub fingerprint: u64,
+    pub shape: (usize, usize),
+    pub config: TasdConfig,
+}
+
+#[derive(Debug)]
+struct CacheEntry {
+    series: Arc<TasdSeries>,
+    last_used: u64,
+}
+
+/// An LRU cache of decomposition results, keyed by (matrix fingerprint, configuration).
+///
+/// Decomposition is the expensive step of serving a TASD workload — every term walks the
+/// full residual — while repeated requests against the same weights are the common case
+/// (every forward pass of a deployed model re-multiplies the same decomposed tensors).
+/// The cache makes the second request free: it returns the previously materialized
+/// [`TasdSeries`] behind an [`Arc`], so hits share storage instead of copying.
+///
+/// Eviction is least-recently-used with a logical clock; lookups bump recency. Capacity 0
+/// disables caching entirely (every lookup misses).
+#[derive(Debug)]
+pub struct DecompositionCache {
+    capacity: usize,
+    entries: HashMap<CacheKey, CacheEntry>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl DecompositionCache {
+    /// A cache holding at most `capacity` series.
+    pub fn new(capacity: usize) -> Self {
+        DecompositionCache {
+            capacity,
+            entries: HashMap::new(),
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    pub(crate) fn get(&mut self, key: &CacheKey) -> Option<Arc<TasdSeries>> {
+        self.clock += 1;
+        match self.entries.get_mut(key) {
+            Some(entry) => {
+                entry.last_used = self.clock;
+                self.hits += 1;
+                Some(Arc::clone(&entry.series))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    pub(crate) fn insert(&mut self, key: CacheKey, series: Arc<TasdSeries>) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.clock += 1;
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
+            // Evict the least-recently-used entry. Linear scan: capacities here are small
+            // (tens to hundreds of layers), so an ordered index is not worth its bookkeeping.
+            if let Some(lru) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&lru);
+            }
+        }
+        self.entries.insert(
+            key,
+            CacheEntry {
+                series,
+                last_used: self.clock,
+            },
+        );
+    }
+
+    /// Point-in-time counters of this cache.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            entries: self.entries.len(),
+            capacity: self.capacity,
+        }
+    }
+
+    /// Drops every cached series (counters are preserved).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+/// Counters describing cache behaviour, from
+/// [`ExecutionEngine::cache_stats`](super::ExecutionEngine::cache_stats).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups that returned a cached series.
+    pub hits: u64,
+    /// Lookups that had to decompose.
+    pub misses: u64,
+    /// Series currently resident.
+    pub entries: usize,
+    /// Maximum resident series.
+    pub capacity: usize,
+}
+
+impl CacheStats {
+    /// Hit fraction over all lookups (0 when none happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tasd_tensor::Matrix;
+
+    fn key(fp: u64) -> CacheKey {
+        CacheKey {
+            fingerprint: fp,
+            shape: (4, 8),
+            config: TasdConfig::parse("2:4").unwrap(),
+        }
+    }
+
+    fn series() -> Arc<TasdSeries> {
+        Arc::new(crate::decompose(
+            &Matrix::filled(4, 8, 1.0),
+            &TasdConfig::parse("2:4").unwrap(),
+        ))
+    }
+
+    #[test]
+    fn hit_and_miss_counting() {
+        let mut cache = DecompositionCache::new(4);
+        assert!(cache.get(&key(1)).is_none());
+        cache.insert(key(1), series());
+        assert!(cache.get(&key(1)).is_some());
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.entries, 1);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_eviction_prefers_stale_entries() {
+        let mut cache = DecompositionCache::new(2);
+        cache.insert(key(1), series());
+        cache.insert(key(2), series());
+        // Touch 1 so that 2 is the LRU.
+        assert!(cache.get(&key(1)).is_some());
+        cache.insert(key(3), series());
+        assert!(cache.get(&key(1)).is_some(), "recently used entry kept");
+        assert!(cache.get(&key(2)).is_none(), "stale entry evicted");
+        assert!(cache.get(&key(3)).is_some());
+        assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut cache = DecompositionCache::new(0);
+        cache.insert(key(1), series());
+        assert!(cache.get(&key(1)).is_none());
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn distinct_configs_are_distinct_keys() {
+        let mut cache = DecompositionCache::new(4);
+        cache.insert(key(1), series());
+        let other = CacheKey {
+            config: TasdConfig::parse("1:4").unwrap(),
+            ..key(1)
+        };
+        assert!(cache.get(&other).is_none());
+    }
+
+    #[test]
+    fn clear_preserves_counters() {
+        let mut cache = DecompositionCache::new(4);
+        cache.insert(key(1), series());
+        assert!(cache.get(&key(1)).is_some());
+        cache.clear();
+        assert!(cache.get(&key(1)).is_none());
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().entries, 0);
+    }
+}

@@ -1,0 +1,571 @@
+//! The unified execution engine: one seam for all series-GEMM traffic.
+//!
+//! [`ExecutionEngine`] ties the three pieces of TASD execution together behind a single
+//! object:
+//!
+//! 1. **Planning** — for each GEMM (a decomposed [`TasdSeries`] term by term, or a plain
+//!    dense matrix), pick a [`GemmBackend`] from the term's density and format, and decide
+//!    whether the row blocks are worth tiling across threads ([`MatmulPlan`]).
+//! 2. **Caching** — memoize decompositions in an LRU [`DecompositionCache`] keyed by
+//!    (matrix fingerprint, configuration), so repeated requests against the same tensor
+//!    skip the expensive greedy extraction entirely.
+//! 3. **Execution** — run every term through the [`GemmBackend`] trait; no caller
+//!    dispatches to a format-specific kernel directly.
+//!
+//! The free functions [`series_gemm`](crate::series_gemm) /
+//! [`series_gemm_into`](crate::series_gemm_into) are thin wrappers over the process-wide
+//! [`ExecutionEngine::global`] engine, so existing call sites keep working; anything that
+//! wants control (backend choice, cache sizing, parallelism) builds its own:
+//!
+//! ```
+//! use tasd::{ExecutionEngine, TasdConfig};
+//! use tasd_tensor::{gemm, relative_frobenius_error, MatrixGenerator};
+//!
+//! let engine = ExecutionEngine::builder().cache_capacity(32).build();
+//! let mut gen = MatrixGenerator::seeded(7);
+//! let a = gen.sparse_normal(64, 64, 0.85);
+//! let b = gen.normal(64, 32, 0.0, 1.0);
+//!
+//! let config = TasdConfig::parse("4:8+1:8").unwrap();
+//! let series = engine.decompose(&a, &config);       // cached for next time
+//! let plan = engine.plan_series(&series, b.cols()); // density-driven backend choice
+//! assert!(plan.num_terms() <= 2);
+//!
+//! let c = engine.series_gemm(&series, &b).unwrap();
+//! let exact = gemm(&a, &b).unwrap();
+//! assert!(relative_frobenius_error(&exact, &c) < 0.3);
+//! assert_eq!(engine.cache_stats().misses, 1);
+//! ```
+
+mod cache;
+mod plan;
+
+pub use cache::{CacheStats, DecompositionCache};
+pub use plan::{BackendKind, MatmulPlan, TermPlan};
+
+use crate::config::TasdConfig;
+use crate::decompose::decompose;
+use crate::series::TasdSeries;
+use cache::CacheKey;
+use std::sync::{Arc, Mutex, OnceLock};
+use tasd_tensor::backend::{
+    CsrBackend, DenseBackend, GemmBackend, GemmOperand, NmBackend, ParallelBackend,
+};
+use tasd_tensor::{Matrix, Result, TensorError};
+
+/// Default decomposition-cache capacity (series). Sized for one model's worth of layers.
+pub const DEFAULT_CACHE_CAPACITY: usize = 128;
+
+/// Default density at or above which a term runs on the cache-blocked dense kernel
+/// instead of a sparse one. Calibrated against `tasd-bench`'s `backends` bench on a 512³
+/// GEMM: the register-blocked dense kernel only overtakes the entry-iteration kernels
+/// near-dense (measured crossover between 0.75 and 1.0 density; at 0.5 the sparse kernels
+/// are ~1.5× faster), so the planner keeps sparse kernels until ~0.85.
+pub const DEFAULT_DENSE_DENSITY_THRESHOLD: f64 = 0.85;
+
+/// Default estimated-MAC threshold above which a matmul is tiled across threads.
+pub const DEFAULT_MIN_PARALLEL_MACS: u64 = 1 << 21;
+
+/// Builder for [`ExecutionEngine`]; obtained from [`ExecutionEngine::builder`].
+#[derive(Debug)]
+pub struct EngineBuilder {
+    backend: Option<Arc<dyn GemmBackend>>,
+    cache_capacity: usize,
+    parallel: bool,
+    dense_density_threshold: f64,
+    min_parallel_macs: u64,
+}
+
+impl EngineBuilder {
+    /// Forces every term through the given backend, disabling density-driven selection.
+    /// The parallelism decision still applies (the forced backend is wrapped in a
+    /// [`ParallelBackend`] when a matmul is big enough) unless `parallel(false)` is set.
+    #[must_use]
+    pub fn backend(mut self, backend: Arc<dyn GemmBackend>) -> Self {
+        self.backend = Some(backend);
+        self
+    }
+
+    /// Sets the decomposition-cache capacity in series (0 disables caching).
+    #[must_use]
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Enables or disables parallel row-block tiling (enabled by default).
+    #[must_use]
+    pub fn parallel(mut self, parallel: bool) -> Self {
+        self.parallel = parallel;
+        self
+    }
+
+    /// Sets the density at or above which terms run on the dense kernel.
+    #[must_use]
+    pub fn dense_density_threshold(mut self, threshold: f64) -> Self {
+        self.dense_density_threshold = threshold;
+        self
+    }
+
+    /// Sets the estimated-MAC threshold above which matmuls are tiled across threads.
+    #[must_use]
+    pub fn min_parallel_macs(mut self, macs: u64) -> Self {
+        self.min_parallel_macs = macs;
+        self
+    }
+
+    /// Builds the engine.
+    pub fn build(self) -> ExecutionEngine {
+        let seq: [Arc<dyn GemmBackend>; 3] = [
+            Arc::new(DenseBackend::default()),
+            Arc::new(CsrBackend),
+            Arc::new(NmBackend),
+        ];
+        // The engine makes the sequential-vs-parallel call during planning, so the
+        // parallel wrappers themselves never bail back to sequential.
+        let par: [Arc<dyn GemmBackend>; 3] = [
+            Arc::new(ParallelBackend::over(seq[0].clone()).with_min_parallel_macs(0)),
+            Arc::new(ParallelBackend::over(seq[1].clone()).with_min_parallel_macs(0)),
+            Arc::new(ParallelBackend::over(seq[2].clone()).with_min_parallel_macs(0)),
+        ];
+        let parallel_override = self.backend.as_ref().map(|b| -> Arc<dyn GemmBackend> {
+            Arc::new(ParallelBackend::over(b.clone()).with_min_parallel_macs(0))
+        });
+        ExecutionEngine {
+            backend_override: self.backend,
+            parallel_override,
+            sequential: seq,
+            parallel_tiled: par,
+            parallel: self.parallel,
+            dense_density_threshold: self.dense_density_threshold,
+            min_parallel_macs: self.min_parallel_macs,
+            cache: Mutex::new(DecompositionCache::new(self.cache_capacity)),
+        }
+    }
+}
+
+impl Default for EngineBuilder {
+    fn default() -> Self {
+        EngineBuilder {
+            backend: None,
+            cache_capacity: DEFAULT_CACHE_CAPACITY,
+            parallel: true,
+            dense_density_threshold: DEFAULT_DENSE_DENSITY_THRESHOLD,
+            min_parallel_macs: DEFAULT_MIN_PARALLEL_MACS,
+        }
+    }
+}
+
+/// The unified execution engine: plans, caches, and executes TASD matmuls through the
+/// [`GemmBackend`] trait. See the [module docs](self) for the overview and an example.
+///
+/// The engine is `Sync`: share one engine (e.g. behind an `Arc`) across threads; the
+/// decomposition cache is internally locked, planning and execution take `&self`.
+#[derive(Debug)]
+pub struct ExecutionEngine {
+    backend_override: Option<Arc<dyn GemmBackend>>,
+    parallel_override: Option<Arc<dyn GemmBackend>>,
+    /// Sequential backends indexed by [`BackendKind`] discriminant order: dense, csr, nm.
+    sequential: [Arc<dyn GemmBackend>; 3],
+    /// The same kernels wrapped in parallel row-block tiling.
+    parallel_tiled: [Arc<dyn GemmBackend>; 3],
+    parallel: bool,
+    dense_density_threshold: f64,
+    min_parallel_macs: u64,
+    cache: Mutex<DecompositionCache>,
+}
+
+impl ExecutionEngine {
+    /// Starts building an engine.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::default()
+    }
+
+    /// The process-wide default engine (default builder settings), which the back-compat
+    /// free functions [`crate::series_gemm`] / [`crate::series_gemm_into`] dispatch to.
+    pub fn global() -> &'static ExecutionEngine {
+        static GLOBAL: OnceLock<ExecutionEngine> = OnceLock::new();
+        GLOBAL.get_or_init(|| ExecutionEngine::builder().build())
+    }
+
+    // ---- Planning -------------------------------------------------------------------
+
+    fn kind_for(&self, density: f64, native: BackendKind) -> BackendKind {
+        if density >= self.dense_density_threshold {
+            BackendKind::Dense
+        } else {
+            native
+        }
+    }
+
+    fn plan_terms(&self, dims: (usize, usize, usize), terms: Vec<TermPlan>) -> MatmulPlan {
+        let parallel = self.parallel
+            && terms.iter().map(|t| t.estimated_macs).sum::<u64>() >= self.min_parallel_macs
+            && dims.0 >= 2;
+        MatmulPlan {
+            dims,
+            terms,
+            parallel,
+            backend_override: self.backend_override.as_ref().map(|b| b.name().to_string()),
+        }
+    }
+
+    /// Plans the execution of `series · B` where `B` has `n_cols` columns: one backend
+    /// assignment per materialized term, from each term's actual density.
+    pub fn plan_series(&self, series: &TasdSeries, n_cols: usize) -> MatmulPlan {
+        let (m, k) = series.shape();
+        let terms = series
+            .terms()
+            .iter()
+            .map(|term| {
+                let density = GemmOperand::density(term);
+                TermPlan {
+                    backend: self.kind_for(density, BackendKind::Nm),
+                    density,
+                    estimated_macs: term.nnz() as u64 * n_cols as u64,
+                }
+            })
+            .collect();
+        self.plan_terms((m, n_cols, k), terms)
+    }
+
+    /// Plans a plain (undecomposed) GEMM `A · B`.
+    pub fn plan_gemm(&self, a: &Matrix, n_cols: usize) -> MatmulPlan {
+        // One non-zero scan serves both the density decision and the MAC estimate.
+        let nnz = a.count_nonzeros();
+        let density = if a.is_empty() {
+            0.0
+        } else {
+            nnz as f64 / a.len() as f64
+        };
+        let term = TermPlan {
+            backend: self.kind_for(density, BackendKind::Csr),
+            density,
+            estimated_macs: nnz as u64 * n_cols as u64,
+        };
+        self.plan_terms((a.rows(), n_cols, a.cols()), vec![term])
+    }
+
+    /// Shape-only planning: what the engine would do for an `lhs_rows × lhs_cols` operand
+    /// of the given density, multiplied into `out_cols` output columns, decomposed with
+    /// `config` (or run undecomposed when `None`). No tensor is materialized — per-term
+    /// densities are the configuration-capped estimates of
+    /// [`MatmulPlan::estimate_term_densities`] — which is exactly what the accelerator
+    /// model needs to cost a layer it never executes.
+    pub fn plan_dims(
+        &self,
+        lhs_rows: usize,
+        lhs_cols: usize,
+        out_cols: usize,
+        density: f64,
+        config: Option<&TasdConfig>,
+    ) -> MatmulPlan {
+        let elems = lhs_rows as u64 * lhs_cols as u64;
+        let dims = (lhs_rows, out_cols, lhs_cols);
+        let terms = match config {
+            None => vec![TermPlan {
+                backend: self.kind_for(density, BackendKind::Csr),
+                density: density.clamp(0.0, 1.0),
+                estimated_macs: (elems as f64 * density.clamp(0.0, 1.0)) as u64 * out_cols as u64,
+            }],
+            Some(cfg) => MatmulPlan::estimate_term_densities(density, cfg)
+                .into_iter()
+                .map(|d| TermPlan {
+                    backend: self.kind_for(d, BackendKind::Nm),
+                    density: d,
+                    estimated_macs: (elems as f64 * d) as u64 * out_cols as u64,
+                })
+                .collect(),
+        };
+        self.plan_terms(dims, terms)
+    }
+
+    fn backend_for(&self, plan: &MatmulPlan, term: &TermPlan) -> &Arc<dyn GemmBackend> {
+        if let Some(forced) = &self.backend_override {
+            return if plan.parallel {
+                self.parallel_override
+                    .as_ref()
+                    .expect("built with override")
+            } else {
+                forced
+            };
+        }
+        let idx = match term.backend {
+            BackendKind::Dense => 0,
+            BackendKind::Csr => 1,
+            BackendKind::Nm => 2,
+        };
+        if plan.parallel {
+            &self.parallel_tiled[idx]
+        } else {
+            &self.sequential[idx]
+        }
+    }
+
+    // ---- Caching --------------------------------------------------------------------
+
+    /// Decomposes `a` under `config`, returning a cached series when this (matrix,
+    /// configuration) pair was decomposed before.
+    ///
+    /// The cache lock is not held during decomposition, so two threads racing on the same
+    /// cold key may both decompose; the result is identical and one copy wins the insert.
+    pub fn decompose(&self, a: &Matrix, config: &TasdConfig) -> Arc<TasdSeries> {
+        let key = CacheKey {
+            fingerprint: a.fingerprint(),
+            shape: a.shape(),
+            config: config.clone(),
+        };
+        if let Some(hit) = self.cache.lock().expect("cache lock").get(&key) {
+            return hit;
+        }
+        let series = Arc::new(decompose(a, config));
+        self.cache
+            .lock()
+            .expect("cache lock")
+            .insert(key, Arc::clone(&series));
+        series
+    }
+
+    /// Point-in-time decomposition-cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.lock().expect("cache lock").stats()
+    }
+
+    /// Drops every cached decomposition (counters are preserved).
+    pub fn clear_cache(&self) {
+        self.cache.lock().expect("cache lock").clear();
+    }
+
+    // ---- Execution ------------------------------------------------------------------
+
+    /// Executes `C += Σᵢ Aᵢ·B` term by term through the planned backends.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] on inconsistent shapes.
+    pub fn series_gemm_into(&self, series: &TasdSeries, b: &Matrix, c: &mut Matrix) -> Result<()> {
+        if series.shape().1 != b.rows() {
+            return Err(TensorError::ShapeMismatch {
+                op: "series gemm",
+                lhs: series.shape(),
+                rhs: b.shape(),
+            });
+        }
+        if c.rows() != series.shape().0 || c.cols() != b.cols() {
+            return Err(TensorError::ShapeMismatch {
+                op: "series gemm accumulator",
+                lhs: (series.shape().0, b.cols()),
+                rhs: c.shape(),
+            });
+        }
+        let plan = self.plan_series(series, b.cols());
+        for (term, term_plan) in series.terms().iter().zip(&plan.terms) {
+            self.backend_for(&plan, term_plan).gemm_into(term, b, c)?;
+        }
+        Ok(())
+    }
+
+    /// Executes `C = Σᵢ Aᵢ·B`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] on inconsistent shapes.
+    pub fn series_gemm(&self, series: &TasdSeries, b: &Matrix) -> Result<Matrix> {
+        let mut c = Matrix::zeros(series.shape().0, b.cols());
+        self.series_gemm_into(series, b, &mut c)?;
+        Ok(c)
+    }
+
+    /// Decomposes `a` under `config` (through the cache) and executes the approximated
+    /// product `C ≈ A·B` in one call — the end-to-end serving path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] on inconsistent shapes.
+    pub fn decompose_gemm(&self, a: &Matrix, config: &TasdConfig, b: &Matrix) -> Result<Matrix> {
+        let series = self.decompose(a, config);
+        self.series_gemm(&series, b)
+    }
+
+    /// Executes an exact (undecomposed) GEMM `C += A·B` through the planned backend —
+    /// the path dense layers take.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] on inconsistent shapes.
+    pub fn gemm_into(&self, a: &Matrix, b: &Matrix, c: &mut Matrix) -> Result<()> {
+        let plan = self.plan_gemm(a, b.cols());
+        self.backend_for(&plan, &plan.terms[0]).gemm_into(a, b, c)
+    }
+
+    /// Executes an exact GEMM `C = A·B` through the planned backend.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] on inconsistent shapes.
+    pub fn gemm(&self, a: &Matrix, b: &Matrix) -> Result<Matrix> {
+        let mut c = Matrix::zeros(a.rows(), b.cols());
+        self.gemm_into(a, b, &mut c)?;
+        Ok(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tasd_tensor::{gemm, MatrixGenerator};
+
+    fn engine() -> ExecutionEngine {
+        ExecutionEngine::builder().build()
+    }
+
+    #[test]
+    fn engine_series_gemm_matches_reference_reconstruction() {
+        let mut gen = MatrixGenerator::seeded(1);
+        let e = engine();
+        for sparsity in [0.0, 0.5, 0.9] {
+            let a = gen.sparse_normal(40, 48, sparsity);
+            let b = gen.normal(48, 24, 0.0, 1.0);
+            let series = e.decompose(&a, &TasdConfig::parse("4:8+2:8").unwrap());
+            let via_engine = e.series_gemm(&series, &b).unwrap();
+            let via_reference = gemm(&series.reconstruct(), &b).unwrap();
+            assert!(
+                via_engine.approx_eq(&via_reference, 1e-3),
+                "sparsity {sparsity}"
+            );
+        }
+    }
+
+    #[test]
+    fn engine_gemm_matches_reference() {
+        let mut gen = MatrixGenerator::seeded(2);
+        let e = engine();
+        for sparsity in [0.0, 0.8] {
+            let a = gen.sparse_normal(30, 20, sparsity);
+            let b = gen.normal(20, 10, 0.0, 1.0);
+            assert!(e
+                .gemm(&a, &b)
+                .unwrap()
+                .approx_eq(&gemm(&a, &b).unwrap(), 1e-4));
+        }
+    }
+
+    #[test]
+    fn decompose_hits_cache_on_repeat() {
+        let mut gen = MatrixGenerator::seeded(3);
+        let e = engine();
+        let a = gen.sparse_normal(32, 32, 0.7);
+        let cfg = TasdConfig::parse("2:8").unwrap();
+        let first = e.decompose(&a, &cfg);
+        let second = e.decompose(&a, &cfg);
+        assert!(
+            Arc::ptr_eq(&first, &second),
+            "second request must be served from cache"
+        );
+        let stats = e.cache_stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        // A different config is a different key.
+        let _ = e.decompose(&a, &TasdConfig::parse("1:8").unwrap());
+        assert_eq!(e.cache_stats().misses, 2);
+    }
+
+    #[test]
+    fn planning_follows_density() {
+        let mut gen = MatrixGenerator::seeded(4);
+        let e = engine();
+        // A dense matrix: the single undecomposed term plans onto the dense kernel.
+        let dense = gen.normal(16, 16, 0.0, 1.0);
+        assert_eq!(e.plan_gemm(&dense, 8).terms[0].backend, BackendKind::Dense);
+        // A very sparse matrix plans onto the CSR kernel.
+        let sparse = gen.sparse_normal(16, 16, 0.95);
+        assert_eq!(e.plan_gemm(&sparse, 8).terms[0].backend, BackendKind::Csr);
+        // Series terms of a sparse matrix plan onto the N:M kernel.
+        let series = e.decompose(&sparse, &TasdConfig::parse("2:8").unwrap());
+        let plan = e.plan_series(&series, 8);
+        assert!(plan.terms.iter().all(|t| t.backend == BackendKind::Nm));
+    }
+
+    #[test]
+    fn parallel_flag_requires_enough_work() {
+        let e = engine();
+        let small = e.plan_dims(8, 8, 8, 1.0, None);
+        assert!(!small.parallel);
+        let big = e.plan_dims(1024, 1024, 1024, 1.0, None);
+        assert!(big.parallel);
+        let disabled = ExecutionEngine::builder().parallel(false).build();
+        assert!(!disabled.plan_dims(1024, 1024, 1024, 1.0, None).parallel);
+    }
+
+    #[test]
+    fn plan_dims_respects_config() {
+        let e = engine();
+        let cfg = TasdConfig::parse("4:8+1:8").unwrap();
+        let plan = e.plan_dims(256, 512, 128, 1.0, Some(&cfg));
+        assert_eq!(plan.num_terms(), 2);
+        // Dense operand saturates both terms: 0.5 + 0.125 of dense MACs.
+        let expected = (plan.dense_macs() as f64 * 0.625) as u64;
+        assert!((plan.estimated_macs() as i64 - expected as i64).abs() < 1000);
+        // Both terms sit below the measured dense-kernel crossover (~0.85): native N:M.
+        assert_eq!(plan.terms[0].backend, BackendKind::Nm);
+        assert_eq!(plan.terms[1].backend, BackendKind::Nm);
+        // A lowered threshold reroutes the dense-ish first term to the dense kernel.
+        let eager = ExecutionEngine::builder()
+            .dense_density_threshold(0.4)
+            .build();
+        let plan = eager.plan_dims(256, 512, 128, 1.0, Some(&cfg));
+        assert_eq!(plan.terms[0].backend, BackendKind::Dense);
+        assert_eq!(plan.terms[1].backend, BackendKind::Nm);
+    }
+
+    #[test]
+    fn forced_backend_is_used_for_everything() {
+        use tasd_tensor::backend::CsrBackend;
+        let e = ExecutionEngine::builder()
+            .backend(Arc::new(CsrBackend))
+            .build();
+        let mut gen = MatrixGenerator::seeded(5);
+        let a = gen.normal(24, 24, 0.0, 1.0);
+        let b = gen.normal(24, 8, 0.0, 1.0);
+        let plan = e.plan_gemm(&a, 8);
+        assert_eq!(plan.backend_override.as_deref(), Some("csr"));
+        assert_eq!(plan.summary(), "csr");
+        // Still numerically correct.
+        assert!(e
+            .gemm(&a, &b)
+            .unwrap()
+            .approx_eq(&gemm(&a, &b).unwrap(), 1e-4));
+    }
+
+    #[test]
+    fn shape_mismatches_are_rejected() {
+        let e = engine();
+        let a = Matrix::zeros(4, 8);
+        let series = e.decompose(&a, &TasdConfig::parse("2:4").unwrap());
+        assert!(e.series_gemm(&series, &Matrix::zeros(4, 4)).is_err());
+        let b = Matrix::zeros(8, 4);
+        let mut bad = Matrix::zeros(3, 4);
+        assert!(e.series_gemm_into(&series, &b, &mut bad).is_err());
+        assert!(e.gemm(&Matrix::zeros(2, 3), &Matrix::zeros(4, 2)).is_err());
+    }
+
+    #[test]
+    fn decompose_gemm_end_to_end() {
+        let mut gen = MatrixGenerator::seeded(6);
+        let e = engine();
+        let a = gen.sparse_normal(48, 64, 0.9);
+        let b = gen.normal(64, 16, 0.0, 1.0);
+        let cfg = TasdConfig::parse("2:8+1:8").unwrap();
+        let c = e.decompose_gemm(&a, &cfg, &b).unwrap();
+        let series = e.decompose(&a, &cfg); // cache hit
+        assert!(c.approx_eq(&gemm(&series.reconstruct(), &b).unwrap(), 1e-3));
+        assert!(e.cache_stats().hits >= 1);
+    }
+
+    #[test]
+    fn global_engine_is_shared() {
+        let a = ExecutionEngine::global();
+        let b = ExecutionEngine::global();
+        assert!(std::ptr::eq(a, b));
+    }
+}

@@ -1,0 +1,193 @@
+//! Matmul execution plans: which backend runs each term, and what it should cost.
+
+use crate::config::TasdConfig;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The kernel family the planner assigns to a term (see
+/// [`tasd_tensor::backend`] for the implementations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BackendKind {
+    /// Cache-blocked dense kernel ([`tasd_tensor::DenseBackend`]).
+    Dense,
+    /// Unstructured sparse row kernel ([`tasd_tensor::CsrBackend`]).
+    Csr,
+    /// Structured N:M kernel ([`tasd_tensor::NmBackend`]).
+    Nm,
+}
+
+impl fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BackendKind::Dense => "dense",
+            BackendKind::Csr => "csr",
+            BackendKind::Nm => "nm",
+        })
+    }
+}
+
+/// The plan for one GEMM term (one structured term of a series, or the whole matrix for a
+/// plain dense GEMM).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TermPlan {
+    /// Kernel family chosen for this term.
+    pub backend: BackendKind,
+    /// Operand density the choice was based on.
+    pub density: f64,
+    /// Estimated effectual MACs of this term (`nnz × n`).
+    pub estimated_macs: u64,
+}
+
+/// A backend assignment for every term of a matmul, produced by
+/// [`ExecutionEngine::plan_series`](super::ExecutionEngine::plan_series) /
+/// [`plan_dims`](super::ExecutionEngine::plan_dims) and consumed by the engine's execute
+/// path (and, shape-only, by the accelerator model's workload builder).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MatmulPlan {
+    /// GEMM dimensions `(M, N, K)`: output rows, output columns, reduction depth.
+    pub dims: (usize, usize, usize),
+    /// Per-term assignments, in series order. A dense (undecomposed) GEMM has one entry.
+    pub terms: Vec<TermPlan>,
+    /// Whether the engine will tile this matmul's row blocks across threads.
+    pub parallel: bool,
+    /// Name of the forced backend when the engine was built with an explicit
+    /// [`backend`](super::EngineBuilder::backend) override; `None` under automatic
+    /// (density-driven) selection.
+    pub backend_override: Option<String>,
+}
+
+impl MatmulPlan {
+    /// Number of planned terms.
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Total estimated effectual MACs across terms.
+    pub fn estimated_macs(&self) -> u64 {
+        self.terms.iter().map(|t| t.estimated_macs).sum()
+    }
+
+    /// Dense MAC count of the planned GEMM (`M·N·K`).
+    pub fn dense_macs(&self) -> u64 {
+        let (m, n, k) = self.dims;
+        m as u64 * n as u64 * k as u64
+    }
+
+    /// Estimated fraction of dense MACs actually executed (1.0 when nothing is skipped,
+    /// 0.0 for an empty plan or empty GEMM).
+    pub fn compute_fraction(&self) -> f64 {
+        let dense = self.dense_macs();
+        if dense == 0 {
+            0.0
+        } else {
+            self.estimated_macs() as f64 / dense as f64
+        }
+    }
+
+    /// Human-readable backend assignment, e.g. `"nm+nm"` or `"parallel(dense)"`.
+    pub fn summary(&self) -> String {
+        let inner = match &self.backend_override {
+            Some(name) => name.clone(),
+            None => self
+                .terms
+                .iter()
+                .map(|t| t.backend.to_string())
+                .collect::<Vec<_>>()
+                .join("+"),
+        };
+        if self.parallel {
+            format!("parallel({inner})")
+        } else {
+            inner
+        }
+    }
+
+    /// Shape-only per-term density estimates for a decomposition of an operand with the
+    /// given density under `config`: term `i` keeps at most its pattern's `n/m`, and the
+    /// series in total cannot keep more than the operand holds.
+    pub(crate) fn estimate_term_densities(density: f64, config: &TasdConfig) -> Vec<f64> {
+        let mut remaining = density.clamp(0.0, 1.0);
+        config
+            .terms()
+            .iter()
+            .map(|pattern| {
+                let d = pattern.density().min(remaining);
+                remaining -= d;
+                d
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan() -> MatmulPlan {
+        MatmulPlan {
+            dims: (4, 8, 16),
+            terms: vec![
+                TermPlan {
+                    backend: BackendKind::Nm,
+                    density: 0.25,
+                    estimated_macs: 128,
+                },
+                TermPlan {
+                    backend: BackendKind::Csr,
+                    density: 0.05,
+                    estimated_macs: 26,
+                },
+            ],
+            parallel: false,
+            backend_override: None,
+        }
+    }
+
+    #[test]
+    fn totals_aggregate_terms() {
+        let p = plan();
+        assert_eq!(p.num_terms(), 2);
+        assert_eq!(p.estimated_macs(), 154);
+        assert_eq!(p.dense_macs(), 4 * 8 * 16);
+        assert!((p.compute_fraction() - 154.0 / 512.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_formats() {
+        let mut p = plan();
+        assert_eq!(p.summary(), "nm+csr");
+        p.parallel = true;
+        assert_eq!(p.summary(), "parallel(nm+csr)");
+        p.backend_override = Some("custom".to_string());
+        assert_eq!(p.summary(), "parallel(custom)");
+    }
+
+    #[test]
+    fn term_density_estimates_cap_at_operand_density() {
+        let cfg = TasdConfig::parse("4:8+2:8").unwrap();
+        // Dense operand: every term saturates its pattern.
+        let d = MatmulPlan::estimate_term_densities(1.0, &cfg);
+        assert_eq!(d, vec![0.5, 0.25]);
+        // 30%-dense operand: the first term absorbs everything.
+        let d = MatmulPlan::estimate_term_densities(0.3, &cfg);
+        assert!((d[0] - 0.3).abs() < 1e-12);
+        assert!(d[1].abs() < 1e-12);
+        // 60%-dense: first term caps at 0.5, second takes the remaining 0.1.
+        let d = MatmulPlan::estimate_term_densities(0.6, &cfg);
+        assert!((d[0] - 0.5).abs() < 1e-12);
+        assert!((d[1] - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_plan_is_well_behaved() {
+        let p = MatmulPlan {
+            dims: (0, 0, 0),
+            terms: vec![],
+            parallel: false,
+            backend_override: None,
+        };
+        assert_eq!(p.estimated_macs(), 0);
+        assert_eq!(p.compute_fraction(), 0.0);
+        assert_eq!(p.summary(), "");
+    }
+}

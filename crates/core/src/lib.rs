@@ -20,7 +20,10 @@
 //! * [`TasdConfig`] — a decomposition configuration: an ordered list of N:M patterns.
 //! * [`decompose`] / [`TasdSeries`] — the greedy structured decomposition and the resulting
 //!   series of compressed terms, with reconstruction and error metrics.
-//! * [`series_gemm`] — approximated matrix multiplication executed term-by-term.
+//! * [`ExecutionEngine`] — the unified execution layer: plans a
+//!   [`GemmBackend`](tasd_tensor::GemmBackend) per term from density, caches
+//!   decompositions in an LRU keyed by (matrix fingerprint, config), and executes series
+//!   GEMMs term-by-term. [`series_gemm`] is a thin wrapper over the default engine.
 //! * [`compose`] — the pattern-composition algebra (paper Table 2): which effective N:M
 //!   patterns a piece of hardware supports once TASD chaining is allowed.
 //! * [`analysis`] — the synthetic-data studies of the paper's Appendix A (drop fractions vs
@@ -28,16 +31,34 @@
 //!
 //! # Quickstart
 //!
+//! Decompose once (cached), execute many times through the engine:
+//!
 //! ```
-//! use tasd::{decompose, TasdConfig};
-//! use tasd_tensor::{Matrix, MatrixGenerator, relative_frobenius_error};
+//! use tasd::{ExecutionEngine, TasdConfig};
+//! use tasd_tensor::{gemm, relative_frobenius_error, MatrixGenerator};
+//!
+//! let engine = ExecutionEngine::builder()
+//!     .cache_capacity(64)   // decompositions memoized by (fingerprint, config)
+//!     .parallel(true)       // big matmuls tile row blocks across threads
+//!     .build();
 //!
 //! let mut gen = MatrixGenerator::seeded(0);
-//! let a = gen.sparse_normal(64, 64, 0.7);           // unstructured 70% sparse
+//! let a = gen.sparse_normal(64, 64, 0.7);             // unstructured 70% sparse
+//! let b = gen.normal(64, 32, 0.0, 1.0);
 //! let config = TasdConfig::parse("2:4+2:8").unwrap(); // two structured terms
-//! let series = decompose(&a, &config);
-//! let reconstructed = series.reconstruct();
-//! assert!(relative_frobenius_error(&a, &reconstructed) < 0.3);
+//!
+//! // Decompose + execute; the second call to decompose() is a cache hit.
+//! let series = engine.decompose(&a, &config);
+//! let c = engine.series_gemm(&series, &b).unwrap();
+//! assert!(engine.decompose(&a, &config).nnz() == series.nnz());
+//! assert_eq!(engine.cache_stats().hits, 1);
+//!
+//! // The plan explains how each structured term will execute.
+//! let plan = engine.plan_series(&series, b.cols());
+//! assert!(plan.num_terms() <= config.order());
+//!
+//! let exact = gemm(&a, &b).unwrap();
+//! assert!(relative_frobenius_error(&exact, &c) < 0.3);
 //! ```
 
 #![warn(missing_docs)]
@@ -47,11 +68,16 @@ pub mod analysis;
 pub mod compose;
 pub mod config;
 pub mod decompose;
+pub mod engine;
 pub mod series;
 
 pub use compose::{compose_pattern_table, ComposedPattern, PatternMenu};
 pub use config::TasdConfig;
 pub use decompose::{decompose, decompose_with_residual};
+pub use engine::{
+    BackendKind, CacheStats, DecompositionCache, EngineBuilder, ExecutionEngine, MatmulPlan,
+    TermPlan,
+};
 pub use series::{series_gemm, series_gemm_into, DecompositionReport, TasdSeries};
 
 /// Result alias re-exported from the tensor substrate.

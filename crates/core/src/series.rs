@@ -4,7 +4,7 @@ use crate::config::TasdConfig;
 use serde::{Deserialize, Serialize};
 use tasd_tensor::{
     dropped_magnitude_fraction, dropped_nonzero_fraction, relative_frobenius_error, Matrix,
-    NmCompressed, Result, TensorError,
+    NmCompressed, Result,
 };
 
 /// A decomposed tensor: an ordered list of N:M compressed terms whose sum approximates the
@@ -68,10 +68,7 @@ impl TasdSeries {
     /// Total effectual MACs of `self * B` where `B` has `n_cols` columns: one MAC per
     /// stored value per output column, summed over terms.
     pub fn effectual_macs(&self, n_cols: usize) -> u64 {
-        self.terms
-            .iter()
-            .map(|t| t.effectual_macs(n_cols))
-            .sum()
+        self.terms.iter().map(|t| t.effectual_macs(n_cols)).sum()
     }
 
     /// Compressed storage footprint in bytes across all terms.
@@ -86,7 +83,11 @@ impl TasdSeries {
     ///
     /// Panics if `original` has a different shape from the series.
     pub fn report(&self, original: &Matrix) -> DecompositionReport {
-        assert_eq!(original.shape(), self.shape, "report requires the original matrix");
+        assert_eq!(
+            original.shape(),
+            self.shape,
+            "report requires the original matrix"
+        );
         let approx = self.reconstruct();
         DecompositionReport {
             config: self.config.clone(),
@@ -119,10 +120,15 @@ pub struct DecompositionReport {
 /// Approximated matrix multiplication `C ≈ A·B` executed term-by-term over a decomposed
 /// `A` (paper §3.2): `C = Σᵢ Aᵢ·B`, each term a structured sparse GEMM.
 ///
+/// This is a thin back-compat wrapper over the process-wide
+/// [`ExecutionEngine`](crate::ExecutionEngine): each term dispatches through the planned
+/// [`GemmBackend`](tasd_tensor::GemmBackend), never to a format-specific kernel directly.
+/// Build your own engine for control over backend choice, caching, and parallelism.
+///
 /// # Errors
 ///
-/// Returns [`TensorError::ShapeMismatch`] if `B`'s row count does not match the series'
-/// column count.
+/// Returns [`tasd_tensor::TensorError::ShapeMismatch`] if `B`'s row count does not match
+/// the series' column count.
 ///
 /// # Example
 ///
@@ -139,31 +145,20 @@ pub struct DecompositionReport {
 /// assert!(relative_frobenius_error(&c_exact, &c_approx) < 0.25);
 /// ```
 pub fn series_gemm(series: &TasdSeries, b: &Matrix) -> Result<Matrix> {
-    let mut c = Matrix::zeros(series.shape().0, b.cols());
-    series_gemm_into(series, b, &mut c)?;
-    Ok(c)
+    crate::engine::ExecutionEngine::global().series_gemm(series, b)
 }
 
-/// Accumulating variant of [`series_gemm`]: `C += Σᵢ Aᵢ·B`.
+/// Accumulating variant of [`series_gemm`]: `C += Σᵢ Aᵢ·B`, dispatched through the
+/// process-wide [`ExecutionEngine`](crate::ExecutionEngine).
 ///
 /// This mirrors the hardware dataflow: the C tile stays stationary while successive
 /// decomposed A tiles stream through (paper Fig. 11).
 ///
 /// # Errors
 ///
-/// Returns [`TensorError::ShapeMismatch`] on inconsistent shapes.
+/// Returns [`tasd_tensor::TensorError::ShapeMismatch`] on inconsistent shapes.
 pub fn series_gemm_into(series: &TasdSeries, b: &Matrix, c: &mut Matrix) -> Result<()> {
-    if series.shape().1 != b.rows() {
-        return Err(TensorError::ShapeMismatch {
-            op: "series gemm",
-            lhs: series.shape(),
-            rhs: b.shape(),
-        });
-    }
-    for term in series.terms() {
-        term.spmm_into(b, c)?;
-    }
-    Ok(())
+    crate::engine::ExecutionEngine::global().series_gemm_into(series, b, c)
 }
 
 #[cfg(test)]
@@ -233,8 +228,7 @@ mod tests {
         assert_eq!(report.config, cfg);
         assert_eq!(report.original_nonzeros, a.count_nonzeros());
         assert_eq!(report.kept_nonzeros, series.nnz());
-        let expected_drop =
-            1.0 - report.kept_nonzeros as f64 / report.original_nonzeros as f64;
+        let expected_drop = 1.0 - report.kept_nonzeros as f64 / report.original_nonzeros as f64;
         assert!((report.dropped_nonzero_fraction - expected_drop).abs() < 1e-9);
         // Greedy extraction: magnitude loss never exceeds count loss.
         assert!(report.dropped_magnitude_fraction <= report.dropped_nonzero_fraction + 1e-12);

@@ -157,8 +157,7 @@ mod tests {
                 if act.induces_sparsity() && x.abs() < 2.0 * eps {
                     continue;
                 }
-                let numeric =
-                    (act.apply_scalar(x + eps) - act.apply_scalar(x - eps)) / (2.0 * eps);
+                let numeric = (act.apply_scalar(x + eps) - act.apply_scalar(x - eps)) / (2.0 * eps);
                 let analytic = act.derivative(x);
                 assert!(
                     (numeric - analytic).abs() < 2e-2,

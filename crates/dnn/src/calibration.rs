@@ -9,6 +9,7 @@
 use crate::executable::Mlp;
 use crate::network::NetworkSpec;
 use serde::{Deserialize, Serialize};
+use tasd::ExecutionEngine;
 use tasd_tensor::stats::RunningStats;
 use tasd_tensor::{pseudo_density, sparsity_degree, Matrix, MatrixGenerator};
 
@@ -65,21 +66,29 @@ impl CalibrationProfile {
     }
 
     /// Profiles an executable MLP over calibration inputs split into `num_batches` equal
-    /// batches.
-    pub fn from_executable(mlp: &Mlp, inputs: &Matrix, num_batches: usize) -> Self {
+    /// batches. The calibration forward passes dispatch through `engine`.
+    pub fn from_executable(
+        engine: &ExecutionEngine,
+        mlp: &Mlp,
+        inputs: &Matrix,
+        num_batches: usize,
+    ) -> Self {
         let num_batches = num_batches.max(1);
         let batch_rows = (inputs.rows() / num_batches).max(1);
-        let mut per_layer: Vec<(RunningStats, RunningStats)> =
-            (0..mlp.num_layers()).map(|_| (RunningStats::new(), RunningStats::new())).collect();
+        let mut per_layer: Vec<(RunningStats, RunningStats)> = (0..mlp.num_layers())
+            .map(|_| (RunningStats::new(), RunningStats::new()))
+            .collect();
         let mut batches_done = 0usize;
         let mut start = 0usize;
         while start < inputs.rows() {
             let end = (start + batch_rows).min(inputs.rows());
             let batch = inputs.block(start, 0, end - start, inputs.cols());
-            let trace = mlp.forward_trace(&batch);
+            let trace = mlp.forward_trace(engine, &batch);
             for (li, layer_input) in trace.layer_inputs.iter().enumerate() {
                 per_layer[li].0.push(sparsity_degree(layer_input));
-                per_layer[li].1.push(pseudo_density(layer_input, PSEUDO_DENSITY_PRESERVE));
+                per_layer[li]
+                    .1
+                    .push(pseudo_density(layer_input, PSEUDO_DENSITY_PRESERVE));
             }
             batches_done += 1;
             start = end;
@@ -134,8 +143,7 @@ impl CalibrationProfile {
                         // Batch-to-batch jitter of a couple of percent, as in Fig. 6.
                         let jitter = (gen.unit() as f64 - 0.5) * 0.04;
                         let target = (layer.input_activation_sparsity + jitter).clamp(0.0, 0.999);
-                        gen.sparse_normal(64, cols, target)
-                            .map(|x| x.abs())
+                        gen.sparse_normal(64, cols, target).map(|x| x.abs())
                     } else {
                         gen.gelu_activations(64, cols)
                     };
@@ -169,7 +177,8 @@ mod tests {
     fn executable_profile_sees_relu_sparsity() {
         let mlp = Mlp::new(&[16, 64, 32, 4], Activation::Relu, 3);
         let inputs = MatrixGenerator::seeded(5).normal(128, 16, 0.0, 1.0);
-        let profile = CalibrationProfile::from_executable(&mlp, &inputs, 4);
+        let profile =
+            CalibrationProfile::from_executable(ExecutionEngine::global(), &mlp, &inputs, 4);
         assert_eq!(profile.layers.len(), 3);
         assert_eq!(profile.num_batches, 4);
         // First layer reads dense network input.
@@ -193,7 +202,8 @@ mod tests {
     fn gelu_network_uses_pseudo_density() {
         let mlp = Mlp::new(&[16, 64, 4], Activation::Gelu, 3);
         let inputs = MatrixGenerator::seeded(6).normal(64, 16, 0.0, 1.0);
-        let profile = CalibrationProfile::from_executable(&mlp, &inputs, 2);
+        let profile =
+            CalibrationProfile::from_executable(ExecutionEngine::global(), &mlp, &inputs, 2);
         let hidden = &profile.layers[1];
         // GELU input: no exact sparsity but meaningful pseudo-density < 1.
         assert!(!hidden.relu_input);

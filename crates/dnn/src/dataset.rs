@@ -109,7 +109,9 @@ impl SyntheticDataset {
     pub fn batch(&self, start: usize, len: usize) -> (Matrix, &[usize]) {
         let end = (start + len).min(self.len());
         let start = start.min(end);
-        let rows: Vec<Vec<f32>> = (start..end).map(|i| self.features.row(i).to_vec()).collect();
+        let rows: Vec<Vec<f32>> = (start..end)
+            .map(|i| self.features.row(i).to_vec())
+            .collect();
         let feats = if rows.is_empty() {
             Matrix::zeros(0, self.num_features())
         } else {
@@ -159,17 +161,17 @@ mod tests {
         // confirming the task carries signal.
         let ds = SyntheticDataset::gaussian_clusters(400, 16, 4, 3.0, 5);
         let mut centroids = vec![vec![0.0f64; 16]; 4];
-        let mut counts = vec![0usize; 4];
+        let mut counts = [0usize; 4];
         for i in 0..ds.len() {
             let c = ds.labels()[i];
             counts[c] += 1;
-            for j in 0..16 {
-                centroids[c][j] += ds.features()[(i, j)] as f64;
+            for (j, slot) in centroids[c].iter_mut().enumerate() {
+                *slot += ds.features()[(i, j)] as f64;
             }
         }
-        for c in 0..4 {
-            for j in 0..16 {
-                centroids[c][j] /= counts[c] as f64;
+        for (centroid, &count) in centroids.iter_mut().zip(&counts) {
+            for slot in centroid.iter_mut() {
+                *slot /= count as f64;
             }
         }
         let mut correct = 0;

@@ -5,12 +5,17 @@
 //! validated against a *true* accuracy metric (the offline stand-in for the paper's
 //! ImageNet evaluation). Forward execution also doubles as the calibration engine for
 //! TASD-A: [`Mlp::forward_trace`] records every layer's input activations.
+//!
+//! All matmul traffic — the layer GEMMs and the TASD decompositions — dispatches through
+//! an [`ExecutionEngine`], so forward passes inherit its backend planning, decomposition
+//! caching, and parallelism. Callers that do not care pass
+//! [`ExecutionEngine::global()`](ExecutionEngine::global).
 
 use crate::activation::Activation;
 use crate::layer::LayerSpec;
 use crate::network::NetworkSpec;
-use tasd::{decompose, TasdConfig};
-use tasd_tensor::{gemm, Matrix, MatrixGenerator};
+use tasd::{ExecutionEngine, TasdConfig};
+use tasd_tensor::{Matrix, MatrixGenerator};
 
 /// One dense layer of the executable network.
 #[derive(Debug, Clone)]
@@ -58,7 +63,10 @@ impl Mlp {
     ///
     /// Panics if fewer than two dimensions are given.
     pub fn new(dims: &[usize], hidden_activation: Activation, seed: u64) -> Self {
-        assert!(dims.len() >= 2, "an MLP needs at least input and output dims");
+        assert!(
+            dims.len() >= 2,
+            "an MLP needs at least input and output dims"
+        );
         let mut gen = MatrixGenerator::seeded(seed);
         let mut layers = Vec::with_capacity(dims.len() - 1);
         for w in dims.windows(2) {
@@ -102,17 +110,18 @@ impl Mlp {
     }
 
     /// Forward pass: `inputs` is `(batch, input_dim)`, returns logits `(batch, output_dim)`.
+    /// Every layer GEMM dispatches through `engine`.
     ///
     /// # Panics
     ///
     /// Panics if the input width does not match the first layer.
-    pub fn forward(&self, inputs: &Matrix) -> Matrix {
-        self.forward_trace(inputs).logits
+    pub fn forward(&self, engine: &ExecutionEngine, inputs: &Matrix) -> Matrix {
+        self.forward_trace(engine, inputs).logits
     }
 
     /// Forward pass that also records each layer's input activations (for calibration and
     /// for TASD-A evaluation).
-    pub fn forward_trace(&self, inputs: &Matrix) -> ForwardTrace {
+    pub fn forward_trace(&self, engine: &ExecutionEngine, inputs: &Matrix) -> ForwardTrace {
         let mut x = inputs.clone();
         let mut layer_inputs = Vec::with_capacity(self.layers.len());
         for layer in &self.layers {
@@ -122,7 +131,9 @@ impl Mlp {
                 "activation width does not match layer input"
             );
             layer_inputs.push(x.clone());
-            let mut z = gemm(&x, &layer.weights).expect("shapes checked above");
+            let mut z = engine
+                .gemm(&x, &layer.weights)
+                .expect("shapes checked above");
             for i in 0..z.rows() {
                 let row = z.row_mut(i);
                 for (j, b) in layer.bias.iter().enumerate() {
@@ -138,23 +149,33 @@ impl Mlp {
     }
 
     /// Forward pass with TASD applied to each layer's *input activations*: before layer
-    /// `i`'s GEMM, its input is decomposed with `configs[i]` and reconstructed (dropping
-    /// whatever the series drops). Layers with no entry in `configs` run unmodified.
-    ///
-    /// This is the software model of TASD-A (the hardware performs the same decomposition
-    /// in the TASD unit).
+    /// `i`'s GEMM, its input is decomposed with `configs[i]` and the approximated product
+    /// is executed term-by-term through `engine` — the software model of TASD-A (the
+    /// hardware performs the same decomposition in the TASD unit). Layers with no entry in
+    /// `configs` run unmodified.
     pub fn forward_with_activation_tasd(
         &self,
+        engine: &ExecutionEngine,
         inputs: &Matrix,
         configs: &[Option<TasdConfig>],
     ) -> Matrix {
         let mut x = inputs.clone();
         for (i, layer) in self.layers.iter().enumerate() {
-            if let Some(Some(cfg)) = configs.get(i) {
-                let series = decompose(&x, cfg);
-                x = series.reconstruct();
-            }
-            let mut z = gemm(&x, &layer.weights).expect("shape mismatch in tasd forward");
+            let mut z = match configs.get(i) {
+                Some(Some(cfg)) => {
+                    // Activations are fresh every batch: decompose directly instead of
+                    // through the engine's cache, which would pay fingerprinting for keys
+                    // that never repeat and evict reusable weight-series entries.
+                    // Execution still dispatches through the engine's planned backends.
+                    let series = tasd::decompose(&x, cfg);
+                    engine
+                        .series_gemm(&series, &layer.weights)
+                        .expect("shape mismatch in tasd forward")
+                }
+                _ => engine
+                    .gemm(&x, &layer.weights)
+                    .expect("shape mismatch in tasd forward"),
+            };
             for r in 0..z.rows() {
                 let row = z.row_mut(r);
                 for (j, b) in layer.bias.iter().enumerate() {
@@ -167,13 +188,13 @@ impl Mlp {
     }
 
     /// Predicted class per sample (argmax of logits).
-    pub fn predict(&self, inputs: &Matrix) -> Vec<usize> {
-        argmax_rows(&self.forward(inputs))
+    pub fn predict(&self, engine: &ExecutionEngine, inputs: &Matrix) -> Vec<usize> {
+        argmax_rows(&self.forward(engine, inputs))
     }
 
     /// Classification accuracy on `(inputs, labels)`.
-    pub fn accuracy(&self, inputs: &Matrix, labels: &[usize]) -> f64 {
-        let preds = self.predict(inputs);
+    pub fn accuracy(&self, engine: &ExecutionEngine, inputs: &Matrix, labels: &[usize]) -> f64 {
+        let preds = self.predict(engine, inputs);
         accuracy_from_predictions(&preds, labels)
     }
 
@@ -181,25 +202,32 @@ impl Mlp {
     /// [`Mlp::forward_with_activation_tasd`]).
     pub fn accuracy_with_activation_tasd(
         &self,
+        engine: &ExecutionEngine,
         inputs: &Matrix,
         labels: &[usize],
         configs: &[Option<TasdConfig>],
     ) -> f64 {
-        let preds = argmax_rows(&self.forward_with_activation_tasd(inputs, configs));
+        let preds = argmax_rows(&self.forward_with_activation_tasd(engine, inputs, configs));
         accuracy_from_predictions(&preds, labels)
     }
 
     /// Returns a copy of this network with layer `layer_idx`'s weights decomposed with
-    /// `config` and reconstructed (the software model of TASD-W).
+    /// `config` and reconstructed (the software model of TASD-W). The decomposition goes
+    /// through `engine`, so repeated evaluations of the same layer hit its cache.
     ///
     /// # Panics
     ///
     /// Panics if `layer_idx` is out of range.
     #[must_use]
-    pub fn with_weight_tasd(&self, layer_idx: usize, config: &TasdConfig) -> Mlp {
+    pub fn with_weight_tasd(
+        &self,
+        engine: &ExecutionEngine,
+        layer_idx: usize,
+        config: &TasdConfig,
+    ) -> Mlp {
         let mut out = self.clone();
         let w = &out.layers[layer_idx].weights;
-        let series = decompose(w, config);
+        let series = engine.decompose(w, config);
         out.layers[layer_idx].weights = series.reconstruct();
         out
     }
@@ -247,17 +275,16 @@ pub(crate) fn accuracy_from_predictions(preds: &[usize], labels: &[usize]) -> f6
     if preds.is_empty() {
         return 0.0;
     }
-    preds
-        .iter()
-        .zip(labels)
-        .filter(|(p, l)| p == l)
-        .count() as f64
-        / preds.len() as f64
+    preds.iter().zip(labels).filter(|(p, l)| p == l).count() as f64 / preds.len() as f64
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn engine() -> &'static ExecutionEngine {
+        ExecutionEngine::global()
+    }
 
     #[test]
     fn construction_and_shapes() {
@@ -275,7 +302,7 @@ mod tests {
     fn forward_shapes_and_trace() {
         let mlp = Mlp::new(&[8, 16, 3], Activation::Relu, 2);
         let x = MatrixGenerator::seeded(5).normal(10, 8, 0.0, 1.0);
-        let trace = mlp.forward_trace(&x);
+        let trace = mlp.forward_trace(engine(), &x);
         assert_eq!(trace.logits.shape(), (10, 3));
         assert_eq!(trace.layer_inputs.len(), 2);
         assert_eq!(trace.layer_inputs[0].shape(), (10, 8));
@@ -288,46 +315,77 @@ mod tests {
     fn predictions_and_accuracy() {
         let mlp = Mlp::new(&[4, 8, 2], Activation::Relu, 3);
         let x = MatrixGenerator::seeded(6).normal(20, 4, 0.0, 1.0);
-        let preds = mlp.predict(&x);
+        let preds = mlp.predict(engine(), &x);
         assert_eq!(preds.len(), 20);
         assert!(preds.iter().all(|&p| p < 2));
         // Accuracy against its own predictions is 1.
-        assert_eq!(mlp.accuracy(&x, &preds), 1.0);
+        assert_eq!(mlp.accuracy(engine(), &x, &preds), 1.0);
     }
 
     #[test]
     fn dense_tasd_config_is_a_noop() {
         let mlp = Mlp::new(&[8, 16, 4], Activation::Relu, 7);
         let x = MatrixGenerator::seeded(8).normal(12, 8, 0.0, 1.0);
-        let baseline = mlp.forward(&x);
+        let baseline = mlp.forward(engine(), &x);
         let dense_cfgs = vec![Some(TasdConfig::dense(8)); mlp.num_layers()];
-        let with_tasd = mlp.forward_with_activation_tasd(&x, &dense_cfgs);
+        let with_tasd = mlp.forward_with_activation_tasd(engine(), &x, &dense_cfgs);
         assert!(baseline.approx_eq(&with_tasd, 1e-5));
-        let w_tasd = mlp.with_weight_tasd(0, &TasdConfig::dense(8));
-        assert!(w_tasd.forward(&x).approx_eq(&baseline, 1e-5));
+        let w_tasd = mlp.with_weight_tasd(engine(), 0, &TasdConfig::dense(8));
+        assert!(w_tasd.forward(engine(), &x).approx_eq(&baseline, 1e-5));
     }
 
     #[test]
     fn aggressive_activation_tasd_changes_output() {
         let mlp = Mlp::new(&[16, 32, 4], Activation::Relu, 9);
         let x = MatrixGenerator::seeded(10).normal(6, 16, 0.0, 1.0);
-        let baseline = mlp.forward(&x);
+        let baseline = mlp.forward(engine(), &x);
         let cfgs = vec![Some(TasdConfig::parse("1:8").unwrap()); mlp.num_layers()];
-        let approx = mlp.forward_with_activation_tasd(&x, &cfgs);
+        let approx = mlp.forward_with_activation_tasd(engine(), &x, &cfgs);
         assert_eq!(approx.shape(), baseline.shape());
-        assert!(!baseline.approx_eq(&approx, 1e-6), "1:8 on dense input must perturb output");
+        assert!(
+            !baseline.approx_eq(&approx, 1e-6),
+            "1:8 on dense input must perturb output"
+        );
     }
 
     #[test]
     fn weight_tasd_reduces_weight_density() {
         let mlp = Mlp::new(&[32, 64, 4], Activation::Relu, 11);
         let cfg = TasdConfig::parse("2:8").unwrap();
-        let modified = mlp.with_weight_tasd(0, &cfg);
-        let dens = 1.0
-            - tasd_tensor::sparsity_degree(&modified.layers()[0].weights);
+        let modified = mlp.with_weight_tasd(engine(), 0, &cfg);
+        let dens = 1.0 - tasd_tensor::sparsity_degree(&modified.layers()[0].weights);
         assert!(dens <= 0.25 + 1e-9, "density {dens}");
         // Other layers untouched.
         assert_eq!(modified.layers()[1].weights, mlp.layers()[1].weights);
+    }
+
+    #[test]
+    fn forward_is_engine_invariant() {
+        // The same network must produce the same logits whatever engine executes it.
+        let mlp = Mlp::new(&[12, 24, 5], Activation::Relu, 15);
+        let x = MatrixGenerator::seeded(16).normal(9, 12, 0.0, 1.0);
+        let default = mlp.forward(engine(), &x);
+        let csr_only = ExecutionEngine::builder()
+            .backend(std::sync::Arc::new(tasd_tensor::CsrBackend))
+            .build();
+        let sequential = ExecutionEngine::builder().parallel(false).build();
+        assert!(mlp.forward(&csr_only, &x).approx_eq(&default, 1e-5));
+        assert!(mlp.forward(&sequential, &x).approx_eq(&default, 1e-5));
+    }
+
+    #[test]
+    fn with_weight_tasd_reuses_the_engine_cache() {
+        let mlp = Mlp::new(&[16, 16, 4], Activation::Relu, 17);
+        let e = ExecutionEngine::builder().cache_capacity(8).build();
+        let cfg = TasdConfig::parse("2:8").unwrap();
+        let _ = mlp.with_weight_tasd(&e, 0, &cfg);
+        let _ = mlp.with_weight_tasd(&e, 0, &cfg);
+        let stats = e.cache_stats();
+        assert_eq!(
+            stats.misses, 1,
+            "second decomposition must be served from cache"
+        );
+        assert_eq!(stats.hits, 1);
     }
 
     #[test]

@@ -127,10 +127,8 @@ mod tests {
                     Conv2dDims::square(3, 16, 32, 3, 1, 1),
                     Activation::Relu,
                 ),
-                LayerSpec::linear("fc1", 16, 64, 1024, Activation::Relu)
-                    .with_weight_sparsity(0.9),
-                LayerSpec::linear("fc2", 64, 10, 1024, Activation::None)
-                    .with_weight_sparsity(0.5),
+                LayerSpec::linear("fc1", 16, 64, 1024, Activation::Relu).with_weight_sparsity(0.9),
+                LayerSpec::linear("fc2", 64, 10, 1024, Activation::None).with_weight_sparsity(0.5),
             ],
         )
     }
@@ -141,10 +139,7 @@ mod tests {
         assert_eq!(net.num_layers(), 3);
         let expected_macs: u64 = net.layers.iter().map(|l| l.dense_macs(1)).sum();
         assert_eq!(net.total_dense_macs(1), expected_macs);
-        assert_eq!(
-            net.total_weight_params(),
-            3 * 9 * 16 + 16 * 64 + 64 * 10
-        );
+        assert_eq!(net.total_weight_params(), 3 * 9 * 16 + 16 * 64 + 64 * 10);
     }
 
     #[test]

@@ -87,25 +87,21 @@ mod tests {
 
     #[test]
     fn global_prune_hits_overall_target_with_nonuniform_layers() {
-        let mut ws =
-            WeightSet::materialize(&spec(), PruningRegime::Dense, WeightInit::Kaiming, 11);
+        let mut ws = WeightSet::materialize(&spec(), PruningRegime::Dense, WeightInit::Kaiming, 11);
         global_magnitude_prune(&mut ws, 0.8);
         let overall = ws.overall_sparsity();
         assert!((overall - 0.8).abs() < 0.01, "overall {overall}");
         // Kaiming init gives different layers different scales, so per-layer sparsity
         // should not be uniform.
         let profile = ws.sparsity_profile();
-        let spread = profile
-            .iter()
-            .fold(f64::NEG_INFINITY, |a, &b| a.max(b))
+        let spread = profile.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b))
             - profile.iter().fold(f64::INFINITY, |a, &b| a.min(b));
         assert!(spread > 0.02, "profile {profile:?}");
     }
 
     #[test]
     fn global_prune_extremes() {
-        let mut ws =
-            WeightSet::materialize(&spec(), PruningRegime::Dense, WeightInit::Kaiming, 2);
+        let mut ws = WeightSet::materialize(&spec(), PruningRegime::Dense, WeightInit::Kaiming, 2);
         global_magnitude_prune(&mut ws, 0.0);
         assert!(ws.overall_sparsity() < 1e-6);
         global_magnitude_prune(&mut ws, 1.0);
@@ -114,8 +110,7 @@ mod tests {
 
     #[test]
     fn structured_prune_enforces_pattern_everywhere() {
-        let mut ws =
-            WeightSet::materialize(&spec(), PruningRegime::Dense, WeightInit::Kaiming, 3);
+        let mut ws = WeightSet::materialize(&spec(), PruningRegime::Dense, WeightInit::Kaiming, 3);
         let p = NmPattern::new(1, 4).unwrap();
         structured_prune(&mut ws, p);
         for (_, w) in ws.iter() {

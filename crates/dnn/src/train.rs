@@ -5,7 +5,8 @@
 
 use crate::dataset::SyntheticDataset;
 use crate::executable::Mlp;
-use tasd_tensor::{gemm, Matrix};
+use tasd::ExecutionEngine;
+use tasd_tensor::Matrix;
 
 /// Hyper-parameters for [`train`].
 #[derive(Debug, Clone, Copy)]
@@ -70,8 +71,14 @@ pub fn cross_entropy(logits: &Matrix, labels: &[usize]) -> f64 {
     loss / labels.len() as f64
 }
 
-/// Trains `mlp` in place on `data` with mini-batch SGD and softmax cross-entropy.
-pub fn train(mlp: &mut Mlp, data: &SyntheticDataset, config: &TrainConfig) -> TrainReport {
+/// Trains `mlp` in place on `data` with mini-batch SGD and softmax cross-entropy. All
+/// forward and backward GEMMs dispatch through `engine`.
+pub fn train(
+    engine: &ExecutionEngine,
+    mlp: &mut Mlp,
+    data: &SyntheticDataset,
+    config: &TrainConfig,
+) -> TrainReport {
     let mut epoch_losses = Vec::with_capacity(config.epochs);
     for _ in 0..config.epochs {
         let mut epoch_loss = 0.0f64;
@@ -83,12 +90,12 @@ pub fn train(mlp: &mut Mlp, data: &SyntheticDataset, config: &TrainConfig) -> Tr
             if labels.is_empty() {
                 break;
             }
-            epoch_loss += train_step(mlp, &x, labels, config.learning_rate);
+            epoch_loss += train_step(engine, mlp, &x, labels, config.learning_rate);
             batches += 1;
         }
         epoch_losses.push(epoch_loss / batches.max(1) as f64);
     }
-    let final_train_accuracy = mlp.accuracy(data.features(), data.labels());
+    let final_train_accuracy = mlp.accuracy(engine, data.features(), data.labels());
     TrainReport {
         epoch_losses,
         final_train_accuracy,
@@ -96,14 +103,22 @@ pub fn train(mlp: &mut Mlp, data: &SyntheticDataset, config: &TrainConfig) -> Tr
 }
 
 /// One SGD step on a mini-batch; returns the batch's mean cross-entropy loss.
-fn train_step(mlp: &mut Mlp, x: &Matrix, labels: &[usize], lr: f32) -> f64 {
+fn train_step(
+    engine: &ExecutionEngine,
+    mlp: &mut Mlp,
+    x: &Matrix,
+    labels: &[usize],
+    lr: f32,
+) -> f64 {
     // Forward pass, caching layer inputs and pre-activations.
     let mut inputs: Vec<Matrix> = Vec::with_capacity(mlp.num_layers());
     let mut preacts: Vec<Matrix> = Vec::with_capacity(mlp.num_layers());
     let mut act = x.clone();
     for layer in mlp.layers() {
         inputs.push(act.clone());
-        let mut z = gemm(&act, &layer.weights).expect("trainer shape mismatch");
+        let mut z = engine
+            .gemm(&act, &layer.weights)
+            .expect("trainer shape mismatch");
         for i in 0..z.rows() {
             let row = z.row_mut(i);
             for (j, b) in layer.bias.iter().enumerate() {
@@ -137,7 +152,9 @@ fn train_step(mlp: &mut Mlp, x: &Matrix, labels: &[usize], lr: f32) -> f64 {
             })
         };
         // Weight and bias gradients.
-        let dw = gemm(&inputs[li].transpose(), &dz).expect("gradient shapes");
+        let dw = engine
+            .gemm(&inputs[li].transpose(), &dz)
+            .expect("gradient shapes");
         let mut db = vec![0.0f32; dz.cols()];
         for i in 0..dz.rows() {
             for (j, acc) in db.iter_mut().enumerate() {
@@ -145,7 +162,9 @@ fn train_step(mlp: &mut Mlp, x: &Matrix, labels: &[usize], lr: f32) -> f64 {
             }
         }
         // Gradient w.r.t. the layer input, to propagate backwards.
-        let dinput = gemm(&dz, &mlp.layers()[li].weights.transpose()).expect("gradient shapes");
+        let dinput = engine
+            .gemm(&dz, &mlp.layers()[li].weights.transpose())
+            .expect("gradient shapes");
         // SGD update.
         {
             let layer = &mut mlp.layers_mut()[li];
@@ -187,11 +206,13 @@ mod tests {
 
     #[test]
     fn training_reduces_loss_and_reaches_high_accuracy() {
+        let engine = ExecutionEngine::global();
         let data = SyntheticDataset::gaussian_clusters(400, 16, 4, 2.5, 42);
         let (train_set, test_set) = data.split(0.8);
         let mut mlp = Mlp::new(&[16, 32, 4], Activation::Relu, 7);
-        let before = mlp.accuracy(test_set.features(), test_set.labels());
+        let before = mlp.accuracy(engine, test_set.features(), test_set.labels());
         let report = train(
+            engine,
             &mut mlp,
             &train_set,
             &TrainConfig {
@@ -200,13 +221,16 @@ mod tests {
                 learning_rate: 0.05,
             },
         );
-        let after = mlp.accuracy(test_set.features(), test_set.labels());
+        let after = mlp.accuracy(engine, test_set.features(), test_set.labels());
         assert!(
             report.epoch_losses.first().unwrap() > report.epoch_losses.last().unwrap(),
             "loss did not decrease: {:?}",
             report.epoch_losses
         );
-        assert!(after > before, "accuracy did not improve ({before} -> {after})");
+        assert!(
+            after > before,
+            "accuracy did not improve ({before} -> {after})"
+        );
         assert!(after > 0.85, "test accuracy too low: {after}");
         assert!(report.final_train_accuracy > 0.85);
     }
@@ -216,6 +240,7 @@ mod tests {
         let data = SyntheticDataset::gaussian_clusters(300, 12, 3, 2.5, 17);
         let mut mlp = Mlp::new(&[12, 24, 3], Activation::Gelu, 3);
         let report = train(
+            ExecutionEngine::global(),
             &mut mlp,
             &data,
             &TrainConfig {
@@ -224,7 +249,11 @@ mod tests {
                 learning_rate: 0.05,
             },
         );
-        assert!(report.final_train_accuracy > 0.8, "{}", report.final_train_accuracy);
+        assert!(
+            report.final_train_accuracy > 0.8,
+            "{}",
+            report.final_train_accuracy
+        );
     }
 
     #[test]

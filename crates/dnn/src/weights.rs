@@ -13,18 +13,13 @@ use std::collections::HashMap;
 use tasd_tensor::{magnitude_prune, sparsity_degree, Matrix, MatrixGenerator, NmPattern};
 
 /// How weight values are initialized before pruning.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum WeightInit {
     /// Standard normal scaled by `1/sqrt(fan_in)` (Kaiming-style), the default.
+    #[default]
     Kaiming,
     /// Standard normal with the given standard deviation.
     Normal(f32),
-}
-
-impl Default for WeightInit {
-    fn default() -> Self {
-        WeightInit::Kaiming
-    }
 }
 
 /// The pruning regime applied when materializing weights.
@@ -185,10 +180,19 @@ mod tests {
 
     #[test]
     fn materialize_respects_spec_sparsity() {
-        let ws = WeightSet::materialize(&spec(), PruningRegime::UnstructuredFromSpec, WeightInit::Kaiming, 1);
+        let ws = WeightSet::materialize(
+            &spec(),
+            PruningRegime::UnstructuredFromSpec,
+            WeightInit::Kaiming,
+            1,
+        );
         assert_eq!(ws.len(), 3);
         let profile = ws.sparsity_profile();
-        assert!((profile[0] - 0.9).abs() < 5e-3, "layer0 sparsity {}", profile[0]);
+        assert!(
+            (profile[0] - 0.9).abs() < 5e-3,
+            "layer0 sparsity {}",
+            profile[0]
+        );
         assert!((profile[1] - 0.5).abs() < 5e-3);
         assert!(profile[2] < 1e-6);
         assert_eq!(ws.weight("c1").unwrap().shape(), (8 * 9, 16));
@@ -204,7 +208,12 @@ mod tests {
     #[test]
     fn structured_regime_satisfies_pattern() {
         let p = NmPattern::new(2, 4).unwrap();
-        let ws = WeightSet::materialize(&spec(), PruningRegime::Structured(p), WeightInit::Kaiming, 3);
+        let ws = WeightSet::materialize(
+            &spec(),
+            PruningRegime::Structured(p),
+            WeightInit::Kaiming,
+            3,
+        );
         for (_, w) in ws.iter() {
             assert!(p.is_satisfied_by(w));
         }

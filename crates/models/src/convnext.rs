@@ -78,7 +78,7 @@ mod tests {
         let net = convnext_tiny();
         let pw1 = net.layer("stage2.block0.pw1").unwrap();
         let (_, n, k) = pw1.gemm_dims(1);
-        assert_eq!(n, 4 * k / 1, "expansion produces 4x channels");
+        assert_eq!(n, (4 * k), "expansion produces 4x channels");
         assert_eq!(k, 384);
         assert_eq!(n, 1536);
     }

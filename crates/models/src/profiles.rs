@@ -124,12 +124,7 @@ mod tests {
         assert_eq!(profile.len(), spec.num_layers());
         let params: Vec<f64> = spec.iter().map(|l| l.weight_params() as f64).collect();
         let total: f64 = params.iter().sum();
-        let overall: f64 = profile
-            .iter()
-            .zip(&params)
-            .map(|(s, p)| s * p)
-            .sum::<f64>()
-            / total;
+        let overall: f64 = profile.iter().zip(&params).map(|(s, p)| s * p).sum::<f64>() / total;
         assert!((overall - 0.95).abs() < 0.01, "overall {overall}");
         // Every layer within [0, 0.995].
         assert!(profile.iter().all(|&s| (0.0..=0.995).contains(&s)));
@@ -137,7 +132,11 @@ mod tests {
         let mut sorted = profile.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = sorted[sorted.len() / 2];
-        assert!(profile[0] < median, "first layer {} vs median {median}", profile[0]);
+        assert!(
+            profile[0] < median,
+            "first layer {} vs median {median}",
+            profile[0]
+        );
         // Layers are not all identical.
         let spread = sorted.last().unwrap() - sorted.first().unwrap();
         assert!(spread > 0.05, "spread {spread}");
@@ -159,7 +158,9 @@ mod tests {
     #[test]
     fn zero_sparsity_profile_is_all_zero() {
         let spec = resnet50();
-        assert!(sparsezoo_like_profile(&spec, 0.0, 1).iter().all(|&s| s == 0.0));
+        assert!(sparsezoo_like_profile(&spec, 0.0, 1)
+            .iter()
+            .all(|&s| s == 0.0));
     }
 
     #[test]
@@ -182,10 +183,18 @@ mod tests {
     fn sparse_model_annotates_both_profiles() {
         let spec = sparse_model(&resnet50(), 0.95, 11);
         assert!((spec.overall_weight_sparsity() - 0.95).abs() < 0.01);
-        assert!(spec.layers.iter().skip(1).any(|l| l.input_activation_sparsity > 0.0));
+        assert!(spec
+            .layers
+            .iter()
+            .skip(1)
+            .any(|l| l.input_activation_sparsity > 0.0));
         let dense = dense_model_with_activation_sparsity(&resnet50(), 11);
         assert_eq!(dense.overall_weight_sparsity(), 0.0);
-        assert!(dense.layers.iter().skip(1).any(|l| l.input_activation_sparsity > 0.0));
+        assert!(dense
+            .layers
+            .iter()
+            .skip(1)
+            .any(|l| l.input_activation_sparsity > 0.0));
     }
 
     #[test]

@@ -211,10 +211,7 @@ mod tests {
     fn table4_layers_exist_in_resnet50() {
         let net = resnet50();
         // Paper Table 4 representative ResNet-50 GEMMs.
-        let has = |m: usize, n: usize, k: usize| {
-            net.iter()
-                .any(|l| l.gemm_dims(1) == (m, n, k))
-        };
+        let has = |m: usize, n: usize, k: usize| net.iter().any(|l| l.gemm_dims(1) == (m, n, k));
         assert!(has(784, 128, 1152), "L1 M784-N128-K1152 missing");
         assert!(has(3136, 64, 576), "L2 M3136-N64-K576 missing");
         assert!(has(196, 256, 2304), "L3 M196-N256-K2304 missing");

@@ -118,9 +118,7 @@ mod tests {
     fn bert_uses_gelu_not_relu() {
         let net = bert_base(128);
         assert!(!net.has_relu_activations());
-        assert!(net
-            .iter()
-            .any(|l| l.activation == Activation::Gelu));
+        assert!(net.iter().any(|l| l.activation == Activation::Gelu));
     }
 
     #[test]

@@ -145,6 +145,9 @@ mod tests {
         let last_conv = net.layer("features.conv12").unwrap();
         assert_eq!(last_conv.gemm_dims(1).0, 14 * 14);
         // First conv runs at 224x224.
-        assert_eq!(net.layer("features.conv0").unwrap().gemm_dims(1).0, 224 * 224);
+        assert_eq!(
+            net.layer("features.conv0").unwrap().gemm_dims(1).0,
+            224 * 224
+        );
     }
 }

@@ -4,7 +4,8 @@
 
 use crate::transform::TasdTransform;
 use crate::{tasd_a, tasd_w};
-use tasd::PatternMenu;
+use std::sync::Arc;
+use tasd::{ExecutionEngine, PatternMenu};
 use tasd_dnn::calibration::CalibrationProfile;
 use tasd_dnn::{NetworkSpec, ProxyAccuracyModel};
 
@@ -12,6 +13,12 @@ use tasd_dnn::{NetworkSpec, ProxyAccuracyModel};
 ///
 /// Construct it with the target hardware's [`PatternMenu`] and TASD term limit, optionally
 /// adjust the quality model, α, and seed, then call one of the `optimize_*` methods.
+///
+/// Damage estimation decomposes every (layer, configuration) candidate; those
+/// decompositions dispatch through the optimizer's [`ExecutionEngine`], whose cache
+/// de-duplicates repeated evaluations of the same tensor. By default the optimizer builds
+/// a private engine sized for candidate evaluation; inject a shared one with
+/// [`Tasder::with_engine`].
 #[derive(Debug, Clone)]
 pub struct Tasder {
     menu: PatternMenu,
@@ -20,6 +27,7 @@ pub struct Tasder {
     quality: ProxyAccuracyModel,
     calibration_batches: usize,
     seed: u64,
+    engine: Arc<ExecutionEngine>,
 }
 
 impl Tasder {
@@ -33,6 +41,9 @@ impl Tasder {
             quality: ProxyAccuracyModel::new(0.761),
             calibration_batches: 8,
             seed: 0x7A5D,
+            // Candidate evaluation touches (layers × menu options) decompositions; size
+            // the cache for a paper-scale model's worth of them.
+            engine: Arc::new(ExecutionEngine::builder().cache_capacity(512).build()),
         }
     }
 
@@ -64,6 +75,14 @@ impl Tasder {
         self
     }
 
+    /// Routes the optimizer's decompositions through the given execution engine (e.g. one
+    /// shared with the serving path, so candidate evaluation warms the same cache).
+    #[must_use]
+    pub fn with_engine(mut self, engine: Arc<ExecutionEngine>) -> Self {
+        self.engine = engine;
+        self
+    }
+
     /// The hardware pattern menu this optimizer targets.
     pub fn menu(&self) -> &PatternMenu {
         &self.menu
@@ -74,14 +93,33 @@ impl Tasder {
         self.max_terms
     }
 
+    /// The execution engine this optimizer decomposes through.
+    pub fn engine(&self) -> &Arc<ExecutionEngine> {
+        &self.engine
+    }
+
     /// Layer-wise TASD-W (the paper's default for weight-sparse models).
     pub fn optimize_weights_layer_wise(&self, spec: &NetworkSpec) -> TasdTransform {
-        tasd_w::layer_wise(spec, &self.menu, self.max_terms, self.quality, self.seed)
+        tasd_w::layer_wise(
+            &self.engine,
+            spec,
+            &self.menu,
+            self.max_terms,
+            self.quality,
+            self.seed,
+        )
     }
 
     /// Network-wise TASD-W (single configuration for every layer).
     pub fn optimize_weights_network_wise(&self, spec: &NetworkSpec) -> TasdTransform {
-        tasd_w::network_wise(spec, &self.menu, self.max_terms, self.quality, self.seed)
+        tasd_w::network_wise(
+            &self.engine,
+            spec,
+            &self.menu,
+            self.max_terms,
+            self.quality,
+            self.seed,
+        )
     }
 
     /// Layer-wise TASD-A using a synthetic calibration profile derived from the spec's
@@ -99,6 +137,7 @@ impl Tasder {
         profile: &CalibrationProfile,
     ) -> TasdTransform {
         tasd_a::layer_wise(
+            &self.engine,
             spec,
             profile,
             &self.menu,
@@ -113,6 +152,7 @@ impl Tasder {
     pub fn optimize_activations_network_wise(&self, spec: &NetworkSpec) -> TasdTransform {
         let profile = CalibrationProfile::synthetic(spec, self.calibration_batches, self.seed);
         tasd_a::network_wise(
+            &self.engine,
             spec,
             &profile,
             &self.menu,

@@ -9,7 +9,7 @@
 //! configurations that drop more non-zeros.
 
 use crate::transform::{LayerAssignment, TasdSide, TasdTransform};
-use tasd::{decompose, PatternMenu, TasdConfig};
+use tasd::{ExecutionEngine, PatternMenu, TasdConfig};
 use tasd_dnn::calibration::CalibrationProfile;
 use tasd_dnn::quality::LayerDamage;
 use tasd_dnn::{NetworkSpec, ProxyAccuracyModel};
@@ -75,6 +75,7 @@ pub fn eligible_for_activation_tasd(spec: &NetworkSpec, layer_index: usize) -> b
 /// decomposing a synthetic activation sample with the layer's observed sparsity
 /// (ReLU-style) or a GELU-shaped dense sample.
 fn estimate_activation_damage(
+    engine: &ExecutionEngine,
     config: &TasdConfig,
     relu_input: bool,
     sparsity: f64,
@@ -83,11 +84,12 @@ fn estimate_activation_damage(
 ) -> LayerDamage {
     let mut gen = MatrixGenerator::seeded(seed ^ (layer_index as u64).wrapping_mul(0x51_7C_C1));
     let sample = if relu_input {
-        gen.sparse_normal(64, 256, sparsity.clamp(0.0, 0.999)).map(|x| x.abs())
+        gen.sparse_normal(64, 256, sparsity.clamp(0.0, 0.999))
+            .map(|x| x.abs())
     } else {
         gen.gelu_activations(64, 256)
     };
-    let series = decompose(&sample, config);
+    let series = engine.decompose(&sample, config);
     let approx = series.reconstruct();
     LayerDamage {
         dropped_nonzero_fraction: dropped_nonzero_fraction(&sample, &approx),
@@ -98,7 +100,9 @@ fn estimate_activation_damage(
 /// Layer-wise TASD-A: per-layer sparsity-based selection using the calibration profile,
 /// followed by a quality check that backs the most damaging layers off to dense execution
 /// until the 99 % retention estimate is met.
+#[allow(clippy::too_many_arguments)] // mirrors the paper's full TASD-A parameter list
 pub fn layer_wise(
+    engine: &ExecutionEngine,
     spec: &NetworkSpec,
     profile: &CalibrationProfile,
     menu: &PatternMenu,
@@ -120,6 +124,7 @@ pub fn layer_wise(
             continue;
         };
         let damage = estimate_activation_damage(
+            engine,
             &config,
             stats.relu_input,
             stats.mean_sparsity,
@@ -175,6 +180,7 @@ pub fn layer_wise(
                     .layer(&spec.layers[i].name)
                     .expect("assigned layers have calibration stats");
                 let damage = estimate_activation_damage(
+                    engine,
                     &config,
                     stats.relu_input,
                     stats.mean_sparsity,
@@ -199,6 +205,7 @@ pub fn layer_wise(
 /// Network-wise TASD-A: one configuration for every eligible layer, chosen exhaustively as
 /// the most aggressive option whose quality estimate survives the 99 % check.
 pub fn network_wise(
+    engine: &ExecutionEngine,
     spec: &NetworkSpec,
     profile: &CalibrationProfile,
     menu: &PatternMenu,
@@ -214,7 +221,7 @@ pub fn network_wise(
             .unwrap_or(std::cmp::Ordering::Equal)
     });
     for config in configs {
-        let transform = apply_uniform(spec, profile, &config, quality, seed);
+        let transform = apply_uniform(engine, spec, profile, &config, quality, seed);
         if transform.meets_quality_threshold() {
             return transform;
         }
@@ -225,6 +232,7 @@ pub fn network_wise(
 /// Applies one configuration to every eligible layer without quality filtering (used by the
 /// network-wise search and the Fig. 14 sweeps).
 pub fn apply_uniform(
+    engine: &ExecutionEngine,
     spec: &NetworkSpec,
     profile: &CalibrationProfile,
     config: &TasdConfig,
@@ -239,8 +247,14 @@ pub fn apply_uniform(
         let Some(stats) = profile.layer(&layer.name) else {
             continue;
         };
-        let damage =
-            estimate_activation_damage(config, stats.relu_input, stats.mean_sparsity, seed, li);
+        let damage = estimate_activation_damage(
+            engine,
+            config,
+            stats.relu_input,
+            stats.mean_sparsity,
+            seed,
+            li,
+        );
         transform.assignments[li] = LayerAssignment {
             layer: layer.name.clone(),
             config: Some(config.clone()),
@@ -258,6 +272,10 @@ mod tests {
 
     fn quality() -> ProxyAccuracyModel {
         ProxyAccuracyModel::new(0.761)
+    }
+
+    fn engine() -> &'static ExecutionEngine {
+        ExecutionEngine::global()
     }
 
     /// A ReLU CNN-like spec with varying activation sparsity.
@@ -301,9 +319,15 @@ mod tests {
             "2:8+1:8"
         );
         // 80% sparse admits 2:8 (0.75).
-        assert_eq!(select_config(&menu, 2, 0.8, 0.0).unwrap().to_string(), "2:8");
+        assert_eq!(
+            select_config(&menu, 2, 0.8, 0.0).unwrap().to_string(),
+            "2:8"
+        );
         // 90% admits 1:8 (0.875).
-        assert_eq!(select_config(&menu, 2, 0.9, 0.0).unwrap().to_string(), "1:8");
+        assert_eq!(
+            select_config(&menu, 2, 0.9, 0.0).unwrap().to_string(),
+            "1:8"
+        );
         // Nearly dense input with no alpha: even the most conservative two-term option
         // (4:8+2:8, approximated sparsity 0.25) over-approximates.
         assert!(select_config(&menu, 2, 0.1, 0.0).is_none());
@@ -337,11 +361,15 @@ mod tests {
         let spec = relu_spec();
         let profile = CalibrationProfile::synthetic(&spec, 4, 1);
         let menu = PatternMenu::vegeta_m8();
-        let t = layer_wise(&spec, &profile, &menu, 2, 0.05, quality(), 1);
+        let t = layer_wise(engine(), &spec, &profile, &menu, 2, 0.05, quality(), 1);
         assert!(t.meets_quality_threshold());
         // The 70%-sparse layer should get a configuration; MAC reduction should follow.
         assert!(t.assignment("l1").unwrap().config.is_some());
-        assert!(t.mac_reduction(&spec) > 0.1, "reduction {}", t.mac_reduction(&spec));
+        assert!(
+            t.mac_reduction(&spec) > 0.1,
+            "reduction {}",
+            t.mac_reduction(&spec)
+        );
         // The first layer must stay dense.
         assert!(t.assignment("l0").unwrap().config.is_none());
     }
@@ -351,7 +379,7 @@ mod tests {
         let spec = gelu_spec();
         let profile = CalibrationProfile::synthetic(&spec, 4, 2);
         let menu = PatternMenu::vegeta_m8();
-        let t = layer_wise(&spec, &profile, &menu, 2, 0.05, quality(), 2);
+        let t = layer_wise(engine(), &spec, &profile, &menu, 2, 0.05, quality(), 2);
         assert!(t.meets_quality_threshold());
         // fc2 reads GELU outputs: pseudo-density allows a configuration even though the
         // tensor has no exact zeros.
@@ -368,8 +396,8 @@ mod tests {
         let spec = relu_spec();
         let profile = CalibrationProfile::synthetic(&spec, 4, 3);
         let menu = PatternMenu::vegeta_m8();
-        let lw = layer_wise(&spec, &profile, &menu, 2, 0.05, strict, 3);
-        let nw = network_wise(&spec, &profile, &menu, 2, strict, 3);
+        let lw = layer_wise(engine(), &spec, &profile, &menu, 2, 0.05, strict, 3);
+        let nw = network_wise(engine(), &spec, &profile, &menu, 2, strict, 3);
         assert!(nw.meets_quality_threshold());
         assert!(lw.meets_quality_threshold());
         // Layer-wise adapts per layer and should match the uniform choice's compute
@@ -390,7 +418,7 @@ mod tests {
         let profile = CalibrationProfile::synthetic(&spec, 4, 4);
         let menu = PatternMenu::vegeta_m8();
         // An absurd alpha initially picks 1:8 everywhere; the quality loop must back off.
-        let t = layer_wise(&spec, &profile, &menu, 2, 0.9, quality(), 4);
+        let t = layer_wise(engine(), &spec, &profile, &menu, 2, 0.9, quality(), 4);
         assert!(t.meets_quality_threshold());
     }
 
@@ -399,7 +427,7 @@ mod tests {
         let spec = relu_spec();
         let profile = CalibrationProfile::synthetic(&spec, 4, 5);
         let cfg = TasdConfig::parse("4:8").unwrap();
-        let t = apply_uniform(&spec, &profile, &cfg, quality(), 5);
+        let t = apply_uniform(engine(), &spec, &profile, &cfg, quality(), 5);
         assert!(t.assignment("l0").unwrap().config.is_none());
         assert!(t.assignment("l1").unwrap().config.is_some());
     }

@@ -11,12 +11,11 @@
 
 use crate::transform::{LayerAssignment, TasdSide, TasdTransform};
 use rayon::prelude::*;
-use tasd::{decompose, PatternMenu, TasdConfig};
+use tasd::{ExecutionEngine, PatternMenu, TasdConfig};
 use tasd_dnn::quality::LayerDamage;
 use tasd_dnn::{NetworkSpec, ProxyAccuracyModel};
 use tasd_tensor::{
-    dropped_magnitude_fraction, dropped_nonzero_fraction, magnitude_prune, Matrix,
-    MatrixGenerator,
+    dropped_magnitude_fraction, dropped_nonzero_fraction, magnitude_prune, Matrix, MatrixGenerator,
 };
 
 /// How many weight rows are sampled when estimating a layer's decomposition damage.
@@ -47,15 +46,19 @@ fn sample_weights(spec: &NetworkSpec, layer_index: usize, seed: u64) -> Matrix {
         let (_, n, k) = layer.gemm_dims(1);
         (k, n)
     };
-    let rows = k.min(DAMAGE_SAMPLE_ROWS).max(1);
-    let cols = n.min(DAMAGE_SAMPLE_ROWS).max(1);
+    let rows = k.clamp(1, DAMAGE_SAMPLE_ROWS);
+    let cols = n.clamp(1, DAMAGE_SAMPLE_ROWS);
     let mut gen = MatrixGenerator::seeded(seed ^ (layer_index as u64).wrapping_mul(0x9E37_79B9));
     let dense = gen.normal(rows, cols, 0.0, (2.0 / k.max(1) as f32).sqrt());
     magnitude_prune(&dense, layer.weight_sparsity)
 }
 
-/// Evaluates the damage of every (layer, configuration) pair in parallel.
+/// Evaluates the damage of every (layer, configuration) pair in parallel. Decompositions
+/// dispatch through `engine`: evaluating the same layer sample under several
+/// configurations shares the cache across worker threads, and re-runs of the optimizer
+/// (e.g. layer-wise after network-wise) skip re-decomposition entirely.
 pub fn evaluate_candidates(
+    engine: &ExecutionEngine,
     spec: &NetworkSpec,
     configs: &[TasdConfig],
     seed: u64,
@@ -67,7 +70,7 @@ pub fn evaluate_candidates(
         .par_iter()
         .map(|(li, config)| {
             let weights = sample_weights(spec, *li, seed);
-            let series = decompose(&weights, config);
+            let series = engine.decompose(&weights, config);
             let approx = series.reconstruct();
             let damage = LayerDamage {
                 dropped_nonzero_fraction: dropped_nonzero_fraction(&weights, &approx),
@@ -93,6 +96,7 @@ pub fn evaluate_candidates(
 /// most aggressive (lowest kept density) menu option that keeps the quality estimate above
 /// the 99 % threshold. Falls back to the all-dense transform when nothing qualifies.
 pub fn network_wise(
+    engine: &ExecutionEngine,
     spec: &NetworkSpec,
     menu: &PatternMenu,
     max_terms: usize,
@@ -108,7 +112,7 @@ pub fn network_wise(
             .unwrap_or(std::cmp::Ordering::Equal)
     });
     for config in configs {
-        let transform = apply_uniform(spec, &config, quality, seed);
+        let transform = apply_uniform(engine, spec, &config, quality, seed);
         if transform.meets_quality_threshold() {
             return transform;
         }
@@ -119,12 +123,13 @@ pub fn network_wise(
 /// Builds the transform that applies `config` to every layer (no quality filtering) —
 /// used by the network-wise search and by the Fig. 14 accuracy-vs-sparsity sweeps.
 pub fn apply_uniform(
+    engine: &ExecutionEngine,
     spec: &NetworkSpec,
     config: &TasdConfig,
     quality: ProxyAccuracyModel,
     seed: u64,
 ) -> TasdTransform {
-    let candidates = evaluate_candidates(spec, std::slice::from_ref(config), seed);
+    let candidates = evaluate_candidates(engine, spec, std::slice::from_ref(config), seed);
     let mut transform = TasdTransform::all_dense(spec, TasdSide::Weights, quality);
     for cand in candidates {
         transform.assignments[cand.layer_index] = LayerAssignment {
@@ -144,6 +149,7 @@ pub fn apply_uniform(
 /// pair replaces the layer's current assignment if it reduces the layer's kept compute and
 /// the whole-model quality estimate stays at or above 99 %.
 pub fn layer_wise(
+    engine: &ExecutionEngine,
     spec: &NetworkSpec,
     menu: &PatternMenu,
     max_terms: usize,
@@ -152,7 +158,7 @@ pub fn layer_wise(
 ) -> TasdTransform {
     let mut configs = menu.configurations(max_terms);
     configs.retain(|c| !c.is_dense() && c.kept_density() < 1.0 - 1e-9);
-    let mut candidates = evaluate_candidates(spec, &configs, seed);
+    let mut candidates = evaluate_candidates(engine, spec, &configs, seed);
     candidates.sort_by(|a, b| {
         a.damage
             .dropped_nonzero_fraction
@@ -195,6 +201,10 @@ mod tests {
         ProxyAccuracyModel::new(0.761)
     }
 
+    fn engine() -> &'static ExecutionEngine {
+        ExecutionEngine::global()
+    }
+
     /// A per-layer sensitivity appropriate for a 2–3 layer toy model (the library default
     /// of 0.01 is calibrated for ~50-layer ImageNet networks, where the damage budget is
     /// shared across many layers).
@@ -210,8 +220,7 @@ mod tests {
             vec![
                 LayerSpec::linear("first", 256, 128, 64, Activation::Relu)
                     .with_weight_sparsity(0.55),
-                LayerSpec::linear("mid", 512, 512, 64, Activation::Relu)
-                    .with_weight_sparsity(0.95),
+                LayerSpec::linear("mid", 512, 512, 64, Activation::Relu).with_weight_sparsity(0.95),
                 LayerSpec::linear("late", 512, 256, 64, Activation::None)
                     .with_weight_sparsity(0.97),
             ],
@@ -233,7 +242,7 @@ mod tests {
     fn candidate_damage_tracks_sparsity() {
         let spec = sparse_spec();
         let cfg = vec![TasdConfig::parse("2:8").unwrap()];
-        let cands = evaluate_candidates(&spec, &cfg, 1);
+        let cands = evaluate_candidates(engine(), &spec, &cfg, 1);
         assert_eq!(cands.len(), 3);
         // The 95/97% sparse layers barely lose anything under 2:8; the 55% sparse layer
         // loses a lot.
@@ -253,14 +262,18 @@ mod tests {
     fn layer_wise_exploits_sparse_layers_and_protects_dense_ones() {
         let spec = sparse_spec();
         let menu = PatternMenu::vegeta_m8();
-        let t = layer_wise(&spec, &menu, 2, strict_quality(), 3);
+        let t = layer_wise(engine(), &spec, &menu, 2, strict_quality(), 3);
         assert!(t.meets_quality_threshold());
         // The very sparse layers must get aggressive configs.
         let late = t.assignment("late").unwrap();
         assert!(late.config.is_some());
         assert!(late.kept_fraction <= 0.25, "kept {}", late.kept_fraction);
         // Overall MAC reduction should be substantial (big layers are 95%+ sparse).
-        assert!(t.mac_reduction(&spec) > 0.5, "reduction {}", t.mac_reduction(&spec));
+        assert!(
+            t.mac_reduction(&spec) > 0.5,
+            "reduction {}",
+            t.mac_reduction(&spec)
+        );
         // The dense-ish first layer must not be crushed to 1:8.
         let first = t.assignment("first").unwrap();
         assert!(first.kept_fraction > 0.2);
@@ -270,8 +283,8 @@ mod tests {
     fn layer_wise_beats_or_matches_network_wise() {
         let spec = sparse_spec();
         let menu = PatternMenu::vegeta_m8();
-        let lw = layer_wise(&spec, &menu, 2, quality(), 3);
-        let nw = network_wise(&spec, &menu, 2, quality(), 3);
+        let lw = layer_wise(engine(), &spec, &menu, 2, quality(), 3);
+        let nw = network_wise(engine(), &spec, &menu, 2, quality(), 3);
         assert!(nw.meets_quality_threshold());
         assert!(
             lw.mac_reduction(&spec) >= nw.mac_reduction(&spec) - 1e-9,
@@ -285,12 +298,16 @@ mod tests {
     fn dense_model_is_left_untouched_by_tasd_w() {
         let spec = dense_spec();
         let menu = PatternMenu::vegeta_m8();
-        let t = layer_wise(&spec, &menu, 2, strict_quality(), 5);
+        let t = layer_wise(engine(), &spec, &menu, 2, strict_quality(), 5);
         // Any structured view of dense weights drops a large share of the weights; quality
         // collapses, so the optimizer must refuse.
         assert!(t.meets_quality_threshold());
-        assert!(t.mac_reduction(&spec) < 0.05, "reduction {}", t.mac_reduction(&spec));
-        let nw = network_wise(&spec, &menu, 2, strict_quality(), 5);
+        assert!(
+            t.mac_reduction(&spec) < 0.05,
+            "reduction {}",
+            t.mac_reduction(&spec)
+        );
+        let nw = network_wise(engine(), &spec, &menu, 2, strict_quality(), 5);
         assert_eq!(nw.num_tasd_layers(), 0);
     }
 
@@ -298,7 +315,7 @@ mod tests {
     fn apply_uniform_assigns_every_layer() {
         let spec = sparse_spec();
         let cfg = TasdConfig::parse("4:8+1:8").unwrap();
-        let t = apply_uniform(&spec, &cfg, quality(), 7);
+        let t = apply_uniform(engine(), &spec, &cfg, quality(), 7);
         assert_eq!(t.num_tasd_layers(), 3);
         assert!(t
             .assignments
@@ -310,16 +327,28 @@ mod tests {
     #[test]
     fn more_aggressive_uniform_configs_hurt_quality_more() {
         let spec = sparse_spec();
-        let gentle = apply_uniform(&spec, &TasdConfig::parse("6:8").unwrap(), quality(), 7);
-        let harsh = apply_uniform(&spec, &TasdConfig::parse("1:8").unwrap(), quality(), 7);
+        let gentle = apply_uniform(
+            engine(),
+            &spec,
+            &TasdConfig::parse("6:8").unwrap(),
+            quality(),
+            7,
+        );
+        let harsh = apply_uniform(
+            engine(),
+            &spec,
+            &TasdConfig::parse("1:8").unwrap(),
+            quality(),
+            7,
+        );
         assert!(gentle.estimated_accuracy() >= harsh.estimated_accuracy());
     }
 
     #[test]
     fn stc_menu_limits_what_layer_wise_can_do() {
         let spec = sparse_spec();
-        let vegeta = layer_wise(&spec, &PatternMenu::vegeta_m8(), 2, quality(), 3);
-        let stc = layer_wise(&spec, &PatternMenu::stc_m4(), 1, quality(), 3);
+        let vegeta = layer_wise(engine(), &spec, &PatternMenu::vegeta_m8(), 2, quality(), 3);
+        let stc = layer_wise(engine(), &spec, &PatternMenu::stc_m4(), 1, quality(), 3);
         // The flexible menu reaches at least the MAC reduction of the fixed 2:4 menu.
         assert!(vegeta.mac_reduction(&spec) >= stc.mac_reduction(&spec) - 1e-9);
     }

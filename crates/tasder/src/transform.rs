@@ -54,7 +54,11 @@ pub struct TasdTransform {
 
 impl TasdTransform {
     /// Creates an all-dense transform for `spec` (the starting point of every search).
-    pub fn all_dense(spec: &NetworkSpec, side: TasdSide, quality_model: ProxyAccuracyModel) -> Self {
+    pub fn all_dense(
+        spec: &NetworkSpec,
+        side: TasdSide,
+        quality_model: ProxyAccuracyModel,
+    ) -> Self {
         TasdTransform {
             side,
             assignments: spec

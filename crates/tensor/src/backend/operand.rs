@@ -1,0 +1,156 @@
+//! The left-hand-side operand abstraction shared by every GEMM backend.
+
+use crate::{CsrMatrix, Matrix, NmCompressed};
+
+/// A left-hand GEMM operand in any storage format.
+///
+/// The trait exposes just enough for a [`GemmBackend`](super::GemmBackend) to execute and
+/// cost a multiply: logical shape, stored non-zeros, per-row entry iteration (the
+/// format-agnostic fallback kernel), and downcasts to the native formats so backends can
+/// take their fast paths.
+pub trait GemmOperand: Sync {
+    /// Logical `(rows, cols)` of the operand.
+    fn shape(&self) -> (usize, usize);
+
+    /// Number of stored non-zero values.
+    fn nnz(&self) -> usize;
+
+    /// Fraction of logical elements that are non-zero (0 for an empty operand).
+    fn density(&self) -> f64 {
+        let (r, c) = self.shape();
+        if r * c == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / (r * c) as f64
+        }
+    }
+
+    /// Calls `f(column, value)` for every stored non-zero of row `row`, in column order.
+    fn for_each_in_row(&self, row: usize, f: &mut dyn FnMut(usize, f32));
+
+    /// The operand as a dense matrix, if that is its native format.
+    fn as_dense(&self) -> Option<&Matrix> {
+        None
+    }
+
+    /// The operand as a CSR matrix, if that is its native format.
+    fn as_csr(&self) -> Option<&CsrMatrix> {
+        None
+    }
+
+    /// The operand as a compressed N:M matrix, if that is its native format.
+    fn as_nm(&self) -> Option<&NmCompressed> {
+        None
+    }
+}
+
+impl GemmOperand for Matrix {
+    fn shape(&self) -> (usize, usize) {
+        Matrix::shape(self)
+    }
+
+    fn nnz(&self) -> usize {
+        self.count_nonzeros()
+    }
+
+    fn for_each_in_row(&self, row: usize, f: &mut dyn FnMut(usize, f32)) {
+        for (col, &value) in self.row(row).iter().enumerate() {
+            if value != 0.0 {
+                f(col, value);
+            }
+        }
+    }
+
+    fn as_dense(&self) -> Option<&Matrix> {
+        Some(self)
+    }
+}
+
+impl GemmOperand for CsrMatrix {
+    fn shape(&self) -> (usize, usize) {
+        CsrMatrix::shape(self)
+    }
+
+    fn nnz(&self) -> usize {
+        CsrMatrix::nnz(self)
+    }
+
+    fn for_each_in_row(&self, row: usize, f: &mut dyn FnMut(usize, f32)) {
+        for (col, value) in self.row_entries(row) {
+            f(col, value);
+        }
+    }
+
+    fn as_csr(&self) -> Option<&CsrMatrix> {
+        Some(self)
+    }
+}
+
+impl GemmOperand for NmCompressed {
+    fn shape(&self) -> (usize, usize) {
+        NmCompressed::shape(self)
+    }
+
+    fn nnz(&self) -> usize {
+        NmCompressed::nnz(self)
+    }
+
+    fn for_each_in_row(&self, row: usize, f: &mut dyn FnMut(usize, f32)) {
+        for (col, value) in self.row_entries(row) {
+            f(col, value);
+        }
+    }
+
+    fn as_nm(&self) -> Option<&NmCompressed> {
+        Some(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MatrixGenerator, NmPattern};
+
+    #[test]
+    fn operand_views_agree_across_formats() {
+        let mut gen = MatrixGenerator::seeded(9);
+        let pattern = NmPattern::new(2, 4).unwrap();
+        let dense = pattern.view(&gen.sparse_normal(12, 16, 0.5));
+        let csr = CsrMatrix::from_dense(&dense);
+        let nm = NmCompressed::from_dense_strict(&dense, pattern).unwrap();
+
+        let ops: [&dyn GemmOperand; 3] = [&dense, &csr, &nm];
+        for op in ops {
+            assert_eq!(op.shape(), (12, 16));
+            assert_eq!(op.nnz(), dense.count_nonzeros());
+            assert!((op.density() - dense.count_nonzeros() as f64 / 192.0).abs() < 1e-12);
+        }
+        // Per-row iteration reproduces the dense row everywhere.
+        for i in 0..12 {
+            let mut rows: Vec<Vec<(usize, f32)>> = Vec::new();
+            for op in ops {
+                let mut entries = Vec::new();
+                op.for_each_in_row(i, &mut |c, v| entries.push((c, v)));
+                rows.push(entries);
+            }
+            assert_eq!(rows[0], rows[1], "row {i} csr");
+            assert_eq!(rows[0], rows[2], "row {i} nm");
+        }
+    }
+
+    #[test]
+    fn downcasts_identify_native_formats() {
+        let dense = Matrix::zeros(2, 4);
+        let csr = CsrMatrix::from_dense(&dense);
+        let nm = NmCompressed::from_dense(&dense, NmPattern::new(2, 4).unwrap()).unwrap();
+        assert!(dense.as_dense().is_some() && dense.as_csr().is_none() && dense.as_nm().is_none());
+        assert!(csr.as_csr().is_some() && csr.as_dense().is_none());
+        assert!(nm.as_nm().is_some() && nm.as_dense().is_none());
+    }
+
+    #[test]
+    fn empty_operand_density_is_zero() {
+        let empty = Matrix::zeros(0, 0);
+        assert_eq!(GemmOperand::density(&empty), 0.0);
+    }
+}

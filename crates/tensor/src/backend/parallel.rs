@@ -1,0 +1,190 @@
+//! Parallel row-block tiling over any inner GEMM backend.
+
+use super::{CostHint, GemmBackend, GemmOperand};
+use crate::Matrix;
+use rayon::prelude::*;
+use std::sync::Arc;
+
+/// Parallel row-block tiling: splits the output rows into contiguous blocks and executes
+/// each block's `gemm_rows_into` on a worker thread via the inner backend.
+///
+/// Row blocks are independent by construction — each worker owns a disjoint slab of `C`
+/// and only reads `A` and `B` — so no synchronization is needed beyond the final join,
+/// and results are bit-identical to a sequential run of the inner backend (each output
+/// row's accumulation order is unchanged).
+///
+/// Small problems are not worth forking for: below
+/// [`min_parallel_macs`](ParallelBackend::with_min_parallel_macs) estimated MACs (default
+/// 2²¹ ≈ 2M) the inner backend runs inline on the calling thread.
+#[derive(Debug, Clone)]
+pub struct ParallelBackend {
+    inner: Arc<dyn GemmBackend>,
+    min_parallel_macs: u64,
+}
+
+impl ParallelBackend {
+    /// Work threshold (in estimated MACs) below which execution stays sequential.
+    pub const DEFAULT_MIN_PARALLEL_MACS: u64 = 1 << 21;
+
+    /// Parallel tiling over the given inner backend.
+    pub fn over(inner: Arc<dyn GemmBackend>) -> Self {
+        ParallelBackend {
+            inner,
+            min_parallel_macs: Self::DEFAULT_MIN_PARALLEL_MACS,
+        }
+    }
+
+    /// Sets the sequential-fallback work threshold (in estimated MACs).
+    #[must_use]
+    pub fn with_min_parallel_macs(mut self, macs: u64) -> Self {
+        self.min_parallel_macs = macs;
+        self
+    }
+
+    /// The wrapped inner backend.
+    pub fn inner(&self) -> &Arc<dyn GemmBackend> {
+        &self.inner
+    }
+
+    /// Row-block size for an `m`-row output on `workers` threads: enough blocks for load
+    /// balance (4 per worker), never smaller than 4 rows.
+    fn block_rows(m: usize, workers: usize) -> usize {
+        let target_blocks = workers.max(1) * 4;
+        m.div_ceil(target_blocks).max(4)
+    }
+}
+
+impl Default for ParallelBackend {
+    fn default() -> Self {
+        ParallelBackend::over(Arc::new(super::DenseBackend::default()))
+    }
+}
+
+impl GemmBackend for ParallelBackend {
+    fn name(&self) -> &'static str {
+        "parallel"
+    }
+
+    fn gemm_into(
+        &self,
+        lhs: &dyn GemmOperand,
+        b: &Matrix,
+        c: &mut Matrix,
+    ) -> Result<(), crate::TensorError> {
+        super::check_shapes(self.name(), lhs, b, c)?;
+        let (m, _) = lhs.shape();
+        let n_cols = b.cols();
+        let workers = rayon::current_num_threads();
+        // Cost hints scan the operand's non-zeros; skip that scan when the threshold is 0
+        // (the execution engine pre-decides parallelism and builds wrappers that way).
+        let below_threshold = self.min_parallel_macs > 0
+            && self.inner.cost_hint(lhs, n_cols).total() < self.min_parallel_macs;
+        if workers <= 1 || m < 2 || below_threshold {
+            self.inner
+                .gemm_rows_into(lhs, b, 0, m, c.rows_slice_mut(0, m), n_cols);
+            return Ok(());
+        }
+        let block = Self::block_rows(m, workers);
+        let inner = &self.inner;
+        c.rows_slice_mut(0, m)
+            .par_chunks_mut(block * n_cols.max(1))
+            .enumerate()
+            .for_each(|(chunk_idx, slab)| {
+                let r0 = chunk_idx * block;
+                let r1 = (r0 + slab.len() / n_cols.max(1)).min(m);
+                inner.gemm_rows_into(lhs, b, r0, r1, slab, n_cols);
+            });
+        Ok(())
+    }
+
+    fn gemm_rows_into(
+        &self,
+        lhs: &dyn GemmOperand,
+        b: &Matrix,
+        r0: usize,
+        r1: usize,
+        c_rows: &mut [f32],
+        n_cols: usize,
+    ) {
+        // Inside another backend's tiling: stay sequential (no nested parallelism).
+        self.inner.gemm_rows_into(lhs, b, r0, r1, c_rows, n_cols);
+    }
+
+    fn cost_hint(&self, lhs: &dyn GemmOperand, n_cols: usize) -> CostHint {
+        let inner = self.inner.cost_hint(lhs, n_cols);
+        if inner.total() < self.min_parallel_macs {
+            return inner;
+        }
+        let workers = rayon::current_num_threads().max(1) as u64;
+        // Ideal speedup on compute, overhead unchanged (scratch fills also parallelize,
+        // but keep the hint conservative).
+        CostHint {
+            compute_macs: inner.compute_macs / workers,
+            overhead_macs: inner.overhead_macs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{CsrBackend, DenseBackend, NmBackend};
+    use crate::{gemm, CsrMatrix, MatrixGenerator};
+
+    #[test]
+    fn parallel_matches_sequential_bit_for_bit() {
+        let mut gen = MatrixGenerator::seeded(41);
+        let a = gen.sparse_normal(97, 64, 0.6);
+        let b = gen.normal(64, 33, 0.0, 1.0);
+        let inner = Arc::new(DenseBackend::default());
+        let parallel = ParallelBackend::over(inner.clone()).with_min_parallel_macs(0);
+        let mut seq = Matrix::zeros(97, 33);
+        let mut par = Matrix::zeros(97, 33);
+        inner.gemm_into(&a, &b, &mut seq).unwrap();
+        parallel.gemm_into(&a, &b, &mut par).unwrap();
+        // Row-block tiling preserves each row's accumulation order exactly.
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn parallel_over_every_inner_backend_is_correct() {
+        let mut gen = MatrixGenerator::seeded(42);
+        let a = gen.sparse_normal(61, 48, 0.8);
+        let csr = CsrMatrix::from_dense(&a);
+        let b = gen.normal(48, 21, 0.0, 1.0);
+        let reference = gemm(&a, &b).unwrap();
+        let inners: [Arc<dyn GemmBackend>; 3] = [
+            Arc::new(DenseBackend::default()),
+            Arc::new(CsrBackend),
+            Arc::new(NmBackend),
+        ];
+        for inner in inners {
+            let name = inner.name();
+            let parallel = ParallelBackend::over(inner).with_min_parallel_macs(0);
+            let mut c = Matrix::zeros(61, 21);
+            parallel.gemm_into(&csr, &b, &mut c).unwrap();
+            assert!(c.approx_eq(&reference, 1e-4), "parallel over {name}");
+        }
+    }
+
+    #[test]
+    fn small_problems_run_inline() {
+        // Threshold far above the problem size: must still be correct (inline path).
+        let mut gen = MatrixGenerator::seeded(43);
+        let a = gen.normal(5, 6, 0.0, 1.0);
+        let b = gen.normal(6, 4, 0.0, 1.0);
+        let parallel = ParallelBackend::default().with_min_parallel_macs(u64::MAX);
+        let mut c = Matrix::zeros(5, 4);
+        parallel.gemm_into(&a, &b, &mut c).unwrap();
+        assert!(c.approx_eq(&gemm(&a, &b).unwrap(), 1e-4));
+    }
+
+    #[test]
+    fn block_rows_balances_threads() {
+        assert!(ParallelBackend::block_rows(1024, 8) >= 4);
+        assert_eq!(ParallelBackend::block_rows(8, 64), 4);
+        // Enough blocks to occupy every worker when rows allow it.
+        let block = ParallelBackend::block_rows(512, 8);
+        assert!(512usize.div_ceil(block) >= 8);
+    }
+}

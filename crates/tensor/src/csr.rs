@@ -127,6 +127,20 @@ impl CsrMatrix {
         out
     }
 
+    /// Iterator over the stored `(column, value)` pairs of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`.
+    pub fn row_entries(&self, i: usize) -> impl Iterator<Item = (usize, f32)> + '_ {
+        assert!(i < self.rows, "row index {i} out of bounds ({})", self.rows);
+        let span = self.row_ptr[i]..self.row_ptr[i + 1];
+        self.col_idx[span.clone()]
+            .iter()
+            .copied()
+            .zip(self.values[span].iter().copied())
+    }
+
     /// Sparse-dense matrix multiply `C = self * B`, one MAC per stored non-zero per output
     /// column.
     ///
@@ -141,19 +155,51 @@ impl CsrMatrix {
                 rhs: b.shape(),
             });
         }
+        let mut c = Matrix::zeros(self.rows, b.cols());
+        let rows = self.rows;
         let n = b.cols();
-        let mut c = Matrix::zeros(self.rows, n);
-        for i in 0..self.rows {
-            let c_row = c.row_mut(i);
+        self.spmm_rows_into(b, 0, rows, c.rows_slice_mut(0, rows), n);
+        Ok(c)
+    }
+
+    /// Row-range SpMM kernel: `C[r0..r1] += self[r0..r1, :] * B`, where `c_rows` is the
+    /// contiguous row-major slab covering output rows `[r0, r1)` with `n_cols` columns.
+    /// This is the format-native kernel the GEMM backends (and their parallel row-block
+    /// tiling) drive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row range, `b`, or `c_rows` are inconsistent with this matrix. Use the
+    /// backend layer ([`crate::backend`]) for checked dispatch.
+    pub fn spmm_rows_into(
+        &self,
+        b: &Matrix,
+        r0: usize,
+        r1: usize,
+        c_rows: &mut [f32],
+        n_cols: usize,
+    ) {
+        assert!(
+            r0 <= r1 && r1 <= self.rows,
+            "row range {r0}..{r1} out of bounds"
+        );
+        assert_eq!(self.cols, b.rows(), "reduction depth mismatch");
+        assert_eq!(n_cols, b.cols(), "output width mismatch");
+        assert_eq!(
+            c_rows.len(),
+            (r1 - r0) * n_cols,
+            "output slab size mismatch"
+        );
+        for i in r0..r1 {
+            let c_row = &mut c_rows[(i - r0) * n_cols..(i - r0 + 1) * n_cols];
             for k in self.row_ptr[i]..self.row_ptr[i + 1] {
                 let v = self.values[k];
                 let b_row = b.row(self.col_idx[k]);
-                for j in 0..n {
-                    c_row[j] += v * b_row[j];
+                for (cv, bv) in c_row.iter_mut().zip(b_row) {
+                    *cv += v * bv;
                 }
             }
         }
-        Ok(c)
     }
 
     /// Number of effectual MACs this operand contributes to a GEMM with `n_cols` output

@@ -4,10 +4,20 @@
 //! structured-sparse kernels in [`crate::nm_compressed`] and [`crate::csr`] are validated
 //! against them, and the approximated TASD-series GEMM in the `tasd` crate reports its
 //! error relative to these results.
+//!
+//! They are deliberately the *simple* kernels — an i-k-j scalar loop with zero skipping.
+//! The production kernels (cache-blocked dense, format-native sparse, and parallel
+//! row-block tiling) live in [`crate::backend`] and are validated against these.
 
 use crate::{Matrix, Result, TensorError};
 
-/// Computes `C = A * B` with a cache-blocked dense kernel.
+/// Computes `C = A * B` with the scalar reference kernel (i-k-j loop order, exact zeros on
+/// the `A` side skipped).
+///
+/// This kernel is unblocked on purpose: it is the ground truth the cache-blocked
+/// [`crate::backend::DenseBackend`] and the other [`crate::backend`] kernels are validated
+/// against. Production call sites should dispatch through a
+/// [`GemmBackend`](crate::backend::GemmBackend) instead of calling this directly.
 ///
 /// # Errors
 ///
@@ -28,11 +38,12 @@ pub fn gemm(a: &Matrix, b: &Matrix) -> Result<Matrix> {
     Ok(c)
 }
 
-/// Computes `C += A * B`, accumulating into an existing output matrix.
+/// Computes `C += A * B` with the scalar reference kernel, accumulating into an existing
+/// output matrix.
 ///
-/// This is the primitive used to execute a TASD series: each structured term contributes
-/// `A_i * B` into the same accumulator, mirroring how the hardware keeps the C tile
-/// stationary across decomposed terms.
+/// Accumulation is the primitive a TASD series execution needs: each structured term
+/// contributes `A_i * B` into the same accumulator, mirroring how the hardware keeps the C
+/// tile stationary across decomposed terms.
 ///
 /// # Errors
 ///
@@ -112,7 +123,10 @@ mod tests {
         let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
         let b = Matrix::from_rows(&[vec![7.0, 8.0], vec![9.0, 10.0], vec![11.0, 12.0]]);
         let c = gemm(&a, &b).unwrap();
-        assert_eq!(c, Matrix::from_rows(&[vec![58.0, 64.0], vec![139.0, 154.0]]));
+        assert_eq!(
+            c,
+            Matrix::from_rows(&[vec![58.0, 64.0], vec![139.0, 154.0]])
+        );
     }
 
     #[test]

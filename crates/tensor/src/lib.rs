@@ -11,7 +11,10 @@
 //! * [`NmCompressed`] — a compressed storage format for N:M structured sparse matrices
 //!   (values + per-block metadata indices), mirroring what sparse tensor cores consume.
 //! * [`CsrMatrix`] — compressed sparse row storage for unstructured sparse baselines.
-//! * GEMM kernels for dense, CSR and structured N:M operands ([`gemm`]).
+//! * Reference GEMM kernels for dense, CSR and structured N:M operands ([`gemm`]).
+//! * [`backend`] — the pluggable [`GemmBackend`] execution layer: cache-blocked dense,
+//!   CSR, native N:M, and parallel row-block kernels behind one trait, over any
+//!   [`GemmOperand`]. All production matmul traffic dispatches through it.
 //! * [`im2col`] lowering so convolution layers can be executed and counted as GEMMs.
 //! * Norms, error metrics, random sparse-matrix generators, and sparsity statistics.
 //!
@@ -30,6 +33,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod backend;
 pub mod csr;
 pub mod error;
 pub mod gemm;
@@ -41,6 +45,9 @@ pub mod norms;
 pub mod random;
 pub mod stats;
 
+pub use backend::{
+    CostHint, CsrBackend, DenseBackend, GemmBackend, GemmOperand, NmBackend, ParallelBackend,
+};
 pub use csr::CsrMatrix;
 pub use error::TensorError;
 pub use gemm::{gemm, gemm_into};

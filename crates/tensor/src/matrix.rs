@@ -165,6 +165,57 @@ impl Matrix {
         &mut self.data[i * self.cols..(i + 1) * self.cols]
     }
 
+    /// Borrows rows `[r0, r1)` as one contiguous row-major slice (the matrix is row-major,
+    /// so a row range is always contiguous). This is what the GEMM backends tile over.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r0 > r1` or `r1 > rows`.
+    pub fn rows_slice(&self, r0: usize, r1: usize) -> &[f32] {
+        assert!(
+            r0 <= r1 && r1 <= self.rows,
+            "row range {r0}..{r1} out of bounds"
+        );
+        &self.data[r0 * self.cols..r1 * self.cols]
+    }
+
+    /// Mutable variant of [`Matrix::rows_slice`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r0 > r1` or `r1 > rows`.
+    pub fn rows_slice_mut(&mut self, r0: usize, r1: usize) -> &mut [f32] {
+        assert!(
+            r0 <= r1 && r1 <= self.rows,
+            "row range {r0}..{r1} out of bounds"
+        );
+        &mut self.data[r0 * self.cols..r1 * self.cols]
+    }
+
+    /// A 64-bit content fingerprint of the matrix (shape + element bit patterns, FNV-1a).
+    ///
+    /// Used by the execution engine's decomposition cache to key matrices without storing
+    /// them. Equal matrices always produce equal fingerprints; distinct matrices collide
+    /// with probability ~2⁻⁶⁴ per pair, which the cache accepts by design (a collision
+    /// returns a decomposition of the colliding matrix — detectable, never memory-unsafe).
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut mix = |word: u64| {
+            for byte in word.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        mix(self.rows as u64);
+        mix(self.cols as u64);
+        for &x in &self.data {
+            mix(x.to_bits() as u64);
+        }
+        h
+    }
+
     /// Returns element `(i, j)` or `None` if out of bounds.
     pub fn get(&self, i: usize, j: usize) -> Option<f32> {
         if i < self.rows && j < self.cols {
@@ -294,7 +345,10 @@ impl Matrix {
     ///
     /// Panics if the requested block extends past the matrix bounds.
     pub fn block(&self, r0: usize, c0: usize, nrows: usize, ncols: usize) -> Matrix {
-        assert!(r0 + nrows <= self.rows && c0 + ncols <= self.cols, "block out of bounds");
+        assert!(
+            r0 + nrows <= self.rows && c0 + ncols <= self.cols,
+            "block out of bounds"
+        );
         Matrix::from_fn(nrows, ncols, |i, j| self[(r0 + i, c0 + j)])
     }
 
@@ -331,14 +385,20 @@ impl Index<(usize, usize)> for Matrix {
     type Output = f32;
 
     fn index(&self, (i, j): (usize, usize)) -> &f32 {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         &self.data[i * self.cols + j]
     }
 }
 
 impl IndexMut<(usize, usize)> for Matrix {
     fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f32 {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         &mut self.data[i * self.cols + j]
     }
 }
@@ -355,7 +415,8 @@ impl Sub<&Matrix> for &Matrix {
     type Output = Matrix;
 
     fn sub(self, rhs: &Matrix) -> Matrix {
-        self.try_sub(rhs).expect("matrix subtraction shape mismatch")
+        self.try_sub(rhs)
+            .expect("matrix subtraction shape mismatch")
     }
 }
 
@@ -511,6 +572,31 @@ mod tests {
     fn count_nonzeros_counts_exact_zeros_only() {
         let m = Matrix::from_rows(&[vec![0.0, 1e-30, -0.0, 2.0]]);
         assert_eq!(m.count_nonzeros(), 2);
+    }
+
+    #[test]
+    fn rows_slice_is_contiguous_row_major() {
+        let m = Matrix::from_fn(4, 3, |i, j| (i * 3 + j) as f32);
+        assert_eq!(m.rows_slice(1, 3), &[3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        assert_eq!(m.rows_slice(0, 4).len(), 12);
+        assert_eq!(m.rows_slice(2, 2), &[] as &[f32]);
+        let mut m = m;
+        m.rows_slice_mut(3, 4)[0] = -1.0;
+        assert_eq!(m[(3, 0)], -1.0);
+    }
+
+    #[test]
+    fn fingerprint_tracks_content_and_shape() {
+        let a = Matrix::from_fn(3, 4, |i, j| (i + j) as f32);
+        let b = a.clone();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let mut c = a.clone();
+        c[(2, 3)] += 1.0;
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        // Same data, different shape.
+        let flat = a.as_slice().to_vec();
+        let reshaped = Matrix::from_vec(4, 3, flat).unwrap();
+        assert_ne!(a.fingerprint(), reshaped.fingerprint());
     }
 
     #[test]

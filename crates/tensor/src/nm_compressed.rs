@@ -147,8 +147,8 @@ impl NmCompressed {
     /// per value, rounded up to whole bytes per matrix (the format a sparse tensor core
     /// would consume).
     pub fn storage_bytes(&self) -> usize {
-        let meta_bits_per_value = usize::BITS as usize
-            - (self.pattern.m().max(2) - 1).leading_zeros() as usize;
+        let meta_bits_per_value =
+            usize::BITS as usize - (self.pattern.m().max(2) - 1).leading_zeros() as usize;
         let value_bytes = self.nnz() * 4;
         let meta_bytes = (self.nnz() * meta_bits_per_value).div_ceil(8);
         value_bytes + meta_bytes
@@ -202,24 +202,75 @@ impl NmCompressed {
                 rhs: c.shape(),
             });
         }
-        let bpr = self.pattern.blocks_per_row(self.cols);
+        let rows = self.rows;
         let n = b.cols();
-        for i in 0..self.rows {
-            let c_row = c.row_mut(i);
+        self.spmm_rows_into(b, 0, rows, c.rows_slice_mut(0, rows), n);
+        Ok(())
+    }
+
+    /// Row-range SpMM kernel: `C[r0..r1] += self[r0..r1, :] * B`, where `c_rows` is the
+    /// contiguous row-major slab covering output rows `[r0, r1)` with `n_cols` columns.
+    /// This is the format-native kernel the GEMM backends (and their parallel row-block
+    /// tiling) drive; it performs one MAC per stored value per output column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row range, `b`, or `c_rows` are inconsistent with this matrix. Use the
+    /// backend layer ([`crate::backend`]) for checked dispatch.
+    pub fn spmm_rows_into(
+        &self,
+        b: &Matrix,
+        r0: usize,
+        r1: usize,
+        c_rows: &mut [f32],
+        n_cols: usize,
+    ) {
+        assert!(
+            r0 <= r1 && r1 <= self.rows,
+            "row range {r0}..{r1} out of bounds"
+        );
+        assert_eq!(self.cols, b.rows(), "reduction depth mismatch");
+        assert_eq!(n_cols, b.cols(), "output width mismatch");
+        assert_eq!(
+            c_rows.len(),
+            (r1 - r0) * n_cols,
+            "output slab size mismatch"
+        );
+        let bpr = self.pattern.blocks_per_row(self.cols);
+        let m_block = self.pattern.m();
+        for i in r0..r1 {
+            let c_row = &mut c_rows[(i - r0) * n_cols..(i - r0 + 1) * n_cols];
             for blk_in_row in 0..bpr {
-                let base_col = blk_in_row * self.pattern.m();
+                let base_col = blk_in_row * m_block;
                 let blk = i * bpr + blk_in_row;
                 for e in &self.entries[self.block_ptr[blk]..self.block_ptr[blk + 1]] {
                     let k = base_col + e.lane as usize;
                     let b_row = b.row(k);
                     let v = e.value;
-                    for j in 0..n {
-                        c_row[j] += v * b_row[j];
+                    for (cv, bv) in c_row.iter_mut().zip(b_row) {
+                        *cv += v * bv;
                     }
                 }
             }
         }
-        Ok(())
+    }
+
+    /// Iterator over the stored `(column, value)` pairs of row `i`, in column order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`.
+    pub fn row_entries(&self, i: usize) -> impl Iterator<Item = (usize, f32)> + '_ {
+        assert!(i < self.rows, "row index {i} out of bounds ({})", self.rows);
+        let bpr = self.pattern.blocks_per_row(self.cols);
+        let m_block = self.pattern.m();
+        (0..bpr).flat_map(move |blk_in_row| {
+            let blk = i * bpr + blk_in_row;
+            let base_col = blk_in_row * m_block;
+            self.entries[self.block_ptr[blk]..self.block_ptr[blk + 1]]
+                .iter()
+                .map(move |e| (base_col + e.lane as usize, e.value))
+        })
     }
 
     /// Number of effectual MACs this operand contributes to a GEMM with `n_cols` output

@@ -13,7 +13,10 @@ use crate::Matrix;
 /// assert_eq!(frobenius_norm(&m), 5.0);
 /// ```
 pub fn frobenius_norm(m: &Matrix) -> f64 {
-    m.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt()
+    m.iter()
+        .map(|&x| (x as f64) * (x as f64))
+        .sum::<f64>()
+        .sqrt()
 }
 
 /// Relative Frobenius error `||a - b||_F / ||a||_F`.
@@ -71,7 +74,11 @@ pub fn mean_squared_error(a: &Matrix, b: &Matrix) -> f64 {
 ///
 /// Panics if the shapes differ.
 pub fn max_abs_error(a: &Matrix, b: &Matrix) -> f64 {
-    assert_eq!(a.shape(), b.shape(), "max abs error requires matching shapes");
+    assert_eq!(
+        a.shape(),
+        b.shape(),
+        "max abs error requires matching shapes"
+    );
     a.iter()
         .zip(b.iter())
         .map(|(&x, &y)| ((x - y) as f64).abs())

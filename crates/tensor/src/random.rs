@@ -216,8 +216,7 @@ mod tests {
         let m = MatrixGenerator::seeded(9).normal(64, 64, 5.0, 2.0);
         let mean = m.sum() / m.len() as f32;
         assert!((mean - 5.0).abs() < 0.2, "mean {mean}");
-        let var: f32 =
-            m.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / m.len() as f32;
+        let var: f32 = m.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / m.len() as f32;
         assert!((var.sqrt() - 2.0).abs() < 0.2, "std {}", var.sqrt());
     }
 
@@ -235,10 +234,7 @@ mod tests {
         let pruned = magnitude_prune(&m, 0.5);
         assert_eq!(pruned.count_zeros(), 4);
         // The 4 smallest magnitudes (0.05, 0.1, 0.2, 0.3) are removed.
-        assert_eq!(
-            pruned.row(0),
-            &[0.0, -5.0, 0.0, 3.0, 0.0, 1.0, 2.0, 0.0]
-        );
+        assert_eq!(pruned.row(0), &[0.0, -5.0, 0.0, 3.0, 0.0, 1.0, 2.0, 0.0]);
     }
 
     #[test]
@@ -274,7 +270,11 @@ mod tests {
         let m = MatrixGenerator::seeded(8).gelu_activations(64, 64);
         // GELU never clips to zero the way ReLU does; a handful of exact zeros can appear
         // from f32 tanh saturation on extreme negative pre-activations, nothing more.
-        assert!(sparsity_degree(&m) < 0.02, "sparsity {}", sparsity_degree(&m));
+        assert!(
+            sparsity_degree(&m) < 0.02,
+            "sparsity {}",
+            sparsity_degree(&m)
+        );
         // Many tiny-magnitude values: the median magnitude is far below the max.
         let mut mags: Vec<f32> = m.iter().map(|x| x.abs()).collect();
         mags.sort_by(|a, b| a.partial_cmp(b).unwrap());

@@ -6,7 +6,7 @@
 //!
 //! Run with: `cargo run --release --example accuracy_testbed`
 
-use tasd::TasdConfig;
+use tasd::{ExecutionEngine, TasdConfig};
 use tasd_dnn::dataset::SyntheticDataset;
 use tasd_dnn::executable::Mlp;
 use tasd_dnn::quality::meets_accuracy_criterion;
@@ -18,8 +18,9 @@ fn main() {
     let data = SyntheticDataset::gaussian_clusters(1200, 32, 6, 2.5, 11);
     let (train_set, test_set) = data.split(0.8);
     let mut mlp = Mlp::new(&[32, 64, 48, 6], Activation::Relu, 3);
-    let report = train(&mut mlp, &train_set, &TrainConfig::default());
-    let base_acc = mlp.accuracy(test_set.features(), test_set.labels());
+    let engine = ExecutionEngine::global();
+    let report = train(engine, &mut mlp, &train_set, &TrainConfig::default());
+    let base_acc = mlp.accuracy(engine, test_set.features(), test_set.labels());
     println!(
         "trained MLP: train accuracy {:.1}%, test accuracy {:.1}%",
         report.final_train_accuracy * 100.0,
@@ -31,8 +32,8 @@ fn main() {
     println!("\nTASD-W on layer 1 weights (dense weights -> accuracy falls with aggressiveness):");
     for cfg in ["6:8", "4:8+1:8", "4:8", "2:8+1:8", "2:8", "1:8"] {
         let config = TasdConfig::parse(cfg).unwrap();
-        let modified = mlp.with_weight_tasd(1, &config);
-        let acc = modified.accuracy(test_set.features(), test_set.labels());
+        let modified = mlp.with_weight_tasd(engine, 1, &config);
+        let acc = modified.accuracy(engine, test_set.features(), test_set.labels());
         println!(
             "  {:>8}: test accuracy {:>5.1}%  (retention {:>5.1}%, meets 99%: {})",
             cfg,
@@ -49,8 +50,12 @@ fn main() {
         let configs: Vec<Option<TasdConfig>> = (0..mlp.num_layers())
             .map(|i| if i == 0 { None } else { Some(config.clone()) })
             .collect();
-        let acc =
-            mlp.accuracy_with_activation_tasd(test_set.features(), test_set.labels(), &configs);
+        let acc = mlp.accuracy_with_activation_tasd(
+            engine,
+            test_set.features(),
+            test_set.labels(),
+            &configs,
+        );
         println!(
             "  {:>8}: test accuracy {:>5.1}%  (retention {:>5.1}%, meets 99%: {})",
             cfg,

@@ -13,7 +13,10 @@ use tasder::Tasder;
 fn main() {
     let spec = Workload::DenseBert.network(7);
     println!("workload: {spec}");
-    assert!(!spec.has_relu_activations(), "BERT is GELU-based: no exact activation sparsity");
+    assert!(
+        !spec.has_relu_activations(),
+        "BERT is GELU-based: no exact activation sparsity"
+    );
 
     // Calibration: per-layer sparsity is ~0, but pseudo-density is well below 1.
     let profile = CalibrationProfile::synthetic(&spec, 8, 7);
@@ -29,7 +32,9 @@ fn main() {
     }
 
     // TASD-A with the pseudo-density-driven selection.
-    let tasder = Tasder::new(PatternMenu::vegeta_m8(), 2).with_seed(7).with_alpha(0.05);
+    let tasder = Tasder::new(PatternMenu::vegeta_m8(), 2)
+        .with_seed(7)
+        .with_alpha(0.05);
     let transform = tasder.optimize_activations_with_profile(&spec, &profile);
     println!(
         "\nTASD-A: {} of {} layers decomposed, MAC reduction {:.1}%, meets 99% constraint: {}",

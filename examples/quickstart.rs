@@ -1,9 +1,11 @@
-//! Quickstart: decompose an unstructured sparse matrix into a TASD series and execute an
-//! approximated matrix multiplication term by term.
+//! Quickstart: decompose an unstructured sparse matrix into a TASD series and execute the
+//! approximated matrix multiplication through the unified [`ExecutionEngine`] — the seam
+//! every matmul in this repository goes through (pluggable GEMM backends, decomposition
+//! caching, parallel row-block tiling).
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use tasd::{decompose, series_gemm, TasdConfig};
+use tasd::{ExecutionEngine, TasdConfig};
 use tasd_tensor::{gemm, relative_frobenius_error, Matrix, MatrixGenerator};
 
 fn main() {
@@ -14,8 +16,12 @@ fn main() {
     ]);
     println!("original matrix A (sum = {}):\n{a:?}\n", a.sum());
 
+    // One engine serves the whole program: it plans a backend per structured term and
+    // memoizes decompositions by (matrix fingerprint, configuration).
+    let engine = ExecutionEngine::builder().cache_capacity(64).build();
+
     // One structured term (2:4): a lossy view keeping the two largest values per 4-block.
-    let one_term = decompose(&a, &TasdConfig::parse("2:4").unwrap());
+    let one_term = engine.decompose(&a, &TasdConfig::parse("2:4").unwrap());
     let report = one_term.report(&a);
     println!(
         "A ~= A1(2:4):  kept {} of {} non-zeros, dropped {:.0}% of the magnitude",
@@ -25,28 +31,40 @@ fn main() {
     );
 
     // Two terms (2:4 + 2:8): for this matrix the decomposition is lossless.
-    let two_terms = decompose(&a, &TasdConfig::parse("2:4+2:8").unwrap());
+    let two_terms = engine.decompose(&a, &TasdConfig::parse("2:4+2:8").unwrap());
     println!(
         "A ~= A1(2:4) + A2(2:8): reconstruction exact? {}\n",
         two_terms.reconstruct() == a
     );
 
-    // Approximated GEMM on a larger unstructured-sparse operand.
+    // Approximated GEMM on a larger unstructured-sparse operand, executed term-by-term
+    // through the engine's planned backends.
     let mut gen = MatrixGenerator::seeded(7);
     let big_a = gen.sparse_normal(256, 256, 0.85); // 85% sparse, unstructured
     let b = gen.normal(256, 64, 0.0, 1.0);
     let exact = gemm(&big_a, &b).expect("shapes match");
     for cfg in ["2:4", "4:8", "4:8+1:8", "4:8+2:8"] {
-        let series = decompose(&big_a, &TasdConfig::parse(cfg).unwrap());
-        let approx = series_gemm(&series, &b).expect("shapes match");
+        let config = TasdConfig::parse(cfg).unwrap();
+        let series = engine.decompose(&big_a, &config);
+        let plan = engine.plan_series(&series, b.cols());
+        let approx = engine.series_gemm(&series, &b).expect("shapes match");
         println!(
-            "config {:>8}: kept {:>5} of {} non-zeros, GEMM relative error {:.4}, effectual MACs {:.1}% of dense",
+            "config {:>8}: kept {:>5} of {} non-zeros, GEMM relative error {:.4}, \
+             effectual MACs {:.1}% of dense, plan {}",
             cfg,
             series.nnz(),
             big_a.count_nonzeros(),
             relative_frobenius_error(&exact, &approx),
-            100.0 * series.effectual_macs(b.cols()) as f64
-                / (256.0 * 256.0 * b.cols() as f64)
+            100.0 * series.effectual_macs(b.cols()) as f64 / (256.0 * 256.0 * b.cols() as f64),
+            plan.summary(),
         );
     }
+
+    // Every decomposition above was a cold miss; asking again is free.
+    let _ = engine.decompose(&big_a, &TasdConfig::parse("4:8").unwrap());
+    let stats = engine.cache_stats();
+    println!(
+        "\ndecomposition cache: {} hits / {} misses ({} resident, capacity {})",
+        stats.hits, stats.misses, stats.entries, stats.capacity
+    );
 }

@@ -28,7 +28,9 @@ fn main() {
         println!(
             "  {:<24} -> {}",
             a.layer,
-            a.config.as_ref().map_or("dense".to_string(), |c| c.to_string())
+            a.config
+                .as_ref()
+                .map_or("dense".to_string(), |c| c.to_string())
         );
     }
     println!("  ...");
@@ -51,7 +53,10 @@ fn main() {
     let dstc = simulate_network(HwDesign::Dstc, &config, &dense_runs);
     let ttc = simulate_network(HwDesign::TtcVegetaM8, &config, &tasd_runs);
 
-    println!("\n{:<16} {:>14} {:>14} {:>12}", "design", "cycles", "energy (uJ)", "EDP (norm.)");
+    println!(
+        "\n{:<16} {:>14} {:>14} {:>12}",
+        "design", "cycles", "energy (uJ)", "EDP (norm.)"
+    );
     for m in [&tc, &dstc, &ttc] {
         println!(
             "{:<16} {:>14.3e} {:>14.3} {:>12.3}",

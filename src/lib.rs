@@ -1,0 +1,20 @@
+//! Workspace root for the TASD reproduction.
+//!
+//! This package carries the repository-level integration tests (`tests/`) and runnable
+//! examples (`examples/`); the actual library code lives in the `crates/` members:
+//!
+//! * [`tasd_tensor`] — matrices, N:M patterns, compressed formats, GEMM backends.
+//! * [`tasd`] — the TASD decomposition, series, and the [`tasd::ExecutionEngine`].
+//! * [`tasd_dnn`] — layer IR, weights, calibration, and the executable MLP testbed.
+//! * [`tasd_models`] — the paper's model zoo (ResNet, VGG, BERT, ViT, ConvNeXt).
+//! * [`tasder`] — the TASD-W / TASD-A optimizer framework.
+//! * [`tasd_accelsim`] — the analytical accelerator model.
+//! * [`tasd_bench`] — shared support for the per-figure experiment binaries.
+
+pub use tasd;
+pub use tasd_accelsim;
+pub use tasd_bench;
+pub use tasd_dnn;
+pub use tasd_models;
+pub use tasd_tensor;
+pub use tasder;

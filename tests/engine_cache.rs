@@ -1,0 +1,103 @@
+//! The decomposition cache contract of [`ExecutionEngine`]: repeated requests are served
+//! from cache (same `Arc`, hit counter bumped), distinct requests are not, and the LRU
+//! bound holds.
+
+use std::sync::Arc;
+use tasd::{ExecutionEngine, TasdConfig};
+use tasd_tensor::MatrixGenerator;
+
+#[test]
+fn second_decompose_returns_the_cached_series_and_bumps_the_hit_counter() {
+    let engine = ExecutionEngine::builder().cache_capacity(16).build();
+    let a = MatrixGenerator::seeded(1).sparse_normal(64, 64, 0.8);
+    let cfg = TasdConfig::parse("4:8+1:8").unwrap();
+
+    let first = engine.decompose(&a, &cfg);
+    let stats = engine.cache_stats();
+    assert_eq!(stats.misses, 1);
+    assert_eq!(stats.hits, 0);
+    assert_eq!(stats.entries, 1);
+
+    let second = engine.decompose(&a, &cfg);
+    assert!(
+        Arc::ptr_eq(&first, &second),
+        "cache hit must return the same materialized series, not a copy"
+    );
+    let stats = engine.cache_stats();
+    assert_eq!(stats.hits, 1, "second request must count as a hit");
+    assert_eq!(stats.misses, 1);
+    assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+
+    // A clone with identical content is the same key (content fingerprint, not identity).
+    let same_content = a.clone();
+    let third = engine.decompose(&same_content, &cfg);
+    assert!(Arc::ptr_eq(&first, &third));
+    assert_eq!(engine.cache_stats().hits, 2);
+
+    // A different configuration or different content is a different key.
+    let _ = engine.decompose(&a, &TasdConfig::parse("2:8").unwrap());
+    let mut perturbed = a.clone();
+    perturbed[(0, 0)] += 1.0;
+    let _ = engine.decompose(&perturbed, &cfg);
+    assert_eq!(engine.cache_stats().misses, 3);
+}
+
+#[test]
+fn cache_capacity_bounds_resident_series_with_lru_eviction() {
+    let engine = ExecutionEngine::builder().cache_capacity(2).build();
+    let mut gen = MatrixGenerator::seeded(2);
+    let cfg = TasdConfig::parse("2:8").unwrap();
+    let a = gen.sparse_normal(32, 32, 0.7);
+    let b = gen.sparse_normal(32, 32, 0.7);
+    let c = gen.sparse_normal(32, 32, 0.7);
+
+    let _ = engine.decompose(&a, &cfg);
+    let _ = engine.decompose(&b, &cfg);
+    // Touch `a` so `b` becomes least recently used, then insert `c` to force eviction.
+    let _ = engine.decompose(&a, &cfg);
+    let _ = engine.decompose(&c, &cfg);
+    assert_eq!(engine.cache_stats().entries, 2);
+
+    // `a` survived, `b` was evicted.
+    let misses_before = engine.cache_stats().misses;
+    let _ = engine.decompose(&a, &cfg);
+    assert_eq!(
+        engine.cache_stats().misses,
+        misses_before,
+        "a must still be resident"
+    );
+    let _ = engine.decompose(&b, &cfg);
+    assert_eq!(
+        engine.cache_stats().misses,
+        misses_before + 1,
+        "b must have been evicted"
+    );
+}
+
+#[test]
+fn zero_capacity_disables_caching_entirely() {
+    let engine = ExecutionEngine::builder().cache_capacity(0).build();
+    let a = MatrixGenerator::seeded(3).sparse_normal(16, 16, 0.5);
+    let cfg = TasdConfig::parse("2:4").unwrap();
+    let first = engine.decompose(&a, &cfg);
+    let second = engine.decompose(&a, &cfg);
+    assert!(!Arc::ptr_eq(&first, &second));
+    assert_eq!(engine.cache_stats().hits, 0);
+    assert_eq!(engine.cache_stats().entries, 0);
+    // Identical work nonetheless: the two series are equal by value.
+    assert_eq!(*first, *second);
+}
+
+#[test]
+fn cached_series_is_usable_after_the_original_matrix_is_gone() {
+    let engine = ExecutionEngine::builder().cache_capacity(4).build();
+    let cfg = TasdConfig::parse("4:8").unwrap();
+    let series = {
+        let a = MatrixGenerator::seeded(4).sparse_normal(48, 48, 0.6);
+        engine.decompose(&a, &cfg)
+    };
+    // The matrix is dropped; the cached Arc still executes.
+    let b = MatrixGenerator::seeded(5).normal(48, 8, 0.0, 1.0);
+    let c = engine.series_gemm(&series, &b).unwrap();
+    assert_eq!(c.shape(), (48, 8));
+}

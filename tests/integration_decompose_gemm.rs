@@ -28,13 +28,17 @@ fn decomposition_error_tracks_simulated_compute_savings() {
         activation_density: 1.0,
         tasd_side: OperandSide::Weights,
         tasd_config: Some(config),
+        plan: None,
     };
     let metrics = simulate_layer(HwDesign::TtcVegetaM8, &AcceleratorConfig::standard(), &run);
     // The hardware executes exactly the configuration's slot fraction (5 of 8 per block),
     // which always upper-bounds the values the decomposition actually stored.
     let kept_software = series.nnz() as f64 / (a.rows() * a.cols()) as f64;
     let kept_hardware = metrics.effectual_macs / metrics.dense_macs;
-    assert!((kept_hardware - 0.625).abs() < 1e-9, "hardware kept {kept_hardware}");
+    assert!(
+        (kept_hardware - 0.625).abs() < 1e-9,
+        "hardware kept {kept_hardware}"
+    );
     assert!(
         kept_software <= kept_hardware,
         "software kept {kept_software} cannot exceed hardware slots {kept_hardware}"
@@ -75,12 +79,14 @@ fn more_flexible_hardware_never_does_worse_on_the_same_layer() {
     // The layer's best config per design menu, chosen as the densest admissible option.
     let density = 1.0 - sparsity_degree(&a);
     let mut last_edp = f64::INFINITY;
-    for design in [HwDesign::TtcStcM4, HwDesign::TtcStcM8, HwDesign::TtcVegetaM8] {
+    for design in [
+        HwDesign::TtcStcM4,
+        HwDesign::TtcStcM8,
+        HwDesign::TtcVegetaM8,
+    ] {
         let menu = design.pattern_menu().unwrap();
-        let best = menu.densest_config_within(
-            (density * 1.3).min(1.0),
-            design.max_tasd_terms().max(1),
-        );
+        let best =
+            menu.densest_config_within((density * 1.3).min(1.0), design.max_tasd_terms().max(1));
         let run = LayerRun {
             name: "flex".to_string(),
             dims: (256, 256, 256),
@@ -88,6 +94,7 @@ fn more_flexible_hardware_never_does_worse_on_the_same_layer() {
             activation_density: 1.0,
             tasd_side: OperandSide::Weights,
             tasd_config: best,
+            plan: None,
         };
         let edp = simulate_layer(design, &config, &run).edp(1.0);
         assert!(

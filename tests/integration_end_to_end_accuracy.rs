@@ -3,18 +3,23 @@
 //! flat-then-cliff accuracy curve (Fig. 14) and that conservative TASD configurations keep
 //! the 99 % retention criterion while aggressive ones break it.
 
-use tasd::TasdConfig;
+use tasd::{ExecutionEngine, TasdConfig};
 use tasd_dnn::dataset::SyntheticDataset;
 use tasd_dnn::executable::Mlp;
 use tasd_dnn::quality::meets_accuracy_criterion;
 use tasd_dnn::train::{train, TrainConfig};
 use tasd_dnn::Activation;
 
+fn engine() -> &'static ExecutionEngine {
+    ExecutionEngine::global()
+}
+
 fn trained_testbed() -> (Mlp, SyntheticDataset, f64) {
     let data = SyntheticDataset::gaussian_clusters(800, 24, 4, 2.5, 21);
     let (train_set, test_set) = data.split(0.8);
     let mut mlp = Mlp::new(&[24, 48, 32, 4], Activation::Relu, 5);
     train(
+        engine(),
         &mut mlp,
         &train_set,
         &TrainConfig {
@@ -23,7 +28,7 @@ fn trained_testbed() -> (Mlp, SyntheticDataset, f64) {
             learning_rate: 0.05,
         },
     );
-    let base = mlp.accuracy(test_set.features(), test_set.labels());
+    let base = mlp.accuracy(engine(), test_set.features(), test_set.labels());
     assert!(base > 0.85, "testbed failed to train (accuracy {base})");
     (mlp, test_set, base)
 }
@@ -34,12 +39,16 @@ fn weight_tasd_accuracy_degrades_monotonically_with_aggressiveness() {
     let configs = ["6:8", "4:8", "2:8", "1:8"];
     let mut accs = Vec::new();
     for cfg in configs {
-        let modified = mlp.with_weight_tasd(1, &TasdConfig::parse(cfg).unwrap());
-        accs.push(modified.accuracy(test.features(), test.labels()));
+        let modified = mlp.with_weight_tasd(engine(), 1, &TasdConfig::parse(cfg).unwrap());
+        accs.push(modified.accuracy(engine(), test.features(), test.labels()));
     }
     // Not strictly monotone sample-by-sample, but the conservative end must beat the
     // aggressive end by a clear margin, and the most conservative config must retain 99%.
-    assert!(meets_accuracy_criterion(base, accs[0]), "6:8 dropped below 99% ({})", accs[0]);
+    assert!(
+        meets_accuracy_criterion(base, accs[0]),
+        "6:8 dropped below 99% ({})",
+        accs[0]
+    );
     assert!(
         accs[0] >= accs[3],
         "6:8 ({}) should be at least as accurate as 1:8 ({})",
@@ -62,11 +71,12 @@ fn activation_tasd_on_relu_outputs_is_gentler_than_weight_tasd() {
     let act_configs: Vec<Option<TasdConfig>> = (0..mlp.num_layers())
         .map(|i| if i == 0 { None } else { Some(cfg.clone()) })
         .collect();
-    let act_acc = mlp.accuracy_with_activation_tasd(test.features(), test.labels(), &act_configs);
+    let act_acc =
+        mlp.accuracy_with_activation_tasd(engine(), test.features(), test.labels(), &act_configs);
     let weight_acc = mlp
-        .with_weight_tasd(1, &cfg)
-        .with_weight_tasd(2, &cfg)
-        .accuracy(test.features(), test.labels());
+        .with_weight_tasd(engine(), 1, &cfg)
+        .with_weight_tasd(engine(), 2, &cfg)
+        .accuracy(engine(), test.features(), test.labels());
     assert!(
         act_acc >= weight_acc - 0.02,
         "activation TASD ({act_acc}) should be gentler than weight TASD ({weight_acc}) at 4:8"
@@ -82,6 +92,6 @@ fn lossless_two_term_series_preserves_accuracy_exactly_when_it_covers_everything
     let cfg = TasdConfig::parse("4:8+4:8").unwrap();
     let configs: Vec<Option<TasdConfig>> =
         (0..mlp.num_layers()).map(|_| Some(cfg.clone())).collect();
-    let acc = mlp.accuracy_with_activation_tasd(test.features(), test.labels(), &configs);
+    let acc = mlp.accuracy_with_activation_tasd(engine(), test.features(), test.labels(), &configs);
     assert!((acc - base).abs() < 1e-9);
 }

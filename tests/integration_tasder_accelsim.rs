@@ -32,15 +32,24 @@ fn dense_bert_dstc_is_worse_than_tc_but_ttc_is_better() {
     let dstc = edp_of(&results, HwDesign::Dstc);
     let ttc = edp_of(&results, HwDesign::TtcVegetaM8);
     // Paper: DSTC is 167% worse on dense BERT; TTC-VEGETA-M8 improves EDP by 61%.
-    assert!(dstc > 1.0, "DSTC should lose on a fully dense workload (got {dstc})");
-    assert!(ttc < 1.0, "TTC should win on dense BERT via TASD-A (got {ttc})");
+    assert!(
+        dstc > 1.0,
+        "DSTC should lose on a fully dense workload (got {dstc})"
+    );
+    assert!(
+        ttc < 1.0,
+        "TTC should win on dense BERT via TASD-A (got {ttc})"
+    );
 }
 
 #[test]
 fn dstc_wins_most_on_doubly_sparse_resnet50() {
     let results = normalize_against_tc(&run_main_comparison(Workload::SparseResNet50, 1));
     let dstc = edp_of(&results, HwDesign::Dstc);
-    assert!(dstc < 0.4, "DSTC exploits both sparsities on sparse ResNet-50 (got {dstc})");
+    assert!(
+        dstc < 0.4,
+        "DSTC exploits both sparsities on sparse ResNet-50 (got {dstc})"
+    );
     // TTC is competitive with DSTC (same ballpark) without the 35% area overhead.
     let ttc = edp_of(&results, HwDesign::TtcVegetaM8);
     assert!(ttc < dstc * 3.0);

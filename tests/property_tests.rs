@@ -4,8 +4,8 @@
 use proptest::prelude::*;
 use tasd::{decompose, decompose_with_residual, series_gemm, TasdConfig};
 use tasd_tensor::{
-    dropped_magnitude_fraction, dropped_nonzero_fraction, gemm, CsrMatrix, Matrix,
-    MatrixGenerator, NmCompressed, NmPattern,
+    dropped_magnitude_fraction, dropped_nonzero_fraction, gemm, CsrMatrix, Matrix, MatrixGenerator,
+    NmCompressed, NmPattern,
 };
 
 /// Strategy: a random matrix described by (rows, cols, sparsity, seed).
