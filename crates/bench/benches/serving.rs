@@ -1,0 +1,142 @@
+//! Batched serving vs one-at-a-time execution.
+//!
+//! Measures `ExecutionEngine::submit` against a per-request loop on the same workload —
+//! many narrow right-hand panels (one per "request") against one shared sparse operand —
+//! at 3 batch sizes × 2 sparsities. This is the PR's performance story: grouping
+//! amortizes the decomposition to once per operand, and panel packing amortizes the
+//! per-entry kernel dispatch across the whole batch width.
+//!
+//! The bench also carries the PR's acceptance gate, run before the timing groups: a
+//! cold batch of 32 requests sharing one decomposed operand must perform exactly one
+//! decomposition (checked via cache telemetry) and beat the one-at-a-time loop's
+//! wall-clock on identical work. The gate panics on regression, so CI's bench smoke run
+//! enforces it.
+//!
+//! Run with: `cargo bench --bench serving`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tasd::{BatchRequest, ExecutionEngine, TasdConfig};
+use tasd_tensor::{Matrix, MatrixGenerator};
+
+/// Operand geometry: a serving-sized weight (256×512) against 8-column request panels.
+const M: usize = 256;
+const K: usize = 512;
+const PANEL_COLS: usize = 8;
+
+fn workload(sparsity: f64, batch: usize) -> (Arc<Matrix>, Vec<Matrix>, TasdConfig) {
+    let mut gen = MatrixGenerator::seeded(0x5E11);
+    let a = Arc::new(gen.sparse_normal(M, K, sparsity));
+    let panels = (0..batch)
+        .map(|_| gen.normal(K, PANEL_COLS, 0.0, 1.0))
+        .collect();
+    (a, panels, TasdConfig::parse("2:8+1:8").unwrap())
+}
+
+fn requests(a: &Arc<Matrix>, panels: &[Matrix], cfg: &TasdConfig) -> Vec<BatchRequest> {
+    panels
+        .iter()
+        .map(|b| BatchRequest::decomposed(Arc::clone(a), cfg.clone(), b.clone()))
+        .collect()
+}
+
+fn bench_serving_at(c: &mut Criterion, sparsity: f64) {
+    let mut group = c.benchmark_group(format!("serving_s{:02.0}", sparsity * 100.0));
+    group.sample_size(10);
+    for batch in [4usize, 16, 32] {
+        let (a, panels, cfg) = workload(sparsity, batch);
+        // Warm the decomposition cache so both sides measure steady-state serving;
+        // the cold-decomposition contrast is what the acceptance gate measures.
+        let engine = ExecutionEngine::builder().build();
+        let _ = engine.decompose(&a, &cfg);
+
+        group.bench_function(format!("submit_batched/{batch}"), |bench| {
+            bench.iter(|| {
+                let responses = engine.submit(std::hint::black_box(requests(&a, &panels, &cfg)));
+                assert!(responses.iter().all(|r| r.output.is_ok()));
+                responses
+            });
+        });
+
+        group.bench_function(format!("one_at_a_time/{batch}"), |bench| {
+            bench.iter(|| {
+                panels
+                    .iter()
+                    .map(|b| {
+                        engine
+                            .decompose_gemm(std::hint::black_box(&a), &cfg, std::hint::black_box(b))
+                            .unwrap()
+                    })
+                    .collect::<Vec<_>>()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_serving(c: &mut Criterion) {
+    for sparsity in [0.5, 0.9] {
+        bench_serving_at(c, sparsity);
+    }
+}
+
+/// Best-of-`reps` wall-clock of `f` (de-noises single-core CI runners).
+fn best_of<F: FnMut()>(reps: usize, mut f: F) -> Duration {
+    (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed()
+        })
+        .min()
+        .expect("at least one rep")
+}
+
+/// The PR's acceptance gate (panics on regression):
+///
+/// 1. A cold batch of 32 requests sharing one decomposed operand performs exactly one
+///    decomposition, verified via the batch's cache telemetry.
+/// 2. The batched path beats the one-at-a-time loop's wall-clock on the same workload
+///    (both sides cold, best-of-5 each).
+fn acceptance_gate(_c: &mut Criterion) {
+    const BATCH: usize = 32;
+    let (a, panels, cfg) = workload(0.9, BATCH);
+
+    // -- Gate 1: exactly one decomposition per shared-operand batch. -------------------
+    let engine = ExecutionEngine::builder().build();
+    let (responses, telemetry) = engine.submit_with_telemetry(requests(&a, &panels, &cfg));
+    assert!(responses.iter().all(|r| r.output.is_ok()));
+    assert_eq!(telemetry.groups.len(), 1, "one shared operand, one group");
+    assert_eq!(
+        telemetry.decompositions, 1,
+        "a batch of {BATCH} requests sharing one operand must decompose exactly once"
+    );
+    assert_eq!(telemetry.cache_misses, 1);
+    assert!(telemetry.bytes_resident > 0);
+
+    // -- Gate 2: batched beats one-at-a-time on wall-clock (both cold). ----------------
+    let batched = best_of(5, || {
+        let engine = ExecutionEngine::builder().build();
+        let responses = engine.submit(requests(&a, &panels, &cfg));
+        assert!(responses.iter().all(|r| r.output.is_ok()));
+    });
+    let one_at_a_time = best_of(5, || {
+        let engine = ExecutionEngine::builder().build();
+        for b in &panels {
+            engine.decompose_gemm(&a, &cfg, b).unwrap();
+        }
+    });
+    println!(
+        "serving acceptance gate: batched {batched:?} vs one-at-a-time {one_at_a_time:?} \
+         ({:.2}x) on {BATCH} shared-operand requests",
+        one_at_a_time.as_secs_f64() / batched.as_secs_f64()
+    );
+    assert!(
+        batched < one_at_a_time,
+        "batched submit ({batched:?}) must beat the one-at-a-time loop ({one_at_a_time:?})"
+    );
+}
+
+criterion_group!(benches, acceptance_gate, bench_serving);
+criterion_main!(benches);

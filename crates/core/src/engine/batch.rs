@@ -1,0 +1,592 @@
+//! Batched serving: group, schedule, and execute many GEMM requests in one call.
+//!
+//! [`ExecutionEngine::submit`] is the serving seam layered on the engine: callers hand it
+//! a whole batch of independent requests and get every result back at once, while the
+//! engine exploits what the requests have in common.
+//!
+//! 1. **Grouping** — requests are grouped by *decomposed-operand fingerprint*: the key is
+//!    `(operand fingerprint, operand shape, decomposition config)` — exactly the
+//!    decomposition cache's key, with "no decomposition" as its own config value. Every
+//!    group decomposes its operand at most once per batch (and usually zero times, when
+//!    the cache entry is already resident), and its right-hand panels are packed
+//!    column-wise so one pass over the operand serves every member
+//!    ([`pack_panels`](tasd_tensor::backend::pack_panels)).
+//! 2. **Scheduling** — groups are admitted shortest-plan-first by their summed
+//!    [`MatmulPlan`](super::MatmulPlan) cost estimates, with a fairness cap bounding how
+//!    many slots any group can be overtaken by (see [`admission_order`]).
+//! 3. **Telemetry** — [`BatchTelemetry`] reports per-group admission slots, queue delays,
+//!    plan costs, and the decomposition-cache deltas (hits, misses, decompositions
+//!    performed, bytes resident), so deployments can size `cache_capacity` from data.
+//!
+//! Packing never changes the math: each output column accumulates in the same order as a
+//! one-at-a-time [`series_gemm`](ExecutionEngine::series_gemm) /
+//! [`gemm`](ExecutionEngine::gemm) call, so `submit` results are bitwise identical to the
+//! per-request path, under every admission ordering.
+
+use super::ExecutionEngine;
+use crate::config::TasdConfig;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
+use tasd_tensor::backend::{pack_panels, unpack_panels};
+use tasd_tensor::{Matrix, Result, TensorError};
+
+/// Default fairness cap: a group is admitted at most this many slots after its arrival
+/// rank, however expensive its plan is (0 would mean strict FIFO).
+pub const DEFAULT_FAIRNESS_CAP: usize = 8;
+
+/// One serving request: multiply (a possibly decomposed) `a` by `b`.
+///
+/// The operand is shared behind an [`Arc`] so a batch of requests against one weight
+/// tensor carries one copy of it; `submit` additionally fingerprints each distinct `Arc`
+/// only once. Requests with equal operand *content* (even behind different `Arc`s) still
+/// land in the same group — the grouping key is the content fingerprint, not the pointer.
+#[derive(Debug, Clone)]
+pub struct BatchRequest {
+    /// Left-hand operand. Requests in the same batch with identical `a` and `config`
+    /// share one decomposition and one kernel pass.
+    pub a: Arc<Matrix>,
+    /// Right-hand panel (`a.cols() × width`).
+    pub b: Matrix,
+    /// Decomposition to apply to `a` before multiplying; `None` executes the exact GEMM.
+    pub config: Option<TasdConfig>,
+}
+
+impl BatchRequest {
+    /// A request executing the TASD-approximated product `A·B` with `A` decomposed under
+    /// `config` (through the engine's decomposition cache).
+    pub fn decomposed(a: impl Into<Arc<Matrix>>, config: TasdConfig, b: Matrix) -> Self {
+        BatchRequest {
+            a: a.into(),
+            b,
+            config: Some(config),
+        }
+    }
+
+    /// A request executing the exact (undecomposed) product `A·B`.
+    pub fn dense(a: impl Into<Arc<Matrix>>, b: Matrix) -> Self {
+        BatchRequest {
+            a: a.into(),
+            b,
+            config: None,
+        }
+    }
+}
+
+/// The engine's answer to one [`BatchRequest`], in the same position as its request.
+#[derive(Debug, Clone)]
+pub struct BatchResponse {
+    /// Index of the request this responds to (== its position in the submitted batch).
+    pub index: usize,
+    /// The product, or the shape error that rejected the request at admission.
+    pub output: Result<Matrix>,
+    /// Arrival-ranked id of the group this request executed with (`None` if rejected).
+    pub group: Option<usize>,
+    /// Estimated effectual MACs of this request's plan (0 if rejected).
+    pub plan_cost: u64,
+    /// Whether this request's decomposition was served from the cache. `false` for dense
+    /// requests and for the request batch that actually performed the decomposition.
+    pub cache_hit: bool,
+}
+
+/// Per-group serving telemetry (one entry per operand group, indexed by group id).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroupTelemetry {
+    /// Content fingerprint of the group's shared operand.
+    pub fingerprint: u64,
+    /// Request indices served by this group, in arrival order.
+    pub members: Vec<usize>,
+    /// Summed plan-cost estimate (effectual MACs) of the group's packed execution.
+    pub plan_cost: u64,
+    /// Execution slot the scheduler admitted this group at (0 = first).
+    pub admitted_at: usize,
+    /// Slots this group waited past its arrival rank (bounded by the fairness cap).
+    pub queue_delay: usize,
+    /// Whether this batch performed the group's decomposition (a cache miss). Always
+    /// `false` for dense groups.
+    pub decomposed: bool,
+    /// Whether the group's decomposition came out of the cache.
+    pub cache_hit: bool,
+}
+
+/// Whole-batch serving telemetry from [`ExecutionEngine::submit_with_telemetry`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchTelemetry {
+    /// Requests submitted.
+    pub requests: usize,
+    /// Requests rejected at admission (per-request shape errors).
+    pub rejected: usize,
+    /// Fairness cap the scheduler ran with.
+    pub fairness_cap: usize,
+    /// Per-group telemetry, indexed by arrival-ranked group id.
+    pub groups: Vec<GroupTelemetry>,
+    /// Decompositions actually performed during this batch (cache misses).
+    pub decompositions: u64,
+    /// Decomposition-cache hit delta over the batch.
+    pub cache_hits: u64,
+    /// Decomposition-cache miss delta over the batch.
+    pub cache_misses: u64,
+    /// Bytes resident in the decomposition cache after the batch.
+    pub bytes_resident: usize,
+}
+
+impl BatchTelemetry {
+    /// Largest queue delay any group experienced (what the fairness cap bounds).
+    pub fn max_queue_delay(&self) -> usize {
+        self.groups.iter().map(|g| g.queue_delay).max().unwrap_or(0)
+    }
+
+    /// Summed plan-cost estimate across every admitted group.
+    pub fn total_plan_cost(&self) -> u64 {
+        self.groups.iter().map(|g| g.plan_cost).sum()
+    }
+
+    /// Group ids in the order the scheduler executed them.
+    pub fn admission_order(&self) -> Vec<usize> {
+        let mut ids: Vec<usize> = (0..self.groups.len()).collect();
+        ids.sort_by_key(|&g| self.groups[g].admitted_at);
+        ids
+    }
+}
+
+/// Shortest-plan-first admission order with a fairness cap.
+///
+/// `costs[i]` is the plan-cost estimate of entry `i`; arrival order is the index order.
+/// The returned permutation admits the cheapest pending entry at every slot — stable for
+/// equal costs (earlier arrival wins) — **except** when some pending entry has already
+/// waited `fairness_cap` slots past its arrival rank, in which case the most overdue
+/// entry is admitted instead. This bounds every entry's queue delay:
+/// `position(i) ≤ i + fairness_cap`, so a cheap stream cannot starve behind a single
+/// huge plan, and a huge plan cannot be deferred forever behind a cheap stream.
+///
+/// A cap of 0 degenerates to FIFO (arrival order); a cap of `costs.len()` or more never
+/// binds and yields pure shortest-plan-first order.
+pub fn admission_order(costs: &[u64], fairness_cap: usize) -> Vec<usize> {
+    let n = costs.len();
+    // Stable shortest-plan-first: sort by (cost, arrival).
+    let mut by_cost: Vec<usize> = (0..n).collect();
+    by_cost.sort_by_key(|&i| (costs[i], i));
+    let mut admitted = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    for slot in 0..n {
+        // At most one entry newly exhausts its slack per slot (arrivals are unique), so
+        // admitting the most overdue entry first keeps every deadline.
+        let overdue = (0..n).find(|&i| !admitted[i] && i.saturating_add(fairness_cap) <= slot);
+        let next = overdue.unwrap_or_else(|| {
+            *by_cost
+                .iter()
+                .find(|&&i| !admitted[i])
+                .expect("one pending entry per remaining slot")
+        });
+        admitted[next] = true;
+        order.push(next);
+    }
+    order
+}
+
+/// Grouping key: operand content fingerprint, operand shape, decomposition config
+/// (`None` = exact GEMM) — the decomposition cache's key with "no decomposition" as its
+/// own value.
+type GroupKey = (u64, (usize, usize), Option<TasdConfig>);
+
+/// A request group: one shared operand (+ config), many right-hand panels.
+struct Group {
+    members: Vec<usize>,
+    plan_cost: u64,
+    fingerprint: u64,
+}
+
+impl ExecutionEngine {
+    /// Executes a batch of serving requests: groups them by decomposed-operand
+    /// fingerprint, admits groups shortest-plan-first under the engine's fairness cap,
+    /// decomposes each group's operand at most once (through the cache), and runs each
+    /// group as one packed multi-RHS kernel pass. See the [`batch` module docs](self)
+    /// for the full contract.
+    ///
+    /// Responses come back in request order; a request with inconsistent shapes gets an
+    /// `Err` response without poisoning the rest of the batch.
+    pub fn submit(&self, requests: Vec<BatchRequest>) -> Vec<BatchResponse> {
+        self.submit_with_telemetry(requests).0
+    }
+
+    /// [`submit`](Self::submit), also returning the batch's [`BatchTelemetry`].
+    ///
+    /// Per-group counters ([`GroupTelemetry::decomposed`] / `cache_hit`) are read
+    /// atomically with each lookup and are exact even under concurrent engine use; the
+    /// batch-level `cache_hits`/`cache_misses` are deltas of the engine-wide stats, so
+    /// concurrent traffic from other threads is included in them.
+    pub fn submit_with_telemetry(
+        &self,
+        requests: Vec<BatchRequest>,
+    ) -> (Vec<BatchResponse>, BatchTelemetry) {
+        let stats_before = self.cache_stats();
+        let n = requests.len();
+        let mut responses: Vec<Option<BatchResponse>> = (0..n).map(|_| None).collect();
+
+        // ---- Group by (fingerprint, shape, config) -----------------------------------
+        let mut group_ids: HashMap<GroupKey, usize> = HashMap::new();
+        // Requests sharing an operand usually share its Arc too: fingerprint each
+        // distinct allocation once instead of re-scanning the matrix per request.
+        let mut fingerprints: HashMap<*const Matrix, u64> = HashMap::new();
+        let mut groups: Vec<Group> = Vec::new();
+        let mut rejected = 0usize;
+        for (i, req) in requests.iter().enumerate() {
+            if req.b.rows() != req.a.cols() {
+                rejected += 1;
+                responses[i] = Some(BatchResponse {
+                    index: i,
+                    output: Err(TensorError::ShapeMismatch {
+                        op: "batch request",
+                        lhs: req.a.shape(),
+                        rhs: req.b.shape(),
+                    }),
+                    group: None,
+                    plan_cost: 0,
+                    cache_hit: false,
+                });
+                continue;
+            }
+            let fingerprint = *fingerprints
+                .entry(Arc::as_ptr(&req.a))
+                .or_insert_with(|| req.a.fingerprint());
+            let key = (fingerprint, req.a.shape(), req.config.clone());
+            let gid = *group_ids.entry(key).or_insert_with(|| {
+                groups.push(Group {
+                    members: Vec::new(),
+                    plan_cost: 0,
+                    fingerprint,
+                });
+                groups.len() - 1
+            });
+            groups[gid].members.push(i);
+        }
+
+        // ---- Cost every request (shape-only plans; one density scan per group) -------
+        let mut member_cost = vec![0u64; n];
+        for group in &mut groups {
+            let a = &requests[group.members[0]].a;
+            let nnz = a.count_nonzeros();
+            let density = if a.is_empty() {
+                0.0
+            } else {
+                nnz as f64 / a.len() as f64
+            };
+            for &i in &group.members {
+                let req = &requests[i];
+                let cost = self
+                    .plan_dims(
+                        a.rows(),
+                        a.cols(),
+                        req.b.cols(),
+                        density,
+                        req.config.as_ref(),
+                    )
+                    .estimated_macs();
+                member_cost[i] = cost;
+                group.plan_cost += cost;
+            }
+        }
+
+        // ---- Schedule and execute ----------------------------------------------------
+        let group_costs: Vec<u64> = groups.iter().map(|g| g.plan_cost).collect();
+        let order = admission_order(&group_costs, self.fairness_cap());
+        let mut group_telemetry: Vec<Option<GroupTelemetry>> =
+            (0..groups.len()).map(|_| None).collect();
+        for (slot, &gid) in order.iter().enumerate() {
+            let group = &groups[gid];
+            let first = &requests[group.members[0]];
+            let panels: Vec<&Matrix> = group.members.iter().map(|&i| &requests[i].b).collect();
+            let wide_b = pack_panels(&panels).expect("group panels share the operand width");
+            let (wide_c, cache_hit, decomposed) = match &first.config {
+                Some(cfg) => {
+                    let (series, hit) =
+                        self.decompose_with_fingerprint(first.a.as_ref(), cfg, group.fingerprint);
+                    let c = self
+                        .series_gemm(&series, &wide_b)
+                        .expect("shapes validated at admission");
+                    (c, hit, !hit)
+                }
+                None => {
+                    let c = self
+                        .gemm(first.a.as_ref(), &wide_b)
+                        .expect("shapes validated at admission");
+                    (c, false, false)
+                }
+            };
+            let widths: Vec<usize> = panels.iter().map(|p| p.cols()).collect();
+            for (&i, out) in group.members.iter().zip(unpack_panels(&wide_c, &widths)) {
+                responses[i] = Some(BatchResponse {
+                    index: i,
+                    output: Ok(out),
+                    group: Some(gid),
+                    plan_cost: member_cost[i],
+                    cache_hit,
+                });
+            }
+            group_telemetry[gid] = Some(GroupTelemetry {
+                fingerprint: group.fingerprint,
+                members: group.members.clone(),
+                plan_cost: group.plan_cost,
+                admitted_at: slot,
+                // Groups are numbered in arrival order, so gid is the arrival rank.
+                queue_delay: slot.saturating_sub(gid),
+                decomposed,
+                cache_hit,
+            });
+        }
+
+        let stats_after = self.cache_stats();
+        let groups: Vec<GroupTelemetry> = group_telemetry
+            .into_iter()
+            .map(|g| g.expect("every group was admitted exactly once"))
+            .collect();
+        let telemetry = BatchTelemetry {
+            requests: n,
+            rejected,
+            fairness_cap: self.fairness_cap(),
+            decompositions: groups.iter().filter(|g| g.decomposed).count() as u64,
+            cache_hits: stats_after.hits - stats_before.hits,
+            cache_misses: stats_after.misses - stats_before.misses,
+            bytes_resident: stats_after.bytes_resident,
+            groups,
+        };
+        let responses = responses
+            .into_iter()
+            .map(|r| r.expect("every request was answered"))
+            .collect();
+        (responses, telemetry)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tasd_tensor::{gemm, MatrixGenerator};
+
+    fn engine() -> ExecutionEngine {
+        ExecutionEngine::builder().build()
+    }
+
+    // ---- Scheduler unit tests --------------------------------------------------------
+
+    #[test]
+    fn shortest_plan_first_orders_by_cost() {
+        let order = admission_order(&[30, 10, 20], 100);
+        assert_eq!(order, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn equal_costs_keep_arrival_order() {
+        // Stability: ties broken by arrival, so the order is deterministic.
+        let order = admission_order(&[5, 5, 5, 5], 100);
+        assert_eq!(order, vec![0, 1, 2, 3]);
+        let order = admission_order(&[9, 5, 5, 9, 5], 100);
+        assert_eq!(order, vec![1, 2, 4, 0, 3]);
+    }
+
+    #[test]
+    fn fairness_cap_bounds_queue_delay() {
+        // One huge plan arriving first, then a stream of cheap ones: without the cap the
+        // huge plan would be admitted last.
+        let mut costs = vec![1_000_000u64];
+        costs.extend(std::iter::repeat_n(1, 20));
+        for cap in [0usize, 1, 3, 7, 50] {
+            let order = admission_order(&costs, cap);
+            let mut position = vec![0usize; costs.len()];
+            for (slot, &i) in order.iter().enumerate() {
+                position[i] = slot;
+            }
+            for (i, &pos) in position.iter().enumerate() {
+                assert!(
+                    pos <= i + cap,
+                    "cap {cap}: entry {i} admitted at slot {pos}, past its deadline"
+                );
+            }
+        }
+        // And the cap actually binds: with cap 3 the huge plan runs at slot 3, not last.
+        let order = admission_order(&costs, 3);
+        assert_eq!(order.iter().position(|&i| i == 0), Some(3));
+    }
+
+    #[test]
+    fn fairness_cap_zero_is_fifo() {
+        let order = admission_order(&[100, 1, 50, 2], 0);
+        assert_eq!(order, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn admission_order_is_a_permutation_under_random_costs() {
+        let mut gen = MatrixGenerator::seeded(9);
+        let noise = gen.normal(1, 64, 0.0, 1.0);
+        let costs: Vec<u64> = noise
+            .row(0)
+            .iter()
+            .map(|x| (x.abs() * 1e6) as u64)
+            .collect();
+        for cap in [0usize, 2, 5, 64] {
+            let mut order = admission_order(&costs, cap);
+            order.sort_unstable();
+            assert_eq!(order, (0..costs.len()).collect::<Vec<_>>());
+        }
+    }
+
+    // ---- Submit tests ----------------------------------------------------------------
+
+    #[test]
+    fn identical_operands_decompose_exactly_once() {
+        let mut gen = MatrixGenerator::seeded(21);
+        let a = gen.sparse_normal(32, 48, 0.8);
+        let cfg = TasdConfig::parse("2:8").unwrap();
+        let e = engine();
+        let requests: Vec<BatchRequest> = (0..16)
+            .map(|_| BatchRequest::decomposed(a.clone(), cfg.clone(), gen.normal(48, 4, 0.0, 1.0)))
+            .collect();
+        let (responses, telemetry) = e.submit_with_telemetry(requests);
+        assert_eq!(telemetry.groups.len(), 1);
+        assert_eq!(telemetry.decompositions, 1, "one decomposition per batch");
+        assert_eq!(telemetry.cache_misses, 1);
+        assert!(telemetry.bytes_resident > 0);
+        assert!(responses.iter().all(|r| r.output.is_ok()));
+        // A second batch over the same operand is served entirely from the cache.
+        let again: Vec<BatchRequest> = (0..16)
+            .map(|_| BatchRequest::decomposed(a.clone(), cfg.clone(), gen.normal(48, 4, 0.0, 1.0)))
+            .collect();
+        let (_, telemetry) = e.submit_with_telemetry(again);
+        assert_eq!(telemetry.decompositions, 0);
+        assert_eq!(telemetry.cache_hits, 1);
+        assert!(telemetry.groups[0].cache_hit);
+    }
+
+    #[test]
+    fn submit_matches_per_request_execution() {
+        let mut gen = MatrixGenerator::seeded(22);
+        let e = engine();
+        let shared = gen.sparse_normal(24, 32, 0.7);
+        let unique = gen.sparse_normal(16, 32, 0.4);
+        let cfg = TasdConfig::parse("2:8+1:8").unwrap();
+        let requests = vec![
+            BatchRequest::decomposed(shared.clone(), cfg.clone(), gen.normal(32, 6, 0.0, 1.0)),
+            BatchRequest::dense(unique.clone(), gen.normal(32, 3, 0.0, 1.0)),
+            BatchRequest::decomposed(shared.clone(), cfg.clone(), gen.normal(32, 1, 0.0, 1.0)),
+            BatchRequest::dense(shared.clone(), gen.normal(32, 5, 0.0, 1.0)),
+        ];
+        let reference: Vec<Matrix> = requests
+            .iter()
+            .map(|r| match &r.config {
+                Some(cfg) => {
+                    let series = e.decompose(r.a.as_ref(), cfg);
+                    e.series_gemm(&series, &r.b).unwrap()
+                }
+                None => e.gemm(r.a.as_ref(), &r.b).unwrap(),
+            })
+            .collect();
+        let responses = e.submit(requests);
+        for (resp, expected) in responses.iter().zip(&reference) {
+            // Packing preserves per-column accumulation order: bitwise equality.
+            assert_eq!(resp.output.as_ref().unwrap(), expected);
+        }
+        // The two decomposed requests on the shared operand formed one group; the dense
+        // request on the same operand is a different group (different config key).
+        assert_eq!(responses[0].group, responses[2].group);
+        assert_ne!(responses[0].group, responses[3].group);
+        assert_ne!(responses[1].group, responses[0].group);
+    }
+
+    #[test]
+    fn rejected_requests_do_not_poison_the_batch() {
+        let mut gen = MatrixGenerator::seeded(23);
+        let a = gen.normal(8, 8, 0.0, 1.0);
+        let e = engine();
+        let requests = vec![
+            BatchRequest::dense(a.clone(), gen.normal(8, 2, 0.0, 1.0)),
+            BatchRequest::dense(a.clone(), gen.normal(9, 2, 0.0, 1.0)), // bad shape
+            BatchRequest::dense(a.clone(), gen.normal(8, 2, 0.0, 1.0)),
+        ];
+        let (responses, telemetry) = e.submit_with_telemetry(requests);
+        assert!(responses[0].output.is_ok());
+        assert!(responses[1].output.is_err());
+        assert!(responses[2].output.is_ok());
+        assert_eq!(responses[1].group, None);
+        assert_eq!(telemetry.rejected, 1);
+        assert_eq!(telemetry.requests, 3);
+        assert_eq!(telemetry.groups.len(), 1);
+        assert_eq!(telemetry.groups[0].members, vec![0, 2]);
+    }
+
+    #[test]
+    fn groups_are_admitted_shortest_plan_first() {
+        let mut gen = MatrixGenerator::seeded(24);
+        // Arrival order: huge dense group first, tiny group second.
+        let big = gen.normal(96, 96, 0.0, 1.0);
+        let small = gen.normal(8, 8, 0.0, 1.0);
+        let e = engine();
+        let requests = vec![
+            BatchRequest::dense(big, gen.normal(96, 32, 0.0, 1.0)),
+            BatchRequest::dense(small, gen.normal(8, 2, 0.0, 1.0)),
+        ];
+        let (_, telemetry) = e.submit_with_telemetry(requests);
+        assert_eq!(telemetry.admission_order(), vec![1, 0]);
+        assert_eq!(telemetry.groups[0].queue_delay, 1);
+        assert!(telemetry.max_queue_delay() <= telemetry.fairness_cap);
+        assert!(telemetry.groups[0].plan_cost > telemetry.groups[1].plan_cost);
+        assert_eq!(
+            telemetry.total_plan_cost(),
+            telemetry.groups.iter().map(|g| g.plan_cost).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn zero_capacity_engine_serves_batches_without_caching() {
+        // Regression companion to `DecompositionCache::new(0)`: a cache-less engine must
+        // serve every batch (decomposing per batch) and never panic.
+        let mut gen = MatrixGenerator::seeded(25);
+        let a = gen.sparse_normal(16, 16, 0.6);
+        let cfg = TasdConfig::parse("2:8").unwrap();
+        let e = ExecutionEngine::builder().cache_capacity(0).build();
+        for _ in 0..3 {
+            let requests: Vec<BatchRequest> = (0..4)
+                .map(|_| {
+                    BatchRequest::decomposed(a.clone(), cfg.clone(), gen.normal(16, 2, 0.0, 1.0))
+                })
+                .collect();
+            let (responses, telemetry) = e.submit_with_telemetry(requests);
+            assert!(responses.iter().all(|r| r.output.is_ok()));
+            // Still one decomposition per *batch* (the group shares the series in hand),
+            // but nothing is retained across batches.
+            assert_eq!(telemetry.decompositions, 1);
+            assert_eq!(telemetry.bytes_resident, 0);
+        }
+        assert_eq!(e.cache_stats().entries, 0);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let (responses, telemetry) = engine().submit_with_telemetry(Vec::new());
+        assert!(responses.is_empty());
+        assert_eq!(telemetry.requests, 0);
+        assert!(telemetry.groups.is_empty());
+        assert_eq!(telemetry.max_queue_delay(), 0);
+    }
+
+    #[test]
+    fn dense_group_output_matches_reference_gemm() {
+        let mut gen = MatrixGenerator::seeded(26);
+        let a = gen.sparse_normal(20, 24, 0.5);
+        let b1 = gen.normal(24, 7, 0.0, 1.0);
+        let b2 = gen.normal(24, 2, 0.0, 1.0);
+        let responses = engine().submit(vec![
+            BatchRequest::dense(a.clone(), b1.clone()),
+            BatchRequest::dense(a.clone(), b2.clone()),
+        ]);
+        assert!(responses[0]
+            .output
+            .as_ref()
+            .unwrap()
+            .approx_eq(&gemm(&a, &b1).unwrap(), 1e-4));
+        assert!(responses[1]
+            .output
+            .as_ref()
+            .unwrap()
+            .approx_eq(&gemm(&a, &b2).unwrap(), 1e-4));
+    }
+}

@@ -1,4 +1,4 @@
-//! LRU cache of decomposition results.
+//! LRU cache of decomposition results, with the telemetry serving deployments size it by.
 
 use crate::config::TasdConfig;
 use crate::series::TasdSeries;
@@ -20,6 +20,8 @@ pub(crate) struct CacheKey {
 struct CacheEntry {
     series: Arc<TasdSeries>,
     last_used: u64,
+    hits: u64,
+    bytes: usize,
 }
 
 /// An LRU cache of decomposition results, keyed by (matrix fingerprint, configuration).
@@ -30,8 +32,24 @@ struct CacheEntry {
 /// The cache makes the second request free: it returns the previously materialized
 /// [`TasdSeries`] behind an [`Arc`], so hits share storage instead of copying.
 ///
-/// Eviction is least-recently-used with a logical clock; lookups bump recency. Capacity 0
-/// disables caching entirely (every lookup misses).
+/// Eviction is least-recently-used with a logical clock; lookups bump recency.
+///
+/// # Zero capacity
+///
+/// A capacity of 0 is an explicit, supported configuration that disables caching: every
+/// lookup misses, and [`insert`](Self::insert) is a documented pass-through — the series
+/// is dropped on the floor, nothing is stored, no counter besides the miss count moves,
+/// and no operation panics. Engines built with `cache_capacity(0)` therefore decompose on
+/// every request, which is the right mode for operands that never repeat (e.g. per-batch
+/// activations).
+///
+/// # Telemetry
+///
+/// The cache keeps the counters a serving deployment needs to size `cache_capacity` from
+/// data: global hit/miss/insertion/eviction counts and resident bytes ([`stats`]
+/// (Self::stats)), plus per-entry hit counts and compressed byte sizes
+/// ([`entry_stats`](Self::entry_stats)). See the `tasd::engine` module docs for the
+/// sizing recipe.
 #[derive(Debug)]
 pub struct DecompositionCache {
     capacity: usize,
@@ -39,10 +57,15 @@ pub struct DecompositionCache {
     clock: u64,
     hits: u64,
     misses: u64,
+    insertions: u64,
+    evictions: u64,
+    bytes_resident: usize,
 }
 
 impl DecompositionCache {
-    /// A cache holding at most `capacity` series.
+    /// A cache holding at most `capacity` series. A `capacity` of 0 disables caching
+    /// entirely (see the type docs): the cache stays valid and panic-free, it just never
+    /// retains anything.
     pub fn new(capacity: usize) -> Self {
         DecompositionCache {
             capacity,
@@ -50,6 +73,9 @@ impl DecompositionCache {
             clock: 0,
             hits: 0,
             misses: 0,
+            insertions: 0,
+            evictions: 0,
+            bytes_resident: 0,
         }
     }
 
@@ -58,6 +84,7 @@ impl DecompositionCache {
         match self.entries.get_mut(key) {
             Some(entry) => {
                 entry.last_used = self.clock;
+                entry.hits += 1;
                 self.hits += 1;
                 Some(Arc::clone(&entry.series))
             }
@@ -70,6 +97,7 @@ impl DecompositionCache {
 
     pub(crate) fn insert(&mut self, key: CacheKey, series: Arc<TasdSeries>) {
         if self.capacity == 0 {
+            // Documented pass-through: nothing is retained and nothing panics.
             return;
         }
         self.clock += 1;
@@ -82,16 +110,26 @@ impl DecompositionCache {
                 .min_by_key(|(_, e)| e.last_used)
                 .map(|(k, _)| k.clone())
             {
-                self.entries.remove(&lru);
+                if let Some(evicted) = self.entries.remove(&lru) {
+                    self.bytes_resident -= evicted.bytes;
+                    self.evictions += 1;
+                }
             }
         }
-        self.entries.insert(
+        let bytes = series.storage_bytes();
+        self.insertions += 1;
+        if let Some(replaced) = self.entries.insert(
             key,
             CacheEntry {
                 series,
                 last_used: self.clock,
+                hits: 0,
+                bytes,
             },
-        );
+        ) {
+            self.bytes_resident -= replaced.bytes;
+        }
+        self.bytes_resident += bytes;
     }
 
     /// Point-in-time counters of this cache.
@@ -101,12 +139,35 @@ impl DecompositionCache {
             misses: self.misses,
             entries: self.entries.len(),
             capacity: self.capacity,
+            insertions: self.insertions,
+            evictions: self.evictions,
+            bytes_resident: self.bytes_resident,
         }
     }
 
-    /// Drops every cached series (counters are preserved).
+    /// Per-entry counters of every resident series, hottest first (ties broken by
+    /// fingerprint, for deterministic output). This is the data behind the "sizing
+    /// `cache_capacity` from telemetry" recipe in the `tasd::engine` module docs.
+    pub fn entry_stats(&self) -> Vec<CacheEntryStats> {
+        let mut out: Vec<CacheEntryStats> = self
+            .entries
+            .iter()
+            .map(|(k, e)| CacheEntryStats {
+                fingerprint: k.fingerprint,
+                shape: k.shape,
+                config: k.config.to_string(),
+                hits: e.hits,
+                bytes: e.bytes,
+            })
+            .collect();
+        out.sort_by(|a, b| b.hits.cmp(&a.hits).then(a.fingerprint.cmp(&b.fingerprint)));
+        out
+    }
+
+    /// Drops every cached series (counters are preserved; resident bytes go to zero).
     pub fn clear(&mut self) {
         self.entries.clear();
+        self.bytes_resident = 0;
     }
 }
 
@@ -122,6 +183,12 @@ pub struct CacheStats {
     pub entries: usize,
     /// Maximum resident series.
     pub capacity: usize,
+    /// Series stored since construction (pass-through inserts at capacity 0 not counted).
+    pub insertions: u64,
+    /// Resident series displaced to make room for newer ones.
+    pub evictions: u64,
+    /// Compressed storage footprint of every resident series, in bytes.
+    pub bytes_resident: usize,
 }
 
 impl CacheStats {
@@ -134,6 +201,22 @@ impl CacheStats {
             self.hits as f64 / total as f64
         }
     }
+}
+
+/// Per-entry counters of one resident series, from
+/// [`DecompositionCache::entry_stats`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheEntryStats {
+    /// Content fingerprint of the decomposed matrix.
+    pub fingerprint: u64,
+    /// Shape of the decomposed matrix.
+    pub shape: (usize, usize),
+    /// Decomposition configuration, in `"n:m+n:m"` notation.
+    pub config: String,
+    /// Times this entry was returned from the cache since insertion.
+    pub hits: u64,
+    /// Compressed storage footprint of the cached series, in bytes.
+    pub bytes: usize,
 }
 
 #[cfg(test)]
@@ -166,6 +249,8 @@ mod tests {
         assert_eq!(stats.hits, 1);
         assert_eq!(stats.misses, 1);
         assert_eq!(stats.entries, 1);
+        assert_eq!(stats.insertions, 1);
+        assert_eq!(stats.evictions, 0);
         assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
     }
 
@@ -181,14 +266,28 @@ mod tests {
         assert!(cache.get(&key(2)).is_none(), "stale entry evicted");
         assert!(cache.get(&key(3)).is_some());
         assert_eq!(cache.stats().entries, 2);
+        assert_eq!(cache.stats().evictions, 1);
     }
 
     #[test]
-    fn zero_capacity_disables_caching() {
+    fn zero_capacity_is_a_documented_pass_through() {
         let mut cache = DecompositionCache::new(0);
-        cache.insert(key(1), series());
-        assert!(cache.get(&key(1)).is_none());
-        assert_eq!(cache.stats().entries, 0);
+        // Regression: `new(0)` must stay valid and insert must never panic, however many
+        // times it is called — the entry is simply not retained.
+        for i in 0..100 {
+            cache.insert(key(i), series());
+            assert!(cache.get(&key(i)).is_none());
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 0);
+        assert_eq!(stats.capacity, 0);
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.misses, 100);
+        assert_eq!(stats.insertions, 0, "pass-through inserts are not counted");
+        assert_eq!(stats.evictions, 0);
+        assert_eq!(stats.bytes_resident, 0);
+        assert!(cache.entry_stats().is_empty());
+        cache.clear(); // must also be a no-op, not a panic
     }
 
     #[test]
@@ -211,5 +310,46 @@ mod tests {
         assert!(cache.get(&key(1)).is_none());
         assert_eq!(cache.stats().hits, 1);
         assert_eq!(cache.stats().entries, 0);
+        assert_eq!(cache.stats().bytes_resident, 0);
+        assert_eq!(cache.stats().insertions, 1);
+    }
+
+    #[test]
+    fn bytes_resident_tracks_inserts_replacements_and_evictions() {
+        let mut cache = DecompositionCache::new(2);
+        let s = series();
+        let per_entry = s.storage_bytes();
+        assert!(per_entry > 0);
+        cache.insert(key(1), Arc::clone(&s));
+        assert_eq!(cache.stats().bytes_resident, per_entry);
+        cache.insert(key(2), Arc::clone(&s));
+        assert_eq!(cache.stats().bytes_resident, 2 * per_entry);
+        // Replacing a key must not double-count its bytes.
+        cache.insert(key(2), Arc::clone(&s));
+        assert_eq!(cache.stats().bytes_resident, 2 * per_entry);
+        // Eviction releases the evicted entry's bytes.
+        cache.insert(key(3), s);
+        assert_eq!(cache.stats().bytes_resident, 2 * per_entry);
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn entry_stats_report_per_entry_hits_hottest_first() {
+        let mut cache = DecompositionCache::new(4);
+        cache.insert(key(1), series());
+        cache.insert(key(2), series());
+        for _ in 0..3 {
+            assert!(cache.get(&key(2)).is_some());
+        }
+        assert!(cache.get(&key(1)).is_some());
+        let entries = cache.entry_stats();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].fingerprint, 2);
+        assert_eq!(entries[0].hits, 3);
+        assert_eq!(entries[1].hits, 1);
+        assert!(entries.iter().all(|e| e.bytes > 0));
+        assert!(entries.iter().all(|e| e.config == "2:4"));
+        let total: usize = entries.iter().map(|e| e.bytes).sum();
+        assert_eq!(total, cache.stats().bytes_resident);
     }
 }

@@ -36,11 +36,57 @@
 //! assert!(relative_frobenius_error(&exact, &c) < 0.3);
 //! assert_eq!(engine.cache_stats().misses, 1);
 //! ```
+//!
+//! # Batched serving: the `submit` contract
+//!
+//! [`ExecutionEngine::submit`] executes a whole batch of [`BatchRequest`]s at once and is
+//! the seam the serving-scale features (async execution, sharding) plug into. Its
+//! contract, which later layers must preserve:
+//!
+//! * **Grouping key** — requests are grouped by `(operand fingerprint, operand shape,
+//!   decomposition config)`, i.e. exactly the decomposition cache's key with "no
+//!   decomposition" (`config: None`) as its own value. Each group decomposes its operand
+//!   at most once per batch and executes as **one** packed multi-RHS kernel pass
+//!   ([`GemmBackend::gemm_multi_into`](tasd_tensor::GemmBackend::gemm_multi_into) is the
+//!   backend-level equivalent), so a batch of requests sharing one weight tensor pays for
+//!   its decomposition once and keeps the cache entry hot.
+//! * **Ordering rule** — groups are admitted *shortest-plan-first*: ascending summed
+//!   [`MatmulPlan`] cost estimate (estimated effectual MACs), ties broken by arrival
+//!   order, computed by [`admission_order`]. Results are independent of admission order —
+//!   packing preserves each output column's accumulation order, so `submit` answers are
+//!   bitwise identical to per-request [`series_gemm`](ExecutionEngine::series_gemm) /
+//!   [`gemm`](ExecutionEngine::gemm) calls.
+//! * **Fairness cap** — a group is never admitted more than
+//!   [`fairness_cap`](EngineBuilder::fairness_cap) slots after its arrival rank
+//!   (default [`DEFAULT_FAIRNESS_CAP`]); 0 means strict FIFO, `≥ #groups` means pure
+//!   shortest-plan-first. This bounds the queue delay a huge GEMM can impose on cheap
+//!   requests *and* the starvation a cheap stream can impose on a huge GEMM.
+//!
+//! # Sizing `cache_capacity` from telemetry
+//!
+//! The decomposition cache reports global counters ([`ExecutionEngine::cache_stats`]:
+//! hits, misses, insertions, evictions, `bytes_resident`) and per-entry counters
+//! ([`ExecutionEngine::cache_entry_stats`]: per-series hit counts and compressed byte
+//! sizes). To size `cache_capacity` for a deployment:
+//!
+//! 1. Run a representative traffic sample against a generously sized engine.
+//! 2. If `evictions > 0` while `hit_rate` is below target, capacity is too small — the
+//!    working set is being displaced. Raise capacity until evictions stop growing.
+//! 3. Inspect [`cache_entry_stats`](ExecutionEngine::cache_entry_stats) (hottest first):
+//!    the entries with `hits == 0` after the sample are dead weight — their summed
+//!    `bytes` is memory you can reclaim by lowering capacity to the hot-entry count.
+//! 4. `bytes_resident` is the number to budget against host memory; per-batch, the same
+//!    figure is in [`BatchTelemetry::bytes_resident`].
 
+mod batch;
 mod cache;
 mod plan;
 
-pub use cache::{CacheStats, DecompositionCache};
+pub use batch::{
+    admission_order, BatchRequest, BatchResponse, BatchTelemetry, GroupTelemetry,
+    DEFAULT_FAIRNESS_CAP,
+};
+pub use cache::{CacheEntryStats, CacheStats, DecompositionCache};
 pub use plan::{BackendKind, MatmulPlan, TermPlan};
 
 use crate::config::TasdConfig;
@@ -74,6 +120,7 @@ pub struct EngineBuilder {
     parallel: bool,
     dense_density_threshold: f64,
     min_parallel_macs: u64,
+    fairness_cap: usize,
 }
 
 impl EngineBuilder {
@@ -114,6 +161,15 @@ impl EngineBuilder {
         self
     }
 
+    /// Sets the batch scheduler's fairness cap: the maximum number of admission slots a
+    /// request group can wait past its arrival rank before it is admitted regardless of
+    /// plan cost (see the [module docs](self)). 0 means strict FIFO.
+    #[must_use]
+    pub fn fairness_cap(mut self, cap: usize) -> Self {
+        self.fairness_cap = cap;
+        self
+    }
+
     /// Builds the engine.
     pub fn build(self) -> ExecutionEngine {
         let seq: [Arc<dyn GemmBackend>; 3] = [
@@ -139,6 +195,7 @@ impl EngineBuilder {
             parallel: self.parallel,
             dense_density_threshold: self.dense_density_threshold,
             min_parallel_macs: self.min_parallel_macs,
+            fairness_cap: self.fairness_cap,
             cache: Mutex::new(DecompositionCache::new(self.cache_capacity)),
         }
     }
@@ -152,6 +209,7 @@ impl Default for EngineBuilder {
             parallel: true,
             dense_density_threshold: DEFAULT_DENSE_DENSITY_THRESHOLD,
             min_parallel_macs: DEFAULT_MIN_PARALLEL_MACS,
+            fairness_cap: DEFAULT_FAIRNESS_CAP,
         }
     }
 }
@@ -172,6 +230,7 @@ pub struct ExecutionEngine {
     parallel: bool,
     dense_density_threshold: f64,
     min_parallel_macs: u64,
+    fairness_cap: usize,
     cache: Mutex<DecompositionCache>,
 }
 
@@ -310,25 +369,50 @@ impl ExecutionEngine {
     /// The cache lock is not held during decomposition, so two threads racing on the same
     /// cold key may both decompose; the result is identical and one copy wins the insert.
     pub fn decompose(&self, a: &Matrix, config: &TasdConfig) -> Arc<TasdSeries> {
+        self.decompose_with_fingerprint(a, config, a.fingerprint())
+            .0
+    }
+
+    /// [`decompose`](Self::decompose) with a precomputed fingerprint of `a` (the batch
+    /// path memoizes fingerprints per operand and must not rescan), also reporting
+    /// whether *this* call was served from the cache — read atomically with the lookup,
+    /// so concurrent traffic on the engine cannot misattribute it.
+    pub(crate) fn decompose_with_fingerprint(
+        &self,
+        a: &Matrix,
+        config: &TasdConfig,
+        fingerprint: u64,
+    ) -> (Arc<TasdSeries>, bool) {
         let key = CacheKey {
-            fingerprint: a.fingerprint(),
+            fingerprint,
             shape: a.shape(),
             config: config.clone(),
         };
         if let Some(hit) = self.cache.lock().expect("cache lock").get(&key) {
-            return hit;
+            return (hit, true);
         }
         let series = Arc::new(decompose(a, config));
         self.cache
             .lock()
             .expect("cache lock")
             .insert(key, Arc::clone(&series));
-        series
+        (series, false)
     }
 
     /// Point-in-time decomposition-cache counters.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.lock().expect("cache lock").stats()
+    }
+
+    /// Per-entry decomposition-cache counters, hottest first (see the [module
+    /// docs](self) for the capacity-sizing recipe built on these).
+    pub fn cache_entry_stats(&self) -> Vec<CacheEntryStats> {
+        self.cache.lock().expect("cache lock").entry_stats()
+    }
+
+    /// The batch scheduler's fairness cap (see [`EngineBuilder::fairness_cap`]).
+    pub fn fairness_cap(&self) -> usize {
+        self.fairness_cap
     }
 
     /// Drops every cached decomposition (counters are preserved).

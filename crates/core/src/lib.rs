@@ -75,8 +75,8 @@ pub use compose::{compose_pattern_table, ComposedPattern, PatternMenu};
 pub use config::TasdConfig;
 pub use decompose::{decompose, decompose_with_residual};
 pub use engine::{
-    BackendKind, CacheStats, DecompositionCache, EngineBuilder, ExecutionEngine, MatmulPlan,
-    TermPlan,
+    BackendKind, BatchRequest, BatchResponse, BatchTelemetry, CacheEntryStats, CacheStats,
+    DecompositionCache, EngineBuilder, ExecutionEngine, GroupTelemetry, MatmulPlan, TermPlan,
 };
 pub use series::{series_gemm, series_gemm_into, DecompositionReport, TasdSeries};
 

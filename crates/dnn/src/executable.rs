@@ -14,7 +14,7 @@
 use crate::activation::Activation;
 use crate::layer::LayerSpec;
 use crate::network::NetworkSpec;
-use tasd::{ExecutionEngine, TasdConfig};
+use tasd::{BatchRequest, ExecutionEngine, TasdConfig};
 use tasd_tensor::{Matrix, MatrixGenerator};
 
 /// One dense layer of the executable network.
@@ -134,12 +134,7 @@ impl Mlp {
             let mut z = engine
                 .gemm(&x, &layer.weights)
                 .expect("shapes checked above");
-            for i in 0..z.rows() {
-                let row = z.row_mut(i);
-                for (j, b) in layer.bias.iter().enumerate() {
-                    row[j] += b;
-                }
-            }
+            add_bias(&mut z, &layer.bias);
             x = layer.activation.apply(&z);
         }
         ForwardTrace {
@@ -176,15 +171,86 @@ impl Mlp {
                     .gemm(&x, &layer.weights)
                     .expect("shape mismatch in tasd forward"),
             };
-            for r in 0..z.rows() {
-                let row = z.row_mut(r);
-                for (j, b) in layer.bias.iter().enumerate() {
-                    row[j] += b;
-                }
-            }
+            add_bias(&mut z, &layer.bias);
             x = layer.activation.apply(&z);
         }
         x
+    }
+
+    /// Batched serving forward pass: runs many independent requests (each a
+    /// `(samples, input_dim)` activation matrix) through the network in one
+    /// [`ExecutionEngine::submit`] batch per layer.
+    ///
+    /// Each layer's GEMM executes in the *serving orientation* `Wᵀ·xᵀ`, with the
+    /// transposed weight matrix as the batch's shared left-hand operand — so the engine
+    /// groups every request onto one operand fingerprint and multiplies the packed
+    /// activation panels in a single kernel pass per layer, instead of once per request.
+    /// Outputs match [`Mlp::forward`] per request up to f32 accumulation-order effects.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any request's width does not match the first layer.
+    pub fn forward_batch(&self, engine: &ExecutionEngine, inputs: &[Matrix]) -> Vec<Matrix> {
+        self.forward_batch_with_weight_tasd(engine, inputs, &[])
+    }
+
+    /// [`Mlp::forward_batch`] with TASD applied to each layer's *weights*: layer `i`'s
+    /// transposed weight operand is decomposed with `configs[i]` (through the engine's
+    /// cache, so the decomposition is performed once and reused across requests, batches,
+    /// and calls) and each request's product is executed term-by-term — the software
+    /// model of serving a TASD-W deployment. Layers with no entry in `configs` run
+    /// unmodified.
+    ///
+    /// Each call re-transposes every layer's weights to form the shared serving operand
+    /// (one `O(in·out)` copy plus one content-fingerprint scan per layer per call). The
+    /// transpose is deliberately *not* cached on `Mlp`: [`Mlp::layers_mut`] allows weight
+    /// mutation, and a stale cached operand would silently serve the wrong tensor. The
+    /// decomposition itself is still cached across calls (keyed by content).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any request's width does not match the first layer.
+    pub fn forward_batch_with_weight_tasd(
+        &self,
+        engine: &ExecutionEngine,
+        inputs: &[Matrix],
+        configs: &[Option<TasdConfig>],
+    ) -> Vec<Matrix> {
+        let mut xs: Vec<Matrix> = inputs.to_vec();
+        for (l, layer) in self.layers.iter().enumerate() {
+            // Serving orientation: the weight matrix is the shared (decomposed) LHS,
+            // behind one Arc so every request carries the same allocation.
+            let w_t = std::sync::Arc::new(layer.weights.transpose());
+            let requests: Vec<BatchRequest> = xs
+                .iter()
+                .map(|x| {
+                    assert_eq!(
+                        x.cols(),
+                        layer.in_features(),
+                        "activation width does not match layer input"
+                    );
+                    match configs.get(l) {
+                        Some(Some(cfg)) => BatchRequest::decomposed(
+                            std::sync::Arc::clone(&w_t),
+                            cfg.clone(),
+                            x.transpose(),
+                        ),
+                        _ => BatchRequest::dense(std::sync::Arc::clone(&w_t), x.transpose()),
+                    }
+                })
+                .collect();
+            xs = engine
+                .submit(requests)
+                .into_iter()
+                .map(|response| {
+                    let z_t = response.output.expect("shapes checked above");
+                    let mut z = z_t.transpose();
+                    add_bias(&mut z, &layer.bias);
+                    layer.activation.apply(&z)
+                })
+                .collect();
+        }
+        xs
     }
 
     /// Predicted class per sample (argmax of logits).
@@ -252,6 +318,16 @@ impl Mlp {
             })
             .collect();
         NetworkSpec::new(name, layers)
+    }
+}
+
+/// Adds `bias` to every row of `z` (the shared layer epilogue).
+fn add_bias(z: &mut Matrix, bias: &[f32]) {
+    for i in 0..z.rows() {
+        let row = z.row_mut(i);
+        for (j, b) in bias.iter().enumerate() {
+            row[j] += b;
+        }
     }
 }
 
@@ -386,6 +462,71 @@ mod tests {
             "second decomposition must be served from cache"
         );
         assert_eq!(stats.hits, 1);
+    }
+
+    #[test]
+    fn forward_batch_matches_per_request_forward() {
+        let mlp = Mlp::new(&[10, 20, 6], Activation::Relu, 19);
+        let mut gen = MatrixGenerator::seeded(20);
+        // Mixed request sizes, including a single-sample request.
+        let inputs: Vec<Matrix> = [4usize, 1, 7]
+            .iter()
+            .map(|&n| gen.normal(n, 10, 0.0, 1.0))
+            .collect();
+        let e = ExecutionEngine::builder().build();
+        let batched = mlp.forward_batch(&e, &inputs);
+        assert_eq!(batched.len(), inputs.len());
+        for (x, got) in inputs.iter().zip(&batched) {
+            let expected = mlp.forward(&e, x);
+            assert_eq!(got.shape(), expected.shape());
+            // The serving orientation transposes the GEMM, so accumulation order
+            // differs from the row-major forward pass: compare within tolerance.
+            assert!(got.approx_eq(&expected, 1e-4));
+        }
+    }
+
+    #[test]
+    fn forward_batch_with_dense_tasd_is_a_noop() {
+        let mlp = Mlp::new(&[8, 16, 4], Activation::Relu, 27);
+        let mut gen = MatrixGenerator::seeded(28);
+        let inputs: Vec<Matrix> = (0..3).map(|_| gen.normal(5, 8, 0.0, 1.0)).collect();
+        let e = ExecutionEngine::builder().build();
+        let dense_cfgs = vec![Some(TasdConfig::dense(8)); mlp.num_layers()];
+        let with_tasd = mlp.forward_batch_with_weight_tasd(&e, &inputs, &dense_cfgs);
+        let baseline = mlp.forward_batch(&e, &inputs);
+        for (a, b) in with_tasd.iter().zip(&baseline) {
+            assert!(a.approx_eq(b, 1e-5));
+        }
+    }
+
+    #[test]
+    fn forward_batch_decomposes_each_layer_once_across_requests_and_calls() {
+        let mlp = Mlp::new(&[16, 24, 8], Activation::Relu, 29);
+        let mut gen = MatrixGenerator::seeded(30);
+        let inputs: Vec<Matrix> = (0..6).map(|_| gen.normal(3, 16, 0.0, 1.0)).collect();
+        let e = ExecutionEngine::builder().build();
+        let cfgs = vec![Some(TasdConfig::parse("2:8").unwrap()); mlp.num_layers()];
+        let _ = mlp.forward_batch_with_weight_tasd(&e, &inputs, &cfgs);
+        let stats = e.cache_stats();
+        assert_eq!(
+            stats.misses,
+            mlp.num_layers() as u64,
+            "one decomposition per layer, shared by all 6 requests"
+        );
+        // A second batch is served entirely from the cache.
+        let _ = mlp.forward_batch_with_weight_tasd(&e, &inputs, &cfgs);
+        assert_eq!(e.cache_stats().misses, mlp.num_layers() as u64);
+        assert!(e.cache_stats().hits >= mlp.num_layers() as u64);
+    }
+
+    #[test]
+    fn forward_batch_of_empty_and_zero_requests() {
+        let mlp = Mlp::new(&[4, 6, 2], Activation::Relu, 31);
+        let e = ExecutionEngine::builder().build();
+        assert!(mlp.forward_batch(&e, &[]).is_empty());
+        // A zero-sample request flows through and keeps its shape.
+        let out = mlp.forward_batch(&e, &[Matrix::zeros(0, 4)]);
+        assert_eq!(out[0].shape(), (0, 2));
     }
 
     #[test]

@@ -1,0 +1,113 @@
+//! Multi-thread stress tests for `ParallelBackend` row-block tiling.
+//!
+//! The PR-1 CI container had a single CPU, so the parallel path had never actually run
+//! with >1 worker. These tests force 4 and 8 workers via `RAYON_NUM_THREADS` (the
+//! workspace's rayon shim reads it per call) and check 50 random cases per thread count
+//! against both the sequential inner backend (bitwise — row-block tiling must not change
+//! accumulation order) and the scalar reference `gemm` (within tolerance — the blocked
+//! dense kernel reorders reductions).
+//!
+//! They are `#[ignore]`d because thread count cannot vary on a 1-CPU machine; CI runs
+//! them with `cargo test -q -- --ignored` on runners reporting >1 CPU.
+
+use std::sync::{Arc, Mutex};
+use tasd_tensor::backend::{CsrBackend, DenseBackend, GemmBackend, NmBackend, ParallelBackend};
+use tasd_tensor::{gemm, CsrMatrix, Matrix, MatrixGenerator};
+
+/// `RAYON_NUM_THREADS` is process-global and the harness runs tests on concurrent
+/// threads: every test that mutates it must hold this lock for its whole run, so one
+/// test's `set_var` never races another's workers reading the variable.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+/// 50 random (shape, sparsity) cases per run, sized to produce uneven row blocks.
+fn stress_cases(gen: &mut MatrixGenerator) -> Vec<(Matrix, Matrix)> {
+    (0..50)
+        .map(|i| {
+            let m = 17 + (i * 13) % 180;
+            let k = 9 + (i * 29) % 140;
+            let n = 1 + (i * 7) % 40;
+            let sparsity = (i as f64 * 0.019) % 0.98;
+            let a = gen.sparse_normal(m, k, sparsity);
+            let b = gen.normal(k, n, 0.0, 1.0);
+            (a, b)
+        })
+        .collect()
+}
+
+fn run_stress(threads: usize) {
+    let _guard = ENV_LOCK.lock().expect("env lock");
+    // The vendored rayon shim reads RAYON_NUM_THREADS on every call, so this reliably
+    // varies the worker count mid-process (real rayon would need a scoped pool instead).
+    std::env::set_var("RAYON_NUM_THREADS", threads.to_string());
+    let mut gen = MatrixGenerator::seeded(0xBEEF + threads as u64);
+    let inners: [Arc<dyn GemmBackend>; 3] = [
+        Arc::new(DenseBackend::default()),
+        Arc::new(CsrBackend),
+        Arc::new(NmBackend),
+    ];
+    for (case, (a, b)) in stress_cases(&mut gen).iter().enumerate() {
+        let reference = gemm(a, b).unwrap();
+        let csr = CsrMatrix::from_dense(a);
+        for inner in &inners {
+            let parallel = ParallelBackend::over(Arc::clone(inner)).with_min_parallel_macs(0);
+            for (label, operand) in [("dense", a as &dyn tasd_tensor::GemmOperand), ("csr", &csr)] {
+                let mut par = Matrix::zeros(a.rows(), b.cols());
+                parallel.gemm_into(operand, b, &mut par).unwrap();
+                let mut seq = Matrix::zeros(a.rows(), b.cols());
+                inner.gemm_into(operand, b, &mut seq).unwrap();
+                assert_eq!(
+                    par,
+                    seq,
+                    "case {case} ({threads} threads, {} over {label}): tiling changed results",
+                    inner.name()
+                );
+                assert!(
+                    par.approx_eq(&reference, 1e-3),
+                    "case {case} ({threads} threads, {} over {label}): drifted from scalar gemm",
+                    inner.name()
+                );
+            }
+        }
+    }
+    std::env::remove_var("RAYON_NUM_THREADS");
+}
+
+#[test]
+#[ignore = "needs a multi-core runner; run with `cargo test -- --ignored`"]
+fn four_and_eight_thread_tiling_agrees_with_scalar_kernel() {
+    run_stress(4);
+    run_stress(8);
+}
+
+#[test]
+#[ignore = "needs a multi-core runner; run with `cargo test -- --ignored`"]
+fn engine_submit_is_thread_count_invariant() {
+    // The serving path on top: the same batch must produce identical responses at 1, 4,
+    // and 8 workers (the engine plans parallelism, the tiling must not change math).
+    use tasd::{BatchRequest, ExecutionEngine, TasdConfig};
+    let _guard = ENV_LOCK.lock().expect("env lock");
+    let mut gen = MatrixGenerator::seeded(0xD15C);
+    let a = Arc::new(gen.sparse_normal(192, 256, 0.8));
+    let cfg = TasdConfig::parse("2:8+1:8").unwrap();
+    let requests: Vec<BatchRequest> = (0..8)
+        .map(|_| {
+            BatchRequest::decomposed(Arc::clone(&a), cfg.clone(), gen.normal(256, 16, 0.0, 1.0))
+        })
+        .collect();
+    let mut baseline: Option<Vec<Matrix>> = None;
+    for threads in [1usize, 4, 8] {
+        std::env::set_var("RAYON_NUM_THREADS", threads.to_string());
+        // min_parallel_macs 0 forces the tiled path even for this moderate batch.
+        let engine = ExecutionEngine::builder().min_parallel_macs(0).build();
+        let outputs: Vec<Matrix> = engine
+            .submit(requests.clone())
+            .into_iter()
+            .map(|r| r.output.unwrap())
+            .collect();
+        match &baseline {
+            None => baseline = Some(outputs),
+            Some(expected) => assert_eq!(expected, &outputs, "{threads} threads diverged"),
+        }
+    }
+    std::env::remove_var("RAYON_NUM_THREADS");
+}
