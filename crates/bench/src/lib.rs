@@ -178,6 +178,174 @@ pub fn improvement_pct(normalized: f64) -> f64 {
     (1.0 - normalized) * 100.0
 }
 
+/// Machine-readable bench results: the `BENCH_<name>.json` files at the repository root
+/// that track the performance trajectory across PRs.
+///
+/// The offline `serde_json` shim cannot serialize, so this module writes its (flat,
+/// known-shape) JSON by hand. Each record is `{name, config, ns_per_iter}` — benchmark
+/// identity, workload description, and best-observed wall-clock per iteration.
+pub mod bench_json {
+    use std::io::Write;
+    use std::path::PathBuf;
+    use std::time::{Duration, Instant};
+
+    /// One benchmark measurement destined for `BENCH_<bench>.json`.
+    #[derive(Debug, Clone)]
+    pub struct BenchRecord {
+        /// Benchmark identity, e.g. `"submit_batched/32"`.
+        pub name: String,
+        /// Workload description, e.g. `"s90 256x512 panels=8 cfg=2:8+1:8"`.
+        pub config: String,
+        /// Best observed wall-clock per iteration, in nanoseconds.
+        pub ns_per_iter: u128,
+    }
+
+    /// Whether the process runs in `cargo bench -- --test` smoke mode: every routine
+    /// executes once, timings are meaningless, and timing gates / JSON output are
+    /// skipped. This is what CI's bench-smoke job uses so bench code cannot rot without
+    /// CI failing on runner-speed noise. Delegates to the harness's own flag detection
+    /// ([`criterion::is_test_mode`]) so the gate-skipping logic and the sample-count
+    /// logic can never disagree about what `--test` means.
+    pub fn quick_mode() -> bool {
+        criterion::is_test_mode()
+    }
+
+    /// Collects measurements for one bench target and writes `BENCH_<bench>.json` at the
+    /// repository root.
+    #[derive(Debug)]
+    pub struct BenchRecorder {
+        bench: String,
+        reps: usize,
+        records: Vec<BenchRecord>,
+    }
+
+    impl BenchRecorder {
+        /// A recorder for the bench target `bench`, measuring best-of-`reps` per entry
+        /// (best-of de-noises single-core CI runners).
+        pub fn new(bench: &str, reps: usize) -> Self {
+            BenchRecorder {
+                bench: bench.to_string(),
+                reps: reps.max(1),
+                records: Vec::new(),
+            }
+        }
+
+        /// Measures `f` (best of the configured reps; exactly one rep in
+        /// [`quick_mode`]), records it under `(name, config)`, prints a one-line
+        /// summary, and returns the best duration.
+        pub fn measure<O>(
+            &mut self,
+            name: &str,
+            config: &str,
+            mut f: impl FnMut() -> O,
+        ) -> Duration {
+            let reps = if quick_mode() { 1 } else { self.reps };
+            if !quick_mode() {
+                std::hint::black_box(f()); // Warm-up: page in code and data.
+            }
+            let best = (0..reps)
+                .map(|_| {
+                    let start = Instant::now();
+                    std::hint::black_box(f());
+                    start.elapsed()
+                })
+                .min()
+                .expect("at least one rep");
+            println!(
+                "{}/{name} [{config}]: {best:?} (best of {reps})",
+                self.bench
+            );
+            self.records.push(BenchRecord {
+                name: name.to_string(),
+                config: config.to_string(),
+                ns_per_iter: best.as_nanos(),
+            });
+            best
+        }
+
+        /// Adds an externally measured record.
+        pub fn record(&mut self, name: &str, config: &str, duration: Duration) {
+            self.records.push(BenchRecord {
+                name: name.to_string(),
+                config: config.to_string(),
+                ns_per_iter: duration.as_nanos(),
+            });
+        }
+
+        /// The records collected so far.
+        pub fn records(&self) -> &[BenchRecord] {
+            &self.records
+        }
+
+        /// Writes `BENCH_<bench>.json` at the repository root (skipped with a notice in
+        /// [`quick_mode`] — one-shot timings would poison the trajectory).
+        pub fn write(&self) -> std::io::Result<Option<PathBuf>> {
+            if quick_mode() {
+                println!(
+                    "bench_json: quick (--test) mode, not writing BENCH_{}.json",
+                    self.bench
+                );
+                return Ok(None);
+            }
+            let path = repo_root().join(format!("BENCH_{}.json", self.bench));
+            let mut out = std::fs::File::create(&path)?;
+            writeln!(out, "{{")?;
+            writeln!(out, "  \"bench\": \"{}\",", escape(&self.bench))?;
+            writeln!(out, "  \"results\": [")?;
+            for (i, r) in self.records.iter().enumerate() {
+                let comma = if i + 1 == self.records.len() { "" } else { "," };
+                writeln!(
+                    out,
+                    "    {{\"name\": \"{}\", \"config\": \"{}\", \"ns_per_iter\": {}}}{comma}",
+                    escape(&r.name),
+                    escape(&r.config),
+                    r.ns_per_iter
+                )?;
+            }
+            writeln!(out, "  ]")?;
+            writeln!(out, "}}")?;
+            println!("bench_json: wrote {}", path.display());
+            Ok(Some(path))
+        }
+    }
+
+    /// The repository root, resolved from this crate's manifest directory (stable no
+    /// matter where `cargo bench` is invoked from).
+    fn repo_root() -> PathBuf {
+        PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+    }
+
+    fn escape(s: &str) -> String {
+        s.chars()
+            .flat_map(|c| match c {
+                '"' => vec!['\\', '"'],
+                '\\' => vec!['\\', '\\'],
+                c if c.is_control() => vec![' '],
+                c => vec![c],
+            })
+            .collect()
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn recorder_measures_and_escapes() {
+            let mut rec = BenchRecorder::new("smoke_test", 2);
+            let d = rec.measure("noop", "cfg \"x\"", || 1 + 1);
+            assert!(d.as_nanos() > 0 || d.is_zero());
+            assert_eq!(rec.records().len(), 1);
+            assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+        }
+
+        #[test]
+        fn repo_root_contains_workspace_manifest() {
+            assert!(repo_root().join("Cargo.toml").exists());
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

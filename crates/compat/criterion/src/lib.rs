@@ -6,12 +6,23 @@
 //! macros. Measurement is plain wall-clock over a fixed sample count (one warm-up sample
 //! discarded), reporting min / mean / max per benchmark — no statistical analysis, outlier
 //! rejection, or HTML reports. Bench targets must set `harness = false`.
+//!
+//! Like the real crate, `cargo bench -- --test` runs every benchmark in **test mode**:
+//! each routine executes exactly once, as a smoke check that bench code still compiles
+//! and runs — no timings worth reading. [`is_test_mode`] exposes the flag so bench-side
+//! acceptance gates can skip wall-clock assertions under it.
 
 use std::fmt;
 use std::time::{Duration, Instant};
 
 /// Default number of measured samples per benchmark.
 const DEFAULT_SAMPLE_SIZE: usize = 10;
+
+/// Whether the process was invoked in `--test` smoke mode (`cargo bench -- --test`):
+/// every benchmark routine runs exactly once and timings are meaningless.
+pub fn is_test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
 
 /// Benchmark identifier, mirroring `criterion::BenchmarkId`.
 #[derive(Debug, Clone)]
@@ -63,8 +74,15 @@ pub struct Bencher {
 }
 
 impl Bencher {
-    /// Times `routine` over the configured number of samples (plus one discarded warm-up).
+    /// Times `routine` over the configured number of samples (plus one discarded
+    /// warm-up). In `--test` mode the routine runs exactly once, with no warm-up.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if is_test_mode() {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.samples = vec![start.elapsed()];
+            return;
+        }
         std::hint::black_box(routine()); // Warm-up: page in code and data.
         self.samples.clear();
         for _ in 0..self.sample_size {

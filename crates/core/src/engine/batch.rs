@@ -6,11 +6,13 @@
 //!
 //! 1. **Grouping** — requests are grouped by *decomposed-operand fingerprint*: the key is
 //!    `(operand fingerprint, operand shape, decomposition config)` — exactly the
-//!    decomposition cache's key, with "no decomposition" as its own config value. Every
-//!    group decomposes its operand at most once per batch (and usually zero times, when
-//!    the cache entry is already resident), and its right-hand panels are packed
-//!    column-wise so one pass over the operand serves every member
-//!    ([`pack_panels`](tasd_tensor::backend::pack_panels)).
+//!    decomposition cache's key, with "no decomposition" as its own config value.
+//!    Fingerprints come from the engine's per-allocation memo, so a warm stream never
+//!    rescans its operands. Every group *prepares* its operand at most once per batch
+//!    (and usually zero times, when the prepared cache entry is already resident — a
+//!    warm batch performs zero decompositions, zero format conversions, and zero
+//!    replans), and its right-hand panels are packed column-wise so one pass over the
+//!    operand serves every member ([`pack_panels`](tasd_tensor::backend::pack_panels)).
 //! 2. **Scheduling** — groups are admitted shortest-plan-first by their summed
 //!    [`MatmulPlan`](super::MatmulPlan) cost estimates, with a fairness cap bounding how
 //!    many slots any group can be overtaken by (see [`admission_order`]).
@@ -23,7 +25,8 @@
 //! [`gemm`](ExecutionEngine::gemm) call, so `submit` results are bitwise identical to the
 //! per-request path, under every admission ordering.
 
-use super::ExecutionEngine;
+use super::prepared::PreparedSeries;
+use super::{ExecutionEngine, MatmulPlan};
 use crate::config::TasdConfig;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -189,11 +192,24 @@ pub fn admission_order(costs: &[u64], fairness_cap: usize) -> Vec<usize> {
 /// own value.
 type GroupKey = (u64, (usize, usize), Option<TasdConfig>);
 
+/// How a group executes: a prepared decomposition, or an exact GEMM with a memoized plan.
+enum GroupExec {
+    /// Decomposed group: the prepared series (obtained through the cache at costing
+    /// time) and whether that lookup was a cache hit.
+    Prepared {
+        series: Arc<PreparedSeries>,
+        cache_hit: bool,
+    },
+    /// Exact GEMM group: the memoized plan for the packed output width.
+    Dense { plan: Arc<MatmulPlan> },
+}
+
 /// A request group: one shared operand (+ config), many right-hand panels.
 struct Group {
     members: Vec<usize>,
     plan_cost: u64,
     fingerprint: u64,
+    exec: Option<GroupExec>,
 }
 
 impl ExecutionEngine {
@@ -225,9 +241,6 @@ impl ExecutionEngine {
 
         // ---- Group by (fingerprint, shape, config) -----------------------------------
         let mut group_ids: HashMap<GroupKey, usize> = HashMap::new();
-        // Requests sharing an operand usually share its Arc too: fingerprint each
-        // distinct allocation once instead of re-scanning the matrix per request.
-        let mut fingerprints: HashMap<*const Matrix, u64> = HashMap::new();
         let mut groups: Vec<Group> = Vec::new();
         let mut rejected = 0usize;
         for (i, req) in requests.iter().enumerate() {
@@ -246,42 +259,50 @@ impl ExecutionEngine {
                 });
                 continue;
             }
-            let fingerprint = *fingerprints
-                .entry(Arc::as_ptr(&req.a))
-                .or_insert_with(|| req.a.fingerprint());
+            // The engine-level memo fingerprints each distinct allocation once *ever*
+            // (not once per batch): a warm serving stream performs zero content scans.
+            let fingerprint = self.fingerprint_of(&req.a);
             let key = (fingerprint, req.a.shape(), req.config.clone());
             let gid = *group_ids.entry(key).or_insert_with(|| {
                 groups.push(Group {
                     members: Vec::new(),
                     plan_cost: 0,
                     fingerprint,
+                    exec: None,
                 });
                 groups.len() - 1
             });
             groups[gid].members.push(i);
         }
 
-        // ---- Cost every request (shape-only plans; one density scan per group) -------
+        // ---- Prepare and cost every group (no operand scans on the warm path) --------
+        // Decomposed groups are prepared here, through the cache: the decomposition and
+        // format packing happen at most once per group per batch (and zero times warm);
+        // costs come from the prepared terms' exact non-zero counts. Dense groups cost
+        // from their memoized plan's density — the non-zero scan runs only on the first
+        // batch that sees the operand content.
         let mut member_cost = vec![0u64; n];
         for group in &mut groups {
-            let a = &requests[group.members[0]].a;
-            let nnz = a.count_nonzeros();
-            let density = if a.is_empty() {
-                0.0
-            } else {
-                nnz as f64 / a.len() as f64
+            let first = &requests[group.members[0]];
+            let a = &first.a;
+            let packed_width: usize = group.members.iter().map(|&i| requests[i].b.cols()).sum();
+            let per_col_macs: u64 = match &first.config {
+                Some(cfg) => {
+                    let (series, cache_hit) =
+                        self.prepare_with_fingerprint(a.as_ref(), cfg, group.fingerprint);
+                    let macs = series.nnz() as u64;
+                    group.exec = Some(GroupExec::Prepared { series, cache_hit });
+                    macs
+                }
+                None => {
+                    let plan = self.plan_gemm_memoized(a.as_ref(), group.fingerprint, packed_width);
+                    let macs = (plan.terms[0].density * a.len() as f64) as u64;
+                    group.exec = Some(GroupExec::Dense { plan });
+                    macs
+                }
             };
             for &i in &group.members {
-                let req = &requests[i];
-                let cost = self
-                    .plan_dims(
-                        a.rows(),
-                        a.cols(),
-                        req.b.cols(),
-                        density,
-                        req.config.as_ref(),
-                    )
-                    .estimated_macs();
+                let cost = per_col_macs * requests[i].b.cols() as u64;
                 member_cost[i] = cost;
                 group.plan_cost += cost;
             }
@@ -297,18 +318,16 @@ impl ExecutionEngine {
             let first = &requests[group.members[0]];
             let panels: Vec<&Matrix> = group.members.iter().map(|&i| &requests[i].b).collect();
             let wide_b = pack_panels(&panels).expect("group panels share the operand width");
-            let (wide_c, cache_hit, decomposed) = match &first.config {
-                Some(cfg) => {
-                    let (series, hit) =
-                        self.decompose_with_fingerprint(first.a.as_ref(), cfg, group.fingerprint);
+            let (wide_c, cache_hit, decomposed) = match group.exec.as_ref().expect("costed above") {
+                GroupExec::Prepared { series, cache_hit } => {
                     let c = self
-                        .series_gemm(&series, &wide_b)
+                        .series_gemm_prepared(series, &wide_b)
                         .expect("shapes validated at admission");
-                    (c, hit, !hit)
+                    (c, *cache_hit, !*cache_hit)
                 }
-                None => {
-                    let c = self
-                        .gemm(first.a.as_ref(), &wide_b)
+                GroupExec::Dense { plan } => {
+                    let mut c = Matrix::zeros(first.a.rows(), wide_b.cols());
+                    self.gemm_into_with_plan(first.a.as_ref(), &wide_b, &mut c, plan)
                         .expect("shapes validated at admission");
                     (c, false, false)
                 }

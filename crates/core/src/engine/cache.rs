@@ -1,7 +1,7 @@
 //! LRU cache of decomposition results, with the telemetry serving deployments size it by.
 
+use super::prepared::PreparedSeries;
 use crate::config::TasdConfig;
-use crate::series::TasdSeries;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -18,19 +18,23 @@ pub(crate) struct CacheKey {
 
 #[derive(Debug)]
 struct CacheEntry {
-    series: Arc<TasdSeries>,
+    prepared: Arc<PreparedSeries>,
     last_used: u64,
     hits: u64,
     bytes: usize,
+    packed_bytes: usize,
 }
 
-/// An LRU cache of decomposition results, keyed by (matrix fingerprint, configuration).
+/// An LRU cache of *prepared* decomposition results, keyed by (matrix fingerprint,
+/// configuration).
 ///
 /// Decomposition is the expensive step of serving a TASD workload — every term walks the
 /// full residual — while repeated requests against the same weights are the common case
 /// (every forward pass of a deployed model re-multiplies the same decomposed tensors).
 /// The cache makes the second request free: it returns the previously materialized
-/// [`TasdSeries`] behind an [`Arc`], so hits share storage instead of copying.
+/// [`PreparedSeries`] behind an [`Arc`] — the decomposition *plus* every term already
+/// packed in its planned backend's native format — so hits share storage instead of
+/// copying and perform zero format conversions.
 ///
 /// Eviction is least-recently-used with a logical clock; lookups bump recency.
 ///
@@ -47,9 +51,10 @@ struct CacheEntry {
 ///
 /// The cache keeps the counters a serving deployment needs to size `cache_capacity` from
 /// data: global hit/miss/insertion/eviction counts and resident bytes ([`stats`]
-/// (Self::stats)), plus per-entry hit counts and compressed byte sizes
-/// ([`entry_stats`](Self::entry_stats)). See the `tasd::engine` module docs for the
-/// sizing recipe.
+/// (Self::stats)), plus per-entry hit counts and byte sizes
+/// ([`entry_stats`](Self::entry_stats)). Resident bytes include the packed execution
+/// formats, not just the compressed series — a CSR- or dense-packed term costs real
+/// memory and the sizing recipe in the `tasd::engine` module docs budgets for it.
 #[derive(Debug)]
 pub struct DecompositionCache {
     capacity: usize,
@@ -79,14 +84,14 @@ impl DecompositionCache {
         }
     }
 
-    pub(crate) fn get(&mut self, key: &CacheKey) -> Option<Arc<TasdSeries>> {
+    pub(crate) fn get(&mut self, key: &CacheKey) -> Option<Arc<PreparedSeries>> {
         self.clock += 1;
         match self.entries.get_mut(key) {
             Some(entry) => {
                 entry.last_used = self.clock;
                 entry.hits += 1;
                 self.hits += 1;
-                Some(Arc::clone(&entry.series))
+                Some(Arc::clone(&entry.prepared))
             }
             None => {
                 self.misses += 1;
@@ -95,7 +100,7 @@ impl DecompositionCache {
         }
     }
 
-    pub(crate) fn insert(&mut self, key: CacheKey, series: Arc<TasdSeries>) {
+    pub(crate) fn insert(&mut self, key: CacheKey, prepared: Arc<PreparedSeries>) {
         if self.capacity == 0 {
             // Documented pass-through: nothing is retained and nothing panics.
             return;
@@ -116,15 +121,17 @@ impl DecompositionCache {
                 }
             }
         }
-        let bytes = series.storage_bytes();
+        let bytes = prepared.storage_bytes();
+        let packed_bytes = prepared.packed_bytes();
         self.insertions += 1;
         if let Some(replaced) = self.entries.insert(
             key,
             CacheEntry {
-                series,
+                prepared,
                 last_used: self.clock,
                 hits: 0,
                 bytes,
+                packed_bytes,
             },
         ) {
             self.bytes_resident -= replaced.bytes;
@@ -158,6 +165,7 @@ impl DecompositionCache {
                 config: k.config.to_string(),
                 hits: e.hits,
                 bytes: e.bytes,
+                packed_bytes: e.packed_bytes,
             })
             .collect();
         out.sort_by(|a, b| b.hits.cmp(&a.hits).then(a.fingerprint.cmp(&b.fingerprint)));
@@ -187,7 +195,8 @@ pub struct CacheStats {
     pub insertions: u64,
     /// Resident series displaced to make room for newer ones.
     pub evictions: u64,
-    /// Compressed storage footprint of every resident series, in bytes.
+    /// Storage footprint of every resident prepared series, in bytes — the compressed
+    /// terms plus their packed execution formats.
     pub bytes_resident: usize,
 }
 
@@ -215,8 +224,11 @@ pub struct CacheEntryStats {
     pub config: String,
     /// Times this entry was returned from the cache since insertion.
     pub hits: u64,
-    /// Compressed storage footprint of the cached series, in bytes.
+    /// Total storage footprint of the cached prepared series, in bytes (compressed
+    /// series + packed execution formats).
     pub bytes: usize,
+    /// The packed-format share of `bytes` (zero when every term stayed structured).
+    pub packed_bytes: usize,
 }
 
 #[cfg(test)]
@@ -232,11 +244,16 @@ mod tests {
         }
     }
 
-    fn series() -> Arc<TasdSeries> {
-        Arc::new(crate::decompose(
+    fn series() -> Arc<PreparedSeries> {
+        let raw = Arc::new(crate::decompose(
             &Matrix::filled(4, 8, 1.0),
             &TasdConfig::parse("2:4").unwrap(),
-        ))
+        ));
+        // Pack terms into CSR so entries carry non-zero packed bytes and the byte
+        // accounting below exercises the packed share, not just the series.
+        Arc::new(PreparedSeries::prepare(raw, 1, |_, _, _| {
+            crate::engine::BackendKind::Csr
+        }))
     }
 
     #[test]

@@ -1,15 +1,21 @@
 //! The unified execution engine: one seam for all series-GEMM traffic.
 //!
-//! [`ExecutionEngine`] ties the three pieces of TASD execution together behind a single
+//! [`ExecutionEngine`] ties the pieces of TASD execution together behind a single
 //! object:
 //!
 //! 1. **Planning** — for each GEMM (a decomposed [`TasdSeries`] term by term, or a plain
-//!    dense matrix), pick a [`GemmBackend`] from the term's density and format, and decide
-//!    whether the row blocks are worth tiling across threads ([`MatmulPlan`]).
-//! 2. **Caching** — memoize decompositions in an LRU [`DecompositionCache`] keyed by
-//!    (matrix fingerprint, configuration), so repeated requests against the same tensor
-//!    skip the expensive greedy extraction entirely.
-//! 3. **Execution** — run every term through the [`GemmBackend`] trait; no caller
+//!    dense matrix), pick a [`GemmBackend`] from the term's density and shape using the
+//!    measured [`BackendTable`], and decide whether the row blocks are worth tiling
+//!    across threads ([`MatmulPlan`]). Plans are **memoized** per
+//!    `(operand fingerprint, configuration, output-width bucket)`, so steady-state
+//!    serving never replans.
+//! 2. **Preparing** — at decomposition time, materialize every term into its planned
+//!    backend's *native* storage format ([`PreparedSeries`]), so each kernel hits its
+//!    fast path and the per-entry dyn-dispatched fallback never runs on a planned path.
+//! 3. **Caching** — memoize prepared decompositions in an LRU [`DecompositionCache`]
+//!    keyed by (matrix fingerprint, configuration), so repeated requests against the
+//!    same tensor skip the greedy extraction *and* the format packing entirely.
+//! 4. **Execution** — run every term through the [`GemmBackend`] trait; no caller
 //!    dispatches to a format-specific kernel directly.
 //!
 //! The free functions [`series_gemm`](crate::series_gemm) /
@@ -27,15 +33,53 @@
 //! let b = gen.normal(64, 32, 0.0, 1.0);
 //!
 //! let config = TasdConfig::parse("4:8+1:8").unwrap();
-//! let series = engine.decompose(&a, &config);       // cached for next time
-//! let plan = engine.plan_series(&series, b.cols()); // density-driven backend choice
+//! let prepared = engine.prepare(&a, &config);      // decomposed + packed, cached
+//! let plan = engine.plan_prepared(&prepared, b.cols());
 //! assert!(plan.num_terms() <= 2);
 //!
-//! let c = engine.series_gemm(&series, &b).unwrap();
+//! let c = engine.series_gemm_prepared(&prepared, &b).unwrap();
 //! let exact = gemm(&a, &b).unwrap();
 //! assert!(relative_frobenius_error(&exact, &c) < 0.3);
 //! assert_eq!(engine.cache_stats().misses, 1);
 //! ```
+//!
+//! # Prepared execution: the prepare-once / execute-many contract
+//!
+//! [`ExecutionEngine::prepare`] performs, **once per distinct (operand content,
+//! configuration) pair**, everything the hot path should never repeat:
+//!
+//! * the greedy decomposition itself;
+//! * the per-term backend choice (via the [`BackendTable`]);
+//! * the materialization of each term into its chosen backend's native format
+//!   (dense [`Matrix`] for dense-planned terms, CSR for CSR-planned terms, the
+//!   compressed N:M term shared as-is for structured-planned terms).
+//!
+//! Execution entry points that work from a [`PreparedSeries`]
+//! ([`series_gemm_prepared`](ExecutionEngine::series_gemm_prepared),
+//! [`decompose_gemm`](ExecutionEngine::decompose_gemm),
+//! [`submit`](ExecutionEngine::submit)) therefore perform **zero format conversions and
+//! zero replans on a cache hit** — the [`PrepStats`] counters
+//! ([`ExecutionEngine::prep_stats`]) make that auditable: take a delta around a warm
+//! call and `conversions`, `plans_computed`, and `fingerprint_scans` must all be zero.
+//! Packing never changes results: every conversion preserves per-row entry order, so
+//! prepared execution is bitwise identical to executing the raw series term by term.
+//!
+//! **When is a `PreparedSeries` (in)validated?** Never in place — it is immutable.
+//! Mutating an operand yields a different content fingerprint, i.e. a *different* cache
+//! key: the stale entry is simply never hit again and ages out of the LRU. Eviction and
+//! [`clear_cache`](ExecutionEngine::clear_cache) drop the packed formats together with
+//! the entry (`clear_cache` also drops the memoized plans and the operand-fingerprint
+//! memo). There is no path that serves a prepared series whose content disagrees with
+//! its key, short of a 64-bit fingerprint collision (accepted by design, see
+//! [`Matrix::fingerprint`]).
+//!
+//! The serving path additionally memoizes operand fingerprints per *allocation*
+//! (keyed by `Arc` pointer identity, holding a strong reference so the allocation can
+//! neither mutate in place nor be reused): a batch of requests against a shared weight
+//! tensor fingerprints it once ever, not once per call. The memo holds at most
+//! [`fingerprint_memo_capacity`](EngineBuilder::fingerprint_memo_capacity) operands
+//! alive; size it to the distinct live operands of your serving set, or set it to 0 to
+//! pin nothing (every batch then rescans).
 //!
 //! # Batched serving: the `submit` contract
 //!
@@ -45,7 +89,7 @@
 //!
 //! * **Grouping key** — requests are grouped by `(operand fingerprint, operand shape,
 //!   decomposition config)`, i.e. exactly the decomposition cache's key with "no
-//!   decomposition" (`config: None`) as its own value. Each group decomposes its operand
+//!   decomposition" (`config: None`) as its own value. Each group prepares its operand
 //!   at most once per batch and executes as **one** packed multi-RHS kernel pass
 //!   ([`GemmBackend::gemm_multi_into`](tasd_tensor::GemmBackend::gemm_multi_into) is the
 //!   backend-level equivalent), so a batch of requests sharing one weight tensor pays for
@@ -66,8 +110,11 @@
 //!
 //! The decomposition cache reports global counters ([`ExecutionEngine::cache_stats`]:
 //! hits, misses, insertions, evictions, `bytes_resident`) and per-entry counters
-//! ([`ExecutionEngine::cache_entry_stats`]: per-series hit counts and compressed byte
-//! sizes). To size `cache_capacity` for a deployment:
+//! ([`ExecutionEngine::cache_entry_stats`]: per-series hit counts and byte sizes).
+//! `bytes_resident` covers the **full prepared footprint**: the compressed series plus
+//! every packed execution format (a dense-packed term costs `rows·cols·4` bytes, a
+//! CSR-packed term roughly `12–16 bytes` per stored value; `CacheEntryStats::packed_bytes`
+//! breaks out the packed share per entry). To size `cache_capacity` for a deployment:
 //!
 //! 1. Run a representative traffic sample against a generously sized engine.
 //! 2. If `evictions > 0` while `hit_rate` is below target, capacity is too small — the
@@ -75,24 +122,35 @@
 //! 3. Inspect [`cache_entry_stats`](ExecutionEngine::cache_entry_stats) (hottest first):
 //!    the entries with `hits == 0` after the sample are dead weight — their summed
 //!    `bytes` is memory you can reclaim by lowering capacity to the hot-entry count.
+//!    Entries whose `packed_bytes` dominates are paying for cross-format packing; if
+//!    they are cold, that packing was wasted.
 //! 4. `bytes_resident` is the number to budget against host memory; per-batch, the same
-//!    figure is in [`BatchTelemetry::bytes_resident`].
+//!    figure is in [`BatchTelemetry::bytes_resident`]. Add the operand-fingerprint
+//!    memo's pinned operands (at most `fingerprint_memo_capacity` live matrices) to the
+//!    budget.
+//!
+//! [`Matrix::fingerprint`]: tasd_tensor::Matrix::fingerprint
 
 mod batch;
 mod cache;
 mod plan;
+mod prepared;
 
 pub use batch::{
     admission_order, BatchRequest, BatchResponse, BatchTelemetry, GroupTelemetry,
     DEFAULT_FAIRNESS_CAP,
 };
 pub use cache::{CacheEntryStats, CacheStats, DecompositionCache};
-pub use plan::{BackendKind, MatmulPlan, TermPlan};
+pub use plan::{BackendKind, BackendTable, MatmulPlan, TermPlan};
+pub use prepared::{PreparedSeries, PreparedTerm};
 
 use crate::config::TasdConfig;
 use crate::decompose::decompose;
 use crate::series::TasdSeries;
 use cache::CacheKey;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use tasd_tensor::backend::{
     CsrBackend, DenseBackend, GemmBackend, GemmOperand, NmBackend, ParallelBackend,
@@ -106,11 +164,21 @@ pub const DEFAULT_CACHE_CAPACITY: usize = 128;
 /// instead of a sparse one. Calibrated against `tasd-bench`'s `backends` bench on a 512³
 /// GEMM: the register-blocked dense kernel only overtakes the entry-iteration kernels
 /// near-dense (measured crossover between 0.75 and 1.0 density; at 0.5 the sparse kernels
-/// are ~1.5× faster), so the planner keeps sparse kernels until ~0.85.
+/// are ~1.5× faster), so the planner keeps sparse kernels until ~0.85. This constant is
+/// the *fallback* rule; the full measured (density × shape) → backend lookup is
+/// [`BackendTable::measured`].
 pub const DEFAULT_DENSE_DENSITY_THRESHOLD: f64 = 0.85;
 
 /// Default estimated-MAC threshold above which a matmul is tiled across threads.
 pub const DEFAULT_MIN_PARALLEL_MACS: u64 = 1 << 21;
+
+/// Default capacity of the operand-fingerprint memo (distinct operand allocations whose
+/// fingerprints are remembered — and whose storage is pinned — across `submit` calls).
+pub const DEFAULT_FINGERPRINT_MEMO_CAPACITY: usize = 128;
+
+/// Memoized plans are bounded; past this many entries the memo is cleared wholesale
+/// (plans are cheap to recompute — the memo exists to skip per-call operand scans).
+const PLAN_MEMO_CAPACITY: usize = 4096;
 
 /// Builder for [`ExecutionEngine`]; obtained from [`ExecutionEngine::builder`].
 #[derive(Debug)]
@@ -118,15 +186,19 @@ pub struct EngineBuilder {
     backend: Option<Arc<dyn GemmBackend>>,
     cache_capacity: usize,
     parallel: bool,
-    dense_density_threshold: f64,
+    dense_density_threshold: Option<f64>,
+    backend_table: Option<BackendTable>,
     min_parallel_macs: u64,
     fairness_cap: usize,
+    fingerprint_memo_capacity: usize,
 }
 
 impl EngineBuilder {
-    /// Forces every term through the given backend, disabling density-driven selection.
-    /// The parallelism decision still applies (the forced backend is wrapped in a
-    /// [`ParallelBackend`] when a matmul is big enough) unless `parallel(false)` is set.
+    /// Forces every term through the given backend, disabling density-driven selection
+    /// (prepared series then keep every term in its stored structured format — packing
+    /// for a specific kernel would fight the override). The parallelism decision still
+    /// applies (the forced backend is wrapped in a [`ParallelBackend`] when a matmul is
+    /// big enough) unless `parallel(false)` is set.
     #[must_use]
     pub fn backend(mut self, backend: Arc<dyn GemmBackend>) -> Self {
         self.backend = Some(backend);
@@ -147,10 +219,21 @@ impl EngineBuilder {
         self
     }
 
-    /// Sets the density at or above which terms run on the dense kernel.
+    /// Pins the density at or above which terms run on the dense kernel, replacing the
+    /// measured [`BackendTable`] with the single-threshold rule
+    /// ([`BackendTable::from_threshold`]). An explicit [`backend_table`]
+    /// (EngineBuilder::backend_table) takes precedence.
     #[must_use]
     pub fn dense_density_threshold(mut self, threshold: f64) -> Self {
-        self.dense_density_threshold = threshold;
+        self.dense_density_threshold = Some(threshold);
+        self
+    }
+
+    /// Sets the (density × shape) → backend lookup table used for planning and for
+    /// packing prepared terms. Defaults to [`BackendTable::measured`].
+    #[must_use]
+    pub fn backend_table(mut self, table: BackendTable) -> Self {
+        self.backend_table = Some(table);
         self
     }
 
@@ -167,6 +250,15 @@ impl EngineBuilder {
     #[must_use]
     pub fn fairness_cap(mut self, cap: usize) -> Self {
         self.fairness_cap = cap;
+        self
+    }
+
+    /// Sets how many distinct operand allocations the engine remembers fingerprints for
+    /// (each memo entry pins its operand alive; see the [module docs](self)). 0 disables
+    /// the memo: every batch rescans its operands.
+    #[must_use]
+    pub fn fingerprint_memo_capacity(mut self, capacity: usize) -> Self {
+        self.fingerprint_memo_capacity = capacity;
         self
     }
 
@@ -187,16 +279,24 @@ impl EngineBuilder {
         let parallel_override = self.backend.as_ref().map(|b| -> Arc<dyn GemmBackend> {
             Arc::new(ParallelBackend::over(b.clone()).with_min_parallel_macs(0))
         });
+        let backend_table = match (self.backend_table, self.dense_density_threshold) {
+            (Some(table), _) => table,
+            (None, Some(threshold)) => BackendTable::from_threshold(threshold),
+            (None, None) => BackendTable::measured(),
+        };
         ExecutionEngine {
             backend_override: self.backend,
             parallel_override,
             sequential: seq,
             parallel_tiled: par,
             parallel: self.parallel,
-            dense_density_threshold: self.dense_density_threshold,
+            backend_table,
             min_parallel_macs: self.min_parallel_macs,
             fairness_cap: self.fairness_cap,
             cache: Mutex::new(DecompositionCache::new(self.cache_capacity)),
+            plans: Mutex::new(PlanMemo::default()),
+            fingerprints: Mutex::new(FingerprintMemo::new(self.fingerprint_memo_capacity)),
+            counters: PrepCounters::default(),
         }
     }
 }
@@ -207,18 +307,154 @@ impl Default for EngineBuilder {
             backend: None,
             cache_capacity: DEFAULT_CACHE_CAPACITY,
             parallel: true,
-            dense_density_threshold: DEFAULT_DENSE_DENSITY_THRESHOLD,
+            dense_density_threshold: None,
+            backend_table: None,
             min_parallel_macs: DEFAULT_MIN_PARALLEL_MACS,
             fairness_cap: DEFAULT_FAIRNESS_CAP,
+            fingerprint_memo_capacity: DEFAULT_FINGERPRINT_MEMO_CAPACITY,
         }
     }
 }
 
-/// The unified execution engine: plans, caches, and executes TASD matmuls through the
-/// [`GemmBackend`] trait. See the [module docs](self) for the overview and an example.
+/// Memo key for a [`MatmulPlan`]: operand content + configuration + output-width bucket.
+///
+/// Output widths are bucketed to the next power of two so a serving stream with varying
+/// batch widths reuses a handful of plans instead of one per width; the memoized plan's
+/// `dims.1`/`estimated_macs` refer to the bucket width (execution always uses the actual
+/// RHS width — the plan only pins backend choices and the parallelism decision, neither
+/// of which flips within a 2× width band in practice).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct PlanKey {
+    fingerprint: u64,
+    shape: (usize, usize),
+    config: Option<TasdConfig>,
+    n_cols_bucket: usize,
+}
+
+#[derive(Debug, Default)]
+struct PlanMemo {
+    entries: HashMap<PlanKey, Arc<MatmulPlan>>,
+}
+
+/// Fingerprints memoized per operand *allocation* (`Arc` pointer identity).
+///
+/// Soundness: each entry holds a strong `Arc<Matrix>` clone. While that clone lives, the
+/// allocation cannot be mutated in place through safe code (`Arc::get_mut` fails with
+/// strong count > 1, `Arc::make_mut` clones to a fresh allocation) and the address
+/// cannot be freed and reused — so pointer identity implies content identity.
+///
+/// **Dead entries are swept, not hoarded**: an entry whose pin is the *sole* remaining
+/// strong reference (`Arc::strong_count == 1`) can never be hit again — the allocation
+/// stays alive at that address, so no future operand can alias its pointer key — it is
+/// pure retained memory. Every insert drops such entries first, so transient operands
+/// (e.g. a per-call serving snapshot that was immediately discarded) do not accumulate
+/// up to `capacity` pinned matrices.
+#[derive(Debug)]
+struct FingerprintMemo {
+    capacity: usize,
+    clock: u64,
+    entries: HashMap<usize, FingerprintEntry>,
+}
+
+#[derive(Debug)]
+struct FingerprintEntry {
+    /// Pins the operand: see the memo's soundness note.
+    _pin: Arc<Matrix>,
+    fingerprint: u64,
+    last_used: u64,
+}
+
+impl FingerprintMemo {
+    fn new(capacity: usize) -> Self {
+        FingerprintMemo {
+            capacity,
+            clock: 0,
+            entries: HashMap::new(),
+        }
+    }
+
+    fn get(&mut self, key: usize) -> Option<u64> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.entries.get_mut(&key).map(|e| {
+            e.last_used = clock;
+            e.fingerprint
+        })
+    }
+
+    fn insert(&mut self, key: usize, pin: Arc<Matrix>, fingerprint: u64) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.clock += 1;
+        // Sweep dead entries (memo holds the only strong reference): their pointer keys
+        // can never be looked up again, so they are waste whatever their recency. A
+        // racy concurrent drop just defers an entry to the next insert's sweep.
+        self.entries.retain(|_, e| Arc::strong_count(&e._pin) > 1);
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
+            if let Some(lru) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+            {
+                self.entries.remove(&lru);
+            }
+        }
+        self.entries.insert(
+            key,
+            FingerprintEntry {
+                _pin: pin,
+                fingerprint,
+                last_used: self.clock,
+            },
+        );
+    }
+}
+
+#[derive(Debug, Default)]
+struct PrepCounters {
+    prepares: AtomicU64,
+    conversions: AtomicU64,
+    plans_computed: AtomicU64,
+    plan_hits: AtomicU64,
+    fingerprint_scans: AtomicU64,
+    fingerprint_hits: AtomicU64,
+}
+
+/// Point-in-time prepared-execution counters, from [`ExecutionEngine::prep_stats`].
+///
+/// These are the counters the prepare-once / execute-many contract is audited with: a
+/// delta taken around a warm (cache-hit) call must show zero `conversions`, zero
+/// `plans_computed`, and zero `fingerprint_scans`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrepStats {
+    /// Series prepared (decomposed + packed) — one per decomposition-cache miss.
+    pub prepares: u64,
+    /// Term format conversions performed at prepare time (terms kept in their stored
+    /// structured format cost none).
+    pub conversions: u64,
+    /// Plans computed (plan-memo misses).
+    pub plans_computed: u64,
+    /// Plans served from the memo.
+    pub plan_hits: u64,
+    /// Full operand content scans performed to fingerprint.
+    pub fingerprint_scans: u64,
+    /// Fingerprints served from the per-allocation memo without a scan.
+    pub fingerprint_hits: u64,
+}
+
+/// The output-width bucket a plan is memoized under (next power of two).
+fn n_cols_bucket(n_cols: usize) -> usize {
+    n_cols.next_power_of_two()
+}
+
+/// The unified execution engine: plans, prepares, caches, and executes TASD matmuls
+/// through the [`GemmBackend`] trait. See the [module docs](self) for the overview, the
+/// prepare-once / execute-many contract, and an example.
 ///
 /// The engine is `Sync`: share one engine (e.g. behind an `Arc`) across threads; the
-/// decomposition cache is internally locked, planning and execution take `&self`.
+/// caches are internally locked, planning and execution take `&self`.
 #[derive(Debug)]
 pub struct ExecutionEngine {
     backend_override: Option<Arc<dyn GemmBackend>>,
@@ -228,10 +464,13 @@ pub struct ExecutionEngine {
     /// The same kernels wrapped in parallel row-block tiling.
     parallel_tiled: [Arc<dyn GemmBackend>; 3],
     parallel: bool,
-    dense_density_threshold: f64,
+    backend_table: BackendTable,
     min_parallel_macs: u64,
     fairness_cap: usize,
     cache: Mutex<DecompositionCache>,
+    plans: Mutex<PlanMemo>,
+    fingerprints: Mutex<FingerprintMemo>,
+    counters: PrepCounters,
 }
 
 impl ExecutionEngine {
@@ -249,11 +488,34 @@ impl ExecutionEngine {
 
     // ---- Planning -------------------------------------------------------------------
 
-    fn kind_for(&self, density: f64, native: BackendKind) -> BackendKind {
-        if density >= self.dense_density_threshold {
+    /// Backend for a *prepared* structured term: the full measured table applies, because
+    /// prepare-time packing materializes whatever format the table picks. A forced
+    /// backend keeps terms structured (packing would fight the override).
+    fn kind_for_packed(&self, density: f64, rows: usize, cols: usize) -> BackendKind {
+        if self.backend_override.is_some() {
+            return BackendKind::Nm;
+        }
+        self.backend_table.choose(density, rows, cols)
+    }
+
+    /// Backend for an *unprepared* structured term (raw [`TasdSeries`] execution): stay
+    /// on the stored format's native kernel unless the term crosses into dense —
+    /// converting at execution time is exactly what prepared execution exists to avoid.
+    fn kind_for_structured_raw(&self, density: f64, rows: usize, cols: usize) -> BackendKind {
+        if self.backend_table.is_dense_crossed(density, rows, cols) {
             BackendKind::Dense
         } else {
-            native
+            BackendKind::Nm
+        }
+    }
+
+    /// Backend for an undecomposed operand (dense storage): the entry-iteration kernel
+    /// below the dense crossover, the blocked dense kernel above it.
+    fn kind_for_unstructured(&self, density: f64, rows: usize, cols: usize) -> BackendKind {
+        if self.backend_table.is_dense_crossed(density, rows, cols) {
+            BackendKind::Dense
+        } else {
+            BackendKind::Csr
         }
     }
 
@@ -270,7 +532,10 @@ impl ExecutionEngine {
     }
 
     /// Plans the execution of `series · B` where `B` has `n_cols` columns: one backend
-    /// assignment per materialized term, from each term's actual density.
+    /// assignment per materialized term, from each term's actual density. This is the
+    /// *unprepared* path — terms stay on their stored format's kernel below the dense
+    /// crossover. Prepared execution plans via [`plan_prepared`](Self::plan_prepared),
+    /// which is memoized and uses the full [`BackendTable`].
     pub fn plan_series(&self, series: &TasdSeries, n_cols: usize) -> MatmulPlan {
         let (m, k) = series.shape();
         let terms = series
@@ -279,13 +544,42 @@ impl ExecutionEngine {
             .map(|term| {
                 let density = GemmOperand::density(term);
                 TermPlan {
-                    backend: self.kind_for(density, BackendKind::Nm),
+                    backend: self.kind_for_structured_raw(density, m, k),
                     density,
                     estimated_macs: term.nnz() as u64 * n_cols as u64,
                 }
             })
             .collect();
         self.plan_terms((m, n_cols, k), terms)
+    }
+
+    /// The memoized plan for executing `prepared · B` where `B` has `n_cols` columns.
+    ///
+    /// Plans are cached per `(fingerprint, configuration, output-width bucket)` (see
+    /// [`PlanKey`] bucketing note): the first call for a bucket computes and stores the
+    /// plan, subsequent calls return it without touching the operand. Term backends come
+    /// from the prepared series itself — they were pinned at pack time.
+    pub fn plan_prepared(&self, prepared: &PreparedSeries, n_cols: usize) -> Arc<MatmulPlan> {
+        let bucket = n_cols_bucket(n_cols);
+        let key = PlanKey {
+            fingerprint: prepared.fingerprint(),
+            shape: prepared.shape(),
+            config: Some(prepared.series().config().clone()),
+            n_cols_bucket: bucket,
+        };
+        self.memoized_plan(key, || {
+            let (m, k) = prepared.shape();
+            let terms = prepared
+                .terms()
+                .iter()
+                .map(|t| TermPlan {
+                    backend: t.backend(),
+                    density: t.density(),
+                    estimated_macs: t.nnz() as u64 * bucket as u64,
+                })
+                .collect();
+            self.plan_terms((m, bucket, k), terms)
+        })
     }
 
     /// Plans a plain (undecomposed) GEMM `A · B`.
@@ -298,11 +592,42 @@ impl ExecutionEngine {
             nnz as f64 / a.len() as f64
         };
         let term = TermPlan {
-            backend: self.kind_for(density, BackendKind::Csr),
+            backend: self.kind_for_unstructured(density, a.rows(), a.cols()),
             density,
             estimated_macs: nnz as u64 * n_cols as u64,
         };
         self.plan_terms((a.rows(), n_cols, a.cols()), vec![term])
+    }
+
+    /// [`plan_gemm`](Self::plan_gemm) memoized by `(fingerprint, shape, no-config,
+    /// output-width bucket)`: the non-zero scan runs once per operand content, not once
+    /// per call. The serving batch path uses this for dense request groups.
+    fn plan_gemm_memoized(&self, a: &Matrix, fingerprint: u64, n_cols: usize) -> Arc<MatmulPlan> {
+        let bucket = n_cols_bucket(n_cols);
+        let key = PlanKey {
+            fingerprint,
+            shape: a.shape(),
+            config: None,
+            n_cols_bucket: bucket,
+        };
+        self.memoized_plan(key, || self.plan_gemm(a, bucket))
+    }
+
+    fn memoized_plan(&self, key: PlanKey, compute: impl FnOnce() -> MatmulPlan) -> Arc<MatmulPlan> {
+        if let Some(hit) = self.plans.lock().expect("plan memo lock").entries.get(&key) {
+            self.counters.plan_hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
+        }
+        // Computed outside the lock; a racing thread computes the identical plan and one
+        // copy wins the insert.
+        let plan = Arc::new(compute());
+        self.counters.plans_computed.fetch_add(1, Ordering::Relaxed);
+        let mut memo = self.plans.lock().expect("plan memo lock");
+        if memo.entries.len() >= PLAN_MEMO_CAPACITY {
+            memo.entries.clear();
+        }
+        memo.entries.insert(key, Arc::clone(&plan));
+        plan
     }
 
     /// Shape-only planning: what the engine would do for an `lhs_rows × lhs_cols` operand
@@ -310,7 +635,9 @@ impl ExecutionEngine {
     /// `config` (or run undecomposed when `None`). No tensor is materialized — per-term
     /// densities are the configuration-capped estimates of
     /// [`MatmulPlan::estimate_term_densities`] — which is exactly what the accelerator
-    /// model needs to cost a layer it never executes.
+    /// model needs to cost a layer it never executes. Backend choices model *prepared*
+    /// execution (the [`BackendTable`] applies in full), since that is how the engine
+    /// actually runs decomposed operands.
     pub fn plan_dims(
         &self,
         lhs_rows: usize,
@@ -323,14 +650,14 @@ impl ExecutionEngine {
         let dims = (lhs_rows, out_cols, lhs_cols);
         let terms = match config {
             None => vec![TermPlan {
-                backend: self.kind_for(density, BackendKind::Csr),
+                backend: self.kind_for_unstructured(density, lhs_rows, lhs_cols),
                 density: density.clamp(0.0, 1.0),
                 estimated_macs: (elems as f64 * density.clamp(0.0, 1.0)) as u64 * out_cols as u64,
             }],
             Some(cfg) => MatmulPlan::estimate_term_densities(density, cfg)
                 .into_iter()
                 .map(|d| TermPlan {
-                    backend: self.kind_for(d, BackendKind::Nm),
+                    backend: self.kind_for_packed(d, lhs_rows, lhs_cols),
                     density: d,
                     estimated_macs: (elems as f64 * d) as u64 * out_cols as u64,
                 })
@@ -339,9 +666,9 @@ impl ExecutionEngine {
         self.plan_terms(dims, terms)
     }
 
-    fn backend_for(&self, plan: &MatmulPlan, term: &TermPlan) -> &Arc<dyn GemmBackend> {
+    fn backend_for_kind(&self, kind: BackendKind, parallel: bool) -> &Arc<dyn GemmBackend> {
         if let Some(forced) = &self.backend_override {
-            return if plan.parallel {
+            return if parallel {
                 self.parallel_override
                     .as_ref()
                     .expect("built with override")
@@ -349,40 +676,87 @@ impl ExecutionEngine {
                 forced
             };
         }
-        let idx = match term.backend {
+        let idx = match kind {
             BackendKind::Dense => 0,
             BackendKind::Csr => 1,
             BackendKind::Nm => 2,
         };
-        if plan.parallel {
+        if parallel {
             &self.parallel_tiled[idx]
         } else {
             &self.sequential[idx]
         }
     }
 
-    // ---- Caching --------------------------------------------------------------------
+    fn backend_for(&self, plan: &MatmulPlan, term: &TermPlan) -> &Arc<dyn GemmBackend> {
+        self.backend_for_kind(term.backend, plan.parallel)
+    }
 
-    /// Decomposes `a` under `config`, returning a cached series when this (matrix,
-    /// configuration) pair was decomposed before.
+    // ---- Fingerprinting -------------------------------------------------------------
+
+    /// The content fingerprint of `a`, served from the per-allocation memo when this
+    /// `Arc` was seen before (a hit performs no scan; see the [module docs](self) for
+    /// the pinning contract).
+    pub fn fingerprint_of(&self, a: &Arc<Matrix>) -> u64 {
+        let key = Arc::as_ptr(a) as usize;
+        if let Some(fingerprint) = self
+            .fingerprints
+            .lock()
+            .expect("fingerprint memo lock")
+            .get(key)
+        {
+            self.counters
+                .fingerprint_hits
+                .fetch_add(1, Ordering::Relaxed);
+            return fingerprint;
+        }
+        let fingerprint = self.scan_fingerprint(a);
+        self.fingerprints
+            .lock()
+            .expect("fingerprint memo lock")
+            .insert(key, Arc::clone(a), fingerprint);
+        fingerprint
+    }
+
+    /// A full content scan, counted in [`PrepStats::fingerprint_scans`].
+    fn scan_fingerprint(&self, a: &Matrix) -> u64 {
+        self.counters
+            .fingerprint_scans
+            .fetch_add(1, Ordering::Relaxed);
+        a.fingerprint()
+    }
+
+    // ---- Preparing and caching ------------------------------------------------------
+
+    /// Decomposes `a` under `config` and packs every term into its planned backend's
+    /// native format, returning a cached prepared series when this (matrix,
+    /// configuration) pair was prepared before. This is the entry point of the
+    /// prepare-once / execute-many contract (see the [module docs](self)).
     ///
     /// The cache lock is not held during decomposition, so two threads racing on the same
     /// cold key may both decompose; the result is identical and one copy wins the insert.
-    pub fn decompose(&self, a: &Matrix, config: &TasdConfig) -> Arc<TasdSeries> {
-        self.decompose_with_fingerprint(a, config, a.fingerprint())
-            .0
+    pub fn prepare(&self, a: &Matrix, config: &TasdConfig) -> Arc<PreparedSeries> {
+        let fingerprint = self.scan_fingerprint(a);
+        self.prepare_with_fingerprint(a, config, fingerprint).0
     }
 
-    /// [`decompose`](Self::decompose) with a precomputed fingerprint of `a` (the batch
-    /// path memoizes fingerprints per operand and must not rescan), also reporting
+    /// [`prepare`](Self::prepare) for an `Arc`-shared operand: the fingerprint comes from
+    /// the per-allocation memo, so repeated calls against the same allocation never
+    /// rescan it. This is the serving path's variant.
+    pub fn prepare_shared(&self, a: &Arc<Matrix>, config: &TasdConfig) -> Arc<PreparedSeries> {
+        let fingerprint = self.fingerprint_of(a);
+        self.prepare_with_fingerprint(a, config, fingerprint).0
+    }
+
+    /// [`prepare`](Self::prepare) with a precomputed fingerprint of `a`, also reporting
     /// whether *this* call was served from the cache — read atomically with the lookup,
     /// so concurrent traffic on the engine cannot misattribute it.
-    pub(crate) fn decompose_with_fingerprint(
+    pub(crate) fn prepare_with_fingerprint(
         &self,
         a: &Matrix,
         config: &TasdConfig,
         fingerprint: u64,
-    ) -> (Arc<TasdSeries>, bool) {
+    ) -> (Arc<PreparedSeries>, bool) {
         let key = CacheKey {
             fingerprint,
             shape: a.shape(),
@@ -392,16 +766,52 @@ impl ExecutionEngine {
             return (hit, true);
         }
         let series = Arc::new(decompose(a, config));
+        let prepared = Arc::new(PreparedSeries::prepare(series, fingerprint, |d, r, c| {
+            self.kind_for_packed(d, r, c)
+        }));
+        self.counters.prepares.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .conversions
+            .fetch_add(prepared.conversions(), Ordering::Relaxed);
         self.cache
             .lock()
             .expect("cache lock")
-            .insert(key, Arc::clone(&series));
-        (series, false)
+            .insert(key, Arc::clone(&prepared));
+        (prepared, false)
+    }
+
+    /// Decomposes `a` under `config`, returning a cached series when this (matrix,
+    /// configuration) pair was decomposed before. The series comes from the same
+    /// prepared cache entry [`prepare`](Self::prepare) fills — callers that execute
+    /// repeatedly should hold the [`PreparedSeries`] instead.
+    ///
+    /// Packing happens here too, by design: the cache's invariant is that **every**
+    /// resident entry is execution-ready, so a later hit on this key — from `submit`, a
+    /// serving snapshot, or anyone — performs zero conversions. Reconstruct-only
+    /// callers (optimizer sweeps, analysis) thus pay an `O(nnz)` packing they may never
+    /// execute; that cost is deliberate (it is what warms serving caches from optimizer
+    /// runs), bounded by `cache_capacity`, and visible per entry as
+    /// [`CacheEntryStats::packed_bytes`] — the sizing recipe in the [module docs](self)
+    /// treats cold packed entries as reclaimable.
+    pub fn decompose(&self, a: &Matrix, config: &TasdConfig) -> Arc<TasdSeries> {
+        Arc::clone(self.prepare(a, config).series())
     }
 
     /// Point-in-time decomposition-cache counters.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.lock().expect("cache lock").stats()
+    }
+
+    /// Point-in-time prepared-execution counters (see [`PrepStats`]).
+    pub fn prep_stats(&self) -> PrepStats {
+        PrepStats {
+            prepares: self.counters.prepares.load(Ordering::Relaxed),
+            conversions: self.counters.conversions.load(Ordering::Relaxed),
+            plans_computed: self.counters.plans_computed.load(Ordering::Relaxed),
+            plan_hits: self.counters.plan_hits.load(Ordering::Relaxed),
+            fingerprint_scans: self.counters.fingerprint_scans.load(Ordering::Relaxed),
+            fingerprint_hits: self.counters.fingerprint_hits.load(Ordering::Relaxed),
+        }
     }
 
     /// Per-entry decomposition-cache counters, hottest first (see the [module
@@ -415,33 +825,45 @@ impl ExecutionEngine {
         self.fairness_cap
     }
 
-    /// Drops every cached decomposition (counters are preserved).
+    /// Drops every cached prepared decomposition, memoized plan, and memoized operand
+    /// fingerprint (counters are preserved).
     pub fn clear_cache(&self) {
         self.cache.lock().expect("cache lock").clear();
+        self.plans.lock().expect("plan memo lock").entries.clear();
+        let mut fingerprints = self.fingerprints.lock().expect("fingerprint memo lock");
+        fingerprints.entries.clear();
     }
 
     // ---- Execution ------------------------------------------------------------------
 
-    /// Executes `C += Σᵢ Aᵢ·B` term by term through the planned backends.
+    fn check_series_shapes(shape: (usize, usize), b: &Matrix, c: &Matrix) -> Result<()> {
+        if shape.1 != b.rows() {
+            return Err(TensorError::ShapeMismatch {
+                op: "series gemm",
+                lhs: shape,
+                rhs: b.shape(),
+            });
+        }
+        if c.rows() != shape.0 || c.cols() != b.cols() {
+            return Err(TensorError::ShapeMismatch {
+                op: "series gemm accumulator",
+                lhs: (shape.0, b.cols()),
+                rhs: c.shape(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Executes `C += Σᵢ Aᵢ·B` term by term through the planned backends, from the raw
+    /// (unprepared) series. Terms run on their stored format's kernel — this is the
+    /// reference path prepared execution is verified bitwise against; hot paths should
+    /// go through [`series_gemm_prepared_into`](Self::series_gemm_prepared_into).
     ///
     /// # Errors
     ///
     /// Returns [`TensorError::ShapeMismatch`] on inconsistent shapes.
     pub fn series_gemm_into(&self, series: &TasdSeries, b: &Matrix, c: &mut Matrix) -> Result<()> {
-        if series.shape().1 != b.rows() {
-            return Err(TensorError::ShapeMismatch {
-                op: "series gemm",
-                lhs: series.shape(),
-                rhs: b.shape(),
-            });
-        }
-        if c.rows() != series.shape().0 || c.cols() != b.cols() {
-            return Err(TensorError::ShapeMismatch {
-                op: "series gemm accumulator",
-                lhs: (series.shape().0, b.cols()),
-                rhs: c.shape(),
-            });
-        }
+        Self::check_series_shapes(series.shape(), b, c)?;
         let plan = self.plan_series(series, b.cols());
         for (term, term_plan) in series.terms().iter().zip(&plan.terms) {
             self.backend_for(&plan, term_plan).gemm_into(term, b, c)?;
@@ -449,7 +871,8 @@ impl ExecutionEngine {
         Ok(())
     }
 
-    /// Executes `C = Σᵢ Aᵢ·B`.
+    /// Executes `C = Σᵢ Aᵢ·B` from the raw series (see
+    /// [`series_gemm_into`](Self::series_gemm_into)).
     ///
     /// # Errors
     ///
@@ -460,15 +883,56 @@ impl ExecutionEngine {
         Ok(c)
     }
 
-    /// Decomposes `a` under `config` (through the cache) and executes the approximated
-    /// product `C ≈ A·B` in one call — the end-to-end serving path.
+    /// Executes `C += Σᵢ Aᵢ·B` from a prepared series: every term is already in its
+    /// planned backend's native format and the plan comes from the memo, so the hot loop
+    /// performs no conversion, no replanning, and no operand scan. Results are bitwise
+    /// identical to [`series_gemm_into`](Self::series_gemm_into) on the underlying
+    /// series.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] on inconsistent shapes.
+    pub fn series_gemm_prepared_into(
+        &self,
+        prepared: &PreparedSeries,
+        b: &Matrix,
+        c: &mut Matrix,
+    ) -> Result<()> {
+        Self::check_series_shapes(prepared.shape(), b, c)?;
+        let plan = self.plan_prepared(prepared, b.cols());
+        for (i, term) in prepared.terms().iter().enumerate() {
+            self.backend_for_kind(term.backend(), plan.parallel)
+                .gemm_into(prepared.operand(i), b, c)?;
+        }
+        Ok(())
+    }
+
+    /// Executes `C = Σᵢ Aᵢ·B` from a prepared series (see
+    /// [`series_gemm_prepared_into`](Self::series_gemm_prepared_into)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] on inconsistent shapes.
+    pub fn series_gemm_prepared(&self, prepared: &PreparedSeries, b: &Matrix) -> Result<Matrix> {
+        let mut c = Matrix::zeros(prepared.shape().0, b.cols());
+        self.series_gemm_prepared_into(prepared, b, &mut c)?;
+        Ok(c)
+    }
+
+    /// Decomposes `a` under `config` (through the prepared cache) and executes the
+    /// approximated product `C ≈ A·B` in one call — the end-to-end serving path. On a
+    /// cache hit this performs zero decompositions, zero format conversions, and zero
+    /// replans (the operand content scan for the cache key still runs; hold an
+    /// `Arc<Matrix>` and use [`submit`](Self::submit) or
+    /// [`prepare_shared`](Self::prepare_shared) to amortize that too).
     ///
     /// # Errors
     ///
     /// Returns [`TensorError::ShapeMismatch`] on inconsistent shapes.
     pub fn decompose_gemm(&self, a: &Matrix, config: &TasdConfig, b: &Matrix) -> Result<Matrix> {
-        let series = self.decompose(a, config);
-        self.series_gemm(&series, b)
+        let fingerprint = self.scan_fingerprint(a);
+        let (prepared, _) = self.prepare_with_fingerprint(a, config, fingerprint);
+        self.series_gemm_prepared(&prepared, b)
     }
 
     /// Executes an exact (undecomposed) GEMM `C += A·B` through the planned backend —
@@ -480,6 +944,18 @@ impl ExecutionEngine {
     pub fn gemm_into(&self, a: &Matrix, b: &Matrix, c: &mut Matrix) -> Result<()> {
         let plan = self.plan_gemm(a, b.cols());
         self.backend_for(&plan, &plan.terms[0]).gemm_into(a, b, c)
+    }
+
+    /// [`gemm_into`](Self::gemm_into) with a caller-supplied plan (the batch path reuses
+    /// memoized plans here instead of rescanning the operand).
+    pub(crate) fn gemm_into_with_plan(
+        &self,
+        a: &Matrix,
+        b: &Matrix,
+        c: &mut Matrix,
+        plan: &MatmulPlan,
+    ) -> Result<()> {
+        self.backend_for(plan, &plan.terms[0]).gemm_into(a, b, c)
     }
 
     /// Executes an exact GEMM `C = A·B` through the planned backend.
@@ -521,6 +997,22 @@ mod tests {
     }
 
     #[test]
+    fn prepared_gemm_is_bitwise_identical_to_raw_series_gemm() {
+        let mut gen = MatrixGenerator::seeded(41);
+        let e = engine();
+        for sparsity in [0.0, 0.5, 0.9, 0.97] {
+            let a = gen.sparse_normal(130, 140, sparsity);
+            let b = gen.normal(140, 24, 0.0, 1.0);
+            let cfg = TasdConfig::parse("2:8+1:8").unwrap();
+            let prepared = e.prepare(&a, &cfg);
+            let via_prepared = e.series_gemm_prepared(&prepared, &b).unwrap();
+            let via_raw = e.series_gemm(prepared.series(), &b).unwrap();
+            // Packing preserves per-row accumulation order: exact equality, not approx.
+            assert_eq!(via_prepared, via_raw, "sparsity {sparsity}");
+        }
+    }
+
+    #[test]
     fn engine_gemm_matches_reference() {
         let mut gen = MatrixGenerator::seeded(2);
         let e = engine();
@@ -555,6 +1047,48 @@ mod tests {
     }
 
     #[test]
+    fn cache_hit_performs_no_conversions_and_no_replans() {
+        let mut gen = MatrixGenerator::seeded(43);
+        let e = engine();
+        // Large + sparse so the table packs terms into CSR (conversions > 0 cold).
+        let a = Arc::new(gen.sparse_normal(256, 256, 0.9));
+        let b = gen.normal(256, 16, 0.0, 1.0);
+        let cfg = TasdConfig::parse("2:8+1:8").unwrap();
+        let prepared = e.prepare_shared(&a, &cfg);
+        let _ = e.series_gemm_prepared(&prepared, &b).unwrap();
+        let cold = e.prep_stats();
+        assert_eq!(cold.prepares, 1);
+        assert!(cold.conversions > 0, "sparse terms must pack into CSR");
+        assert_eq!(cold.fingerprint_scans, 1);
+        assert_eq!(cold.plans_computed, 1);
+        // Warm: same Arc, same config, same width — zero scans/conversions/replans.
+        let again = e.prepare_shared(&a, &cfg);
+        let _ = e.series_gemm_prepared(&again, &b).unwrap();
+        let warm = e.prep_stats();
+        assert_eq!(warm.prepares, cold.prepares);
+        assert_eq!(warm.conversions, cold.conversions);
+        assert_eq!(warm.plans_computed, cold.plans_computed);
+        assert_eq!(warm.fingerprint_scans, cold.fingerprint_scans);
+        assert!(warm.fingerprint_hits > cold.fingerprint_hits);
+        assert!(warm.plan_hits > cold.plan_hits);
+    }
+
+    #[test]
+    fn plan_memo_buckets_output_widths() {
+        let mut gen = MatrixGenerator::seeded(44);
+        let e = engine();
+        let a = gen.sparse_normal(64, 64, 0.8);
+        let cfg = TasdConfig::parse("2:8").unwrap();
+        let prepared = e.prepare(&a, &cfg);
+        let p1 = e.plan_prepared(&prepared, 5);
+        let p2 = e.plan_prepared(&prepared, 8); // same bucket: 8
+        let p3 = e.plan_prepared(&prepared, 9); // bucket 16
+        assert!(Arc::ptr_eq(&p1, &p2), "widths 5 and 8 share the 8-bucket");
+        assert!(!Arc::ptr_eq(&p1, &p3));
+        assert_eq!(e.prep_stats().plans_computed, 2);
+    }
+
+    #[test]
     fn planning_follows_density() {
         let mut gen = MatrixGenerator::seeded(4);
         let e = engine();
@@ -564,10 +1098,32 @@ mod tests {
         // A very sparse matrix plans onto the CSR kernel.
         let sparse = gen.sparse_normal(16, 16, 0.95);
         assert_eq!(e.plan_gemm(&sparse, 8).terms[0].backend, BackendKind::Csr);
-        // Series terms of a sparse matrix plan onto the N:M kernel.
+        // Raw series terms of a sparse matrix plan onto their stored N:M kernel.
         let series = e.decompose(&sparse, &TasdConfig::parse("2:8").unwrap());
         let plan = e.plan_series(&series, 8);
         assert!(plan.terms.iter().all(|t| t.backend == BackendKind::Nm));
+    }
+
+    #[test]
+    fn prepared_terms_follow_the_backend_table() {
+        let mut gen = MatrixGenerator::seeded(45);
+        let e = engine();
+        // Large sparse operand: terms land below the 0.30 density edge → CSR packing.
+        let sparse = gen.sparse_normal(256, 256, 0.9);
+        let prepared = e.prepare(&sparse, &TasdConfig::parse("2:8").unwrap());
+        assert!(prepared
+            .terms()
+            .iter()
+            .all(|t| t.backend() == BackendKind::Csr));
+        assert!(prepared.packed_bytes() > 0);
+        // Small operand: stays structured (conversion never amortizes).
+        let small = gen.sparse_normal(16, 16, 0.9);
+        let prepared = e.prepare(&small, &TasdConfig::parse("2:8").unwrap());
+        assert!(prepared
+            .terms()
+            .iter()
+            .all(|t| t.backend() == BackendKind::Nm));
+        assert_eq!(prepared.packed_bytes(), 0);
     }
 
     #[test]
@@ -590,10 +1146,11 @@ mod tests {
         // Dense operand saturates both terms: 0.5 + 0.125 of dense MACs.
         let expected = (plan.dense_macs() as f64 * 0.625) as u64;
         assert!((plan.estimated_macs() as i64 - expected as i64).abs() < 1000);
-        // Both terms sit below the measured dense-kernel crossover (~0.85): native N:M.
+        // The measured table: the 0.5-density term stays structured, the 0.125-density
+        // residual term crosses to the faster CSR kernel (large operand, d < 0.30).
         assert_eq!(plan.terms[0].backend, BackendKind::Nm);
-        assert_eq!(plan.terms[1].backend, BackendKind::Nm);
-        // A lowered threshold reroutes the dense-ish first term to the dense kernel.
+        assert_eq!(plan.terms[1].backend, BackendKind::Csr);
+        // A pinned threshold replaces the table with the single-crossover rule.
         let eager = ExecutionEngine::builder()
             .dense_density_threshold(0.4)
             .build();
@@ -619,17 +1176,28 @@ mod tests {
             .gemm(&a, &b)
             .unwrap()
             .approx_eq(&gemm(&a, &b).unwrap(), 1e-4));
+        // Prepared series keep terms structured under an override (no packing).
+        let prepared = e.prepare(&a, &TasdConfig::parse("2:8").unwrap());
+        assert_eq!(prepared.packed_bytes(), 0);
     }
 
     #[test]
     fn shape_mismatches_are_rejected() {
         let e = engine();
         let a = Matrix::zeros(4, 8);
-        let series = e.decompose(&a, &TasdConfig::parse("2:4").unwrap());
-        assert!(e.series_gemm(&series, &Matrix::zeros(4, 4)).is_err());
+        let prepared = e.prepare(&a, &TasdConfig::parse("2:4").unwrap());
+        assert!(e
+            .series_gemm(prepared.series(), &Matrix::zeros(4, 4))
+            .is_err());
+        assert!(e
+            .series_gemm_prepared(&prepared, &Matrix::zeros(4, 4))
+            .is_err());
         let b = Matrix::zeros(8, 4);
         let mut bad = Matrix::zeros(3, 4);
-        assert!(e.series_gemm_into(&series, &b, &mut bad).is_err());
+        assert!(e.series_gemm_into(prepared.series(), &b, &mut bad).is_err());
+        assert!(e
+            .series_gemm_prepared_into(&prepared, &b, &mut bad)
+            .is_err());
         assert!(e.gemm(&Matrix::zeros(2, 3), &Matrix::zeros(4, 2)).is_err());
     }
 
@@ -644,6 +1212,78 @@ mod tests {
         let series = e.decompose(&a, &cfg); // cache hit
         assert!(c.approx_eq(&gemm(&series.reconstruct(), &b).unwrap(), 1e-3));
         assert!(e.cache_stats().hits >= 1);
+    }
+
+    #[test]
+    fn fingerprint_memo_is_pointer_keyed_and_bounded() {
+        let mut gen = MatrixGenerator::seeded(46);
+        let e = ExecutionEngine::builder()
+            .fingerprint_memo_capacity(2)
+            .build();
+        let a = Arc::new(gen.sparse_normal(16, 16, 0.5));
+        let fp1 = e.fingerprint_of(&a);
+        let fp2 = e.fingerprint_of(&a);
+        assert_eq!(fp1, fp2);
+        let stats = e.prep_stats();
+        assert_eq!(stats.fingerprint_scans, 1);
+        assert_eq!(stats.fingerprint_hits, 1);
+        // Equal content behind a different allocation still fingerprints equal (it is a
+        // content hash), via a fresh scan.
+        let clone = Arc::new(a.as_ref().clone());
+        assert_eq!(e.fingerprint_of(&clone), fp1);
+        assert_eq!(e.prep_stats().fingerprint_scans, 2);
+        // Capacity bounds the memo: two more distinct operands evict `a`.
+        let b = Arc::new(gen.sparse_normal(8, 8, 0.0));
+        let c = Arc::new(gen.sparse_normal(8, 8, 0.0));
+        let _ = e.fingerprint_of(&b);
+        let _ = e.fingerprint_of(&c);
+        let scans_before = e.prep_stats().fingerprint_scans;
+        let _ = e.fingerprint_of(&a);
+        assert_eq!(e.prep_stats().fingerprint_scans, scans_before + 1);
+    }
+
+    #[test]
+    fn dead_memo_entries_are_swept_instead_of_displacing_live_ones() {
+        // Regression: a stream of transient operands (per-call serving snapshots,
+        // immediately dropped) must neither accumulate pinned memory nor evict live
+        // entries. With the sweep, a capacity-2 memo holding one live entry survives
+        // many dead inserts; without it, the second transient would displace `a`.
+        let mut gen = MatrixGenerator::seeded(48);
+        let e = ExecutionEngine::builder()
+            .fingerprint_memo_capacity(2)
+            .build();
+        let a = Arc::new(gen.sparse_normal(16, 16, 0.5));
+        let _ = e.fingerprint_of(&a);
+        for _ in 0..8 {
+            let transient = Arc::new(gen.sparse_normal(16, 16, 0.5));
+            let _ = e.fingerprint_of(&transient);
+            // `transient` drops here; the memo's pin is now the sole owner.
+        }
+        let scans_before = e.prep_stats().fingerprint_scans;
+        let _ = e.fingerprint_of(&a);
+        assert_eq!(
+            e.prep_stats().fingerprint_scans,
+            scans_before,
+            "live entry must have survived the transient stream"
+        );
+    }
+
+    #[test]
+    fn clear_cache_drops_plans_and_fingerprints_too() {
+        let mut gen = MatrixGenerator::seeded(47);
+        let e = engine();
+        let a = Arc::new(gen.sparse_normal(64, 64, 0.8));
+        let cfg = TasdConfig::parse("2:8").unwrap();
+        let prepared = e.prepare_shared(&a, &cfg);
+        let _ = e.plan_prepared(&prepared, 8);
+        e.clear_cache();
+        let before = e.prep_stats();
+        let prepared = e.prepare_shared(&a, &cfg);
+        let _ = e.plan_prepared(&prepared, 8);
+        let after = e.prep_stats();
+        assert_eq!(after.prepares, before.prepares + 1, "cache was cleared");
+        assert_eq!(after.plans_computed, before.plans_computed + 1);
+        assert_eq!(after.fingerprint_scans, before.fingerprint_scans + 1);
     }
 
     #[test]

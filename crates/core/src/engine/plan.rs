@@ -26,6 +26,98 @@ impl fmt::Display for BackendKind {
     }
 }
 
+/// Measured backend lookup: (density bucket × shape bucket) → [`BackendKind`].
+///
+/// This replaces the single dense-density crossover constant with a small table the
+/// `tasd-bench` `backends` bench populates: software kernel crossovers are not a single
+/// threshold — per-entry kernels (CSR) overtake the block-structured N:M kernel at low
+/// density (fewer occupied blocks, but the N:M kernel still walks every block pointer),
+/// while the cache-blocked dense kernel only wins near-dense, and tiny operands never
+/// amortize a format conversion. The engine consults the table when *packing* a prepared
+/// term into its execution format and when cost-modelling prepared execution
+/// ([`plan_dims`](super::ExecutionEngine::plan_dims)); unprepared operands stay on their
+/// stored format's kernel below the dense crossover (converting at execution time is
+/// exactly what prepared execution exists to avoid).
+///
+/// [`BackendTable::measured`] carries the numbers recorded in `BENCH_backends.json` by
+/// `cargo bench --bench backends`; [`BackendTable::from_threshold`] reproduces the old
+/// single-constant rule and is the fallback when no measurements apply (e.g. an engine
+/// built with an explicit [`dense_density_threshold`](super::EngineBuilder::dense_density_threshold)).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackendTable {
+    /// Ascending upper bounds of the density buckets; the last entry must be ≥ 1.0.
+    density_edges: Vec<f64>,
+    /// Operand element count below which the `small` row applies.
+    small_shape_elems: usize,
+    /// Backend per density bucket for small operands (conversion rarely amortizes).
+    small: Vec<BackendKind>,
+    /// Backend per density bucket for large operands.
+    large: Vec<BackendKind>,
+}
+
+impl BackendTable {
+    /// Element count below which an operand lands in the "small" shape bucket: a 128×128
+    /// tile — under that, per-call overheads dominate and format conversion of a cached
+    /// term buys nothing measurable.
+    pub const SMALL_SHAPE_ELEMS: usize = 128 * 128;
+
+    /// The table measured by `tasd-bench`'s `backends` bench on this repository's
+    /// reference container (see `BENCH_backends.json` for the raw numbers):
+    ///
+    /// * density < 0.30, large operands — the CSR kernel beats the native N:M kernel
+    ///   (~1.25× at 256×512 / density 0.10: the N:M kernel walks every block pointer,
+    ///   occupied or not, while CSR touches only stored entries);
+    /// * 0.30 ≤ density < 0.85 — the N:M kernel is at parity or better (512³ at 50%
+    ///   density: 6.6 ms vs 7.2 ms CSR), so terms stay in their compressed form;
+    /// * density ≥ 0.85 — the register-blocked dense kernel wins (the old
+    ///   [`DEFAULT_DENSE_DENSITY_THRESHOLD`](super::DEFAULT_DENSE_DENSITY_THRESHOLD)
+    ///   crossover, re-confirmed by the same bench);
+    /// * small operands keep their stored structured format below the dense crossover.
+    pub fn measured() -> Self {
+        BackendTable {
+            density_edges: vec![0.30, 0.85, 1.0],
+            small_shape_elems: Self::SMALL_SHAPE_ELEMS,
+            small: vec![BackendKind::Nm, BackendKind::Nm, BackendKind::Dense],
+            large: vec![BackendKind::Csr, BackendKind::Nm, BackendKind::Dense],
+        }
+    }
+
+    /// The pre-table rule as a degenerate table: every term below `threshold` runs on its
+    /// structured kernel, everything at or above it on the dense kernel. This is the
+    /// fallback an engine uses when a caller pins the crossover explicitly.
+    pub fn from_threshold(threshold: f64) -> Self {
+        let t = threshold.clamp(0.0, 1.0);
+        BackendTable {
+            density_edges: vec![t, 1.0],
+            small_shape_elems: 0,
+            small: vec![BackendKind::Nm, BackendKind::Dense],
+            large: vec![BackendKind::Nm, BackendKind::Dense],
+        }
+    }
+
+    /// The backend for a term of the given density and logical shape.
+    pub fn choose(&self, density: f64, rows: usize, cols: usize) -> BackendKind {
+        let row = if rows * cols < self.small_shape_elems {
+            &self.small
+        } else {
+            &self.large
+        };
+        let d = density.clamp(0.0, 1.0);
+        for (edge, &kind) in self.density_edges.iter().zip(row) {
+            if d < *edge {
+                return kind;
+            }
+        }
+        *row.last().expect("table has at least one bucket")
+    }
+
+    /// Whether a term of this density and shape crosses into the dense kernel (the
+    /// decision the old single constant made).
+    pub fn is_dense_crossed(&self, density: f64, rows: usize, cols: usize) -> bool {
+        self.choose(density, rows, cols) == BackendKind::Dense
+    }
+}
+
 /// The plan for one GEMM term (one structured term of a series, or the whole matrix for a
 /// plain dense GEMM).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]

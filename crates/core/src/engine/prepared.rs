@@ -1,0 +1,247 @@
+//! Prepared decompositions: every term materialized in its planned kernel's native
+//! format, so the serving hot path never converts and never replans.
+//!
+//! A [`TasdSeries`] stores its terms as compressed N:M matrices — the decomposition's
+//! natural output. But the planner may decide a term is better executed on the dense or
+//! CSR kernel, and handing an N:M operand to those backends runs the per-entry
+//! dyn-dispatched fallback instead of the fast path the plan intended.
+//! [`PreparedSeries`] fixes the format at *prepare time*: each term is packed once into
+//! its chosen backend's native storage ([`PackedOperand`]), terms that stay on the
+//! structured kernel are shared with the underlying series (no copy), and the whole
+//! bundle is what the engine's decomposition cache retains. Packing preserves per-row
+//! entry order, so prepared execution is bitwise identical to executing the raw series.
+
+use super::plan::BackendKind;
+use crate::series::TasdSeries;
+use std::sync::Arc;
+use tasd_tensor::backend::{GemmOperand, PackedKind, PackedOperand};
+
+/// How one prepared term is stored.
+#[derive(Debug)]
+enum PreparedStorage {
+    /// The term executes on its stored structured format: share the series' own
+    /// compressed term (index into [`TasdSeries::terms`]), no copy.
+    Shared(usize),
+    /// The term was converted into its planned backend's native format.
+    Packed(PackedOperand),
+}
+
+/// One term of a [`PreparedSeries`]: a pinned backend plus the operand in that backend's
+/// native format.
+#[derive(Debug)]
+pub struct PreparedTerm {
+    backend: BackendKind,
+    density: f64,
+    nnz: usize,
+    storage: PreparedStorage,
+}
+
+impl PreparedTerm {
+    /// The kernel family this term is pinned to (and packed for).
+    pub fn backend(&self) -> BackendKind {
+        self.backend
+    }
+
+    /// Operand density the packing decision was based on.
+    pub fn density(&self) -> f64 {
+        self.density
+    }
+
+    /// Stored non-zeros of this term.
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+}
+
+/// A decomposition prepared for repeated execution: the series plus every term packed in
+/// its planned backend's native format. This is what [`ExecutionEngine::prepare`]
+/// (super::ExecutionEngine::prepare) returns and what the decomposition cache stores —
+/// the prepare-once / execute-many contract is described in the
+/// [`tasd::engine` module docs](super).
+#[derive(Debug)]
+pub struct PreparedSeries {
+    series: Arc<TasdSeries>,
+    fingerprint: u64,
+    terms: Vec<PreparedTerm>,
+    packed_bytes: usize,
+    conversions: u64,
+}
+
+impl PreparedSeries {
+    /// Packs `series` for execution, choosing each term's backend with `choose`
+    /// (density, rows, cols) → [`BackendKind`]. Terms whose chosen backend is the
+    /// structured kernel are shared with the series rather than copied.
+    pub(crate) fn prepare(
+        series: Arc<TasdSeries>,
+        fingerprint: u64,
+        choose: impl Fn(f64, usize, usize) -> BackendKind,
+    ) -> Self {
+        let (rows, cols) = series.shape();
+        let mut packed_bytes = 0usize;
+        let mut conversions = 0u64;
+        let terms = series
+            .terms()
+            .iter()
+            .enumerate()
+            .map(|(i, term)| {
+                let density = GemmOperand::density(term);
+                let backend = choose(density, rows, cols);
+                let target = match backend {
+                    BackendKind::Dense => PackedKind::Dense,
+                    BackendKind::Csr => PackedKind::Csr,
+                    BackendKind::Nm => PackedKind::Nm,
+                };
+                let storage = if target == PackedKind::Nm {
+                    PreparedStorage::Shared(i)
+                } else {
+                    let (packed, converted) = PackedOperand::pack_nm_term(term, target);
+                    packed_bytes += packed.storage_bytes();
+                    conversions += u64::from(converted);
+                    PreparedStorage::Packed(packed)
+                };
+                PreparedTerm {
+                    backend,
+                    density,
+                    nnz: term.nnz(),
+                    storage,
+                }
+            })
+            .collect();
+        PreparedSeries {
+            series,
+            fingerprint,
+            terms,
+            packed_bytes,
+            conversions,
+        }
+    }
+
+    /// The underlying decomposition. The `Arc` is shared — callers holding the series
+    /// from an earlier [`decompose`](super::ExecutionEngine::decompose) of the same
+    /// operand see the same allocation.
+    pub fn series(&self) -> &Arc<TasdSeries> {
+        &self.series
+    }
+
+    /// Content fingerprint of the matrix this series was decomposed from.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Shape of the decomposed (and reconstructed) matrix.
+    pub fn shape(&self) -> (usize, usize) {
+        self.series.shape()
+    }
+
+    /// Total stored non-zeros across terms.
+    pub fn nnz(&self) -> usize {
+        self.series.nnz()
+    }
+
+    /// The prepared terms, in series order.
+    pub fn terms(&self) -> &[PreparedTerm] {
+        &self.terms
+    }
+
+    /// The operand of term `i`, in its packed (backend-native) format.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn operand(&self, i: usize) -> &dyn GemmOperand {
+        match &self.terms[i].storage {
+            PreparedStorage::Shared(idx) => &self.series.terms()[*idx],
+            PreparedStorage::Packed(packed) => packed.as_operand(),
+        }
+    }
+
+    /// Bytes of *additional* packed storage beyond the series itself (zero when every
+    /// term stayed in its structured format).
+    pub fn packed_bytes(&self) -> usize {
+        self.packed_bytes
+    }
+
+    /// Total resident footprint: the compressed series plus every packed term. This is
+    /// the figure the decomposition cache's `bytes_resident` accounts.
+    pub fn storage_bytes(&self) -> usize {
+        self.series.storage_bytes() + self.packed_bytes
+    }
+
+    /// Format conversions performed when this series was prepared (terms that stayed in
+    /// their stored structured format cost none).
+    pub fn conversions(&self) -> u64 {
+        self.conversions
+    }
+
+    /// Human-readable per-term backend assignment, e.g. `"csr+nm"`.
+    pub fn summary(&self) -> String {
+        self.terms
+            .iter()
+            .map(|t| t.backend.to_string())
+            .collect::<Vec<_>>()
+            .join("+")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TasdConfig;
+    use crate::decompose::decompose;
+    use tasd_tensor::MatrixGenerator;
+
+    fn prepared(
+        sparsity: f64,
+        choose: impl Fn(f64, usize, usize) -> BackendKind,
+    ) -> PreparedSeries {
+        let a = MatrixGenerator::seeded(3).sparse_normal(32, 64, sparsity);
+        let series = Arc::new(decompose(&a, &TasdConfig::parse("2:8+1:8").unwrap()));
+        PreparedSeries::prepare(series, a.fingerprint(), choose)
+    }
+
+    #[test]
+    fn structured_terms_are_shared_not_copied() {
+        let p = prepared(0.9, |_, _, _| BackendKind::Nm);
+        assert_eq!(p.conversions(), 0);
+        assert_eq!(p.packed_bytes(), 0);
+        assert_eq!(p.storage_bytes(), p.series().storage_bytes());
+        for (i, t) in p.terms().iter().enumerate() {
+            assert_eq!(t.backend(), BackendKind::Nm);
+            assert_eq!(p.operand(i).nnz(), p.series().terms()[i].nnz());
+        }
+    }
+
+    #[test]
+    fn converted_terms_account_their_bytes() {
+        let p = prepared(0.9, |_, _, _| BackendKind::Csr);
+        assert_eq!(p.conversions(), p.terms().len() as u64);
+        assert!(p.packed_bytes() > 0);
+        assert_eq!(
+            p.storage_bytes(),
+            p.series().storage_bytes() + p.packed_bytes()
+        );
+        // The packed operand holds the same content in CSR form.
+        for (i, term) in p.series().terms().iter().enumerate() {
+            let op = p.operand(i);
+            assert_eq!(op.nnz(), term.nnz());
+            assert_eq!(op.shape(), term.shape());
+        }
+        assert_eq!(p.summary(), "csr+csr");
+    }
+
+    #[test]
+    fn per_term_choices_follow_density() {
+        // A density-driven chooser assigns different formats to the two terms.
+        let p = prepared(0.85, |d, _, _| {
+            if d < 0.05 {
+                BackendKind::Csr
+            } else {
+                BackendKind::Nm
+            }
+        });
+        let kinds: Vec<BackendKind> = p.terms().iter().map(PreparedTerm::backend).collect();
+        assert_eq!(kinds.len(), 2);
+        // First term soaks up most non-zeros, the residual term is sparser.
+        assert!(p.terms()[0].density() >= p.terms()[1].density());
+    }
+}

@@ -75,8 +75,9 @@ pub use compose::{compose_pattern_table, ComposedPattern, PatternMenu};
 pub use config::TasdConfig;
 pub use decompose::{decompose, decompose_with_residual};
 pub use engine::{
-    BackendKind, BatchRequest, BatchResponse, BatchTelemetry, CacheEntryStats, CacheStats,
-    DecompositionCache, EngineBuilder, ExecutionEngine, GroupTelemetry, MatmulPlan, TermPlan,
+    BackendKind, BackendTable, BatchRequest, BatchResponse, BatchTelemetry, CacheEntryStats,
+    CacheStats, DecompositionCache, EngineBuilder, ExecutionEngine, GroupTelemetry, MatmulPlan,
+    PrepStats, PreparedSeries, PreparedTerm, TermPlan,
 };
 pub use series::{series_gemm, series_gemm_into, DecompositionReport, TasdSeries};
 

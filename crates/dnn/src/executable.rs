@@ -196,16 +196,17 @@ impl Mlp {
 
     /// [`Mlp::forward_batch`] with TASD applied to each layer's *weights*: layer `i`'s
     /// transposed weight operand is decomposed with `configs[i]` (through the engine's
-    /// cache, so the decomposition is performed once and reused across requests, batches,
-    /// and calls) and each request's product is executed term-by-term — the software
-    /// model of serving a TASD-W deployment. Layers with no entry in `configs` run
-    /// unmodified.
+    /// prepared cache, so the decomposition *and* its backend-native packing happen once
+    /// and are reused across requests, batches, and calls) and each request's product is
+    /// executed term-by-term — the software model of serving a TASD-W deployment. Layers
+    /// with no entry in `configs` run unmodified.
     ///
-    /// Each call re-transposes every layer's weights to form the shared serving operand
-    /// (one `O(in·out)` copy plus one content-fingerprint scan per layer per call). The
-    /// transpose is deliberately *not* cached on `Mlp`: [`Mlp::layers_mut`] allows weight
-    /// mutation, and a stale cached operand would silently serve the wrong tensor. The
-    /// decomposition itself is still cached across calls (keyed by content).
+    /// Each call snapshots the network into a fresh [`ServingMlp`] (one `O(in·out)`
+    /// transpose copy plus one content-fingerprint scan per layer per call), so weight
+    /// mutation through [`Mlp::layers_mut`] can never serve a stale operand. A serving
+    /// deployment that forwards many batches between weight updates should hold a
+    /// [`Mlp::prepare_serving`] snapshot instead — its pointer-stable operands hit the
+    /// engine's fingerprint memo and prepared cache with zero per-call rescans.
     ///
     /// # Panics
     ///
@@ -216,41 +217,48 @@ impl Mlp {
         inputs: &[Matrix],
         configs: &[Option<TasdConfig>],
     ) -> Vec<Matrix> {
-        let mut xs: Vec<Matrix> = inputs.to_vec();
-        for (l, layer) in self.layers.iter().enumerate() {
-            // Serving orientation: the weight matrix is the shared (decomposed) LHS,
-            // behind one Arc so every request carries the same allocation.
-            let w_t = std::sync::Arc::new(layer.weights.transpose());
-            let requests: Vec<BatchRequest> = xs
-                .iter()
-                .map(|x| {
-                    assert_eq!(
-                        x.cols(),
-                        layer.in_features(),
-                        "activation width does not match layer input"
-                    );
-                    match configs.get(l) {
-                        Some(Some(cfg)) => BatchRequest::decomposed(
-                            std::sync::Arc::clone(&w_t),
-                            cfg.clone(),
-                            x.transpose(),
-                        ),
-                        _ => BatchRequest::dense(std::sync::Arc::clone(&w_t), x.transpose()),
-                    }
-                })
-                .collect();
-            xs = engine
-                .submit(requests)
-                .into_iter()
-                .map(|response| {
-                    let z_t = response.output.expect("shapes checked above");
-                    let mut z = z_t.transpose();
-                    add_bias(&mut z, &layer.bias);
-                    layer.activation.apply(&z)
-                })
-                .collect();
-        }
-        xs
+        self.prepare_serving(engine, configs)
+            .forward_batch(engine, inputs)
+    }
+
+    /// Snapshots this network for serving: every layer's weights are transposed into the
+    /// serving orientation **once**, behind pointer-stable [`Arc`](std::sync::Arc)s, and
+    /// each configured layer's decomposition is prepared into `engine`'s cache up front.
+    /// Repeated [`ServingMlp::forward_batch`] calls then perform zero weight transposes,
+    /// zero content-fingerprint scans, zero decompositions, zero format conversions, and
+    /// zero replans — the prepare-once / execute-many contract of the `tasd::engine`
+    /// module, applied network-wide.
+    ///
+    /// The snapshot is decoupled from the `Mlp`: mutating weights afterwards (e.g. via
+    /// [`Mlp::layers_mut`]) does not invalidate it — rebuild the snapshot after a weight
+    /// update, as a deployment would roll a new model version.
+    pub fn prepare_serving(
+        &self,
+        engine: &ExecutionEngine,
+        configs: &[Option<TasdConfig>],
+    ) -> ServingMlp {
+        let layers = self
+            .layers
+            .iter()
+            .enumerate()
+            .map(|(l, layer)| {
+                let w_t = std::sync::Arc::new(layer.weights.transpose());
+                let config = configs.get(l).cloned().flatten();
+                if let Some(cfg) = &config {
+                    // Warm the prepared cache (and the fingerprint memo) now, so the
+                    // first batch is as cheap as the hundredth.
+                    let _ = engine.prepare_shared(&w_t, cfg);
+                }
+                ServingLayer {
+                    w_t,
+                    bias: layer.bias.clone(),
+                    activation: layer.activation,
+                    in_features: layer.in_features(),
+                    config,
+                }
+            })
+            .collect();
+        ServingMlp { layers }
     }
 
     /// Predicted class per sample (argmax of logits).
@@ -318,6 +326,80 @@ impl Mlp {
             })
             .collect();
         NetworkSpec::new(name, layers)
+    }
+}
+
+/// One layer of a [`ServingMlp`]: the transposed weight operand behind a pointer-stable
+/// `Arc`, plus the epilogue state.
+#[derive(Debug, Clone)]
+struct ServingLayer {
+    w_t: std::sync::Arc<Matrix>,
+    bias: Vec<f32>,
+    activation: Activation,
+    in_features: usize,
+    config: Option<TasdConfig>,
+}
+
+/// A serving-ready snapshot of an [`Mlp`], from [`Mlp::prepare_serving`]: weights
+/// pre-transposed into the shared-operand orientation behind pointer-stable `Arc`s, and
+/// per-layer TASD configurations pinned. Because the operand allocations never change
+/// across calls, every [`forward_batch`](ServingMlp::forward_batch) after the first hits
+/// the engine's fingerprint memo and prepared decomposition cache — the hot path does no
+/// conversion and no replanning.
+#[derive(Debug, Clone)]
+pub struct ServingMlp {
+    layers: Vec<ServingLayer>,
+}
+
+impl ServingMlp {
+    /// Number of layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Batched serving forward pass (see [`Mlp::forward_batch`] for the orientation
+    /// contract): one [`ExecutionEngine::submit`] batch per layer, every request sharing
+    /// the snapshot's weight operand. Outputs match [`Mlp::forward_batch`] on the
+    /// snapshotted weights exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any request's width does not match the first layer.
+    pub fn forward_batch(&self, engine: &ExecutionEngine, inputs: &[Matrix]) -> Vec<Matrix> {
+        let mut xs: Vec<Matrix> = inputs.to_vec();
+        for layer in &self.layers {
+            let requests: Vec<BatchRequest> = xs
+                .iter()
+                .map(|x| {
+                    assert_eq!(
+                        x.cols(),
+                        layer.in_features,
+                        "activation width does not match layer input"
+                    );
+                    match &layer.config {
+                        Some(cfg) => BatchRequest::decomposed(
+                            std::sync::Arc::clone(&layer.w_t),
+                            cfg.clone(),
+                            x.transpose(),
+                        ),
+                        None => {
+                            BatchRequest::dense(std::sync::Arc::clone(&layer.w_t), x.transpose())
+                        }
+                    }
+                })
+                .collect();
+            xs = engine
+                .submit(requests)
+                .into_iter()
+                .map(|response| {
+                    let z_t = response.output.expect("shapes checked above");
+                    let mut z = z_t.transpose();
+                    add_bias(&mut z, &layer.bias);
+                    layer.activation.apply(&z)
+                })
+                .collect();
+        }
+        xs
     }
 }
 
@@ -517,6 +599,35 @@ mod tests {
         let _ = mlp.forward_batch_with_weight_tasd(&e, &inputs, &cfgs);
         assert_eq!(e.cache_stats().misses, mlp.num_layers() as u64);
         assert!(e.cache_stats().hits >= mlp.num_layers() as u64);
+    }
+
+    #[test]
+    fn serving_snapshot_matches_forward_batch_and_never_rescans() {
+        let mlp = Mlp::new(&[16, 24, 8], Activation::Relu, 33);
+        let mut gen = MatrixGenerator::seeded(34);
+        let inputs: Vec<Matrix> = (0..4).map(|_| gen.normal(3, 16, 0.0, 1.0)).collect();
+        let e = ExecutionEngine::builder().build();
+        let cfgs = vec![Some(TasdConfig::parse("2:8").unwrap()); mlp.num_layers()];
+        let serving = mlp.prepare_serving(&e, &cfgs);
+        assert_eq!(serving.num_layers(), mlp.num_layers());
+        // The snapshot path answers exactly like the per-call path on the same engine.
+        let via_snapshot = serving.forward_batch(&e, &inputs);
+        let via_percall = mlp.forward_batch_with_weight_tasd(&e, &inputs, &cfgs);
+        for (a, b) in via_snapshot.iter().zip(&via_percall) {
+            assert_eq!(a, b, "snapshot serving must be bitwise identical");
+        }
+        // Warm calls on the snapshot: zero scans, zero decompositions, zero conversions,
+        // zero replans — the prepare-once / execute-many contract end to end.
+        let _ = serving.forward_batch(&e, &inputs);
+        let before = e.prep_stats();
+        let cache_before = e.cache_stats();
+        let _ = serving.forward_batch(&e, &inputs);
+        let after = e.prep_stats();
+        assert_eq!(after.fingerprint_scans, before.fingerprint_scans);
+        assert_eq!(after.conversions, before.conversions);
+        assert_eq!(after.plans_computed, before.plans_computed);
+        assert_eq!(after.prepares, before.prepares);
+        assert_eq!(e.cache_stats().misses, cache_before.misses);
     }
 
     #[test]

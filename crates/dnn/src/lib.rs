@@ -39,7 +39,7 @@ pub mod weights;
 pub use activation::Activation;
 pub use calibration::{ActivationStats, CalibrationProfile};
 pub use dataset::SyntheticDataset;
-pub use executable::Mlp;
+pub use executable::{Mlp, ServingMlp};
 pub use layer::{LayerKind, LayerSpec};
 pub use network::NetworkSpec;
 pub use quality::ProxyAccuracyModel;

@@ -76,7 +76,10 @@ impl Tasder {
     }
 
     /// Routes the optimizer's decompositions through the given execution engine (e.g. one
-    /// shared with the serving path, so candidate evaluation warms the same cache).
+    /// shared with the serving path, so candidate evaluation warms the same *prepared*
+    /// cache — the serving hot path then starts with its decompositions already packed
+    /// in their backend-native formats and performs zero conversions from the first
+    /// batch).
     #[must_use]
     pub fn with_engine(mut self, engine: Arc<ExecutionEngine>) -> Self {
         self.engine = engine;

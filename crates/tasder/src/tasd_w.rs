@@ -54,9 +54,13 @@ fn sample_weights(spec: &NetworkSpec, layer_index: usize, seed: u64) -> Matrix {
 }
 
 /// Evaluates the damage of every (layer, configuration) pair in parallel. Decompositions
-/// dispatch through `engine`: evaluating the same layer sample under several
-/// configurations shares the cache across worker threads, and re-runs of the optimizer
-/// (e.g. layer-wise after network-wise) skip re-decomposition entirely.
+/// dispatch through `engine` as *prepared* series: evaluating the same layer sample
+/// under several configurations shares the cache across worker threads, re-runs of the
+/// optimizer (e.g. layer-wise after network-wise) skip re-decomposition entirely, and an
+/// engine shared with the serving path ([`Tasder::with_engine`](crate::Tasder::with_engine))
+/// comes out of candidate evaluation with its prepared cache already warm — the first
+/// serving batch against an optimizer-chosen configuration performs zero decompositions
+/// and zero format conversions.
 pub fn evaluate_candidates(
     engine: &ExecutionEngine,
     spec: &NetworkSpec,
@@ -70,8 +74,8 @@ pub fn evaluate_candidates(
         .par_iter()
         .map(|(li, config)| {
             let weights = sample_weights(spec, *li, seed);
-            let series = engine.decompose(&weights, config);
-            let approx = series.reconstruct();
+            let series = engine.prepare(&weights, config);
+            let approx = series.series().reconstruct();
             let damage = LayerDamage {
                 dropped_nonzero_fraction: dropped_nonzero_fraction(&weights, &approx),
                 dropped_magnitude_fraction: dropped_magnitude_fraction(&weights, &approx),

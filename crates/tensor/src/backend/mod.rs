@@ -19,8 +19,12 @@
 //! Backends accept every operand: when the operand is not in a backend's native format the
 //! backend falls back to a correct (if slower) path, so backend choice is purely a
 //! performance decision. That is what lets the execution engine in the `tasd` crate pick a
-//! backend per TASD term from density alone. The relative costs the engine's heuristic
-//! encodes are measured by `benches/backends.rs` in the `tasd-bench` crate.
+//! backend per TASD term from density alone. The fallback is a correctness safety net,
+//! not an execution strategy: the engine's *planned* paths materialize each operand into
+//! its chosen backend's native format ahead of time ([`PackedOperand`]), so the
+//! per-entry dyn-dispatched fallback never runs on a prepared hot path. The relative
+//! costs the engine's heuristic encodes are measured by `benches/backends.rs` in the
+//! `tasd-bench` crate.
 //!
 //! # Example
 //!
@@ -48,6 +52,7 @@ mod dense;
 mod multi;
 mod nm;
 mod operand;
+mod packed;
 mod parallel;
 
 pub use csr::CsrBackend;
@@ -55,6 +60,7 @@ pub use dense::DenseBackend;
 pub use multi::{pack_panels, unpack_panels, unpack_panels_into};
 pub use nm::NmBackend;
 pub use operand::GemmOperand;
+pub use packed::{PackedKind, PackedOperand};
 pub use parallel::ParallelBackend;
 
 use crate::{Matrix, Result, TensorError};

@@ -1,0 +1,209 @@
+//! Backend-native packed operands: a TASD term materialized in the storage format its
+//! planned kernel consumes natively.
+//!
+//! Every [`GemmBackend`](super::GemmBackend) accepts every [`GemmOperand`](super::GemmOperand)
+//! — but a non-native operand runs through the per-entry dyn-dispatched fallback
+//! ([`gemm_rows_generic`](super::gemm_rows_generic)), which defeats the point of picking
+//! that backend. [`PackedOperand`] is the prepare-time answer: convert the operand into
+//! the chosen backend's native format **once**, so every subsequent execution hits the
+//! fast path. The execution engine in the `tasd` crate performs this packing when it
+//! prepares a decomposition for caching; the serving hot path then never converts.
+//!
+//! Packing never changes results: each conversion preserves the per-row entry order
+//! (ascending column), so a GEMM over the packed form accumulates every output element
+//! in the same floating-point order as the original — bitwise identical outputs.
+
+use super::GemmOperand;
+use crate::{CsrMatrix, Matrix, NmCompressed};
+use std::fmt;
+
+/// A left-hand GEMM operand materialized in one backend's native storage format.
+///
+/// Produced at prepare time from a compressed N:M term (see
+/// [`PackedOperand::pack_nm_term`]); consumed as a [`GemmOperand`] by the matching
+/// backend's fast path.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PackedOperand {
+    /// Dense row-major storage — native to the cache-blocked dense kernel.
+    Dense(Matrix),
+    /// Compressed sparse rows — native to the unstructured sparse kernel.
+    Csr(CsrMatrix),
+    /// Compressed N:M (values + lane metadata) — native to the structured kernel.
+    Nm(NmCompressed),
+}
+
+impl PackedOperand {
+    /// Materializes a compressed N:M term into `target`'s native format.
+    ///
+    /// Returns the packed operand and whether a format conversion was performed
+    /// (`false` when the term is already in the target format, in which case it is
+    /// cloned as-is). The per-row entry order is preserved by every conversion, so
+    /// executing the packed operand is bitwise identical to executing the original
+    /// term.
+    pub fn pack_nm_term(term: &NmCompressed, target: PackedKind) -> (Self, bool) {
+        match target {
+            PackedKind::Dense => (PackedOperand::Dense(term.to_dense()), true),
+            PackedKind::Csr => (PackedOperand::Csr(term.to_csr()), true),
+            PackedKind::Nm => (PackedOperand::Nm(term.clone()), false),
+        }
+    }
+
+    /// The format this operand is packed in.
+    pub fn kind(&self) -> PackedKind {
+        match self {
+            PackedOperand::Dense(_) => PackedKind::Dense,
+            PackedOperand::Csr(_) => PackedKind::Csr,
+            PackedOperand::Nm(_) => PackedKind::Nm,
+        }
+    }
+
+    /// The operand as a dynamic [`GemmOperand`], for handing to a backend.
+    pub fn as_operand(&self) -> &dyn GemmOperand {
+        match self {
+            PackedOperand::Dense(m) => m,
+            PackedOperand::Csr(c) => c,
+            PackedOperand::Nm(n) => n,
+        }
+    }
+
+    /// Storage footprint of the packed form in bytes (what a cache holding prepared
+    /// operands must account for).
+    pub fn storage_bytes(&self) -> usize {
+        match self {
+            PackedOperand::Dense(m) => m.storage_bytes(),
+            PackedOperand::Csr(c) => c.storage_bytes(),
+            PackedOperand::Nm(n) => n.storage_bytes(),
+        }
+    }
+}
+
+impl GemmOperand for PackedOperand {
+    fn shape(&self) -> (usize, usize) {
+        self.as_operand().shape()
+    }
+
+    fn nnz(&self) -> usize {
+        self.as_operand().nnz()
+    }
+
+    fn for_each_in_row(&self, row: usize, f: &mut dyn FnMut(usize, f32)) {
+        self.as_operand().for_each_in_row(row, f);
+    }
+
+    fn as_dense(&self) -> Option<&Matrix> {
+        match self {
+            PackedOperand::Dense(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    fn as_csr(&self) -> Option<&CsrMatrix> {
+        match self {
+            PackedOperand::Csr(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    fn as_nm(&self) -> Option<&NmCompressed> {
+        match self {
+            PackedOperand::Nm(n) => Some(n),
+            _ => None,
+        }
+    }
+}
+
+/// The storage-format tag of a [`PackedOperand`] (mirrors the backend families).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PackedKind {
+    /// Dense row-major [`Matrix`].
+    Dense,
+    /// Unstructured [`CsrMatrix`].
+    Csr,
+    /// Compressed [`NmCompressed`].
+    Nm,
+}
+
+impl fmt::Display for PackedKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PackedKind::Dense => "dense",
+            PackedKind::Csr => "csr",
+            PackedKind::Nm => "nm",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{CsrBackend, DenseBackend, GemmBackend, NmBackend};
+    use crate::{MatrixGenerator, NmPattern};
+
+    fn term(sparsity: f64) -> NmCompressed {
+        let mut gen = MatrixGenerator::seeded(101);
+        let a = gen.sparse_normal(24, 32, sparsity);
+        NmCompressed::from_dense(&a, NmPattern::new(2, 8).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn packing_preserves_content_and_reports_conversions() {
+        let t = term(0.6);
+        let (dense, conv) = PackedOperand::pack_nm_term(&t, PackedKind::Dense);
+        assert!(conv);
+        assert_eq!(dense.as_dense().unwrap(), &t.to_dense());
+        let (csr, conv) = PackedOperand::pack_nm_term(&t, PackedKind::Csr);
+        assert!(conv);
+        assert_eq!(csr.as_csr().unwrap().to_dense(), t.to_dense());
+        let (nm, conv) = PackedOperand::pack_nm_term(&t, PackedKind::Nm);
+        assert!(!conv, "already-native terms are kept, not converted");
+        assert_eq!(nm.as_nm().unwrap(), &t);
+        for p in [&dense, &csr, &nm] {
+            assert_eq!(p.shape(), t.shape());
+            assert_eq!(GemmOperand::nnz(p), t.nnz());
+            assert!(p.storage_bytes() > 0);
+        }
+    }
+
+    #[test]
+    fn packed_execution_is_bitwise_identical_to_the_native_term() {
+        // The whole point of packing: each format's native kernel accumulates in the
+        // same per-row ascending-column order, so outputs agree exactly, not just
+        // within tolerance.
+        let t = term(0.8);
+        let b = MatrixGenerator::seeded(7).normal(32, 16, 0.0, 1.0);
+        let mut reference = Matrix::zeros(24, 16);
+        NmBackend.gemm_into(&t, &b, &mut reference).unwrap();
+        let cases: [(&dyn GemmBackend, PackedKind); 3] = [
+            (&DenseBackend::default(), PackedKind::Dense),
+            (&CsrBackend, PackedKind::Csr),
+            (&NmBackend, PackedKind::Nm),
+        ];
+        for (backend, kind) in cases {
+            let (packed, _) = PackedOperand::pack_nm_term(&t, kind);
+            let mut c = Matrix::zeros(24, 16);
+            backend.gemm_into(packed.as_operand(), &b, &mut c).unwrap();
+            assert_eq!(c, reference, "{kind} packing drifted");
+        }
+    }
+
+    #[test]
+    fn to_csr_matches_dense_round_trip() {
+        for sparsity in [0.0, 0.5, 0.97] {
+            let t = term(sparsity);
+            let direct = t.to_csr();
+            direct.validate().unwrap();
+            assert_eq!(direct.to_dense(), t.to_dense(), "sparsity {sparsity}");
+            assert_eq!(direct.nnz(), t.nnz());
+        }
+    }
+
+    #[test]
+    fn kind_tags_round_trip() {
+        let t = term(0.5);
+        for kind in [PackedKind::Dense, PackedKind::Csr, PackedKind::Nm] {
+            let (p, _) = PackedOperand::pack_nm_term(&t, kind);
+            assert_eq!(p.kind(), kind);
+            assert_eq!(p.kind().to_string(), kind.to_string());
+        }
+    }
+}

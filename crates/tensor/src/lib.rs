@@ -46,7 +46,8 @@ pub mod random;
 pub mod stats;
 
 pub use backend::{
-    CostHint, CsrBackend, DenseBackend, GemmBackend, GemmOperand, NmBackend, ParallelBackend,
+    CostHint, CsrBackend, DenseBackend, GemmBackend, GemmOperand, NmBackend, PackedKind,
+    PackedOperand, ParallelBackend,
 };
 pub use csr::CsrMatrix;
 pub use error::TensorError;

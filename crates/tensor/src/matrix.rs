@@ -192,28 +192,57 @@ impl Matrix {
         &mut self.data[r0 * self.cols..r1 * self.cols]
     }
 
-    /// A 64-bit content fingerprint of the matrix (shape + element bit patterns, FNV-1a).
+    /// A 64-bit content fingerprint of the matrix (shape + element bit patterns).
     ///
     /// Used by the execution engine's decomposition cache to key matrices without storing
     /// them. Equal matrices always produce equal fingerprints; distinct matrices collide
     /// with probability ~2⁻⁶⁴ per pair, which the cache accepts by design (a collision
     /// returns a decomposition of the colliding matrix — detectable, never memory-unsafe).
+    ///
+    /// The hash runs four independent multiply-xor lanes over pairs of element bit
+    /// patterns (so the multiplier's latency pipelines instead of serializing) and
+    /// finishes each lane with a splitmix64-style avalanche. This is a content scan —
+    /// O(elements) — which is why the engine memoizes fingerprints per operand
+    /// allocation on its serving path instead of rescanning per request.
     pub fn fingerprint(&self) -> u64 {
-        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-        let mut h = FNV_OFFSET;
-        let mut mix = |word: u64| {
-            for byte in word.to_le_bytes() {
-                h ^= byte as u64;
-                h = h.wrapping_mul(FNV_PRIME);
-            }
-        };
-        mix(self.rows as u64);
-        mix(self.cols as u64);
-        for &x in &self.data {
-            mix(x.to_bits() as u64);
+        const M: u64 = 0x9E37_79B9_7F4A_7C15;
+        #[inline]
+        fn avalanche(mut x: u64) -> u64 {
+            x ^= x >> 30;
+            x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            x ^= x >> 27;
+            x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+            x ^ (x >> 31)
         }
-        h
+        let mut lanes = [
+            M ^ self.rows as u64,
+            M.rotate_left(17) ^ self.cols as u64,
+            M.rotate_left(34),
+            M.rotate_left(51),
+        ];
+        let mut chunks = self.data.chunks_exact(8);
+        for chunk in &mut chunks {
+            for (lane, pair) in lanes.iter_mut().zip(chunk.chunks_exact(2)) {
+                let word = (pair[0].to_bits() as u64) << 32 | pair[1].to_bits() as u64;
+                *lane = (*lane ^ word).wrapping_mul(M);
+            }
+        }
+        for (i, &x) in chunks.remainder().iter().enumerate() {
+            let lane = &mut lanes[i % 4];
+            *lane = (*lane ^ (x.to_bits() as u64 | 1 << 63)).wrapping_mul(M);
+        }
+        avalanche(
+            avalanche(lanes[0])
+                .wrapping_add(avalanche(lanes[1]).rotate_left(16))
+                .wrapping_add(avalanche(lanes[2]).rotate_left(32))
+                .wrapping_add(avalanche(lanes[3]).rotate_left(48)),
+        )
+    }
+
+    /// Dense storage footprint in bytes (`rows · cols · 4`), the figure the execution
+    /// engine's cache accounts for a dense-packed prepared term.
+    pub fn storage_bytes(&self) -> usize {
+        self.data.len() * 4
     }
 
     /// Returns element `(i, j)` or `None` if out of bounds.

@@ -279,6 +279,34 @@ impl NmCompressed {
         self.nnz() as u64 * n_cols as u64
     }
 
+    /// Converts to CSR form directly (no dense round trip), preserving per-row entry
+    /// order: row `i`'s CSR entries are exactly [`NmCompressed::row_entries`]`(i)` in
+    /// sequence, so a GEMM over the CSR form accumulates every output element in the
+    /// same floating-point order as the native N:M kernel — results are bitwise
+    /// identical. This is the prepare-time conversion the execution engine uses to
+    /// materialize a CSR-planned TASD term in its kernel's native format.
+    pub fn to_csr(&self) -> crate::CsrMatrix {
+        let bpr = self.pattern.blocks_per_row(self.cols);
+        let m_block = self.pattern.m();
+        let mut row_ptr = Vec::with_capacity(self.rows + 1);
+        let mut col_idx = Vec::with_capacity(self.entries.len());
+        let mut values = Vec::with_capacity(self.entries.len());
+        row_ptr.push(0);
+        for i in 0..self.rows {
+            for blk_in_row in 0..bpr {
+                let blk = i * bpr + blk_in_row;
+                let base_col = blk_in_row * m_block;
+                for e in &self.entries[self.block_ptr[blk]..self.block_ptr[blk + 1]] {
+                    col_idx.push(base_col + e.lane as usize);
+                    values.push(e.value);
+                }
+            }
+            row_ptr.push(values.len());
+        }
+        crate::CsrMatrix::from_parts(self.rows, self.cols, row_ptr, col_idx, values)
+            .expect("a valid compressed matrix converts to valid CSR")
+    }
+
     /// Verifies internal structural invariants (monotone block pointers, lane bounds,
     /// per-block entry count within N). Useful for property tests and after deserialization.
     ///
