@@ -178,6 +178,57 @@ pub fn improvement_pct(normalized: f64) -> f64 {
     (1.0 - normalized) * 100.0
 }
 
+/// Test-support utilities shared by the repository's integration tests (the
+/// multi-thread stress suites in `tests/parallel_stress.rs` and `tests/sharding.rs`).
+pub mod testing {
+    /// The host's available hardware parallelism (1 when it cannot be determined).
+    pub fn available_parallelism() -> usize {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    }
+
+    /// Returns `true` when the host reports at least `required` parallel execution
+    /// units; otherwise logs a skip notice naming `test_name` and returns `false`.
+    ///
+    /// Multi-thread stress tests use this as an early-return guard instead of
+    /// `#[ignore]`: on a 1-CPU runner the test passes with a *logged* reason (visible in
+    /// `--nocapture` output and in harness summaries as a fast pass), and on multi-core
+    /// runners it runs unconditionally — no separate `--ignored` invocation for CI to
+    /// forget.
+    ///
+    /// ```
+    /// if !tasd_bench::testing::require_parallelism(2, "my_stress_test") {
+    ///     return; // skipped, with the reason on stderr
+    /// }
+    /// ```
+    pub fn require_parallelism(required: usize, test_name: &str) -> bool {
+        let available = available_parallelism();
+        if available >= required {
+            return true;
+        }
+        eprintln!(
+            "skipping {test_name}: needs >= {required} parallel execution units, \
+             host reports {available} (std::thread::available_parallelism)"
+        );
+        false
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn parallelism_probe_is_sane() {
+            let n = available_parallelism();
+            assert!(n >= 1);
+            // A 1-unit requirement is always satisfiable; an absurd one never is.
+            assert!(require_parallelism(1, "probe"));
+            assert!(!require_parallelism(usize::MAX, "probe"));
+        }
+    }
+}
+
 /// Machine-readable bench results: the `BENCH_<name>.json` files at the repository root
 /// that track the performance trajectory across PRs.
 ///

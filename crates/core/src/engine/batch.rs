@@ -26,6 +26,7 @@
 //! per-request path, under every admission ordering.
 
 use super::prepared::PreparedSeries;
+use super::shard::ShardedSeries;
 use super::{ExecutionEngine, MatmulPlan};
 use crate::config::TasdConfig;
 use serde::{Deserialize, Serialize};
@@ -106,9 +107,14 @@ pub struct GroupTelemetry {
     /// Slots this group waited past its arrival rank (bounded by the fairness cap).
     pub queue_delay: usize,
     /// Whether this batch performed the group's decomposition (a cache miss). Always
-    /// `false` for dense groups.
+    /// `false` for dense groups. For a row-sharded group this means *at least one* shard
+    /// decomposed — a partially warm group (one shard evicted, the rest resident) reports
+    /// `decomposed: true` here while the batch-level `cache_hits`/`cache_misses` deltas
+    /// carry the exact per-shard split.
     pub decomposed: bool,
-    /// Whether the group's decomposition came out of the cache.
+    /// Whether the group's decomposition came out of the cache. For a row-sharded group:
+    /// whether **every** shard did (the conservative reading — a `true` guarantees the
+    /// batch paid zero decomposition work for this group).
     pub cache_hit: bool,
 }
 
@@ -192,12 +198,20 @@ pub fn admission_order(costs: &[u64], fairness_cap: usize) -> Vec<usize> {
 /// own value.
 type GroupKey = (u64, (usize, usize), Option<TasdConfig>);
 
-/// How a group executes: a prepared decomposition, or an exact GEMM with a memoized plan.
+/// How a group executes: a prepared decomposition (whole or row-sharded), or an exact
+/// GEMM with a memoized plan.
 enum GroupExec {
     /// Decomposed group: the prepared series (obtained through the cache at costing
     /// time) and whether that lookup was a cache hit.
     Prepared {
         series: Arc<PreparedSeries>,
+        cache_hit: bool,
+    },
+    /// Oversized decomposed group routed through the engine's shard policy: one prepared
+    /// series per row shard, executed on the shard worker pool. `cache_hit` means every
+    /// shard came out of the cache.
+    Sharded {
+        series: ShardedSeries,
         cache_hit: bool,
     },
     /// Exact GEMM group: the memoized plan for the packed output width.
@@ -288,11 +302,24 @@ impl ExecutionEngine {
             let packed_width: usize = group.members.iter().map(|&i| requests[i].b.cols()).sum();
             let per_col_macs: u64 = match &first.config {
                 Some(cfg) => {
-                    let (series, cache_hit) =
-                        self.prepare_with_fingerprint(a.as_ref(), cfg, group.fingerprint);
-                    let macs = series.nnz() as u64;
-                    group.exec = Some(GroupExec::Prepared { series, cache_hit });
-                    macs
+                    // Oversized operands route through the shard policy (when one is
+                    // configured): one prepared series per row shard, each a first-class
+                    // cache entry keyed by the shard's own fingerprint. Decomposition is
+                    // row-local, so the summed shard nnz equals the whole-matrix nnz and
+                    // the cost estimate is unchanged.
+                    if let Some(policy) = self.shard_policy_for(a.rows()).cloned() {
+                        let series = self.prepare_sharded(a, cfg, &policy);
+                        let macs = series.nnz() as u64;
+                        let cache_hit = series.all_cache_hits();
+                        group.exec = Some(GroupExec::Sharded { series, cache_hit });
+                        macs
+                    } else {
+                        let (series, cache_hit) =
+                            self.prepare_with_fingerprint(a.as_ref(), cfg, group.fingerprint);
+                        let macs = series.nnz() as u64;
+                        group.exec = Some(GroupExec::Prepared { series, cache_hit });
+                        macs
+                    }
                 }
                 None => {
                     let plan = self.plan_gemm_memoized(a.as_ref(), group.fingerprint, packed_width);
@@ -322,6 +349,14 @@ impl ExecutionEngine {
                 GroupExec::Prepared { series, cache_hit } => {
                     let c = self
                         .series_gemm_prepared(series, &wide_b)
+                        .expect("shapes validated at admission");
+                    (c, *cache_hit, !*cache_hit)
+                }
+                GroupExec::Sharded { series, cache_hit } => {
+                    // One packed multi-RHS pass per shard, each writing its disjoint row
+                    // range of the wide output; bitwise identical to the unsharded pass.
+                    let c = self
+                        .series_gemm_sharded(series, &wide_b)
                         .expect("shapes validated at admission");
                     (c, *cache_hit, !*cache_hit)
                 }

@@ -65,6 +65,18 @@ pub struct DecompositionCache {
     insertions: u64,
     evictions: u64,
     bytes_resident: usize,
+    /// Reference counts of resident prepared-series *allocations*, keyed by `Arc`
+    /// pointer. `bytes_resident` charges each allocation once however many keys alias
+    /// it — a shard entry and a parent entry resolving to the same prepared series (a
+    /// single-shard split has the parent's exact content) share storage, so counting
+    /// both would overstate the footprint.
+    resident_allocs: HashMap<usize, ResidentAlloc>,
+}
+
+#[derive(Debug)]
+struct ResidentAlloc {
+    refs: usize,
+    bytes: usize,
 }
 
 impl DecompositionCache {
@@ -81,6 +93,38 @@ impl DecompositionCache {
             insertions: 0,
             evictions: 0,
             bytes_resident: 0,
+            resident_allocs: HashMap::new(),
+        }
+    }
+
+    /// Charges `prepared`'s bytes to `bytes_resident` iff its allocation is not already
+    /// resident under another key.
+    fn acquire_bytes(&mut self, prepared: &Arc<PreparedSeries>) {
+        let alloc = self
+            .resident_allocs
+            .entry(Arc::as_ptr(prepared) as usize)
+            .or_insert_with(|| ResidentAlloc {
+                refs: 0,
+                bytes: prepared.storage_bytes(),
+            });
+        alloc.refs += 1;
+        if alloc.refs == 1 {
+            self.bytes_resident += alloc.bytes;
+        }
+    }
+
+    /// Releases one key's claim on `prepared`'s allocation, un-charging the bytes when
+    /// the last aliasing key is gone.
+    fn release_bytes(&mut self, prepared: &Arc<PreparedSeries>) {
+        let key = Arc::as_ptr(prepared) as usize;
+        let alloc = self
+            .resident_allocs
+            .get_mut(&key)
+            .expect("released allocation must be resident");
+        alloc.refs -= 1;
+        if alloc.refs == 0 {
+            self.bytes_resident -= alloc.bytes;
+            self.resident_allocs.remove(&key);
         }
     }
 
@@ -116,7 +160,7 @@ impl DecompositionCache {
                 .map(|(k, _)| k.clone())
             {
                 if let Some(evicted) = self.entries.remove(&lru) {
-                    self.bytes_resident -= evicted.bytes;
+                    self.release_bytes(&evicted.prepared);
                     self.evictions += 1;
                 }
             }
@@ -124,6 +168,7 @@ impl DecompositionCache {
         let bytes = prepared.storage_bytes();
         let packed_bytes = prepared.packed_bytes();
         self.insertions += 1;
+        self.acquire_bytes(&prepared);
         if let Some(replaced) = self.entries.insert(
             key,
             CacheEntry {
@@ -134,9 +179,8 @@ impl DecompositionCache {
                 packed_bytes,
             },
         ) {
-            self.bytes_resident -= replaced.bytes;
+            self.release_bytes(&replaced.prepared);
         }
-        self.bytes_resident += bytes;
     }
 
     /// Point-in-time counters of this cache.
@@ -175,6 +219,7 @@ impl DecompositionCache {
     /// Drops every cached series (counters are preserved; resident bytes go to zero).
     pub fn clear(&mut self) {
         self.entries.clear();
+        self.resident_allocs.clear();
         self.bytes_resident = 0;
     }
 }
@@ -196,7 +241,11 @@ pub struct CacheStats {
     /// Resident series displaced to make room for newer ones.
     pub evictions: u64,
     /// Storage footprint of every resident prepared series, in bytes — the compressed
-    /// terms plus their packed execution formats.
+    /// terms plus their packed execution formats. Deduped by allocation: when two keys
+    /// alias the same prepared series (a shard entry and a parent entry with identical
+    /// content), the shared storage is charged exactly once. Per-entry
+    /// [`CacheEntryStats::bytes`] still report each entry's full footprint, so their sum
+    /// can exceed this figure when aliases are resident.
     pub bytes_resident: usize,
 }
 
@@ -334,20 +383,48 @@ mod tests {
     #[test]
     fn bytes_resident_tracks_inserts_replacements_and_evictions() {
         let mut cache = DecompositionCache::new(2);
-        let s = series();
-        let per_entry = s.storage_bytes();
+        let per_entry = series().storage_bytes();
         assert!(per_entry > 0);
-        cache.insert(key(1), Arc::clone(&s));
+        cache.insert(key(1), series());
         assert_eq!(cache.stats().bytes_resident, per_entry);
-        cache.insert(key(2), Arc::clone(&s));
+        cache.insert(key(2), series());
         assert_eq!(cache.stats().bytes_resident, 2 * per_entry);
         // Replacing a key must not double-count its bytes.
-        cache.insert(key(2), Arc::clone(&s));
+        cache.insert(key(2), series());
         assert_eq!(cache.stats().bytes_resident, 2 * per_entry);
         // Eviction releases the evicted entry's bytes.
-        cache.insert(key(3), s);
+        cache.insert(key(3), series());
         assert_eq!(cache.stats().bytes_resident, 2 * per_entry);
         assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn aliased_allocations_are_charged_once() {
+        // Regression: the same prepared series resident under two keys (e.g. a
+        // single-shard split whose shard has the parent's exact content, re-keyed under
+        // a different fingerprint) shares one allocation — `bytes_resident` must charge
+        // it once, and keep charging it until the *last* aliasing key is gone.
+        let mut cache = DecompositionCache::new(4);
+        let shared = series();
+        let per_entry = shared.storage_bytes();
+        cache.insert(key(1), Arc::clone(&shared)); // "parent" key
+        cache.insert(key(2), Arc::clone(&shared)); // "shard" key, same allocation
+        assert_eq!(cache.stats().entries, 2);
+        assert_eq!(
+            cache.stats().bytes_resident,
+            per_entry,
+            "aliased entries must not double-count shared storage"
+        );
+        // Per-entry stats still report each entry's full footprint.
+        assert!(cache.entry_stats().iter().all(|e| e.bytes == per_entry));
+        // Replacing one alias with a fresh allocation releases only that claim.
+        cache.insert(key(2), series());
+        assert_eq!(cache.stats().bytes_resident, 2 * per_entry);
+        // Replacing the last alias releases the shared allocation's bytes.
+        cache.insert(key(1), series());
+        assert_eq!(cache.stats().bytes_resident, 2 * per_entry);
+        cache.clear();
+        assert_eq!(cache.stats().bytes_resident, 0);
     }
 
     #[test]

@@ -106,6 +106,45 @@
 //!   shortest-plan-first. This bounds the queue delay a huge GEMM can impose on cheap
 //!   requests *and* the starvation a cheap stream can impose on a huge GEMM.
 //!
+//! # Sharding: row-split execution of oversized operands
+//!
+//! Very large operands split into **row shards** executed by independent prepared
+//! series: each shard gets its own TASD decomposition, plan, and packed formats, and the
+//! shards run on a worker pool writing disjoint row ranges of one shared output
+//! ([`shard`] module). Because both the greedy decomposition and every kernel are
+//! row-local, sharded execution is **bitwise identical** to unsharded execution — at any
+//! shard count, under any policy, on every backend.
+//!
+//! * **Opting in.** Implicitly: [`EngineBuilder::shard_policy`] +
+//!   [`EngineBuilder::shard_min_rows`] make [`submit`](ExecutionEngine::submit) and the
+//!   serving warmup ([`warm_serving_operand`](ExecutionEngine::warm_serving_operand),
+//!   used by `Mlp::prepare_serving`) route oversized decomposed groups through shards.
+//!   Explicitly: a [`ShardedEngine`] shards everything handed to it.
+//! * **Choosing a [`ShardPolicy`].** [`ShardPolicy::TargetShards`] (rows split evenly,
+//!   usually one or two shards per worker) is the default choice for uniformly sparse
+//!   operands. [`ShardPolicy::NnzBalanced`] splits on *stored non-zeros* instead and is
+//!   the right policy when sparsity is skewed (e.g. a dense band inside a pruned
+//!   weight) — it also lets dense row bands plan onto the dense kernel while sparse
+//!   bands stay on CSR, a per-shard refinement of the [`BackendTable`].
+//!   [`ShardPolicy::FixedRows`] pins the shard size directly (useful to match a
+//!   hardware tile or cache footprint).
+//! * **Cache sizing with shards.** Each shard is a first-class [`DecompositionCache`]
+//!   entry keyed by the *shard's* content fingerprint, so a sharded operand occupies
+//!   `#shards` entries (their summed bytes ≈ the unsharded entry's bytes; the cache
+//!   dedupes storage shared between entries by allocation, so aliased entries are never
+//!   double-counted in `bytes_resident`). Budget `cache_capacity ≥ Σ per-operand shard
+//!   counts` over the serving working set, and re-run the telemetry recipe below after
+//!   enabling sharding — evictions that appear only with sharding on mean the capacity
+//!   was sized for whole-matrix entries.
+//! * **When sharding loses.** Below a few hundred rows the per-shard fixed costs
+//!   (decomposition bookkeeping, plan + cache entries, thread handoff) outweigh the
+//!   parallel win — that is what `shard_min_rows` (default
+//!   [`DEFAULT_SHARD_MIN_ROWS`]) guards. Whole-matrix N:M execution also wins when the
+//!   operand is uniformly structured and already saturates one kernel pass (nothing to
+//!   rebalance), or when the machine is single-core (`benches/serving.rs` measures the
+//!   sharded-vs-unsharded ratio per machine). Sharding never changes results, so the
+//!   decision is purely a throughput one.
+//!
 //! # Sizing `cache_capacity` from telemetry
 //!
 //! The decomposition cache reports global counters ([`ExecutionEngine::cache_stats`]:
@@ -135,6 +174,7 @@ mod batch;
 mod cache;
 mod plan;
 mod prepared;
+mod shard;
 
 pub use batch::{
     admission_order, BatchRequest, BatchResponse, BatchTelemetry, GroupTelemetry,
@@ -143,6 +183,10 @@ pub use batch::{
 pub use cache::{CacheEntryStats, CacheStats, DecompositionCache};
 pub use plan::{BackendKind, BackendTable, MatmulPlan, TermPlan};
 pub use prepared::{PreparedSeries, PreparedTerm};
+pub use shard::{
+    PreparedShard, ShardPolicy, ShardTelemetry, ShardedEngine, ShardedSeries, ShardedTelemetry,
+    DEFAULT_SHARD_MIN_ROWS,
+};
 
 use crate::config::TasdConfig;
 use crate::decompose::decompose;
@@ -191,6 +235,8 @@ pub struct EngineBuilder {
     min_parallel_macs: u64,
     fairness_cap: usize,
     fingerprint_memo_capacity: usize,
+    shard_policy: Option<ShardPolicy>,
+    shard_min_rows: usize,
 }
 
 impl EngineBuilder {
@@ -262,6 +308,29 @@ impl EngineBuilder {
         self
     }
 
+    /// Configures row sharding: operands with at least
+    /// [`shard_min_rows`](Self::shard_min_rows) rows are split under `policy`, prepared
+    /// shard by shard, and executed on the shard worker pool by
+    /// [`submit`](ExecutionEngine::submit) and the serving warmup path (see the
+    /// "Sharding" section of the [module docs](self)). Unset by default: no operand is
+    /// sharded implicitly. [`ShardedEngine`] shards explicitly regardless of this
+    /// setting.
+    #[must_use]
+    pub fn shard_policy(mut self, policy: ShardPolicy) -> Self {
+        self.shard_policy = Some(policy);
+        self
+    }
+
+    /// Sets the row count at which a configured [`shard_policy`](Self::shard_policy)
+    /// starts to apply (default [`DEFAULT_SHARD_MIN_ROWS`]). Operands below it are
+    /// served unsharded; values below 2 are treated as 2 (a 1-row operand cannot
+    /// usefully shard).
+    #[must_use]
+    pub fn shard_min_rows(mut self, rows: usize) -> Self {
+        self.shard_min_rows = rows;
+        self
+    }
+
     /// Builds the engine.
     pub fn build(self) -> ExecutionEngine {
         let seq: [Arc<dyn GemmBackend>; 3] = [
@@ -293,9 +362,12 @@ impl EngineBuilder {
             backend_table,
             min_parallel_macs: self.min_parallel_macs,
             fairness_cap: self.fairness_cap,
+            shard_policy: self.shard_policy,
+            shard_min_rows: self.shard_min_rows,
             cache: Mutex::new(DecompositionCache::new(self.cache_capacity)),
             plans: Mutex::new(PlanMemo::default()),
             fingerprints: Mutex::new(FingerprintMemo::new(self.fingerprint_memo_capacity)),
+            shard_splits: Mutex::new(shard::ShardSplitMemo::default()),
             counters: PrepCounters::default(),
         }
     }
@@ -312,6 +384,8 @@ impl Default for EngineBuilder {
             min_parallel_macs: DEFAULT_MIN_PARALLEL_MACS,
             fairness_cap: DEFAULT_FAIRNESS_CAP,
             fingerprint_memo_capacity: DEFAULT_FINGERPRINT_MEMO_CAPACITY,
+            shard_policy: None,
+            shard_min_rows: DEFAULT_SHARD_MIN_ROWS,
         }
     }
 }
@@ -467,9 +541,12 @@ pub struct ExecutionEngine {
     backend_table: BackendTable,
     min_parallel_macs: u64,
     fairness_cap: usize,
+    shard_policy: Option<ShardPolicy>,
+    shard_min_rows: usize,
     cache: Mutex<DecompositionCache>,
     plans: Mutex<PlanMemo>,
     fingerprints: Mutex<FingerprintMemo>,
+    shard_splits: Mutex<shard::ShardSplitMemo>,
     counters: PrepCounters,
 }
 
@@ -762,9 +839,32 @@ impl ExecutionEngine {
             shape: a.shape(),
             config: config.clone(),
         };
-        if let Some(hit) = self.cache.lock().expect("cache lock").get(&key) {
+        if let Some(hit) = self.lookup_prepared(&key) {
             return (hit, true);
         }
+        (self.prepare_uncached(a, config, fingerprint), false)
+    }
+
+    /// One counted decomposition-cache lookup (a `None` is a recorded miss). The sharded
+    /// prepare path uses this directly so it can defer shard-row extraction to misses.
+    pub(crate) fn lookup_prepared(&self, key: &CacheKey) -> Option<Arc<PreparedSeries>> {
+        self.cache.lock().expect("cache lock").get(key)
+    }
+
+    /// Decomposes, packs, and caches `a` without a prior lookup (the caller has already
+    /// missed). Two threads racing on the same cold key both decompose; the result is
+    /// identical and one copy wins the insert.
+    pub(crate) fn prepare_uncached(
+        &self,
+        a: &Matrix,
+        config: &TasdConfig,
+        fingerprint: u64,
+    ) -> Arc<PreparedSeries> {
+        let key = CacheKey {
+            fingerprint,
+            shape: a.shape(),
+            config: config.clone(),
+        };
         let series = Arc::new(decompose(a, config));
         let prepared = Arc::new(PreparedSeries::prepare(series, fingerprint, |d, r, c| {
             self.kind_for_packed(d, r, c)
@@ -777,7 +877,7 @@ impl ExecutionEngine {
             .lock()
             .expect("cache lock")
             .insert(key, Arc::clone(&prepared));
-        (prepared, false)
+        prepared
     }
 
     /// Decomposes `a` under `config`, returning a cached series when this (matrix,
@@ -825,13 +925,17 @@ impl ExecutionEngine {
         self.fairness_cap
     }
 
-    /// Drops every cached prepared decomposition, memoized plan, and memoized operand
-    /// fingerprint (counters are preserved).
+    /// Drops every cached prepared decomposition, memoized plan, memoized operand
+    /// fingerprint, and memoized shard split (counters are preserved).
     pub fn clear_cache(&self) {
         self.cache.lock().expect("cache lock").clear();
         self.plans.lock().expect("plan memo lock").entries.clear();
         let mut fingerprints = self.fingerprints.lock().expect("fingerprint memo lock");
         fingerprints.entries.clear();
+        self.shard_splits
+            .lock()
+            .expect("shard split memo lock")
+            .clear();
     }
 
     // ---- Execution ------------------------------------------------------------------

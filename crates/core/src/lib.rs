@@ -77,7 +77,8 @@ pub use decompose::{decompose, decompose_with_residual};
 pub use engine::{
     BackendKind, BackendTable, BatchRequest, BatchResponse, BatchTelemetry, CacheEntryStats,
     CacheStats, DecompositionCache, EngineBuilder, ExecutionEngine, GroupTelemetry, MatmulPlan,
-    PrepStats, PreparedSeries, PreparedTerm, TermPlan,
+    PrepStats, PreparedSeries, PreparedShard, PreparedTerm, ShardPolicy, ShardTelemetry,
+    ShardedEngine, ShardedSeries, ShardedTelemetry, TermPlan,
 };
 pub use series::{series_gemm, series_gemm_into, DecompositionReport, TasdSeries};
 

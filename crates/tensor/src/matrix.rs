@@ -368,6 +368,30 @@ impl Matrix {
         self.len() - self.count_nonzeros()
     }
 
+    /// Extracts rows `[r0, r1)` as a standalone matrix in one contiguous copy (the
+    /// storage is row-major, so a row range is a single `memcpy`). This is the shard
+    /// extraction primitive of the row-sharded execution path: unlike [`Matrix::block`]
+    /// it never walks elements one by one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r0 > r1` or `r1 > rows`.
+    pub fn row_block(&self, r0: usize, r1: usize) -> Matrix {
+        Matrix {
+            rows: r1 - r0,
+            cols: self.cols,
+            data: self.rows_slice(r0, r1).to_vec(),
+        }
+    }
+
+    /// Per-row non-zero counts, in row order. One pass over the storage; this is what
+    /// nnz-balanced shard policies split on.
+    pub fn row_nnz_counts(&self) -> Vec<usize> {
+        (0..self.rows)
+            .map(|i| self.row(i).iter().filter(|&&x| x != 0.0).count())
+            .collect()
+    }
+
     /// Returns a sub-matrix covering rows `[r0, r0+nrows)` and columns `[c0, c0+ncols)`.
     ///
     /// # Panics
@@ -612,6 +636,30 @@ mod tests {
         let mut m = m;
         m.rows_slice_mut(3, 4)[0] = -1.0;
         assert_eq!(m[(3, 0)], -1.0);
+    }
+
+    #[test]
+    fn row_block_is_a_contiguous_row_slice() {
+        let m = Matrix::from_fn(5, 3, |i, j| (i * 3 + j) as f32);
+        let b = m.row_block(1, 4);
+        assert_eq!(b.shape(), (3, 3));
+        assert_eq!(b.as_slice(), m.rows_slice(1, 4));
+        assert_eq!(b, m.block(1, 0, 3, 3));
+        // Degenerate ranges stay well-formed.
+        assert_eq!(m.row_block(2, 2).shape(), (0, 3));
+        assert_eq!(m.row_block(0, 5), m);
+    }
+
+    #[test]
+    fn row_nnz_counts_match_per_row_scans() {
+        let m = Matrix::from_rows(&[
+            vec![0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 0.0],
+            vec![2.0, 3.0, -4.0],
+        ]);
+        assert_eq!(m.row_nnz_counts(), vec![1, 0, 3]);
+        assert_eq!(m.row_nnz_counts().iter().sum::<usize>(), m.count_nonzeros());
+        assert!(Matrix::zeros(0, 4).row_nnz_counts().is_empty());
     }
 
     #[test]

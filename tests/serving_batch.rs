@@ -116,6 +116,65 @@ proptest! {
 }
 
 #[test]
+fn mixed_batches_route_only_oversized_groups_through_shards() {
+    use tasd::ShardPolicy;
+    // One operand above the shard threshold (96 rows), one below (16 rows), plus a dense
+    // request on the big operand (dense groups never shard). Grouping, fairness, and
+    // cache accounting must all hold with sharding in play, and every response must be
+    // bitwise identical to an unsharded engine's.
+    let mut gen = MatrixGenerator::seeded(0x51AB);
+    let big = Arc::new(gen.sparse_normal(96, 48, 0.9));
+    let small = Arc::new(gen.sparse_normal(16, 48, 0.6));
+    let cfg = TasdConfig::parse("2:8").unwrap();
+    let build_batch = |gen: &mut MatrixGenerator| {
+        vec![
+            BatchRequest::decomposed(Arc::clone(&big), cfg.clone(), gen.normal(48, 4, 0.0, 1.0)),
+            BatchRequest::decomposed(Arc::clone(&small), cfg.clone(), gen.normal(48, 2, 0.0, 1.0)),
+            BatchRequest::decomposed(Arc::clone(&big), cfg.clone(), gen.normal(48, 1, 0.0, 1.0)),
+            BatchRequest::dense(Arc::clone(&big), gen.normal(48, 3, 0.0, 1.0)),
+        ]
+    };
+    let engine = ExecutionEngine::builder()
+        .shard_policy(ShardPolicy::TargetShards(3))
+        .shard_min_rows(64)
+        .build();
+    let plain = ExecutionEngine::builder().build();
+
+    let batch = build_batch(&mut gen);
+    let (responses, telemetry) = engine.submit_with_telemetry(batch.clone());
+    // Grouping is unchanged by sharding: both decomposed big requests share one group.
+    assert_eq!(telemetry.groups.len(), 3);
+    assert_eq!(responses[0].group, responses[2].group);
+    assert_ne!(responses[0].group, responses[1].group);
+    assert_ne!(responses[0].group, responses[3].group);
+    assert!(telemetry.max_queue_delay() <= telemetry.fairness_cap);
+    // Cold cache accounting: 3 shard misses for the big group + 1 for the small group.
+    assert_eq!(telemetry.cache_misses, 4);
+    assert_eq!(engine.cache_stats().entries, 4);
+    for (resp, plain_resp) in responses.iter().zip(plain.submit(batch)) {
+        assert_eq!(
+            resp.output.as_ref().unwrap(),
+            plain_resp.output.as_ref().unwrap(),
+            "request {} diverged from the unsharded engine",
+            resp.index
+        );
+    }
+
+    // Warm batch: per-shard hits for the sharded group, one hit for the small group,
+    // nothing for the dense group; fairness bound still honored.
+    let (responses, telemetry) = engine.submit_with_telemetry(build_batch(&mut gen));
+    assert!(responses.iter().all(|r| r.output.is_ok()));
+    assert_eq!(telemetry.decompositions, 0);
+    assert_eq!(telemetry.cache_hits, 4, "3 shard hits + 1 whole-matrix hit");
+    assert_eq!(telemetry.cache_misses, 0);
+    assert!(telemetry.groups.iter().all(|g| !g.decomposed));
+    assert!(telemetry.max_queue_delay() <= telemetry.fairness_cap);
+    // The decomposed groups report cache hits; the dense group never does.
+    assert!(responses[0].cache_hit && responses[1].cache_hit && responses[2].cache_hit);
+    assert!(!responses[3].cache_hit);
+}
+
+#[test]
 fn queue_delay_respects_fairness_cap_for_many_groups() {
     // 12 distinct operands of very different plan costs, tight fairness cap: every
     // group's reported queue delay must honor the bound, and the batch must still be
