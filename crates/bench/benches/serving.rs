@@ -25,14 +25,19 @@
 //!    engine on a 512-row operand, and the per-shard warm-cache contract (zero
 //!    conversions / replans / rescans, one cache hit per shard). Sharded-vs-unsharded
 //!    ns/iter is recorded into `BENCH_serving.json` (`submit_sharded/*`), not gated —
-//!    shard parallelism is a multi-core win and CI runs on one core.
+//!    shard parallelism is a multi-core win and CI runs on one core;
+//! 6. the **async serving** micro-batch window ([`serving_window_gate`]): a window of 2
+//!    ticks coalesces ≥ 2 late arrivals into one decomposition (≥ 1 fewer than the same
+//!    requests submitted individually), bitwise identical to per-request execution, and
+//!    `ServingEngine::submit` answers exactly like `ExecutionEngine::submit`. Warm
+//!    window-vs-per-request ns/iter is recorded as `serving_async/*`.
 //!
 //! Run with: `cargo bench --bench serving` (append `-- --test` for the smoke mode).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use tasd::{BatchRequest, ExecutionEngine, ShardPolicy, TasdConfig};
+use tasd::{BatchRequest, ExecutionEngine, ServingEngine, ShardPolicy, TasdConfig};
 use tasd_bench::bench_json::{quick_mode, BenchRecorder};
 use tasd_tensor::backend::{pack_panels, unpack_panels};
 use tasd_tensor::{Matrix, MatrixGenerator};
@@ -94,6 +99,7 @@ fn bench_serving(_c: &mut Criterion) {
         }
     }
     measure_sharded(&mut rec);
+    measure_serving_async(&mut rec);
     rec.write().expect("BENCH_serving.json must be writable");
 }
 
@@ -360,5 +366,139 @@ fn measure_sharded(rec: &mut BenchRecorder) {
     }
 }
 
-criterion_group!(benches, acceptance_gate, sharded_gate, bench_serving);
+/// The async-serving micro-batch window gate (always run, including `-- --test` smoke):
+///
+/// 1. a **window of 2 ticks coalesces late arrivals**: on a cache-less engine (so the
+///    decomposition count measures coalescing directly), one enqueue + one tick + two
+///    late enqueues + one tick dispatch as **one** window performing **one**
+///    decomposition, where the same three requests submitted individually perform
+///    three — the window saves ≥ 1 decomposition, the acceptance criterion;
+/// 2. window outputs are **bitwise identical** to individual per-request `submit`s;
+/// 3. `ServingEngine::submit` (the back-compat wrapper) answers bitwise identically to
+///    `ExecutionEngine::submit` with the same window telemetry shape.
+fn serving_window_gate(_c: &mut Criterion) {
+    let (a, panels, cfg) = workload(0.9, 8);
+
+    // -- Gate 1 + 2: the coalescing window vs individual submits. ----------------------
+    let engine = Arc::new(ExecutionEngine::builder().cache_capacity(0).build());
+    let serving = ServingEngine::over(Arc::clone(&engine))
+        .with_max_wait(2)
+        .with_max_batch(64);
+    let h0 = serving.enqueue(BatchRequest::decomposed(
+        Arc::clone(&a),
+        cfg.clone(),
+        panels[0].clone(),
+    ));
+    assert!(!serving.tick(), "1 of 2 ticks: the window must stay open");
+    let late: Vec<_> = panels[1..3]
+        .iter()
+        .map(|b| {
+            serving.enqueue(BatchRequest::decomposed(
+                Arc::clone(&a),
+                cfg.clone(),
+                b.clone(),
+            ))
+        })
+        .collect();
+    assert!(serving.tick(), "2 of 2 ticks: the window must dispatch");
+    let window_decompositions = engine.prep_stats().prepares;
+    assert_eq!(
+        window_decompositions, 1,
+        "a 2-tick window must coalesce 3 requests into one decomposition"
+    );
+    let mut outs = vec![h0.wait()];
+    outs.extend(late.into_iter().map(|h| h.wait()));
+    assert_eq!(serving.stats().coalesced_windows, 1);
+
+    let individual_engine = ExecutionEngine::builder().cache_capacity(0).build();
+    for (out, b) in outs.iter().zip(&panels) {
+        let reference = individual_engine.submit(vec![BatchRequest::decomposed(
+            Arc::clone(&a),
+            cfg.clone(),
+            b.clone(),
+        )]);
+        assert_eq!(
+            out.output.as_ref().unwrap(),
+            reference[0].output.as_ref().unwrap(),
+            "window outputs must be bitwise identical to per-request submits"
+        );
+    }
+    let individual_decompositions = individual_engine.prep_stats().prepares;
+    assert!(
+        window_decompositions < individual_decompositions,
+        "the micro-batch window must save at least one decomposition \
+         ({window_decompositions} vs {individual_decompositions})"
+    );
+
+    // -- Gate 3: the back-compat submit wrapper. ---------------------------------------
+    let engine = Arc::new(ExecutionEngine::builder().build());
+    let serving = ServingEngine::over(Arc::clone(&engine));
+    let (via_session, session_telemetry) =
+        serving.submit_with_telemetry(requests(&a, &panels, &cfg));
+    let (via_engine, engine_telemetry) = engine.submit_with_telemetry(requests(&a, &panels, &cfg));
+    for (s, e) in via_session.iter().zip(&via_engine) {
+        assert_eq!(
+            s.output.as_ref().unwrap(),
+            e.output.as_ref().unwrap(),
+            "ServingEngine::submit must be bitwise identical to ExecutionEngine::submit"
+        );
+    }
+    assert_eq!(session_telemetry.requests, engine_telemetry.requests);
+    assert_eq!(
+        session_telemetry.groups.len(),
+        engine_telemetry.groups.len()
+    );
+
+    println!(
+        "serving window gate: 2-tick coalescing + bitwise + submit-wrapper contracts verified"
+    );
+}
+
+/// Warm async serving (one coalesced micro-batch window) vs warm per-request `submit`
+/// loops, recorded into `BENCH_serving.json` (`serving_async/*`) for the cross-PR
+/// trajectory.
+fn measure_serving_async(rec: &mut BenchRecorder) {
+    const BATCH: usize = 32;
+    let (a, panels, cfg) = workload(0.9, BATCH);
+    let engine = Arc::new(ExecutionEngine::builder().build());
+    let serving = ServingEngine::over(Arc::clone(&engine)).with_max_batch(BATCH);
+    let _ = engine.prepare_shared(&a, &cfg); // steady-state serving on both sides
+    let label = config_label(0.9, BATCH);
+    rec.measure(&format!("serving_async/window/{BATCH}"), &label, || {
+        let handles: Vec<_> = requests(&a, &panels, &cfg)
+            .into_iter()
+            .map(|r| serving.enqueue(r))
+            .collect();
+        serving.flush();
+        handles
+            .into_iter()
+            .map(|h| h.wait().output.expect("well-shaped"))
+            .collect::<Vec<_>>()
+    });
+    rec.measure(
+        &format!("serving_async/per_request/{BATCH}"),
+        &label,
+        || {
+            requests(&a, &panels, &cfg)
+                .into_iter()
+                .map(|r| {
+                    engine
+                        .submit(vec![r])
+                        .pop()
+                        .expect("one response")
+                        .output
+                        .expect("well-shaped")
+                })
+                .collect::<Vec<_>>()
+        },
+    );
+}
+
+criterion_group!(
+    benches,
+    acceptance_gate,
+    sharded_gate,
+    serving_window_gate,
+    bench_serving
+);
 criterion_main!(benches);

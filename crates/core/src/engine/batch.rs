@@ -2,7 +2,12 @@
 //!
 //! [`ExecutionEngine::submit`] is the serving seam layered on the engine: callers hand it
 //! a whole batch of independent requests and get every result back at once, while the
-//! engine exploits what the requests have in common.
+//! engine exploits what the requests have in common. It is also the **window executor**
+//! of the session layer — a [`ServingEngine`](super::ServingEngine) micro-batch window
+//! is exactly one `submit` call whose batch the dispatcher assembled from concurrent
+//! enqueues — so every contract below holds per window, and `submit` itself remains the
+//! back-compat surface for callers that assemble their own batches (see the
+//! [`serving` module](super::serving) for the lifecycle and the migration note).
 //!
 //! 1. **Grouping** — requests are grouped by *decomposed-operand fingerprint*: the key is
 //!    `(operand fingerprint, operand shape, decomposition config)` — exactly the

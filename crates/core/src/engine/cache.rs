@@ -183,6 +183,31 @@ impl DecompositionCache {
         }
     }
 
+    /// Inserts `prepared` under `key` **unless** the key is already resident, in which
+    /// case the resident series is returned and `prepared` is dropped. This is the
+    /// insert the concurrent serving path uses: two threads racing on the same cold key
+    /// both decompose (the lock is not held across decomposition), and first-insert-wins
+    /// keeps one canonical allocation resident instead of the loser displacing the
+    /// winner — callers already holding the winner's `Arc` keep sharing storage with the
+    /// cache, and the byte accounting never churns. Not counted as a hit: no lookup
+    /// happened, the entry's recency is merely refreshed.
+    pub(crate) fn insert_or_get(
+        &mut self,
+        key: CacheKey,
+        prepared: Arc<PreparedSeries>,
+    ) -> Arc<PreparedSeries> {
+        if self.capacity == 0 {
+            return prepared;
+        }
+        if let Some(entry) = self.entries.get_mut(&key) {
+            self.clock += 1;
+            entry.last_used = self.clock;
+            return Arc::clone(&entry.prepared);
+        }
+        self.insert(key, Arc::clone(&prepared));
+        prepared
+    }
+
     /// Point-in-time counters of this cache.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
@@ -425,6 +450,35 @@ mod tests {
         assert_eq!(cache.stats().bytes_resident, 2 * per_entry);
         cache.clear();
         assert_eq!(cache.stats().bytes_resident, 0);
+    }
+
+    #[test]
+    fn insert_or_get_keeps_the_first_resident_copy() {
+        // Two threads racing on one cold key both prepare; the first insert must win and
+        // the loser must adopt the winner's allocation — no replacement churn, no
+        // double-charged bytes, no phantom hit.
+        let mut cache = DecompositionCache::new(4);
+        let winner = series();
+        let per_entry = winner.storage_bytes();
+        let kept = cache.insert_or_get(key(1), Arc::clone(&winner));
+        assert!(Arc::ptr_eq(&kept, &winner));
+        let loser = series();
+        let kept = cache.insert_or_get(key(1), loser);
+        assert!(
+            Arc::ptr_eq(&kept, &winner),
+            "the racing loser must adopt the resident copy"
+        );
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.insertions, 1, "the losing insert is not an insertion");
+        assert_eq!(stats.hits, 0, "adopting is not a lookup hit");
+        assert_eq!(stats.bytes_resident, per_entry);
+        // Zero capacity stays a pass-through.
+        let mut off = DecompositionCache::new(0);
+        let mine = series();
+        let kept = off.insert_or_get(key(2), Arc::clone(&mine));
+        assert!(Arc::ptr_eq(&kept, &mine));
+        assert_eq!(off.stats().entries, 0);
     }
 
     #[test]

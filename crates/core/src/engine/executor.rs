@@ -1,0 +1,415 @@
+//! The engine's shared work-queue executor: one pool, sized once, for every parallel job.
+//!
+//! Before this module, the shard path spawned a fresh set of scoped threads **per sharded
+//! GEMM** and sized itself from `rayon::current_num_threads()` **per call** — so two
+//! concurrent sharded batches each spawned a full pool and oversubscribed the machine by
+//! 2×. The [`Executor`] fixes both: the worker count is captured **once** at engine
+//! construction ([`EngineBuilder::workers`](super::EngineBuilder::workers) or the
+//! available parallelism at build time), the pool threads are spawned **once** (lazily,
+//! on the first parallel job), and every parallel job in the engine — shard executions
+//! from any number of concurrent callers — drains through the **same** queue. N
+//! concurrent sharded batches therefore share one pool: placement changes under load,
+//! results never do (jobs are independent by construction — each writes its own disjoint
+//! output slab).
+//!
+//! # Execution model
+//!
+//! [`Executor::run_all`] enqueues a set of borrowing jobs and blocks until every one has
+//! finished. While blocked, the **calling thread helps**: it pops and runs queued jobs
+//! (its own or anyone's) instead of sleeping. Two consequences:
+//!
+//! * **No deadlock by construction.** A job that itself calls `run_all` (nested
+//!   parallelism) never waits on an idle queue while its sub-jobs starve — whoever waits,
+//!   works. Inductively, every enqueued job is eventually run by a pool thread or a
+//!   helping caller.
+//! * **No oversubscription.** The pool holds `workers − 1` resident threads; the caller
+//!   is the missing worker. A single sharded GEMM thus computes on exactly `workers`
+//!   threads, same as the old scoped pool — but concurrent batches now *share* those
+//!   threads instead of each spawning their own.
+//!
+//! Worker panics are caught per job, forwarded to the submitting caller, and re-raised
+//! there (`resume_unwind`), so a panicking kernel behaves exactly as it did under
+//! `std::thread::scope`: the caller unwinds, the pool survives.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A job as stored on the queue: lifetime-erased, completion-tracked (see the safety
+/// note on [`Executor::run_all`]).
+type QueuedJob = Box<dyn FnOnce() + Send + 'static>;
+
+/// State shared between the pool threads and submitting callers.
+#[derive(Default)]
+struct Shared {
+    queue: Mutex<Queue>,
+    work_cv: Condvar,
+}
+
+#[derive(Default)]
+struct Queue {
+    jobs: VecDeque<QueuedJob>,
+    shutdown: bool,
+}
+
+/// Completion latch for one `run_all` batch: counts outstanding jobs and carries the
+/// first panic payload back to the submitting caller.
+struct Latch {
+    state: Mutex<LatchState>,
+    cv: Condvar,
+}
+
+struct LatchState {
+    remaining: usize,
+    panic: Option<Box<dyn Any + Send>>,
+}
+
+impl Latch {
+    fn new(jobs: usize) -> Self {
+        Latch {
+            state: Mutex::new(LatchState {
+                remaining: jobs,
+                panic: None,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn complete(&self, panic: Option<Box<dyn Any + Send>>) {
+        let mut state = self.state.lock().expect("latch lock");
+        state.remaining -= 1;
+        if state.panic.is_none() {
+            state.panic = panic;
+        }
+        if state.remaining == 0 {
+            self.cv.notify_all();
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.state.lock().expect("latch lock").remaining == 0
+    }
+
+    /// Blocks until every job of the batch has completed, then returns the first panic
+    /// payload (if any job panicked).
+    fn wait(&self) -> Option<Box<dyn Any + Send>> {
+        let mut state = self.state.lock().expect("latch lock");
+        while state.remaining > 0 {
+            state = self.cv.wait(state).expect("latch wait");
+        }
+        state.panic.take()
+    }
+}
+
+/// The engine's shared worker pool: a fixed worker count captured at construction, a
+/// single FIFO job queue, and lazily spawned resident threads (see the [module
+/// docs](self)).
+pub(crate) struct Executor {
+    workers: usize,
+    shared: Arc<Shared>,
+    pool: Mutex<Pool>,
+}
+
+#[derive(Debug, Default)]
+struct Pool {
+    handles: Vec<JoinHandle<()>>,
+    spawned: bool,
+}
+
+impl std::fmt::Debug for Executor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Executor")
+            .field("workers", &self.workers)
+            .field("pool_threads", &self.pool_threads())
+            .finish()
+    }
+}
+
+impl Executor {
+    /// An executor with `workers` total execution slots (clamped to at least 1). Pool
+    /// threads (`workers − 1`; callers are the last worker) are spawned lazily on the
+    /// first parallel [`run_all`](Self::run_all), never per call.
+    pub(crate) fn new(workers: usize) -> Self {
+        Executor {
+            workers: workers.max(1),
+            shared: Arc::new(Shared::default()),
+            pool: Mutex::new(Pool::default()),
+        }
+    }
+
+    /// The worker count captured at construction. Every placement decision in the engine
+    /// derives from this number — it never re-reads the environment.
+    pub(crate) fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Resident pool threads spawned so far: 0 before the first parallel job, and
+    /// exactly `workers − 1` after it, **forever** — per-call spawning is the failure
+    /// mode this executor exists to remove, and tests pin this counter to prove it.
+    pub(crate) fn pool_threads(&self) -> usize {
+        self.pool.lock().expect("executor pool lock").handles.len()
+    }
+
+    fn ensure_spawned(&self) {
+        let mut pool = self.pool.lock().expect("executor pool lock");
+        if pool.spawned {
+            return;
+        }
+        pool.spawned = true;
+        for i in 0..self.workers - 1 {
+            let shared = Arc::clone(&self.shared);
+            let handle = std::thread::Builder::new()
+                .name(format!("tasd-executor-{i}"))
+                .spawn(move || worker_loop(&shared))
+                .expect("spawn executor worker");
+            pool.handles.push(handle);
+        }
+    }
+
+    /// Runs every job to completion, distributing them over the pool; blocks until the
+    /// last one finishes, helping with queued work while it waits. Jobs may borrow from
+    /// the caller's stack. If any job panics, the panic is re-raised here after the
+    /// whole batch has settled.
+    ///
+    /// With one worker (or one job) everything runs inline on the caller — the
+    /// single-core configuration pays no queue or thread cost.
+    pub(crate) fn run_all<'scope>(&self, jobs: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
+        if jobs.is_empty() {
+            return;
+        }
+        if self.workers == 1 || jobs.len() == 1 {
+            for job in jobs {
+                job();
+            }
+            return;
+        }
+        self.ensure_spawned();
+        let latch = Arc::new(Latch::new(jobs.len()));
+        {
+            let mut queue = self.shared.queue.lock().expect("executor queue lock");
+            for job in jobs {
+                // SAFETY: the erased job is consumed before `run_all` returns — the
+                // latch counts one completion per job, and this function does not
+                // return until the latch reaches zero (every wrapper below runs its
+                // job under `catch_unwind`, so even a panicking job completes the
+                // latch). The borrows inside the job therefore strictly outlive its
+                // execution. The queue can never hold an erased job past its scope:
+                // shutdown only happens in `Drop`, which requires exclusive access to
+                // the engine and thus no in-flight `run_all` borrows.
+                let job: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(job) };
+                let latch = Arc::clone(&latch);
+                queue.jobs.push_back(Box::new(move || {
+                    let panic = catch_unwind(AssertUnwindSafe(job)).err();
+                    latch.complete(panic);
+                }));
+            }
+        }
+        self.shared.work_cv.notify_all();
+        // Help while waiting: run queued jobs (ours or anyone's) instead of sleeping.
+        // See the module docs for why this makes nested run_all deadlock-free.
+        let panic = loop {
+            if latch.is_done() {
+                break latch.wait();
+            }
+            let job = self
+                .shared
+                .queue
+                .lock()
+                .expect("executor queue lock")
+                .jobs
+                .pop_front();
+            match job {
+                Some(job) => job(),
+                // Queue drained but our jobs still running on pool threads: sleep on
+                // the latch until the last one completes.
+                None => break latch.wait(),
+            }
+        };
+        if let Some(payload) = panic {
+            resume_unwind(payload);
+        }
+    }
+}
+
+impl Drop for Executor {
+    fn drop(&mut self) {
+        {
+            let mut queue = self.shared.queue.lock().expect("executor queue lock");
+            queue.shutdown = true;
+        }
+        self.shared.work_cv.notify_all();
+        let handles = std::mem::take(&mut self.pool.lock().expect("executor pool lock").handles);
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().expect("executor queue lock");
+            loop {
+                if queue.shutdown {
+                    return;
+                }
+                if let Some(job) = queue.jobs.pop_front() {
+                    break job;
+                }
+                queue = shared.work_cv.wait(queue).expect("executor queue wait");
+            }
+        };
+        job();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn boxed<'a>(f: impl FnOnce() + Send + 'a) -> Box<dyn FnOnce() + Send + 'a> {
+        Box::new(f)
+    }
+
+    #[test]
+    fn runs_every_job_exactly_once() {
+        for workers in [1usize, 2, 4] {
+            let exec = Executor::new(workers);
+            let counter = AtomicUsize::new(0);
+            let jobs = (0..37)
+                .map(|_| {
+                    let counter = &counter;
+                    boxed(move || {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    })
+                })
+                .collect();
+            exec.run_all(jobs);
+            assert_eq!(counter.load(Ordering::Relaxed), 37, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn jobs_can_borrow_and_write_disjoint_slabs() {
+        let exec = Executor::new(4);
+        let mut data = vec![0u32; 64];
+        let jobs = data
+            .chunks_mut(16)
+            .enumerate()
+            .map(|(i, chunk)| {
+                boxed(move || {
+                    for v in chunk.iter_mut() {
+                        *v = i as u32 + 1;
+                    }
+                })
+            })
+            .collect();
+        exec.run_all(jobs);
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, (i / 16) as u32 + 1);
+        }
+    }
+
+    #[test]
+    fn pool_threads_are_spawned_once_not_per_call() {
+        let exec = Executor::new(3);
+        assert_eq!(exec.pool_threads(), 0, "pool is lazy");
+        for _ in 0..10 {
+            let jobs = (0..6).map(|_| boxed(|| {})).collect();
+            exec.run_all(jobs);
+            assert_eq!(exec.pool_threads(), 2, "workers − 1, spawned exactly once");
+        }
+    }
+
+    #[test]
+    fn single_worker_runs_inline_without_threads() {
+        let exec = Executor::new(1);
+        let jobs = (0..8).map(|_| boxed(|| {})).collect::<Vec<_>>();
+        exec.run_all(jobs);
+        assert_eq!(exec.pool_threads(), 0);
+    }
+
+    #[test]
+    fn nested_run_all_does_not_deadlock() {
+        let exec = Arc::new(Executor::new(2));
+        let counter = AtomicUsize::new(0);
+        let jobs = (0..4)
+            .map(|_| {
+                let exec = Arc::clone(&exec);
+                let counter = &counter;
+                boxed(move || {
+                    let inner = (0..3)
+                        .map(|_| {
+                            let counter = &counter;
+                            boxed(move || {
+                                counter.fetch_add(1, Ordering::Relaxed);
+                            })
+                        })
+                        .collect();
+                    exec.run_all(inner);
+                })
+            })
+            .collect();
+        exec.run_all(jobs);
+        assert_eq!(counter.load(Ordering::Relaxed), 12);
+    }
+
+    #[test]
+    fn job_panics_propagate_to_the_caller_and_the_pool_survives() {
+        let exec = Executor::new(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            exec.run_all(vec![
+                boxed(|| {}),
+                boxed(|| panic!("kernel exploded")),
+                boxed(|| {}),
+            ]);
+        }));
+        assert!(result.is_err(), "the panic must reach the caller");
+        // The pool is still serviceable afterwards.
+        let counter = AtomicUsize::new(0);
+        let jobs = (0..4)
+            .map(|_| {
+                let counter = &counter;
+                boxed(move || {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                })
+            })
+            .collect();
+        exec.run_all(jobs);
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn concurrent_callers_share_the_pool() {
+        let exec = Arc::new(Executor::new(4));
+        let total = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let exec = Arc::clone(&exec);
+                let total = Arc::clone(&total);
+                scope.spawn(move || {
+                    for _ in 0..5 {
+                        let jobs = (0..8)
+                            .map(|_| {
+                                let total = &total;
+                                boxed(move || {
+                                    total.fetch_add(1, Ordering::Relaxed);
+                                })
+                            })
+                            .collect();
+                        exec.run_all(jobs);
+                    }
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 4 * 5 * 8);
+        assert_eq!(
+            exec.pool_threads(),
+            3,
+            "one shared pool, not one per caller"
+        );
+    }
+}

@@ -16,7 +16,15 @@
 //!    keyed by (matrix fingerprint, configuration), so repeated requests against the
 //!    same tensor skip the greedy extraction *and* the format packing entirely.
 //! 4. **Execution** — run every term through the [`GemmBackend`] trait; no caller
-//!    dispatches to a format-specific kernel directly.
+//!    dispatches to a format-specific kernel directly. Parallel work — row shards from
+//!    any number of concurrent callers — runs on the engine's **one shared executor**,
+//!    a worker pool sized once at build time ([`EngineBuilder::workers`]): nothing in
+//!    the engine spawns threads per call.
+//! 5. **Serving** — [`ServingEngine`] (from [`EngineBuilder::serving`]) is the
+//!    session-based front-end: callers [`enqueue`](ServingEngine::enqueue) requests and
+//!    collect [`ResponseHandle`]s while a micro-batch window coalesces in-flight
+//!    traffic into [`submit`](ExecutionEngine::submit)-shaped batches (see *Serving
+//!    sessions* below).
 //!
 //! The free functions [`series_gemm`](crate::series_gemm) /
 //! [`series_gemm_into`](crate::series_gemm_into) are thin wrappers over the process-wide
@@ -81,11 +89,54 @@
 //! alive; size it to the distinct live operands of your serving set, or set it to 0 to
 //! pin nothing (every batch then rescans).
 //!
+//! # Serving sessions: enqueue → window → group → execute → handle
+//!
+//! [`ServingEngine`] turns the engine into a continuous serving system. One session's
+//! lifecycle:
+//!
+//! 1. **Enqueue** — any thread calls [`enqueue`](ServingEngine::enqueue) with a
+//!    [`BatchRequest`] and gets a [`ResponseHandle`] back immediately; the request
+//!    parks in the session's *open window*.
+//! 2. **Window** — the open window closes when it reaches
+//!    [`max_batch`](ServingEngine::with_max_batch) requests, when its oldest request
+//!    has waited [`max_wait`](ServingEngine::with_max_wait) logical
+//!    [`tick`](ServingEngine::tick)s, or when someone calls
+//!    [`flush`](ServingEngine::flush) / blocks on [`ResponseHandle::wait`]. Until
+//!    then, late arrivals keep joining — `k` stragglers against one operand become
+//!    **one** decomposition and one packed kernel pass instead of `k`.
+//! 3. **Group + execute** — the closed window runs through the batch executor below:
+//!    same grouping key, same shortest-plan-first admission, same packed passes, same
+//!    shard routing. Every `submit` contract holds per window.
+//! 4. **Handle** — each response lands in its handle:
+//!    [`is_ready`](ResponseHandle::is_ready) / [`try_take`](ResponseHandle::try_take)
+//!    poll, [`wait`](ResponseHandle::wait) blocks (closing the open window first, so a
+//!    lone waiter never hangs).
+//!
+//! **Migrating from `submit`.** [`ExecutionEngine::submit`] keeps working unchanged —
+//! it *is* the window executor, invoked with a caller-assembled window. A session's
+//! [`ServingEngine::submit`] is the same call re-expressed as enqueue-and-drain: it
+//! closes the open window, then runs the given batch as one window of its own,
+//! returning identical responses and identical [`BatchTelemetry`], serialized with the
+//! session's dispatcher. Port code by replacing batch assembly with `enqueue` +
+//! handles; keep `submit` where the caller already owns a whole batch.
+//!
+//! **The executor-placement guarantee.** Every window and every shard job runs on the
+//! engine's one shared executor — a pool sized **once** at build time
+//! ([`EngineBuilder::workers`], default: available parallelism) and spawned **once**
+//! (lazily; [`ExecutionEngine::pool_threads`] proves it) — so N concurrent serving
+//! threads, sessions, or sharded batches share `workers` threads instead of spawning
+//! their own. Placement under load changes *when and where* a shard executes, never
+//! its result: shards write disjoint output slabs and groups execute bitwise
+//! identically to per-request calls, so serving answers are independent of window
+//! composition, admission order, and thread placement. (Per-kernel row tiling inside
+//! [`ParallelBackend`] still sizes from the environment per call; the engine-level
+//! seams all go through the executor.)
+//!
 //! # Batched serving: the `submit` contract
 //!
 //! [`ExecutionEngine::submit`] executes a whole batch of [`BatchRequest`]s at once and is
-//! the seam the serving-scale features (async execution, sharding) plug into. Its
-//! contract, which later layers must preserve:
+//! the **window executor** everything above compiles down to. Its contract, which the
+//! session layer preserves per window:
 //!
 //! * **Grouping key** — requests are grouped by `(operand fingerprint, operand shape,
 //!   decomposition config)`, i.e. exactly the decomposition cache's key with "no
@@ -110,10 +161,11 @@
 //!
 //! Very large operands split into **row shards** executed by independent prepared
 //! series: each shard gets its own TASD decomposition, plan, and packed formats, and the
-//! shards run on a worker pool writing disjoint row ranges of one shared output
-//! ([`shard`] module). Because both the greedy decomposition and every kernel are
-//! row-local, sharded execution is **bitwise identical** to unsharded execution — at any
-//! shard count, under any policy, on every backend.
+//! shards run as jobs on the engine's shared executor, writing disjoint row ranges of
+//! one shared output ([`shard`] module). Because both the greedy decomposition and every
+//! kernel are row-local, sharded execution is **bitwise identical** to unsharded
+//! execution — at any shard count, under any policy, on every backend, on any worker
+//! placement.
 //!
 //! * **Opting in.** Implicitly: [`EngineBuilder::shard_policy`] +
 //!   [`EngineBuilder::shard_min_rows`] make [`submit`](ExecutionEngine::submit) and the
@@ -172,8 +224,10 @@
 
 mod batch;
 mod cache;
+mod executor;
 mod plan;
 mod prepared;
+mod serving;
 mod shard;
 
 pub use batch::{
@@ -183,6 +237,9 @@ pub use batch::{
 pub use cache::{CacheEntryStats, CacheStats, DecompositionCache};
 pub use plan::{BackendKind, BackendTable, MatmulPlan, TermPlan};
 pub use prepared::{PreparedSeries, PreparedTerm};
+pub use serving::{
+    ResponseHandle, ServingEngine, ServingStats, DEFAULT_MAX_BATCH, DEFAULT_MAX_WAIT_TICKS,
+};
 pub use shard::{
     PreparedShard, ShardPolicy, ShardTelemetry, ShardedEngine, ShardedSeries, ShardedTelemetry,
     DEFAULT_SHARD_MIN_ROWS,
@@ -232,11 +289,13 @@ pub struct EngineBuilder {
     parallel: bool,
     dense_density_threshold: Option<f64>,
     backend_table: Option<BackendTable>,
+    bench_json: Option<std::path::PathBuf>,
     min_parallel_macs: u64,
     fairness_cap: usize,
     fingerprint_memo_capacity: usize,
     shard_policy: Option<ShardPolicy>,
     shard_min_rows: usize,
+    workers: Option<usize>,
 }
 
 impl EngineBuilder {
@@ -280,6 +339,21 @@ impl EngineBuilder {
     #[must_use]
     pub fn backend_table(mut self, table: BackendTable) -> Self {
         self.backend_table = Some(table);
+        self
+    }
+
+    /// Install-time backend auto-tuning: derive the [`BackendTable`] from a
+    /// `BENCH_backends.json` recorded **on the deployment machine** (by
+    /// `cargo bench --bench backends`), so kernel crossovers reflect the target's cache
+    /// sizes and core counts instead of the reference container's. The file is parsed
+    /// at [`build`](Self::build) time via [`BackendTable::from_bench_json`]; when it is
+    /// absent, malformed, or carries no usable per-term samples, the engine falls back
+    /// to the explicit [`dense_density_threshold`](Self::dense_density_threshold) rule
+    /// (if one was set) or the checked-in [`BackendTable::measured`] table. An explicit
+    /// [`backend_table`](Self::backend_table) takes precedence over the file.
+    #[must_use]
+    pub fn auto_tune(mut self, bench_json: impl Into<std::path::PathBuf>) -> Self {
+        self.bench_json = Some(bench_json.into());
         self
     }
 
@@ -331,6 +405,27 @@ impl EngineBuilder {
         self
     }
 
+    /// Pins the engine's executor worker count (clamped to at least 1). This is the
+    /// number of threads every parallel job in the engine — shard executions, from any
+    /// number of concurrent callers — shares; it is captured **once**, here, and never
+    /// re-read from the environment on the hot path. Defaults to the available
+    /// parallelism at build time (`rayon::current_num_threads`, which honors
+    /// `RAYON_NUM_THREADS`). Pin it explicitly for deterministic tests or to reserve
+    /// cores for other tenants.
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers.max(1));
+        self
+    }
+
+    /// Builds the engine and wraps it in a [`ServingEngine`] session with the default
+    /// micro-batch window — the one-call entry point to the serving lifecycle (see the
+    /// [module docs](self)). Tune the window with
+    /// [`ServingEngine::with_max_wait`] / [`with_max_batch`](ServingEngine::with_max_batch).
+    pub fn serving(self) -> ServingEngine {
+        ServingEngine::over(Arc::new(self.build()))
+    }
+
     /// Builds the engine.
     pub fn build(self) -> ExecutionEngine {
         let seq: [Arc<dyn GemmBackend>; 3] = [
@@ -350,9 +445,19 @@ impl EngineBuilder {
         });
         let backend_table = match (self.backend_table, self.dense_density_threshold) {
             (Some(table), _) => table,
-            (None, Some(threshold)) => BackendTable::from_threshold(threshold),
-            (None, None) => BackendTable::measured(),
+            (None, threshold) => self
+                .bench_json
+                .as_deref()
+                .and_then(BackendTable::from_bench_json)
+                .unwrap_or_else(|| match threshold {
+                    Some(threshold) => BackendTable::from_threshold(threshold),
+                    None => BackendTable::measured(),
+                }),
         };
+        // The worker count is captured once, here — never re-read per call (the old
+        // shard path's per-call `rayon::current_num_threads()` made placement depend on
+        // when a GEMM ran, and made every sharded call pay an environment probe).
+        let workers = self.workers.unwrap_or_else(rayon::current_num_threads);
         ExecutionEngine {
             backend_override: self.backend,
             parallel_override,
@@ -368,6 +473,7 @@ impl EngineBuilder {
             plans: Mutex::new(PlanMemo::default()),
             fingerprints: Mutex::new(FingerprintMemo::new(self.fingerprint_memo_capacity)),
             shard_splits: Mutex::new(shard::ShardSplitMemo::default()),
+            executor: executor::Executor::new(workers),
             counters: PrepCounters::default(),
         }
     }
@@ -386,6 +492,8 @@ impl Default for EngineBuilder {
             fingerprint_memo_capacity: DEFAULT_FINGERPRINT_MEMO_CAPACITY,
             shard_policy: None,
             shard_min_rows: DEFAULT_SHARD_MIN_ROWS,
+            bench_json: None,
+            workers: None,
         }
     }
 }
@@ -547,6 +655,9 @@ pub struct ExecutionEngine {
     plans: Mutex<PlanMemo>,
     fingerprints: Mutex<FingerprintMemo>,
     shard_splits: Mutex<shard::ShardSplitMemo>,
+    /// The engine's one worker pool: every parallel job (shard executions from every
+    /// concurrent caller) drains through this queue — nothing spawns per call.
+    executor: executor::Executor,
     counters: PrepCounters,
 }
 
@@ -853,7 +964,9 @@ impl ExecutionEngine {
 
     /// Decomposes, packs, and caches `a` without a prior lookup (the caller has already
     /// missed). Two threads racing on the same cold key both decompose; the result is
-    /// identical and one copy wins the insert.
+    /// identical, the **first** insert wins, and the loser adopts the resident copy —
+    /// so concurrent serving traffic converges on one shared allocation per key instead
+    /// of churning the cache's byte accounting.
     pub(crate) fn prepare_uncached(
         &self,
         a: &Matrix,
@@ -876,8 +989,7 @@ impl ExecutionEngine {
         self.cache
             .lock()
             .expect("cache lock")
-            .insert(key, Arc::clone(&prepared));
-        prepared
+            .insert_or_get(key, prepared)
     }
 
     /// Decomposes `a` under `config`, returning a cached series when this (matrix,
@@ -923,6 +1035,32 @@ impl ExecutionEngine {
     /// The batch scheduler's fairness cap (see [`EngineBuilder::fairness_cap`]).
     pub fn fairness_cap(&self) -> usize {
         self.fairness_cap
+    }
+
+    /// The executor worker count, captured once at build time (see
+    /// [`EngineBuilder::workers`]): the number of threads every parallel job in this
+    /// engine shares, however many callers are in flight.
+    pub fn workers(&self) -> usize {
+        self.executor.workers()
+    }
+
+    /// Resident executor pool threads spawned so far: 0 until the first parallel job,
+    /// then exactly `workers() − 1` forever (callers act as the last worker while they
+    /// wait). The serving test suite pins this to prove nothing spawns per call.
+    pub fn pool_threads(&self) -> usize {
+        self.executor.pool_threads()
+    }
+
+    /// The (density × shape) → backend table this engine plans and packs with (see
+    /// [`EngineBuilder::backend_table`] / [`EngineBuilder::auto_tune`]).
+    pub fn backend_table(&self) -> &BackendTable {
+        &self.backend_table
+    }
+
+    /// The engine's shared executor (the shard path and any future parallel stage
+    /// schedule jobs through it).
+    pub(crate) fn executor(&self) -> &executor::Executor {
+        &self.executor
     }
 
     /// Drops every cached prepared decomposition, memoized plan, memoized operand
@@ -1388,6 +1526,50 @@ mod tests {
         assert_eq!(after.prepares, before.prepares + 1, "cache was cleared");
         assert_eq!(after.plans_computed, before.plans_computed + 1);
         assert_eq!(after.fingerprint_scans, before.fingerprint_scans + 1);
+    }
+
+    #[test]
+    fn auto_tune_derives_the_table_from_bench_json_with_fallbacks() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_backends.json");
+        let tuned = ExecutionEngine::builder().auto_tune(path).build();
+        // The derived CSR/N:M edge (≈ 0.17, from the recording's term sweeps) differs
+        // from the hand-rounded measured edge (0.30): at density 0.25 the tuned table
+        // keeps the structured kernel where the measured table would convert to CSR.
+        assert_eq!(
+            tuned.backend_table().choose(0.25, 512, 512),
+            BackendKind::Nm
+        );
+        assert_eq!(
+            BackendTable::measured().choose(0.25, 512, 512),
+            BackendKind::Csr
+        );
+        assert_eq!(
+            tuned.backend_table().choose(0.1, 512, 512),
+            BackendKind::Csr
+        );
+        // Absent file: fall back to the measured table.
+        let fallback = ExecutionEngine::builder()
+            .auto_tune("/nonexistent/BENCH_backends.json")
+            .build();
+        assert_eq!(*fallback.backend_table(), BackendTable::measured());
+        // ... or to the single-threshold rule when one was pinned explicitly.
+        let fallback = ExecutionEngine::builder()
+            .auto_tune("/nonexistent/BENCH_backends.json")
+            .dense_density_threshold(0.4)
+            .build();
+        assert_eq!(*fallback.backend_table(), BackendTable::from_threshold(0.4));
+    }
+
+    #[test]
+    fn worker_count_is_captured_once_at_build() {
+        let pinned = ExecutionEngine::builder().workers(3).build();
+        assert_eq!(pinned.workers(), 3);
+        assert_eq!(pinned.pool_threads(), 0, "the pool is lazy");
+        // Zero is clamped: an engine always has at least the caller as a worker.
+        assert_eq!(ExecutionEngine::builder().workers(0).build().workers(), 1);
+        // The default comes from the environment exactly once, at build time.
+        let default = ExecutionEngine::builder().build();
+        assert!(default.workers() >= 1);
     }
 
     #[test]

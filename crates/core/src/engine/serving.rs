@@ -1,0 +1,585 @@
+//! Session-based serving: enqueue requests, coalesce them into micro-batch windows, and
+//! collect results through poll/wait handles.
+//!
+//! [`ServingEngine`] is the continuous-traffic front-end over one shared
+//! [`ExecutionEngine`]. Where [`ExecutionEngine::submit`] serves a batch the caller has
+//! already assembled, a serving session assembles the batches *itself* from whatever
+//! independent callers enqueue — the micro-batching that amortizes one decomposition
+//! across requests that did not arrive together.
+//!
+//! # Lifecycle: enqueue → window → group → execute → handle
+//!
+//! 1. **Enqueue** — [`enqueue`](ServingEngine::enqueue) accepts one [`BatchRequest`] and
+//!    immediately returns a [`ResponseHandle`]; the request joins the *open window*.
+//! 2. **Window** — the open window closes (dispatches) when it holds
+//!    [`max_batch`](ServingEngine::with_max_batch) requests (a dispatch trigger — the
+//!    closing drain takes everything pending, so a window can exceed it under
+//!    concurrent enqueue), when the oldest enqueued request has waited
+//!    [`max_wait`](ServingEngine::with_max_wait) logical
+//!    [`tick`](ServingEngine::tick)s, or when anyone calls
+//!    [`flush`](ServingEngine::flush) / blocks on [`ResponseHandle::wait`]. Until it
+//!    closes, late arrivals keep joining — that is the whole point: a window of `w`
+//!    ticks turns `k` stragglers against one operand into **one** decomposition and one
+//!    packed kernel pass instead of `k`.
+//! 3. **Group + execute** — a closing window is handed to the engine's batch executor
+//!    verbatim: the same grouping key `(fingerprint, shape, config)`, the same
+//!    shortest-plan-first admission under the fairness cap, the same packed multi-RHS
+//!    kernel passes, the same shard routing. Every contract `submit` ever made holds
+//!    per window.
+//! 4. **Handle** — each request's [`BatchResponse`] lands in its handle;
+//!    [`is_ready`](ResponseHandle::is_ready) / [`try_take`](ResponseHandle::try_take)
+//!    poll, [`wait`](ResponseHandle::wait) blocks (closing the window first, so a lone
+//!    waiter never hangs on a window nobody else will fill).
+//!
+//! Windows are dispatched **serially** (an internal dispatch lock): concurrent
+//! enqueuers feed one stream of windows, and each window runs on the engine's shared
+//! [`Executor`](super::ExecutionEngine::workers) — never on per-call threads — so any
+//! number of serving threads drive exactly one worker pool.
+//!
+//! # Determinism
+//!
+//! Which window a request lands in is timing-dependent under concurrency; the *bits* of
+//! its response are not. Group execution is bitwise identical to per-request execution
+//! (the [`batch` module](super::batch) contract) and sharded execution is bitwise
+//! identical to unsharded (the [`shard` module](super::shard) contract), so window
+//! composition, admission order, and executor placement are all invisible in the
+//! results — the concurrency stress suite (`tests/serving_async.rs`) locks this down.
+//!
+//! # Migrating from `submit`
+//!
+//! [`ServingEngine::submit`] is `submit` re-expressed as one forced window: it drains
+//! the open window, then runs the given requests as a single window of their own,
+//! returning the same responses and the same [`BatchTelemetry`] the engine-level call
+//! returns (serialized with the dispatcher, so it composes with concurrent enqueuers).
+//! Code that owns its batches can keep calling either; code that wants coalescing
+//! switches to `enqueue` + handles and lets the window do the batching.
+
+use super::batch::{BatchRequest, BatchResponse, BatchTelemetry};
+use super::ExecutionEngine;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Default micro-batch window size: the open window dispatches when it holds this many
+/// requests (matches the largest batch the serving bench gates).
+pub const DEFAULT_MAX_BATCH: usize = 32;
+
+/// Default window age limit, in logical ticks: the open window dispatches when its
+/// oldest request has waited this many [`ServingEngine::tick`]s.
+pub const DEFAULT_MAX_WAIT_TICKS: u64 = 2;
+
+/// One request parked in the open window.
+struct Pending {
+    request: BatchRequest,
+    slot: Arc<ResponseSlot>,
+    enqueued_at: u64,
+}
+
+/// The session state behind one serving engine (shared by all of its clones and
+/// handles).
+struct ServingShared {
+    engine: Arc<ExecutionEngine>,
+    state: Mutex<SessionState>,
+    /// Serializes window execution: whoever closes a window runs it alone, while
+    /// enqueuers keep filling the next window.
+    dispatch: Mutex<()>,
+}
+
+struct SessionState {
+    pending: VecDeque<Pending>,
+    clock: u64,
+    next_id: u64,
+    stats: ServingStats,
+}
+
+/// Point-in-time counters of one serving session, from [`ServingEngine::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ServingStats {
+    /// Requests accepted by [`enqueue`](ServingEngine::enqueue).
+    pub enqueued: u64,
+    /// Requests dispatched through closed windows (including `submit` windows).
+    pub dispatched: u64,
+    /// Windows executed.
+    pub windows: u64,
+    /// Windows that coalesced more than one request — the micro-batching win counter.
+    pub coalesced_windows: u64,
+    /// Largest window executed so far.
+    pub max_window: usize,
+    /// Logical clock advances ([`tick`](ServingEngine::tick) calls).
+    pub ticks: u64,
+}
+
+/// One request's delivery slot: fulfilled exactly once by the window that executes it.
+struct ResponseSlot {
+    state: Mutex<Option<BatchResponse>>,
+    cv: Condvar,
+}
+
+impl ResponseSlot {
+    fn new() -> Self {
+        ResponseSlot {
+            state: Mutex::new(None),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn fulfill(&self, response: BatchResponse) {
+        let mut state = self.state.lock().expect("response slot lock");
+        debug_assert!(state.is_none(), "a response slot is fulfilled exactly once");
+        *state = Some(response);
+        self.cv.notify_all();
+    }
+
+    fn is_ready(&self) -> bool {
+        self.state.lock().expect("response slot lock").is_some()
+    }
+
+    fn try_take(&self) -> Option<BatchResponse> {
+        self.state.lock().expect("response slot lock").take()
+    }
+
+    fn wait_take(&self) -> BatchResponse {
+        let mut state = self.state.lock().expect("response slot lock");
+        loop {
+            match state.take() {
+                Some(response) => return response,
+                None => state = self.cv.wait(state).expect("response slot wait"),
+            }
+        }
+    }
+}
+
+/// A poll/wait handle to one enqueued request, from [`ServingEngine::enqueue`].
+///
+/// The handle owns the request's delivery slot: poll it with
+/// [`is_ready`](Self::is_ready) / [`try_take`](Self::try_take), or block on
+/// [`wait`](Self::wait). Dropping a handle abandons the response (the request still
+/// executes with its window; the result is discarded).
+///
+/// The [`BatchResponse::index`] delivered through a handle is the request's position
+/// *within its window* (useful for correlating with the window's
+/// [`BatchTelemetry`]); the handle's own [`id`](Self::id) is the session-wide identity.
+#[derive(Debug)]
+pub struct ResponseHandle {
+    id: u64,
+    slot: Arc<ResponseSlot>,
+    shared: Arc<ServingShared>,
+}
+
+impl std::fmt::Debug for ResponseSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResponseSlot")
+            .field("ready", &self.is_ready())
+            .finish()
+    }
+}
+
+impl std::fmt::Debug for ServingShared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServingShared").finish_non_exhaustive()
+    }
+}
+
+impl ResponseHandle {
+    /// Session-wide id of this request (enqueue order, starting at 0).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Whether the response has been delivered (i.e. the request's window executed).
+    pub fn is_ready(&self) -> bool {
+        self.slot.is_ready()
+    }
+
+    /// Takes the response if it is ready; hands the handle back otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(self)` (the intact handle) when the response is not ready yet.
+    pub fn try_take(self) -> Result<BatchResponse, ResponseHandle> {
+        match self.slot.try_take() {
+            Some(response) => Ok(response),
+            None => Err(self),
+        }
+    }
+
+    /// Blocks until the response is delivered and returns it.
+    ///
+    /// A blocking waiter refuses to out-wait the window: if the request has not been
+    /// dispatched yet, `wait` closes the open window first (exactly like
+    /// [`ServingEngine::flush`]), so a caller that enqueues and immediately waits gets
+    /// per-request latency, never a hang — at the cost of the coalescing a patient
+    /// ticker would have won.
+    pub fn wait(self) -> BatchResponse {
+        if !self.slot.is_ready() {
+            dispatch_window(&self.shared);
+        }
+        self.slot.wait_take()
+    }
+}
+
+/// Closes and executes the open window (no-op when it is empty), returning its
+/// telemetry. See the [module docs](self) for the lifecycle.
+fn dispatch_window(shared: &Arc<ServingShared>) -> Option<BatchTelemetry> {
+    let _guard = shared.dispatch.lock().expect("dispatch lock");
+    dispatch_locked(shared)
+}
+
+/// The window close itself: drain, execute, record, deliver. Callers hold the dispatch
+/// lock (the `_guard` above, or [`ServingEngine::submit_with_telemetry`]'s). The drain
+/// takes **everything** pending at close time — under concurrent enqueue a window can
+/// therefore exceed `max_batch`, which is a dispatch *trigger*, not a drain cap (see
+/// [`ServingEngine::with_max_batch`]); capping the drain instead would strand the tail
+/// past a blocking waiter's close and hang it.
+fn dispatch_locked(shared: &Arc<ServingShared>) -> Option<BatchTelemetry> {
+    let window: Vec<Pending> = {
+        let mut state = shared.state.lock().expect("serving state lock");
+        state.pending.drain(..).collect()
+    };
+    if window.is_empty() {
+        return None;
+    }
+    let mut requests = Vec::with_capacity(window.len());
+    let mut slots = Vec::with_capacity(window.len());
+    for pending in window {
+        requests.push(pending.request);
+        slots.push(pending.slot);
+    }
+    let (responses, telemetry) = shared.engine.submit_with_telemetry(requests);
+    record_window(shared, responses.len());
+    for (response, slot) in responses.into_iter().zip(slots) {
+        slot.fulfill(response);
+    }
+    Some(telemetry)
+}
+
+fn record_window(shared: &ServingShared, size: usize) {
+    let mut state = shared.state.lock().expect("serving state lock");
+    state.stats.windows += 1;
+    state.stats.dispatched += size as u64;
+    state.stats.max_window = state.stats.max_window.max(size);
+    if size > 1 {
+        state.stats.coalesced_windows += 1;
+    }
+}
+
+/// An async, session-based serving front-end over one shared [`ExecutionEngine`]: see
+/// the [module docs](self) for the lifecycle and contracts.
+///
+/// Cloning is cheap and shares the session: clones enqueue into the same windows,
+/// drive the same clock, and report the same [`stats`](Self::stats) — hand one clone
+/// to each serving thread. (Window parameters are per-clone, but configure them before
+/// sharing to keep one policy per session.)
+#[derive(Debug, Clone)]
+pub struct ServingEngine {
+    shared: Arc<ServingShared>,
+    max_batch: usize,
+    max_wait: u64,
+}
+
+impl ServingEngine {
+    /// A serving session over `engine`, with the default window
+    /// ([`DEFAULT_MAX_WAIT_TICKS`], [`DEFAULT_MAX_BATCH`]). Any number of sessions may
+    /// share one engine — they share its caches and its executor.
+    pub fn over(engine: Arc<ExecutionEngine>) -> Self {
+        ServingEngine {
+            shared: Arc::new(ServingShared {
+                engine,
+                state: Mutex::new(SessionState {
+                    pending: VecDeque::new(),
+                    clock: 0,
+                    next_id: 0,
+                    stats: ServingStats::default(),
+                }),
+                dispatch: Mutex::new(()),
+            }),
+            max_batch: DEFAULT_MAX_BATCH,
+            max_wait: DEFAULT_MAX_WAIT_TICKS,
+        }
+    }
+
+    /// Sets the window size trigger: the open window dispatches as soon as it holds
+    /// this many requests (clamped to at least 1).
+    ///
+    /// This is a dispatch *trigger*, not a hard cap on the executed window: the closing
+    /// drain takes everything pending at close time, so requests parked by concurrent
+    /// enqueuers while a previous window executes can push a window past `max_batch`
+    /// ([`ServingStats::max_window`] reports the largest actually executed). Capping
+    /// the drain would strand the tail past a blocking waiter's close — more coalescing
+    /// is always bitwise-safe, so the drain prefers it.
+    #[must_use]
+    pub fn with_max_batch(mut self, max_batch: usize) -> Self {
+        self.max_batch = max_batch.max(1);
+        self
+    }
+
+    /// Sets the window age limit in logical ticks: a [`tick`](Self::tick) dispatches
+    /// the open window once its oldest request has waited this many ticks. 0 disables
+    /// batching-by-time entirely — every enqueue dispatches immediately (per-request
+    /// mode).
+    #[must_use]
+    pub fn with_max_wait(mut self, max_wait_ticks: u64) -> Self {
+        self.max_wait = max_wait_ticks;
+        self
+    }
+
+    /// The engine this session serves through.
+    pub fn engine(&self) -> &Arc<ExecutionEngine> {
+        &self.shared.engine
+    }
+
+    /// The configured window size.
+    pub fn max_batch(&self) -> usize {
+        self.max_batch
+    }
+
+    /// The configured window age limit, in ticks.
+    pub fn max_wait(&self) -> u64 {
+        self.max_wait
+    }
+
+    /// Requests currently parked in the open window.
+    pub fn pending(&self) -> usize {
+        self.shared
+            .state
+            .lock()
+            .expect("serving state lock")
+            .pending
+            .len()
+    }
+
+    /// Point-in-time session counters.
+    pub fn stats(&self) -> ServingStats {
+        self.shared.state.lock().expect("serving state lock").stats
+    }
+
+    /// Enqueues one request into the open window and returns its handle. Dispatches the
+    /// window when it reaches [`max_batch`](Self::with_max_batch) (or immediately, when
+    /// [`max_wait`](Self::with_max_wait) is 0).
+    pub fn enqueue(&self, request: BatchRequest) -> ResponseHandle {
+        let (handle, should_dispatch) = self.park(request);
+        if should_dispatch {
+            dispatch_window(&self.shared);
+        }
+        handle
+    }
+
+    /// Parks `request` in the open window; reports whether the window must dispatch.
+    fn park(&self, request: BatchRequest) -> (ResponseHandle, bool) {
+        let slot = Arc::new(ResponseSlot::new());
+        let mut state = self.shared.state.lock().expect("serving state lock");
+        let id = state.next_id;
+        state.next_id += 1;
+        state.stats.enqueued += 1;
+        let enqueued_at = state.clock;
+        state.pending.push_back(Pending {
+            request,
+            slot: Arc::clone(&slot),
+            enqueued_at,
+        });
+        let full = state.pending.len() >= self.max_batch || self.max_wait == 0;
+        drop(state);
+        (
+            ResponseHandle {
+                id,
+                slot,
+                shared: Arc::clone(&self.shared),
+            },
+            full,
+        )
+    }
+
+    /// Advances the session's logical clock by one tick and dispatches the open window
+    /// if its oldest request has now waited [`max_wait`](Self::with_max_wait) ticks.
+    /// Returns `true` if a window was dispatched.
+    ///
+    /// Ticks are *logical* time, driven by the caller (a poll loop, a request-arrival
+    /// heartbeat, a test): the session never spawns a timer thread, so window timing is
+    /// deterministic and testable.
+    pub fn tick(&self) -> bool {
+        let due = {
+            let mut state = self.shared.state.lock().expect("serving state lock");
+            state.clock += 1;
+            state.stats.ticks += 1;
+            let clock = state.clock;
+            state
+                .pending
+                .front()
+                .is_some_and(|oldest| clock - oldest.enqueued_at >= self.max_wait)
+        };
+        due && dispatch_window(&self.shared).is_some()
+    }
+
+    /// Closes and executes the open window now, whatever its age or size. Returns the
+    /// window's telemetry, or `None` if it was empty.
+    pub fn flush(&self) -> Option<BatchTelemetry> {
+        dispatch_window(&self.shared)
+    }
+
+    /// Synchronous batch execution through the session: drains the open window, then
+    /// runs `requests` as one window of their own — responses in request order, plus
+    /// that window's [`BatchTelemetry`]. This is the [`ExecutionEngine::submit`]
+    /// contract verbatim (same grouping, scheduling, telemetry, bitwise-identical
+    /// results), serialized with the session's dispatcher.
+    pub fn submit_with_telemetry(
+        &self,
+        requests: Vec<BatchRequest>,
+    ) -> (Vec<BatchResponse>, BatchTelemetry) {
+        let _guard = self.shared.dispatch.lock().expect("dispatch lock");
+        // Close the open window first (same code path as the dispatcher) so parked
+        // strangers do not interleave with this batch's responses.
+        let _ = dispatch_locked(&self.shared);
+        let n = requests.len();
+        let out = self.shared.engine.submit_with_telemetry(requests);
+        if n > 0 {
+            // An empty submit is not a window — dispatch_locked does not count empty
+            // opens either, so the window-quality ratios stay honest.
+            record_window(&self.shared, n);
+        }
+        out
+    }
+
+    /// [`submit_with_telemetry`](Self::submit_with_telemetry) without the telemetry.
+    pub fn submit(&self, requests: Vec<BatchRequest>) -> Vec<BatchResponse> {
+        self.submit_with_telemetry(requests).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TasdConfig;
+    use tasd_tensor::MatrixGenerator;
+
+    fn serving(cache_capacity: usize) -> ServingEngine {
+        ServingEngine::over(Arc::new(
+            ExecutionEngine::builder()
+                .cache_capacity(cache_capacity)
+                .build(),
+        ))
+    }
+
+    fn request(gen: &mut MatrixGenerator, a: &Arc<tasd_tensor::Matrix>) -> BatchRequest {
+        BatchRequest::decomposed(
+            Arc::clone(a),
+            TasdConfig::parse("2:8").unwrap(),
+            gen.normal(a.cols(), 4, 0.0, 1.0),
+        )
+    }
+
+    #[test]
+    fn window_holds_until_max_wait_then_coalesces() {
+        let mut gen = MatrixGenerator::seeded(61);
+        let a = Arc::new(gen.sparse_normal(32, 32, 0.8));
+        // Cache-less engine: decomposition count measures coalescing directly.
+        let s = serving(0).with_max_wait(2).with_max_batch(100);
+        let h1 = s.enqueue(request(&mut gen, &a));
+        assert!(!s.tick(), "age 1 < max_wait 2: window stays open");
+        assert!(!h1.is_ready());
+        let h2 = s.enqueue(request(&mut gen, &a)); // late arrival joins the window
+        assert!(s.tick(), "age 2 = max_wait: window dispatches");
+        assert!(h1.is_ready() && h2.is_ready());
+        assert_eq!(
+            s.engine().prep_stats().prepares,
+            1,
+            "both requests must share one decomposition"
+        );
+        let stats = s.stats();
+        assert_eq!(stats.windows, 1);
+        assert_eq!(stats.coalesced_windows, 1);
+        assert_eq!(stats.dispatched, 2);
+        assert_eq!(stats.max_window, 2);
+        assert!(h1.try_take().is_ok());
+    }
+
+    #[test]
+    fn full_window_dispatches_on_enqueue() {
+        let mut gen = MatrixGenerator::seeded(62);
+        let a = Arc::new(gen.sparse_normal(16, 16, 0.5));
+        let s = serving(8).with_max_batch(2).with_max_wait(100);
+        let h1 = s.enqueue(request(&mut gen, &a));
+        assert!(!h1.is_ready());
+        assert_eq!(s.pending(), 1);
+        let h2 = s.enqueue(request(&mut gen, &a));
+        assert!(
+            h1.is_ready() && h2.is_ready(),
+            "max_batch closes the window"
+        );
+        assert_eq!(s.pending(), 0);
+    }
+
+    #[test]
+    fn max_wait_zero_is_per_request_mode() {
+        let mut gen = MatrixGenerator::seeded(63);
+        let a = Arc::new(gen.sparse_normal(16, 16, 0.5));
+        let s = serving(8).with_max_wait(0);
+        let h = s.enqueue(request(&mut gen, &a));
+        assert!(h.is_ready(), "max_wait 0 dispatches on enqueue");
+        assert_eq!(s.stats().windows, 1);
+        assert_eq!(s.stats().coalesced_windows, 0);
+    }
+
+    #[test]
+    fn wait_closes_the_window_instead_of_hanging() {
+        let mut gen = MatrixGenerator::seeded(64);
+        let a = Arc::new(gen.sparse_normal(16, 16, 0.5));
+        let s = serving(8); // default window: 2 ticks, 32 requests — nobody else ticks
+        let h = s.enqueue(request(&mut gen, &a));
+        let response = h.wait();
+        assert!(response.output.is_ok());
+    }
+
+    #[test]
+    fn try_take_hands_the_handle_back_until_ready() {
+        let mut gen = MatrixGenerator::seeded(65);
+        let a = Arc::new(gen.sparse_normal(16, 16, 0.5));
+        let s = serving(8);
+        let h = s.enqueue(request(&mut gen, &a));
+        let h = match h.try_take() {
+            Ok(_) => panic!("window has not dispatched yet"),
+            Err(handle) => handle,
+        };
+        assert_eq!(h.id(), 0);
+        s.flush().expect("one pending request");
+        let response = h.try_take().expect("flushed window must be delivered");
+        assert!(response.output.is_ok());
+    }
+
+    #[test]
+    fn submit_drains_the_open_window_first() {
+        let mut gen = MatrixGenerator::seeded(66);
+        let a = Arc::new(gen.sparse_normal(24, 24, 0.7));
+        let s = serving(8).with_max_wait(100).with_max_batch(100);
+        let parked = s.enqueue(request(&mut gen, &a));
+        let (responses, telemetry) =
+            s.submit_with_telemetry(vec![request(&mut gen, &a), request(&mut gen, &a)]);
+        assert_eq!(responses.len(), 2);
+        assert_eq!(
+            telemetry.requests, 2,
+            "telemetry covers the submit window only"
+        );
+        assert!(parked.is_ready(), "submit must not strand parked requests");
+        assert_eq!(s.stats().windows, 2, "parked window + submit window");
+    }
+
+    #[test]
+    fn empty_submit_is_not_a_window() {
+        let s = serving(8);
+        let (responses, telemetry) = s.submit_with_telemetry(Vec::new());
+        assert!(responses.is_empty());
+        assert_eq!(telemetry.requests, 0);
+        assert_eq!(s.stats().windows, 0, "an empty submit must not count");
+        assert_eq!(s.stats().dispatched, 0);
+    }
+
+    #[test]
+    fn handles_deliver_exactly_once() {
+        let mut gen = MatrixGenerator::seeded(67);
+        let a = Arc::new(gen.sparse_normal(16, 16, 0.5));
+        let s = serving(8);
+        let h = s.enqueue(request(&mut gen, &a));
+        s.flush();
+        let first = h.try_take().expect("ready after flush");
+        assert!(first.output.is_ok());
+    }
+}

@@ -529,8 +529,11 @@ impl ExecutionEngine {
             "shard ranges must cover the output exactly"
         );
 
+        // Worker count captured once at engine construction (`EngineBuilder::workers`):
+        // placement never depends on when the call runs, and the environment is never
+        // re-probed on the hot path.
         let workers = if self.parallel {
-            rayon::current_num_threads().clamp(1, jobs.len().max(1))
+            self.executor().workers().clamp(1, jobs.len().max(1))
         } else {
             1
         };
@@ -556,33 +559,34 @@ impl ExecutionEngine {
                 chunks.push(batch);
             }
             // Ceil-division rounding can leave fewer chunks than workers; report the
-            // thread count actually spawned (telemetry is the load-balance signal).
-            let spawned = chunks.len();
-            let timings: Vec<Vec<(usize, u128)>> = std::thread::scope(|scope| {
-                let handles: Vec<_> = chunks
-                    .into_iter()
-                    .map(|batch| {
-                        scope.spawn(move || {
-                            batch
-                                .into_iter()
-                                .map(|(idx, shard, slab)| {
-                                    (idx, self.execute_shard(shard, b, slab, n_cols, timed))
-                                })
-                                .collect::<Vec<_>>()
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("shard worker panicked"))
-                    .collect()
-            });
+            // job count actually distributed (telemetry is the load-balance signal).
+            let distributed = chunks.len();
+            // One timing slot per chunk, written by whichever executor thread runs it.
+            let mut chunk_timings: Vec<Vec<(usize, u128)>> =
+                chunks.iter().map(|c| Vec::with_capacity(c.len())).collect();
+            // Every chunk is one job on the engine's *shared* executor: concurrent
+            // sharded batches interleave on one pool instead of each spawning their
+            // own scoped threads. Shards are independent and write disjoint slabs, so
+            // placement changes under load while results stay bitwise identical.
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = chunks
+                .into_iter()
+                .zip(chunk_timings.iter_mut())
+                .map(|(batch, out)| {
+                    let task = move || {
+                        for (idx, shard, slab) in batch {
+                            out.push((idx, self.execute_shard(shard, b, slab, n_cols, timed)));
+                        }
+                    };
+                    Box::new(task) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            self.executor().run_all(tasks);
             if let Some(out) = exec_ns {
-                for (idx, ns) in timings.into_iter().flatten() {
+                for (idx, ns) in chunk_timings.into_iter().flatten() {
                     out[idx] = ns;
                 }
             }
-            Ok(spawned)
+            Ok(distributed)
         }
     }
 

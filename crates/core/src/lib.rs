@@ -24,6 +24,10 @@
 //!   [`GemmBackend`](tasd_tensor::GemmBackend) per term from density, caches
 //!   decompositions in an LRU keyed by (matrix fingerprint, config), and executes series
 //!   GEMMs term-by-term. [`series_gemm`] is a thin wrapper over the default engine.
+//! * [`ServingEngine`] — the async, session-based serving front-end over one shared
+//!   engine: enqueue requests, coalesce them into micro-batch windows, collect results
+//!   through [`ResponseHandle`]s (see the `tasd::engine` module docs' serving-session
+//!   lifecycle).
 //! * [`compose`] — the pattern-composition algebra (paper Table 2): which effective N:M
 //!   patterns a piece of hardware supports once TASD chaining is allowed.
 //! * [`analysis`] — the synthetic-data studies of the paper's Appendix A (drop fractions vs
@@ -77,8 +81,9 @@ pub use decompose::{decompose, decompose_with_residual};
 pub use engine::{
     BackendKind, BackendTable, BatchRequest, BatchResponse, BatchTelemetry, CacheEntryStats,
     CacheStats, DecompositionCache, EngineBuilder, ExecutionEngine, GroupTelemetry, MatmulPlan,
-    PrepStats, PreparedSeries, PreparedShard, PreparedTerm, ShardPolicy, ShardTelemetry,
-    ShardedEngine, ShardedSeries, ShardedTelemetry, TermPlan,
+    PrepStats, PreparedSeries, PreparedShard, PreparedTerm, ResponseHandle, ServingEngine,
+    ServingStats, ShardPolicy, ShardTelemetry, ShardedEngine, ShardedSeries, ShardedTelemetry,
+    TermPlan,
 };
 pub use series::{series_gemm, series_gemm_into, DecompositionReport, TasdSeries};
 

@@ -14,7 +14,7 @@
 use crate::activation::Activation;
 use crate::layer::LayerSpec;
 use crate::network::NetworkSpec;
-use tasd::{BatchRequest, ExecutionEngine, TasdConfig};
+use tasd::{BatchRequest, ExecutionEngine, ResponseHandle, ServingEngine, TasdConfig};
 use tasd_tensor::{Matrix, MatrixGenerator};
 
 /// One dense layer of the executable network.
@@ -348,6 +348,33 @@ struct ServingLayer {
     config: Option<TasdConfig>,
 }
 
+impl ServingLayer {
+    /// The serving-orientation request for one activation matrix (`Wᵀ·xᵀ`, sharing the
+    /// snapshot's pointer-stable weight operand).
+    fn request(&self, x: &Matrix) -> BatchRequest {
+        assert_eq!(
+            x.cols(),
+            self.in_features,
+            "activation width does not match layer input"
+        );
+        match &self.config {
+            Some(cfg) => BatchRequest::decomposed(
+                std::sync::Arc::clone(&self.w_t),
+                cfg.clone(),
+                x.transpose(),
+            ),
+            None => BatchRequest::dense(std::sync::Arc::clone(&self.w_t), x.transpose()),
+        }
+    }
+
+    /// Un-transposes one response and applies bias + activation.
+    fn epilogue(&self, z_t: Matrix) -> Matrix {
+        let mut z = z_t.transpose();
+        add_bias(&mut z, &self.bias);
+        self.activation.apply(&z)
+    }
+}
+
 /// A serving-ready snapshot of an [`Mlp`], from [`Mlp::prepare_serving`]: weights
 /// pre-transposed into the shared-operand orientation behind pointer-stable `Arc`s, and
 /// per-layer TASD configurations pinned. Because the operand allocations never change
@@ -376,34 +403,46 @@ impl ServingMlp {
     pub fn forward_batch(&self, engine: &ExecutionEngine, inputs: &[Matrix]) -> Vec<Matrix> {
         let mut xs: Vec<Matrix> = inputs.to_vec();
         for layer in &self.layers {
-            let requests: Vec<BatchRequest> = xs
-                .iter()
-                .map(|x| {
-                    assert_eq!(
-                        x.cols(),
-                        layer.in_features,
-                        "activation width does not match layer input"
-                    );
-                    match &layer.config {
-                        Some(cfg) => BatchRequest::decomposed(
-                            std::sync::Arc::clone(&layer.w_t),
-                            cfg.clone(),
-                            x.transpose(),
-                        ),
-                        None => {
-                            BatchRequest::dense(std::sync::Arc::clone(&layer.w_t), x.transpose())
-                        }
-                    }
-                })
-                .collect();
+            let requests: Vec<BatchRequest> = xs.iter().map(|x| layer.request(x)).collect();
             xs = engine
                 .submit(requests)
                 .into_iter()
-                .map(|response| {
-                    let z_t = response.output.expect("shapes checked above");
-                    let mut z = z_t.transpose();
-                    add_bias(&mut z, &layer.bias);
-                    layer.activation.apply(&z)
+                .map(|response| layer.epilogue(response.output.expect("shapes checked above")))
+                .collect();
+        }
+        xs
+    }
+
+    /// Batched serving forward pass through a [`ServingEngine`] session's handle API:
+    /// per layer, every request is [`enqueue`](ServingEngine::enqueue)d into the
+    /// session's open micro-batch window and collected through its
+    /// [`ResponseHandle`] — so this network's traffic coalesces with whatever *other*
+    /// requests are in flight on the same session (another thread serving the same
+    /// snapshot joins the same window and shares the packed kernel passes).
+    ///
+    /// Layer boundaries force a window per layer for this call's own requests (layer
+    /// `i+1`'s inputs are layer `i`'s outputs, so the handles must drain), flushed via
+    /// [`ResponseHandle::wait`] — late arrivals from other threads still join each
+    /// window until it closes. Outputs are **bitwise identical** to
+    /// [`forward_batch`](Self::forward_batch) on the session's engine: window
+    /// composition never changes results (see the `tasd::engine` module docs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any request's width does not match the first layer.
+    pub fn forward_batch_serving(&self, serving: &ServingEngine, inputs: &[Matrix]) -> Vec<Matrix> {
+        let mut xs: Vec<Matrix> = inputs.to_vec();
+        for layer in &self.layers {
+            let handles: Vec<ResponseHandle> = xs
+                .iter()
+                .map(|x| serving.enqueue(layer.request(x)))
+                .collect();
+            xs = handles
+                .into_iter()
+                .map(|handle| {
+                    // `wait` closes the open window if this request is still parked, so
+                    // the drain can never hang on a window nobody else fills.
+                    layer.epilogue(handle.wait().output.expect("shapes checked above"))
                 })
                 .collect();
         }
@@ -679,6 +718,39 @@ mod tests {
             hits_before + 4,
             "one hit per shard of layer 0 plus one for layer 1"
         );
+    }
+
+    #[test]
+    fn serving_handles_match_submit_serving_bitwise() {
+        use tasd::ServingEngine;
+        // The handle API must produce exactly what the synchronous submit path does —
+        // window composition (here: one window per layer, closed by the first `wait`)
+        // never changes bits.
+        let mlp = Mlp::new(&[12, 24, 5], Activation::Relu, 37);
+        let mut gen = MatrixGenerator::seeded(38);
+        let inputs: Vec<Matrix> = (0..5).map(|_| gen.normal(3, 12, 0.0, 1.0)).collect();
+        let cfgs = vec![Some(TasdConfig::parse("2:8").unwrap()); mlp.num_layers()];
+        let engine = std::sync::Arc::new(ExecutionEngine::builder().build());
+        let snapshot = mlp.prepare_serving(&engine, &cfgs);
+        let serving = ServingEngine::over(std::sync::Arc::clone(&engine));
+        let via_handles = snapshot.forward_batch_serving(&serving, &inputs);
+        let via_submit = snapshot.forward_batch(&engine, &inputs);
+        for (a, b) in via_handles.iter().zip(&via_submit) {
+            assert_eq!(a, b, "handle serving must be bitwise identical");
+        }
+        // Warm handle serving keeps the prepare-once contract.
+        let before = engine.prep_stats();
+        let _ = snapshot.forward_batch_serving(&serving, &inputs);
+        let after = engine.prep_stats();
+        assert_eq!(after.conversions, before.conversions);
+        assert_eq!(after.plans_computed, before.plans_computed);
+        assert_eq!(after.fingerprint_scans, before.fingerprint_scans);
+        assert_eq!(after.prepares, before.prepares);
+        // One window per layer per call, every window coalescing all 5 requests.
+        let stats = serving.stats();
+        assert_eq!(stats.windows, 2 * mlp.num_layers() as u64);
+        assert_eq!(stats.coalesced_windows, stats.windows);
+        assert_eq!(stats.max_window, inputs.len());
     }
 
     #[test]

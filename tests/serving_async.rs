@@ -1,0 +1,373 @@
+//! Async-serving stress suite: the session lifecycle (enqueue → window → group →
+//! execute → handle) under concurrency, and the shared-executor placement guarantee.
+//!
+//! The contracts locked down here, per the `tasd::engine` module docs:
+//!
+//! * **Bitwise identity under contention** — N threads enqueueing mixed
+//!   sharded/unsharded/dense batches concurrently through one [`ServingEngine`] get
+//!   responses bitwise identical to a sequential [`ExecutionEngine::submit`] of the
+//!   same requests, however the windows happen to compose.
+//! * **Prepare-once under contention** — warm concurrent traffic performs zero
+//!   conversions, zero replans, and zero operand rescans ([`PrepStats`] deltas), so the
+//!   serving hot path stays scan-free when threads pile on.
+//! * **One executor, sized once** — sharded execution never spawns per call: the
+//!   engine's pool threads are spawned once ([`ExecutionEngine::pool_threads`] stays at
+//!   `workers − 1` across arbitrarily many sharded batches), the worker count is
+//!   captured at build time ([`EngineBuilder::workers`]), and worker placement never
+//!   changes results.
+
+use std::sync::Arc;
+use tasd::{BatchRequest, BatchResponse, ExecutionEngine, ServingEngine, ShardPolicy, TasdConfig};
+use tasd_tensor::{Matrix, MatrixGenerator};
+
+/// Threads the stress tests fan out over (the acceptance criterion names ≥ 4).
+const THREADS: usize = 4;
+
+/// A mixed workload over shared operands: a large operand that crosses the engine's
+/// shard threshold, a small one that stays whole, and dense (undecomposed) requests on
+/// both — `per_thread` requests per thread, deterministically seeded per thread so the
+/// concurrent and sequential runs see identical bytes.
+struct Workload {
+    big: Arc<Matrix>,
+    small: Arc<Matrix>,
+    cfg: TasdConfig,
+}
+
+impl Workload {
+    fn new() -> Self {
+        let mut gen = MatrixGenerator::seeded(0xA57C);
+        Workload {
+            big: Arc::new(gen.sparse_normal(128, 64, 0.9)),
+            small: Arc::new(gen.sparse_normal(32, 64, 0.6)),
+            cfg: TasdConfig::parse("2:8+1:8").unwrap(),
+        }
+    }
+
+    /// An engine configured so `big` row-shards and `small` serves whole.
+    fn engine(&self) -> ExecutionEngine {
+        ExecutionEngine::builder()
+            .shard_policy(ShardPolicy::NnzBalanced(3))
+            .shard_min_rows(64)
+            .workers(THREADS)
+            .build()
+    }
+
+    /// Thread `t`'s deterministic request stream.
+    fn requests(&self, t: usize, per_thread: usize) -> Vec<BatchRequest> {
+        let mut gen = MatrixGenerator::seeded(0xBEE5 + t as u64);
+        (0..per_thread)
+            .map(|i| {
+                let b = gen.normal(64, 3, 0.0, 1.0);
+                match i % 3 {
+                    0 => BatchRequest::decomposed(Arc::clone(&self.big), self.cfg.clone(), b),
+                    1 => BatchRequest::decomposed(Arc::clone(&self.small), self.cfg.clone(), b),
+                    _ => BatchRequest::dense(Arc::clone(&self.big), b),
+                }
+            })
+            .collect()
+    }
+
+    /// Warms every cache the serving paths touch: decompositions (whole and sharded),
+    /// plans, and operand fingerprints. Window composition is timing-dependent under
+    /// concurrency, and a group's plan is memoized per packed-output-width *bucket* —
+    /// so the warmup submits each operand group at every size whose bucket a window
+    /// could produce, leaving the concurrent run nothing to plan.
+    fn warm(&self, engine: &ExecutionEngine) {
+        for k in [1usize, 2, 3, 4, 6, 8, 11, 16] {
+            let mut gen = MatrixGenerator::seeded(0xFEED ^ k as u64);
+            let mut batch = Vec::new();
+            for _ in 0..k {
+                batch.push(BatchRequest::decomposed(
+                    Arc::clone(&self.big),
+                    self.cfg.clone(),
+                    gen.normal(64, 3, 0.0, 1.0),
+                ));
+                batch.push(BatchRequest::decomposed(
+                    Arc::clone(&self.small),
+                    self.cfg.clone(),
+                    gen.normal(64, 3, 0.0, 1.0),
+                ));
+                batch.push(BatchRequest::dense(
+                    Arc::clone(&self.big),
+                    gen.normal(64, 3, 0.0, 1.0),
+                ));
+            }
+            let responses = engine.submit(batch);
+            assert!(responses.iter().all(|r| r.output.is_ok()));
+        }
+    }
+}
+
+fn outputs(responses: Vec<BatchResponse>) -> Vec<Matrix> {
+    responses
+        .into_iter()
+        .map(|r| r.output.expect("stress requests are well-shaped"))
+        .collect()
+}
+
+/// The satellite stress test: ≥ 4 threads enqueueing mixed sharded/unsharded batches
+/// concurrently must be bitwise identical to sequential `submit`, and warm traffic must
+/// keep the prepare-once contract under contention.
+#[test]
+fn concurrent_enqueue_matches_sequential_submit_bitwise() {
+    const PER_THREAD: usize = 12;
+    let workload = Workload::new();
+
+    // Sequential reference: one plain `submit` per thread's stream, on its own engine.
+    let reference_engine = workload.engine();
+    let reference: Vec<Vec<Matrix>> = (0..THREADS)
+        .map(|t| outputs(reference_engine.submit(workload.requests(t, PER_THREAD))))
+        .collect();
+
+    // Concurrent run: every thread enqueues its stream through one shared session,
+    // interleaving ticks (to exercise window-age dispatch) and handle waits.
+    let engine = Arc::new(workload.engine());
+    workload.warm(&engine);
+    let prep_before = engine.prep_stats();
+    let serving = ServingEngine::over(Arc::clone(&engine))
+        .with_max_wait(2)
+        .with_max_batch(8);
+    let got: Vec<Vec<Matrix>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let serving = serving.clone();
+                let workload = &workload;
+                scope.spawn(move || {
+                    let mut waiting = Vec::new();
+                    for (i, request) in workload.requests(t, PER_THREAD).into_iter().enumerate() {
+                        waiting.push(serving.enqueue(request));
+                        if i % 4 == t % 4 {
+                            serving.tick();
+                        }
+                    }
+                    waiting
+                        .into_iter()
+                        .map(|h| h.wait().output.expect("well-shaped"))
+                        .collect::<Vec<Matrix>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("serving thread panicked"))
+            .collect()
+    });
+
+    for (t, (got, expected)) in got.iter().zip(&reference).enumerate() {
+        assert_eq!(got.len(), expected.len());
+        for (i, (g, e)) in got.iter().zip(expected).enumerate() {
+            assert_eq!(
+                g, e,
+                "thread {t} request {i}: concurrent serving must be bitwise identical \
+                 to sequential submit"
+            );
+        }
+    }
+
+    // Prepare-once under contention: the whole concurrent run, windows and shards and
+    // all, performed zero conversions, zero replans, and zero operand rescans.
+    let prep_after = engine.prep_stats();
+    assert_eq!(
+        prep_after.prepares, prep_before.prepares,
+        "no decompositions"
+    );
+    assert_eq!(
+        prep_after.conversions, prep_before.conversions,
+        "no conversions"
+    );
+    assert_eq!(
+        prep_after.plans_computed, prep_before.plans_computed,
+        "no replans"
+    );
+    assert_eq!(
+        prep_after.fingerprint_scans, prep_before.fingerprint_scans,
+        "no operand rescans"
+    );
+    let stats = serving.stats();
+    assert_eq!(stats.enqueued, (THREADS * PER_THREAD) as u64);
+    assert_eq!(stats.dispatched, stats.enqueued, "no request left behind");
+    assert!(stats.windows >= 1);
+}
+
+/// Concurrent `ServingEngine::submit` calls (the back-compat wrapper) are each one
+/// window: bitwise identical to engine-level submit, telemetry per call.
+#[test]
+fn concurrent_submit_wrappers_match_engine_submit() {
+    const PER_THREAD: usize = 9;
+    let workload = Workload::new();
+    let reference_engine = workload.engine();
+    let reference: Vec<Vec<Matrix>> = (0..THREADS)
+        .map(|t| outputs(reference_engine.submit(workload.requests(t, PER_THREAD))))
+        .collect();
+
+    let serving = Arc::new(ServingEngine::over(Arc::new(workload.engine())));
+    let got: Vec<(usize, Vec<Matrix>, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let serving = Arc::clone(&serving);
+                let workload = &workload;
+                scope.spawn(move || {
+                    let (responses, telemetry) =
+                        serving.submit_with_telemetry(workload.requests(t, PER_THREAD));
+                    (t, outputs(responses), telemetry.requests as u64)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("submit thread panicked"))
+            .collect()
+    });
+    for (t, outs, telemetry_requests) in got {
+        assert_eq!(telemetry_requests, PER_THREAD as u64);
+        assert_eq!(outs, reference[t], "thread {t} diverged");
+    }
+}
+
+/// The executor-placement guarantee: many sharded batches — including concurrent ones —
+/// reuse one lazily-spawned pool; nothing spawns per call.
+#[test]
+fn sharded_batches_share_one_executor_pool() {
+    let workload = Workload::new();
+    let engine = Arc::new(workload.engine());
+    assert_eq!(engine.workers(), THREADS);
+    assert_eq!(engine.pool_threads(), 0, "pool is lazy until the first job");
+
+    // Sequential sharded batches.
+    for t in 0..3 {
+        let _ = outputs(engine.submit(workload.requests(t, 6)));
+    }
+    let spawned = engine.pool_threads();
+    assert_eq!(
+        spawned,
+        THREADS - 1,
+        "workers − 1 resident threads, spawned once"
+    );
+
+    // Concurrent sharded batches from every thread: still the same pool.
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let engine = Arc::clone(&engine);
+            let workload = &workload;
+            scope.spawn(move || {
+                for _ in 0..3 {
+                    let responses = engine.submit(workload.requests(t, 6));
+                    assert!(responses.iter().all(|r| r.output.is_ok()));
+                }
+            });
+        }
+    });
+    assert_eq!(
+        engine.pool_threads(),
+        spawned,
+        "concurrent sharded batches must not grow the pool — per-call spawning is gone"
+    );
+}
+
+/// Worker-count invariance through the builder seam: any pinned worker count produces
+/// bitwise-identical sharded results, and the count is captured at build time.
+#[test]
+fn pinned_worker_counts_are_deterministic_and_result_invariant() {
+    let mut gen = MatrixGenerator::seeded(0x77);
+    let a = Arc::new(gen.sparse_normal(96, 48, 0.85));
+    let b = gen.normal(48, 5, 0.0, 1.0);
+    let cfg = TasdConfig::parse("2:8+1:8").unwrap();
+    let mut baseline: Option<Matrix> = None;
+    for workers in [1usize, 2, 3, 8] {
+        let engine = Arc::new(ExecutionEngine::builder().workers(workers).build());
+        assert_eq!(engine.workers(), workers);
+        let sharded = engine.prepare_sharded(&a, &cfg, &ShardPolicy::TargetShards(6));
+        let c = engine.series_gemm_sharded(&sharded, &b).unwrap();
+        match &baseline {
+            None => baseline = Some(c),
+            Some(expected) => assert_eq!(expected, &c, "workers={workers} diverged"),
+        }
+    }
+}
+
+/// The micro-batch window lifecycle end to end on a cache-less engine, where the
+/// decomposition count directly measures coalescing: a window of 2 ticks turns two
+/// late-arriving same-operand requests into one decomposition, where individual submits
+/// pay one each.
+#[test]
+fn window_coalesces_late_arrivals_into_one_decomposition() {
+    let mut gen = MatrixGenerator::seeded(0xC0A1);
+    let a = Arc::new(gen.sparse_normal(48, 48, 0.85));
+    let cfg = TasdConfig::parse("2:8").unwrap();
+    let request = |gen: &mut MatrixGenerator| -> BatchRequest {
+        BatchRequest::decomposed(Arc::clone(&a), cfg.clone(), gen.normal(48, 4, 0.0, 1.0))
+    };
+
+    // Cache-less engine: every window decomposes its groups afresh, so `prepares`
+    // counts exactly what coalescing saves.
+    let engine = Arc::new(ExecutionEngine::builder().cache_capacity(0).build());
+    let serving = ServingEngine::over(Arc::clone(&engine))
+        .with_max_wait(2)
+        .with_max_batch(32);
+    let h1 = serving.enqueue(request(&mut gen));
+    assert!(!serving.tick(), "window must stay open after 1 of 2 ticks");
+    let h2 = serving.enqueue(request(&mut gen)); // late arrival
+    let h3 = serving.enqueue(request(&mut gen)); // later arrival
+    assert!(serving.tick(), "second tick closes the window");
+    let window_prepares = engine.prep_stats().prepares;
+    assert_eq!(
+        window_prepares, 1,
+        "three coalesced requests, one decomposition"
+    );
+    let outs = [h1, h2, h3].map(|h| h.wait().output.unwrap());
+    assert_eq!(serving.stats().coalesced_windows, 1);
+
+    // The same three requests submitted individually: one decomposition each.
+    let mut gen = MatrixGenerator::seeded(0xC0A1);
+    let _ = gen.sparse_normal(48, 48, 0.85); // re-sync the stream past the operand
+    let individual_engine = ExecutionEngine::builder().cache_capacity(0).build();
+    let mut individual = Vec::new();
+    for _ in 0..3 {
+        individual.push(outputs(individual_engine.submit(vec![request(&mut gen)])));
+    }
+    let individual_prepares = individual_engine.prep_stats().prepares;
+    assert_eq!(individual_prepares, 3);
+    assert!(
+        window_prepares < individual_prepares,
+        "a micro-batch window must save at least one decomposition"
+    );
+    // And coalescing never changes bits.
+    for (got, expected) in outs.iter().zip(individual.iter().map(|v| &v[0])) {
+        assert_eq!(
+            got, expected,
+            "window outputs must match individual submits"
+        );
+    }
+}
+
+/// Handles are well-behaved at the edges: polling before dispatch, waiting without a
+/// ticker, shape errors delivered as `Err` responses (not panics), and ids in enqueue
+/// order.
+#[test]
+fn handle_edge_cases() {
+    let mut gen = MatrixGenerator::seeded(0xED6E);
+    let a = Arc::new(gen.sparse_normal(16, 16, 0.5));
+    let serving = ExecutionEngine::builder().serving();
+    // Poll before dispatch: handle comes back intact.
+    let h = serving.enqueue(BatchRequest::dense(
+        Arc::clone(&a),
+        gen.normal(16, 2, 0.0, 1.0),
+    ));
+    assert!(!h.is_ready());
+    let h = h.try_take().expect_err("window has not dispatched");
+    assert_eq!(h.id(), 0);
+    // A lone waiter closes the window itself.
+    assert!(h.wait().output.is_ok());
+    // Shape errors come back through the handle as Err responses.
+    let bad = serving.enqueue(BatchRequest::dense(
+        Arc::clone(&a),
+        gen.normal(9, 2, 0.0, 1.0),
+    ));
+    let good = serving.enqueue(BatchRequest::dense(
+        Arc::clone(&a),
+        gen.normal(16, 2, 0.0, 1.0),
+    ));
+    serving.flush().expect("two pending requests");
+    assert!(bad.try_take().expect("flushed").output.is_err());
+    assert!(good.try_take().expect("flushed").output.is_ok());
+}

@@ -10,8 +10,10 @@
 //! change serving results.
 //!
 //! The multi-thread stress test forces 4 and 8 shard workers via `RAYON_NUM_THREADS`
-//! (the vendored rayon shim reads it per call) and self-skips with a logged reason on
-//! 1-CPU hosts through `tasd_bench::testing::require_parallelism` — no `#[ignore]`.
+//! (each engine captures its executor worker count from it **at build time** — see
+//! `EngineBuilder::workers` — so the engine is rebuilt per setting) and self-skips with
+//! a logged reason on 1-CPU hosts through `tasd_bench::testing::require_parallelism` —
+//! no `#[ignore]`.
 
 use proptest::prelude::*;
 use std::sync::{Arc, Mutex};
