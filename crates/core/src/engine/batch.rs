@@ -175,6 +175,8 @@ impl BatchTelemetry {
 ///
 /// A cap of 0 degenerates to FIFO (arrival order); a cap of `costs.len()` or more never
 /// binds and yields pure shortest-plan-first order.
+// lint: hot-path, allow(indexing): every index here is drawn from 0..n with
+// n == costs.len(), and the bookkeeping vectors are allocated at length n above
 pub fn admission_order(costs: &[u64], fairness_cap: usize) -> Vec<usize> {
     let n = costs.len();
     // Stable shortest-plan-first: sort by (cost, arrival).
@@ -190,6 +192,8 @@ pub fn admission_order(costs: &[u64], fairness_cap: usize) -> Vec<usize> {
             *by_cost
                 .iter()
                 .find(|&&i| !admitted[i])
+                // lint: allow(panic): n slots admit n entries, so some entry is
+                // still pending at every slot of the loop
                 .expect("one pending entry per remaining slot")
         });
         admitted[next] = true;
@@ -223,12 +227,20 @@ enum GroupExec {
     Dense { plan: Arc<MatmulPlan> },
 }
 
-/// A request group: one shared operand (+ config), many right-hand panels.
+/// A request group while the batch is still being assembled: one shared operand
+/// (+ config), many right-hand panels. Costing consumes it into a [`CostedGroup`].
 struct Group {
+    members: Vec<usize>,
+    fingerprint: u64,
+}
+
+/// A group after costing: the execution strategy is resolved and the summed plan cost is
+/// known, so the schedule/execute loop never meets a half-built group.
+struct CostedGroup {
     members: Vec<usize>,
     plan_cost: u64,
     fingerprint: u64,
-    exec: Option<GroupExec>,
+    exec: GroupExec,
 }
 
 impl ExecutionEngine {
@@ -240,6 +252,7 @@ impl ExecutionEngine {
     ///
     /// Responses come back in request order; a request with inconsistent shapes gets an
     /// `Err` response without poisoning the rest of the batch.
+    // lint: hot-path
     pub fn submit(&self, requests: Vec<BatchRequest>) -> Vec<BatchResponse> {
         self.submit_with_telemetry(requests).0
     }
@@ -250,6 +263,9 @@ impl ExecutionEngine {
     /// atomically with each lookup and are exact even under concurrent engine use; the
     /// batch-level `cache_hits`/`cache_misses` are deltas of the engine-wide stats, so
     /// concurrent traffic from other threads is included in them.
+    // lint: hot-path, allow(indexing): request indices come from enumerate() over the
+    // batch, group ids from the group vector's own length, and the member_cost /
+    // responses / telemetry vectors are all allocated at those exact lengths
     pub fn submit_with_telemetry(
         &self,
         requests: Vec<BatchRequest>,
@@ -285,9 +301,7 @@ impl ExecutionEngine {
             let gid = *group_ids.entry(key).or_insert_with(|| {
                 groups.push(Group {
                     members: Vec::new(),
-                    plan_cost: 0,
                     fingerprint,
-                    exec: None,
                 });
                 groups.len() - 1
             });
@@ -301,59 +315,71 @@ impl ExecutionEngine {
         // from their memoized plan's density — the non-zero scan runs only on the first
         // batch that sees the operand content.
         let mut member_cost = vec![0u64; n];
-        for group in &mut groups {
-            let first = &requests[group.members[0]];
-            let a = &first.a;
-            let packed_width: usize = group.members.iter().map(|&i| requests[i].b.cols()).sum();
-            let per_col_macs: u64 = match &first.config {
-                Some(cfg) => {
-                    // Oversized operands route through the shard policy (when one is
-                    // configured): one prepared series per row shard, each a first-class
-                    // cache entry keyed by the shard's own fingerprint. Decomposition is
-                    // row-local, so the summed shard nnz equals the whole-matrix nnz and
-                    // the cost estimate is unchanged.
-                    if let Some(policy) = self.shard_policy_for(a.rows()).cloned() {
-                        let series = self.prepare_sharded(a, cfg, &policy);
-                        let macs = series.nnz() as u64;
-                        let cache_hit = series.all_cache_hits();
-                        group.exec = Some(GroupExec::Sharded { series, cache_hit });
-                        macs
-                    } else {
-                        let (series, cache_hit) =
-                            self.prepare_with_fingerprint(a.as_ref(), cfg, group.fingerprint);
-                        let macs = series.nnz() as u64;
-                        group.exec = Some(GroupExec::Prepared { series, cache_hit });
-                        macs
+        let costed: Vec<CostedGroup> = groups
+            .into_iter()
+            .map(|group| {
+                let first = &requests[group.members[0]];
+                let a = &first.a;
+                let packed_width: usize = group.members.iter().map(|&i| requests[i].b.cols()).sum();
+                let (per_col_macs, exec): (u64, GroupExec) = match &first.config {
+                    Some(cfg) => {
+                        // Oversized operands route through the shard policy (when one is
+                        // configured): one prepared series per row shard, each a
+                        // first-class cache entry keyed by the shard's own fingerprint.
+                        // Decomposition is row-local, so the summed shard nnz equals the
+                        // whole-matrix nnz and the cost estimate is unchanged.
+                        if let Some(policy) = self.shard_policy_for(a.rows()).cloned() {
+                            let series = self.prepare_sharded(a, cfg, &policy);
+                            let macs = series.nnz() as u64;
+                            let cache_hit = series.all_cache_hits();
+                            (macs, GroupExec::Sharded { series, cache_hit })
+                        } else {
+                            let (series, cache_hit) =
+                                self.prepare_with_fingerprint(a.as_ref(), cfg, group.fingerprint);
+                            let macs = series.nnz() as u64;
+                            (macs, GroupExec::Prepared { series, cache_hit })
+                        }
                     }
+                    None => {
+                        let plan =
+                            self.plan_gemm_memoized(a.as_ref(), group.fingerprint, packed_width);
+                        // lint: allow(indexing): plan_terms never returns an empty plan
+                        let macs = (plan.terms[0].density * a.len() as f64) as u64;
+                        (macs, GroupExec::Dense { plan })
+                    }
+                };
+                let mut plan_cost = 0u64;
+                for &i in &group.members {
+                    let cost = per_col_macs * requests[i].b.cols() as u64;
+                    member_cost[i] = cost;
+                    plan_cost += cost;
                 }
-                None => {
-                    let plan = self.plan_gemm_memoized(a.as_ref(), group.fingerprint, packed_width);
-                    let macs = (plan.terms[0].density * a.len() as f64) as u64;
-                    group.exec = Some(GroupExec::Dense { plan });
-                    macs
+                CostedGroup {
+                    members: group.members,
+                    plan_cost,
+                    fingerprint: group.fingerprint,
+                    exec,
                 }
-            };
-            for &i in &group.members {
-                let cost = per_col_macs * requests[i].b.cols() as u64;
-                member_cost[i] = cost;
-                group.plan_cost += cost;
-            }
-        }
+            })
+            .collect();
 
         // ---- Schedule and execute ----------------------------------------------------
-        let group_costs: Vec<u64> = groups.iter().map(|g| g.plan_cost).collect();
+        let group_costs: Vec<u64> = costed.iter().map(|g| g.plan_cost).collect();
         let order = admission_order(&group_costs, self.fairness_cap());
         let mut group_telemetry: Vec<Option<GroupTelemetry>> =
-            (0..groups.len()).map(|_| None).collect();
+            (0..costed.len()).map(|_| None).collect();
         for (slot, &gid) in order.iter().enumerate() {
-            let group = &groups[gid];
+            let group = &costed[gid];
             let first = &requests[group.members[0]];
             let panels: Vec<&Matrix> = group.members.iter().map(|&i| &requests[i].b).collect();
+            // lint: allow(panic): admission rejected every request whose panel row
+            // count disagrees with the shared operand, so the survivors pack cleanly
             let wide_b = pack_panels(&panels).expect("group panels share the operand width");
-            let (wide_c, cache_hit, decomposed) = match group.exec.as_ref().expect("costed above") {
+            let (wide_c, cache_hit, decomposed) = match &group.exec {
                 GroupExec::Prepared { series, cache_hit } => {
                     let c = self
                         .series_gemm_prepared(series, &wide_b)
+                        // lint: allow(panic): admission checked b.rows() == a.cols()
                         .expect("shapes validated at admission");
                     (c, *cache_hit, !*cache_hit)
                 }
@@ -362,12 +388,15 @@ impl ExecutionEngine {
                     // range of the wide output; bitwise identical to the unsharded pass.
                     let c = self
                         .series_gemm_sharded(series, &wide_b)
+                        // lint: allow(panic): admission checked b.rows() == a.cols()
                         .expect("shapes validated at admission");
                     (c, *cache_hit, !*cache_hit)
                 }
                 GroupExec::Dense { plan } => {
                     let mut c = Matrix::zeros(first.a.rows(), wide_b.cols());
                     self.gemm_into_with_plan(first.a.as_ref(), &wide_b, &mut c, plan)
+                        // lint: allow(panic): admission checked b.rows() == a.cols(),
+                        // and c is allocated with the packed output shape right above
                         .expect("shapes validated at admission");
                     (c, false, false)
                 }
@@ -397,6 +426,8 @@ impl ExecutionEngine {
         let stats_after = self.cache_stats();
         let groups: Vec<GroupTelemetry> = group_telemetry
             .into_iter()
+            // lint: allow(panic): admission_order returns a permutation of the group
+            // ids, so the execute loop filled every telemetry slot
             .map(|g| g.expect("every group was admitted exactly once"))
             .collect();
         let telemetry = BatchTelemetry {
@@ -411,6 +442,8 @@ impl ExecutionEngine {
         };
         let responses = responses
             .into_iter()
+            // lint: allow(panic): every request was either rejected at admission or
+            // answered by the group that executed it — both write its response slot
             .map(|r| r.expect("every request was answered"))
             .collect();
         (responses, telemetry)

@@ -37,6 +37,8 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
+use super::sync::{lock_or_panic, wait_or_panic};
+
 /// A job as stored on the queue: lifetime-erased, completion-tracked (see the safety
 /// note on [`Executor::run_all`]).
 type QueuedJob = Box<dyn FnOnce() + Send + 'static>;
@@ -77,8 +79,9 @@ impl Latch {
         }
     }
 
+    // lint: hot-path
     fn complete(&self, panic: Option<Box<dyn Any + Send>>) {
-        let mut state = self.state.lock().expect("latch lock");
+        let mut state = lock_or_panic(&self.state, "latch");
         state.remaining -= 1;
         if state.panic.is_none() {
             state.panic = panic;
@@ -88,16 +91,18 @@ impl Latch {
         }
     }
 
+    // lint: hot-path
     fn is_done(&self) -> bool {
-        self.state.lock().expect("latch lock").remaining == 0
+        lock_or_panic(&self.state, "latch").remaining == 0
     }
 
     /// Blocks until every job of the batch has completed, then returns the first panic
     /// payload (if any job panicked).
+    // lint: hot-path
     fn wait(&self) -> Option<Box<dyn Any + Send>> {
-        let mut state = self.state.lock().expect("latch lock");
+        let mut state = lock_or_panic(&self.state, "latch");
         while state.remaining > 0 {
-            state = self.cv.wait(state).expect("latch wait");
+            state = wait_or_panic(&self.cv, state, "latch");
         }
         state.panic.take()
     }
@@ -149,11 +154,11 @@ impl Executor {
     /// exactly `workers − 1` after it, **forever** — per-call spawning is the failure
     /// mode this executor exists to remove, and tests pin this counter to prove it.
     pub(crate) fn pool_threads(&self) -> usize {
-        self.pool.lock().expect("executor pool lock").handles.len()
+        lock_or_panic(&self.pool, "executor pool").handles.len()
     }
 
     fn ensure_spawned(&self) {
-        let mut pool = self.pool.lock().expect("executor pool lock");
+        let mut pool = lock_or_panic(&self.pool, "executor pool");
         if pool.spawned {
             return;
         }
@@ -175,6 +180,7 @@ impl Executor {
     ///
     /// With one worker (or one job) everything runs inline on the caller — the
     /// single-core configuration pays no queue or thread cost.
+    // lint: hot-path
     pub(crate) fn run_all<'scope>(&self, jobs: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
         if jobs.is_empty() {
             return;
@@ -188,17 +194,24 @@ impl Executor {
         self.ensure_spawned();
         let latch = Arc::new(Latch::new(jobs.len()));
         {
-            let mut queue = self.shared.queue.lock().expect("executor queue lock");
+            let mut queue = lock_or_panic(&self.shared.queue, "executor queue");
             for job in jobs {
-                // SAFETY: the erased job is consumed before `run_all` returns — the
-                // latch counts one completion per job, and this function does not
-                // return until the latch reaches zero (every wrapper below runs its
-                // job under `catch_unwind`, so even a panicking job completes the
-                // latch). The borrows inside the job therefore strictly outlive its
-                // execution. The queue can never hold an erased job past its scope:
-                // shutdown only happens in `Drop`, which requires exclusive access to
-                // the engine and thus no in-flight `run_all` borrows.
-                let job: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(job) };
+                // SAFETY: erasing `'scope` to `'static` is sound because the
+                // completion latch pins the erased job's lifetime inside `'scope`:
+                //
+                // * `latch` starts at `jobs.len()` and every wrapper below decrements
+                //   it exactly once — the job runs under `catch_unwind`, so the
+                //   decrement happens even if the job panics.
+                // * `run_all` does not return before `latch` reaches zero (both
+                //   `break` arms of the help loop go through `latch.wait()`), so every
+                //   erased job has been consumed — run to completion by a pool thread
+                //   or by this caller — before the borrows it captures expire.
+                // * No erased job outlives the queue unrun: `shutdown` is only set in
+                //   `Drop`, which takes `&mut self` and therefore cannot overlap an
+                //   in-flight `run_all` borrow of `self`.
+                let job = unsafe {
+                    std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, QueuedJob>(job)
+                };
                 let latch = Arc::clone(&latch);
                 queue.jobs.push_back(Box::new(move || {
                     let panic = catch_unwind(AssertUnwindSafe(job)).err();
@@ -213,11 +226,7 @@ impl Executor {
             if latch.is_done() {
                 break latch.wait();
             }
-            let job = self
-                .shared
-                .queue
-                .lock()
-                .expect("executor queue lock")
+            let job = lock_or_panic(&self.shared.queue, "executor queue")
                 .jobs
                 .pop_front();
             match job {
@@ -236,21 +245,22 @@ impl Executor {
 impl Drop for Executor {
     fn drop(&mut self) {
         {
-            let mut queue = self.shared.queue.lock().expect("executor queue lock");
+            let mut queue = lock_or_panic(&self.shared.queue, "executor queue");
             queue.shutdown = true;
         }
         self.shared.work_cv.notify_all();
-        let handles = std::mem::take(&mut self.pool.lock().expect("executor pool lock").handles);
+        let handles = std::mem::take(&mut lock_or_panic(&self.pool, "executor pool").handles);
         for handle in handles {
             let _ = handle.join();
         }
     }
 }
 
+// lint: hot-path
 fn worker_loop(shared: &Shared) {
     loop {
         let job = {
-            let mut queue = shared.queue.lock().expect("executor queue lock");
+            let mut queue = lock_or_panic(&shared.queue, "executor queue");
             loop {
                 if queue.shutdown {
                     return;
@@ -258,7 +268,7 @@ fn worker_loop(shared: &Shared) {
                 if let Some(job) = queue.jobs.pop_front() {
                     break job;
                 }
-                queue = shared.work_cv.wait(queue).expect("executor queue wait");
+                queue = wait_or_panic(&shared.work_cv, queue, "executor queue");
             }
         };
         job();

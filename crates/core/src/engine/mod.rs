@@ -220,6 +220,32 @@
 //!    memo's pinned operands (at most `fingerprint_memo_capacity` live matrices) to the
 //!    budget.
 //!
+//! # Enforced invariants
+//!
+//! The contracts above are not prose-only: `tasd-lint` (`crates/lint`, run in CI as
+//! `cargo run -p tasd-lint -- --check` and as the `workspace_clean` test) statically
+//! checks the engine against the policy in the repo-root `lint.toml`:
+//!
+//! * **No panics on the hot path.** Every serving-path function is marked
+//!   `// lint: hot-path` (the `submit`/serving spine here and in `batch`/`serving`/
+//!   `shard`/`executor`, plus the row kernels in `tasd-tensor`): `unwrap`/`expect`,
+//!   `panic!`-family macros, and unchecked slice indexing are rejected there unless
+//!   an inline `allow` states why the construct cannot fire. Shape errors must
+//!   surface as `Result`s at admission, never as panics mid-batch.
+//! * **No allocation on the warm path.** Prepared-execution kernels
+//!   (`series_gemm_prepared_into` and everything below it) are additionally marked
+//!   `// lint: warm-path`: allocating calls there are rejected, keeping the
+//!   prepare-once / execute-many contract honest — a warm call touches only
+//!   caller-provided and prepared storage.
+//! * **Lock order.** Every `Mutex` is acquired through
+//!   `sync::lock_or_panic` (poison propagation that names the lock) and is
+//!   registered in `lint.toml`'s lock table; nested acquisitions must follow the
+//!   declared order `dispatch → session → slot → engine memos → executor pool →
+//!   queue → latch`, so the serving layer cannot deadlock against the executor.
+//! * **Unsafe audit.** The workspace's one `unsafe` site (the executor's
+//!   lifetime-erasing transmute) carries an adjacent `// SAFETY:` contract; new
+//!   sites without one fail CI.
+//!
 //! [`Matrix::fingerprint`]: tasd_tensor::Matrix::fingerprint
 
 mod batch;
@@ -229,6 +255,7 @@ mod plan;
 mod prepared;
 mod serving;
 mod shard;
+mod sync;
 
 pub use batch::{
     admission_order, BatchRequest, BatchResponse, BatchTelemetry, GroupTelemetry,
@@ -253,6 +280,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+use sync::lock_or_panic;
 use tasd_tensor::backend::{
     CsrBackend, DenseBackend, GemmBackend, GemmOperand, NmBackend, ParallelBackend,
 };
@@ -802,7 +830,7 @@ impl ExecutionEngine {
     }
 
     fn memoized_plan(&self, key: PlanKey, compute: impl FnOnce() -> MatmulPlan) -> Arc<MatmulPlan> {
-        if let Some(hit) = self.plans.lock().expect("plan memo lock").entries.get(&key) {
+        if let Some(hit) = lock_or_panic(&self.plans, "plan memo").entries.get(&key) {
             self.counters.plan_hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(hit);
         }
@@ -810,7 +838,7 @@ impl ExecutionEngine {
         // copy wins the insert.
         let plan = Arc::new(compute());
         self.counters.plans_computed.fetch_add(1, Ordering::Relaxed);
-        let mut memo = self.plans.lock().expect("plan memo lock");
+        let mut memo = lock_or_panic(&self.plans, "plan memo");
         if memo.entries.len() >= PLAN_MEMO_CAPACITY {
             memo.entries.clear();
         }
@@ -854,11 +882,14 @@ impl ExecutionEngine {
         self.plan_terms(dims, terms)
     }
 
+    // lint: hot-path, allow(indexing): idx comes from the exhaustive BackendKind match,
+    // and both tables are built with exactly one slot per kind at engine construction
     fn backend_for_kind(&self, kind: BackendKind, parallel: bool) -> &Arc<dyn GemmBackend> {
         if let Some(forced) = &self.backend_override {
             return if parallel {
                 self.parallel_override
                     .as_ref()
+                    // lint: allow(panic): EngineBuilder::build always fills this with backend_override
                     .expect("built with override")
             } else {
                 forced
@@ -887,22 +918,18 @@ impl ExecutionEngine {
     /// the pinning contract).
     pub fn fingerprint_of(&self, a: &Arc<Matrix>) -> u64 {
         let key = Arc::as_ptr(a) as usize;
-        if let Some(fingerprint) = self
-            .fingerprints
-            .lock()
-            .expect("fingerprint memo lock")
-            .get(key)
-        {
+        if let Some(fingerprint) = lock_or_panic(&self.fingerprints, "fingerprint memo").get(key) {
             self.counters
                 .fingerprint_hits
                 .fetch_add(1, Ordering::Relaxed);
             return fingerprint;
         }
         let fingerprint = self.scan_fingerprint(a);
-        self.fingerprints
-            .lock()
-            .expect("fingerprint memo lock")
-            .insert(key, Arc::clone(a), fingerprint);
+        lock_or_panic(&self.fingerprints, "fingerprint memo").insert(
+            key,
+            Arc::clone(a),
+            fingerprint,
+        );
         fingerprint
     }
 
@@ -959,7 +986,7 @@ impl ExecutionEngine {
     /// One counted decomposition-cache lookup (a `None` is a recorded miss). The sharded
     /// prepare path uses this directly so it can defer shard-row extraction to misses.
     pub(crate) fn lookup_prepared(&self, key: &CacheKey) -> Option<Arc<PreparedSeries>> {
-        self.cache.lock().expect("cache lock").get(key)
+        lock_or_panic(&self.cache, "prepared cache").get(key)
     }
 
     /// Decomposes, packs, and caches `a` without a prior lookup (the caller has already
@@ -986,10 +1013,7 @@ impl ExecutionEngine {
         self.counters
             .conversions
             .fetch_add(prepared.conversions(), Ordering::Relaxed);
-        self.cache
-            .lock()
-            .expect("cache lock")
-            .insert_or_get(key, prepared)
+        lock_or_panic(&self.cache, "prepared cache").insert_or_get(key, prepared)
     }
 
     /// Decomposes `a` under `config`, returning a cached series when this (matrix,
@@ -1011,7 +1035,7 @@ impl ExecutionEngine {
 
     /// Point-in-time decomposition-cache counters.
     pub fn cache_stats(&self) -> CacheStats {
-        self.cache.lock().expect("cache lock").stats()
+        lock_or_panic(&self.cache, "prepared cache").stats()
     }
 
     /// Point-in-time prepared-execution counters (see [`PrepStats`]).
@@ -1029,7 +1053,7 @@ impl ExecutionEngine {
     /// Per-entry decomposition-cache counters, hottest first (see the [module
     /// docs](self) for the capacity-sizing recipe built on these).
     pub fn cache_entry_stats(&self) -> Vec<CacheEntryStats> {
-        self.cache.lock().expect("cache lock").entry_stats()
+        lock_or_panic(&self.cache, "prepared cache").entry_stats()
     }
 
     /// The batch scheduler's fairness cap (see [`EngineBuilder::fairness_cap`]).
@@ -1066,14 +1090,12 @@ impl ExecutionEngine {
     /// Drops every cached prepared decomposition, memoized plan, memoized operand
     /// fingerprint, and memoized shard split (counters are preserved).
     pub fn clear_cache(&self) {
-        self.cache.lock().expect("cache lock").clear();
-        self.plans.lock().expect("plan memo lock").entries.clear();
-        let mut fingerprints = self.fingerprints.lock().expect("fingerprint memo lock");
-        fingerprints.entries.clear();
-        self.shard_splits
-            .lock()
-            .expect("shard split memo lock")
+        lock_or_panic(&self.cache, "prepared cache").clear();
+        lock_or_panic(&self.plans, "plan memo").entries.clear();
+        lock_or_panic(&self.fingerprints, "fingerprint memo")
+            .entries
             .clear();
+        lock_or_panic(&self.shard_splits, "shard split memo").clear();
     }
 
     // ---- Execution ------------------------------------------------------------------
@@ -1134,6 +1156,7 @@ impl ExecutionEngine {
     /// # Errors
     ///
     /// Returns [`TensorError::ShapeMismatch`] on inconsistent shapes.
+    // lint: hot-path, warm-path
     pub fn series_gemm_prepared_into(
         &self,
         prepared: &PreparedSeries,
@@ -1190,6 +1213,8 @@ impl ExecutionEngine {
 
     /// [`gemm_into`](Self::gemm_into) with a caller-supplied plan (the batch path reuses
     /// memoized plans here instead of rescanning the operand).
+    // lint: hot-path, warm-path, allow(indexing): every MatmulPlan carries at least one
+    // term by construction (plan_terms rejects empty series)
     pub(crate) fn gemm_into_with_plan(
         &self,
         a: &Matrix,

@@ -55,6 +55,7 @@
 //! switches to `enqueue` + handles and lets the window do the batching.
 
 use super::batch::{BatchRequest, BatchResponse, BatchTelemetry};
+use super::sync::{lock_or_panic, wait_or_panic};
 use super::ExecutionEngine;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
@@ -123,27 +124,31 @@ impl ResponseSlot {
         }
     }
 
+    // lint: hot-path
     fn fulfill(&self, response: BatchResponse) {
-        let mut state = self.state.lock().expect("response slot lock");
+        let mut state = lock_or_panic(&self.state, "response slot");
         debug_assert!(state.is_none(), "a response slot is fulfilled exactly once");
         *state = Some(response);
         self.cv.notify_all();
     }
 
+    // lint: hot-path
     fn is_ready(&self) -> bool {
-        self.state.lock().expect("response slot lock").is_some()
+        lock_or_panic(&self.state, "response slot").is_some()
     }
 
+    // lint: hot-path
     fn try_take(&self) -> Option<BatchResponse> {
-        self.state.lock().expect("response slot lock").take()
+        lock_or_panic(&self.state, "response slot").take()
     }
 
+    // lint: hot-path
     fn wait_take(&self) -> BatchResponse {
-        let mut state = self.state.lock().expect("response slot lock");
+        let mut state = lock_or_panic(&self.state, "response slot");
         loop {
             match state.take() {
                 Some(response) => return response,
-                None => state = self.cv.wait(state).expect("response slot wait"),
+                None => state = wait_or_panic(&self.cv, state, "response slot"),
             }
         }
     }
@@ -220,8 +225,9 @@ impl ResponseHandle {
 
 /// Closes and executes the open window (no-op when it is empty), returning its
 /// telemetry. See the [module docs](self) for the lifecycle.
+// lint: hot-path
 fn dispatch_window(shared: &Arc<ServingShared>) -> Option<BatchTelemetry> {
-    let _guard = shared.dispatch.lock().expect("dispatch lock");
+    let _guard = lock_or_panic(&shared.dispatch, "dispatch");
     dispatch_locked(shared)
 }
 
@@ -231,9 +237,10 @@ fn dispatch_window(shared: &Arc<ServingShared>) -> Option<BatchTelemetry> {
 /// therefore exceed `max_batch`, which is a dispatch *trigger*, not a drain cap (see
 /// [`ServingEngine::with_max_batch`]); capping the drain instead would strand the tail
 /// past a blocking waiter's close and hang it.
+// lint: hot-path
 fn dispatch_locked(shared: &Arc<ServingShared>) -> Option<BatchTelemetry> {
     let window: Vec<Pending> = {
-        let mut state = shared.state.lock().expect("serving state lock");
+        let mut state = lock_or_panic(&shared.state, "serving session");
         state.pending.drain(..).collect()
     };
     if window.is_empty() {
@@ -253,8 +260,9 @@ fn dispatch_locked(shared: &Arc<ServingShared>) -> Option<BatchTelemetry> {
     Some(telemetry)
 }
 
+// lint: hot-path
 fn record_window(shared: &ServingShared, size: usize) {
-    let mut state = shared.state.lock().expect("serving state lock");
+    let mut state = lock_or_panic(&shared.state, "serving session");
     state.stats.windows += 1;
     state.stats.dispatched += size as u64;
     state.stats.max_window = state.stats.max_window.max(size);
@@ -340,22 +348,20 @@ impl ServingEngine {
 
     /// Requests currently parked in the open window.
     pub fn pending(&self) -> usize {
-        self.shared
-            .state
-            .lock()
-            .expect("serving state lock")
+        lock_or_panic(&self.shared.state, "serving session")
             .pending
             .len()
     }
 
     /// Point-in-time session counters.
     pub fn stats(&self) -> ServingStats {
-        self.shared.state.lock().expect("serving state lock").stats
+        lock_or_panic(&self.shared.state, "serving session").stats
     }
 
     /// Enqueues one request into the open window and returns its handle. Dispatches the
     /// window when it reaches [`max_batch`](Self::with_max_batch) (or immediately, when
     /// [`max_wait`](Self::with_max_wait) is 0).
+    // lint: hot-path
     pub fn enqueue(&self, request: BatchRequest) -> ResponseHandle {
         let (handle, should_dispatch) = self.park(request);
         if should_dispatch {
@@ -365,9 +371,10 @@ impl ServingEngine {
     }
 
     /// Parks `request` in the open window; reports whether the window must dispatch.
+    // lint: hot-path
     fn park(&self, request: BatchRequest) -> (ResponseHandle, bool) {
         let slot = Arc::new(ResponseSlot::new());
-        let mut state = self.shared.state.lock().expect("serving state lock");
+        let mut state = lock_or_panic(&self.shared.state, "serving session");
         let id = state.next_id;
         state.next_id += 1;
         state.stats.enqueued += 1;
@@ -396,9 +403,10 @@ impl ServingEngine {
     /// Ticks are *logical* time, driven by the caller (a poll loop, a request-arrival
     /// heartbeat, a test): the session never spawns a timer thread, so window timing is
     /// deterministic and testable.
+    // lint: hot-path
     pub fn tick(&self) -> bool {
         let due = {
-            let mut state = self.shared.state.lock().expect("serving state lock");
+            let mut state = lock_or_panic(&self.shared.state, "serving session");
             state.clock += 1;
             state.stats.ticks += 1;
             let clock = state.clock;
@@ -425,7 +433,7 @@ impl ServingEngine {
         &self,
         requests: Vec<BatchRequest>,
     ) -> (Vec<BatchResponse>, BatchTelemetry) {
-        let _guard = self.shared.dispatch.lock().expect("dispatch lock");
+        let _guard = lock_or_panic(&self.shared.dispatch, "dispatch");
         // Close the open window first (same code path as the dispatcher) so parked
         // strangers do not interleave with this batch's responses.
         let _ = dispatch_locked(&self.shared);

@@ -35,6 +35,7 @@
 
 use super::cache::CacheKey;
 use super::prepared::PreparedSeries;
+use super::sync::lock_or_panic;
 use super::ExecutionEngine;
 use crate::config::TasdConfig;
 use serde::{Deserialize, Serialize};
@@ -323,10 +324,7 @@ impl ExecutionEngine {
             shape: a.shape(),
             policy: policy.clone(),
         };
-        if let Some(hit) = self
-            .shard_splits
-            .lock()
-            .expect("shard split memo lock")
+        if let Some(hit) = lock_or_panic(&self.shard_splits, "shard split memo")
             .entries
             .get(&key)
         {
@@ -347,7 +345,7 @@ impl ExecutionEngine {
             })
             .collect();
         let pieces = Arc::new(pieces);
-        let mut memo = self.shard_splits.lock().expect("shard split memo lock");
+        let mut memo = lock_or_panic(&self.shard_splits, "shard split memo");
         if memo.entries.len() >= SHARD_SPLIT_MEMO_CAPACITY {
             memo.entries.clear();
         }
@@ -425,6 +423,7 @@ impl ExecutionEngine {
     /// # Errors
     ///
     /// Returns [`TensorError::ShapeMismatch`] on inconsistent shapes.
+    // lint: hot-path
     pub fn series_gemm_sharded_into(
         &self,
         sharded: &ShardedSeries,
@@ -487,6 +486,8 @@ impl ExecutionEngine {
     /// Shared execution body: shape checks, output slab partitioning, worker-pool
     /// dispatch. `exec_ns` (one slot per shard) turns per-shard timing on; `None` is the
     /// hot path. Returns the worker count used.
+    // lint: hot-path, allow(indexing): exec_ns timing slots are sized to the shard
+    // count by every caller, and idx enumerates those same shards
     fn execute_sharded(
         &self,
         sharded: &ShardedSeries,
@@ -592,6 +593,7 @@ impl ExecutionEngine {
 
     /// Runs one shard's terms through their planned sequential kernels into the shard's
     /// output slab, returning the wall-clock nanoseconds spent (`0` when untimed).
+    // lint: hot-path, warm-path
     fn execute_shard(
         &self,
         shard: &PreparedShard,

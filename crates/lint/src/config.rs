@@ -1,0 +1,400 @@
+//! `lint.toml` loading: a hand-rolled parser for the TOML subset the checker needs.
+//!
+//! No registry access means no `toml` crate; the configuration language is therefore
+//! deliberately small: `[section]` tables, `[[section]]` arrays of tables, and
+//! `key = value` pairs where a value is a quoted string, an integer, a boolean, or a
+//! flat array of strings. Comments start with `#`. That covers lock registration, the
+//! declared lock order, path includes/excludes, and extra allocating paths.
+
+use std::collections::HashSet;
+use std::fmt;
+
+/// One registered lock: a name, the file (prefix) its acquisitions live in, and the
+/// receiver path suffix that identifies it at a call site (`shared.state` matches
+/// `self.shared.state.lock()` but not `self.state.lock()`).
+#[derive(Debug, Clone)]
+pub struct LockSpec {
+    pub name: String,
+    /// Repo-relative file path prefix this registration applies to.
+    pub file: String,
+    /// Dot-separated receiver suffix matched against acquisition sites.
+    pub receiver: String,
+    /// `"mutex"` (default) or `"rwlock"`; rwlock registrations additionally catalog
+    /// `.read()` / `.write()` on matching receivers.
+    pub kind: String,
+    /// Registered but outside the order DAG (e.g. a generic helper's own parameter).
+    pub exempt: bool,
+}
+
+/// Parsed `lint.toml`.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// Directory roots (repo-relative) to walk for `.rs` sources.
+    pub include: Vec<String>,
+    /// Repo-relative path prefixes to skip entirely.
+    pub exclude: Vec<String>,
+    /// Extra `Type::method` paths treated as allocating in warm-path regions.
+    pub extra_alloc_paths: Vec<String>,
+    /// Declared lock acquisition order: a lock may be acquired while holding only locks
+    /// that appear *earlier* in this list.
+    pub lock_order: Vec<String>,
+    /// Registered locks.
+    pub locks: Vec<LockSpec>,
+}
+
+/// A configuration or parse failure, with the offending line when known.
+#[derive(Debug)]
+pub struct ConfigError {
+    pub message: String,
+    pub line: usize,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "lint.toml:{}: {}", self.line, self.message)
+        } else {
+            write!(f, "lint.toml: {}", self.message)
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+fn err(line: usize, message: impl Into<String>) -> ConfigError {
+    ConfigError {
+        message: message.into(),
+        line,
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Str(String),
+    Int(i64),
+    Bool(bool),
+    StrArray(Vec<String>),
+}
+
+impl Config {
+    /// Parses the configuration text and validates its cross-references.
+    pub fn parse(text: &str) -> Result<Config, ConfigError> {
+        let mut config = Config::default();
+        // (section, is_array_entry): `[[lock]]` starts a fresh entry of the lock list.
+        let mut section = String::new();
+        let mut current_lock: Option<(LockSpec, usize)> = None;
+
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("[[") {
+                let name = rest
+                    .strip_suffix("]]")
+                    .ok_or_else(|| err(lineno, "unterminated [[table]] header"))?
+                    .trim();
+                if name != "lock" {
+                    return Err(err(lineno, format!("unknown array table [[{name}]]")));
+                }
+                if let Some((lock, at)) = current_lock.take() {
+                    config.push_lock(lock, at)?;
+                }
+                current_lock = Some((LockSpec::empty(), lineno));
+                section = "lock".to_string();
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('[') {
+                let name = rest
+                    .strip_suffix(']')
+                    .ok_or_else(|| err(lineno, "unterminated [table] header"))?
+                    .trim();
+                if let Some((lock, at)) = current_lock.take() {
+                    config.push_lock(lock, at)?;
+                }
+                section = name.to_string();
+                continue;
+            }
+            let (key, value) = parse_assignment(line, lineno)?;
+            match (section.as_str(), key.as_str()) {
+                ("lock", field) => {
+                    let (lock, _) = current_lock
+                        .as_mut()
+                        .ok_or_else(|| err(lineno, "lock field outside [[lock]]"))?;
+                    lock.set(field, value, lineno)?;
+                }
+                ("paths", "include") => config.include = value.into_str_array(lineno, "include")?,
+                ("paths", "exclude") => config.exclude = value.into_str_array(lineno, "exclude")?,
+                ("warm_path", "extra_alloc_paths") => {
+                    config.extra_alloc_paths = value.into_str_array(lineno, "extra_alloc_paths")?;
+                }
+                ("lock_order", "order") => {
+                    config.lock_order = value.into_str_array(lineno, "order")?;
+                }
+                (section, key) => {
+                    return Err(err(lineno, format!("unknown key `{key}` in [{section}]")));
+                }
+            }
+        }
+        if let Some((lock, at)) = current_lock.take() {
+            config.push_lock(lock, at)?;
+        }
+        config.validate()?;
+        Ok(config)
+    }
+
+    fn push_lock(&mut self, lock: LockSpec, at: usize) -> Result<(), ConfigError> {
+        if lock.name.is_empty() || lock.file.is_empty() || lock.receiver.is_empty() {
+            return Err(err(at, "[[lock]] requires name, file, and receiver"));
+        }
+        self.locks.push(lock);
+        Ok(())
+    }
+
+    fn validate(&self) -> Result<(), ConfigError> {
+        let mut seen = HashSet::new();
+        for name in &self.lock_order {
+            if !seen.insert(name.as_str()) {
+                return Err(err(0, format!("lock `{name}` appears twice in the order")));
+            }
+        }
+        for lock in &self.locks {
+            if !lock.exempt && !seen.contains(lock.name.as_str()) {
+                return Err(err(
+                    0,
+                    format!(
+                        "lock `{}` is registered but missing from [lock_order].order \
+                         (add it, or mark it exempt = true)",
+                        lock.name
+                    ),
+                ));
+            }
+            if lock.kind != "mutex" && lock.kind != "rwlock" {
+                return Err(err(0, format!("lock `{}`: unknown kind", lock.name)));
+            }
+        }
+        Ok(())
+    }
+
+    /// Position of `name` in the declared order, if ordered.
+    pub fn order_index(&self, name: &str) -> Option<usize> {
+        self.lock_order.iter().position(|n| n == name)
+    }
+}
+
+impl LockSpec {
+    fn empty() -> Self {
+        LockSpec {
+            name: String::new(),
+            file: String::new(),
+            receiver: String::new(),
+            kind: "mutex".to_string(),
+            exempt: false,
+        }
+    }
+
+    fn set(&mut self, field: &str, value: Value, lineno: usize) -> Result<(), ConfigError> {
+        match (field, value) {
+            ("name", Value::Str(s)) => self.name = s,
+            ("file", Value::Str(s)) => self.file = s,
+            ("receiver", Value::Str(s)) => self.receiver = s,
+            ("kind", Value::Str(s)) => self.kind = s,
+            ("exempt", Value::Bool(b)) => self.exempt = b,
+            (field, _) => {
+                return Err(err(
+                    lineno,
+                    format!("bad [[lock]] field `{field}` (or wrong value type)"),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Value {
+    fn into_str_array(self, lineno: usize, key: &str) -> Result<Vec<String>, ConfigError> {
+        match self {
+            Value::StrArray(v) => Ok(v),
+            _ => Err(err(lineno, format!("`{key}` must be an array of strings"))),
+        }
+    }
+}
+
+/// Strips a trailing `#` comment, respecting quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let bytes = line.as_bytes();
+    let mut in_str = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' if in_str => i += 1,
+            b'"' => in_str = !in_str,
+            b'#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        i += 1;
+    }
+    line
+}
+
+fn parse_assignment(line: &str, lineno: usize) -> Result<(String, Value), ConfigError> {
+    let eq = line
+        .find('=')
+        .ok_or_else(|| err(lineno, "expected `key = value`"))?;
+    let key = line[..eq].trim().to_string();
+    let value = parse_value(line[eq + 1..].trim(), lineno)?;
+    Ok((key, value))
+}
+
+fn parse_value(text: &str, lineno: usize) -> Result<Value, ConfigError> {
+    if let Some(rest) = text.strip_prefix('"') {
+        let inner = rest
+            .strip_suffix('"')
+            .ok_or_else(|| err(lineno, "unterminated string"))?;
+        return Ok(Value::Str(unescape(inner)));
+    }
+    if text == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if text == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if let Some(rest) = text.strip_prefix('[') {
+        let inner = rest
+            .strip_suffix(']')
+            .ok_or_else(|| err(lineno, "arrays must open and close on one line"))?;
+        let mut items = Vec::new();
+        for part in split_array_items(inner) {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            match parse_value(part, lineno)? {
+                Value::Str(s) => items.push(s),
+                _ => return Err(err(lineno, "arrays may contain only strings")),
+            }
+        }
+        return Ok(Value::StrArray(items));
+    }
+    text.parse::<i64>()
+        .map(Value::Int)
+        .map_err(|_| err(lineno, format!("unrecognized value `{text}`")))
+}
+
+/// Splits array items on commas outside quotes.
+fn split_array_items(inner: &str) -> Vec<&str> {
+    let bytes = inner.as_bytes();
+    let mut items = Vec::new();
+    let mut start = 0;
+    let mut in_str = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' if in_str => i += 1,
+            b'"' => in_str = !in_str,
+            b',' if !in_str => {
+                items.push(&inner[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    items.push(&inner[start..]);
+    items
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                Some(other) => out.push(other),
+                None => break,
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# comment
+[paths]
+include = ["crates", "src"]   # trailing comment
+exclude = ["crates/compat"]
+
+[warm_path]
+extra_alloc_paths = ["Matrix::zeros"]
+
+[lock_order]
+order = ["a.first", "b.second"]
+
+[[lock]]
+name = "a.first"
+file = "src/a.rs"
+receiver = "shared.state"
+
+[[lock]]
+name = "b.second"
+file = "src/b.rs"
+receiver = "queue"
+kind = "mutex"
+
+[[lock]]
+name = "helper"
+file = "src/sync.rs"
+receiver = "mutex"
+exempt = true
+"#;
+
+    #[test]
+    fn parses_the_full_schema() {
+        let config = Config::parse(SAMPLE).expect("sample must parse");
+        assert_eq!(config.include, vec!["crates", "src"]);
+        assert_eq!(config.exclude, vec!["crates/compat"]);
+        assert_eq!(config.extra_alloc_paths, vec!["Matrix::zeros"]);
+        assert_eq!(config.lock_order, vec!["a.first", "b.second"]);
+        assert_eq!(config.locks.len(), 3);
+        assert_eq!(config.locks[0].receiver, "shared.state");
+        assert!(config.locks[2].exempt);
+        assert_eq!(config.order_index("b.second"), Some(1));
+        assert_eq!(config.order_index("helper"), None);
+    }
+
+    #[test]
+    fn unordered_unexempt_lock_is_rejected() {
+        let bad = r#"
+[lock_order]
+order = ["x"]
+
+[[lock]]
+name = "y"
+file = "f.rs"
+receiver = "r"
+"#;
+        let e = Config::parse(bad).expect_err("must reject");
+        assert!(e.message.contains('y'), "{e}");
+    }
+
+    #[test]
+    fn incomplete_lock_is_rejected() {
+        let bad = "[[lock]]\nname = \"only\"\n";
+        assert!(Config::parse(bad).is_err());
+    }
+
+    #[test]
+    fn duplicate_order_entry_is_rejected() {
+        let bad = "[lock_order]\norder = [\"a\", \"a\"]\n";
+        assert!(Config::parse(bad).is_err());
+    }
+}

@@ -1,0 +1,121 @@
+//! Diagnostic types shared by all rules: violations for `--check`, inventory records
+//! for `--inventory`.
+
+use std::fmt;
+
+/// Which rule family produced a violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    /// `unsafe` site without an adjacent `// SAFETY:` contract.
+    UnsafeAudit,
+    /// Panicking construct in a `hot-path` region without an allow.
+    HotPathPanic,
+    /// Slice/array indexing in a `hot-path` region without an allow.
+    HotPathIndexing,
+    /// Allocating call in a `warm-path` region without an allow.
+    WarmPathAlloc,
+    /// Lock acquisition whose receiver is not registered in `lint.toml`.
+    LockUnregistered,
+    /// Nested acquisition that violates the declared lock order.
+    LockOrder,
+    /// Malformed or dangling `// lint:` directive.
+    Directive,
+}
+
+impl Rule {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Rule::UnsafeAudit => "unsafe-audit",
+            Rule::HotPathPanic => "hot-path-panic",
+            Rule::HotPathIndexing => "hot-path-indexing",
+            Rule::WarmPathAlloc => "warm-path-alloc",
+            Rule::LockUnregistered => "lock-unregistered",
+            Rule::LockOrder => "lock-order",
+            Rule::Directive => "directive",
+        }
+    }
+}
+
+/// One finding, anchored to a repo-relative `file:line`.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    pub rule: Rule,
+    pub path: String,
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path,
+            self.line,
+            self.rule.as_str(),
+            self.message
+        )
+    }
+}
+
+/// One `unsafe` occurrence, for the machine-readable inventory.
+#[derive(Debug, Clone)]
+pub struct UnsafeSite {
+    pub path: String,
+    pub line: usize,
+    /// `block`, `fn`, `impl`, `trait`, or `extern`.
+    pub kind: String,
+    pub has_safety_comment: bool,
+}
+
+/// One allowlist entry (a `lint: ... allow(...)` directive), for the inventory.
+#[derive(Debug, Clone)]
+pub struct AllowSite {
+    pub path: String,
+    pub line: usize,
+    pub rules: Vec<String>,
+    pub justification: String,
+    /// True when the allow covers a whole marked function, false when line-scoped.
+    pub region: bool,
+}
+
+/// How a synchronization primitive was touched at a site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockSiteKind {
+    /// `receiver.lock()`.
+    Lock,
+    /// `lock_or_panic(&receiver, ...)`.
+    Helper,
+    /// `receiver.read()` on a registered rwlock.
+    Read,
+    /// `receiver.write()` on a registered rwlock.
+    Write,
+    /// `receiver.wait(guard)` / `wait_or_panic(...)` — cataloged, never an order edge.
+    CondvarWait,
+}
+
+impl LockSiteKind {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LockSiteKind::Lock => "lock",
+            LockSiteKind::Helper => "lock_or_panic",
+            LockSiteKind::Read => "read",
+            LockSiteKind::Write => "write",
+            LockSiteKind::CondvarWait => "condvar-wait",
+        }
+    }
+}
+
+/// One acquisition site in the per-module lock catalog.
+#[derive(Debug, Clone)]
+pub struct LockSite {
+    pub path: String,
+    pub line: usize,
+    /// Name from `lint.toml` when the receiver matched a registration.
+    pub lock_name: Option<String>,
+    /// Dot-path receiver as written at the site (e.g. `self.shared.queue`).
+    pub receiver: String,
+    pub kind: LockSiteKind,
+    /// Enclosing function name.
+    pub function: String,
+}

@@ -1,0 +1,401 @@
+//! A minimal hand-rolled Rust lexer: just enough token structure for static checks.
+//!
+//! The checker runs in environments with no registry access, so it cannot lean on `syn`
+//! or `proc-macro2`. Full parsing is also unnecessary: every rule in this tool is
+//! expressible over a token stream that correctly classifies comments, string/char
+//! literals, lifetimes, identifiers, and punctuation — the classes that make naive
+//! regex scanning wrong (the word `unsafe` inside a doc comment, a `{` inside a format
+//! string, `'a` vs `'a'`). The lexer keeps line numbers on every token and preserves
+//! comment text, which is where the tool's own directives (`// lint: ...`,
+//! `// SAFETY: ...`) live.
+
+/// One lexical token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub line: usize,
+}
+
+/// Token classes the rules care about. Literal payloads are discarded (no rule reads
+/// string contents); comment text is preserved for directive and `SAFETY:` parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `unsafe`, `unwrap`, ...).
+    Ident(String),
+    /// Single punctuation character (`.`, `(`, `{`, `!`, `:`, ...).
+    Punct(char),
+    /// String, raw string, byte string, char, or numeric literal.
+    Literal,
+    /// `//`-style comment; the text excludes the leading slashes but keeps the `!` or
+    /// `/` doc marker so callers can distinguish `//!` (inner) and `///` (doc) forms.
+    LineComment(String),
+    /// `/* */`-style comment (nesting handled); the recorded line is where it starts.
+    BlockComment(String),
+}
+
+impl Token {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The comment text (line or block), if this token is a comment.
+    pub fn comment(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::LineComment(s) | TokenKind::BlockComment(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Whether this token is a comment.
+    pub fn is_comment(&self) -> bool {
+        matches!(
+            self.kind,
+            TokenKind::LineComment(_) | TokenKind::BlockComment(_)
+        )
+    }
+
+    /// Whether this token is the given punctuation character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Lexes `src` into a token stream. Unknown bytes (non-ASCII in code position) are
+/// emitted as punctuation so the scan never stalls; they occur only inside comments and
+/// strings in practice, which are consumed wholesale.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    out: Vec<Token>,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.src.len() {
+            let c = self.src[self.pos];
+            match c {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                c if c.is_ascii_whitespace() => self.pos += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string_literal(),
+                b'\'' => self.char_or_lifetime(),
+                b'r' | b'b' => self.raw_prefixed_or_ident(),
+                b'0'..=b'9' => self.number(),
+                c if is_ident_start(c) => self.ident(),
+                _ => {
+                    self.push(TokenKind::Punct(c as char));
+                    self.pos += 1;
+                }
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokenKind) {
+        self.out.push(Token {
+            kind,
+            line: self.line,
+        });
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.pos + 2;
+        let mut end = start;
+        while end < self.src.len() && self.src[end] != b'\n' {
+            end += 1;
+        }
+        let text = String::from_utf8_lossy(&self.src[start..end]).into_owned();
+        self.push(TokenKind::LineComment(text));
+        self.pos = end;
+    }
+
+    fn block_comment(&mut self) {
+        let start_line = self.line;
+        let text_start = self.pos + 2;
+        let mut depth = 1usize;
+        let mut i = text_start;
+        while i < self.src.len() && depth > 0 {
+            match self.src[i] {
+                b'\n' => {
+                    self.line += 1;
+                    i += 1;
+                }
+                b'/' if self.src.get(i + 1) == Some(&b'*') => {
+                    depth += 1;
+                    i += 2;
+                }
+                b'*' if self.src.get(i + 1) == Some(&b'/') => {
+                    depth -= 1;
+                    i += 2;
+                }
+                _ => i += 1,
+            }
+        }
+        let text_end = i.saturating_sub(2).max(text_start);
+        let text = String::from_utf8_lossy(&self.src[text_start..text_end]).into_owned();
+        self.out.push(Token {
+            kind: TokenKind::BlockComment(text),
+            line: start_line,
+        });
+        self.pos = i;
+    }
+
+    /// Consumes a `"..."` literal starting at `self.pos` (which must be the quote).
+    fn string_literal(&mut self) {
+        self.push(TokenKind::Literal);
+        let mut i = self.pos + 1;
+        while i < self.src.len() {
+            match self.src[i] {
+                b'\\' => i += 2,
+                b'\n' => {
+                    self.line += 1;
+                    i += 1;
+                }
+                b'"' => {
+                    i += 1;
+                    break;
+                }
+                _ => i += 1,
+            }
+        }
+        self.pos = i;
+    }
+
+    /// Consumes a raw string `r"..."` / `r#"..."#` with any number of `#`s; `self.pos`
+    /// points at the first `#` or quote (the `r`/`b` prefix is already consumed).
+    fn raw_string_literal(&mut self) {
+        self.push(TokenKind::Literal);
+        let mut hashes = 0usize;
+        while self.peek(hashes) == Some(b'#') {
+            hashes += 1;
+        }
+        // Skip hashes and the opening quote.
+        let mut i = self.pos + hashes + 1;
+        while i < self.src.len() {
+            match self.src[i] {
+                b'\n' => {
+                    self.line += 1;
+                    i += 1;
+                }
+                b'"' => {
+                    let closed = (1..=hashes).all(|h| self.src.get(i + h) == Some(&b'#'));
+                    i += 1;
+                    if closed {
+                        i += hashes;
+                        break;
+                    }
+                }
+                _ => i += 1,
+            }
+        }
+        self.pos = i;
+    }
+
+    /// Disambiguates `'a` (lifetime), `'a'` (char literal), and escaped char literals.
+    fn char_or_lifetime(&mut self) {
+        let next = self.peek(1);
+        let after = self.peek(2);
+        let is_lifetime =
+            next.is_some_and(is_ident_start) && after != Some(b'\'') && next != Some(b'\\');
+        if is_lifetime {
+            // Swallow the quote and the lifetime identifier; rules never need it.
+            let mut i = self.pos + 1;
+            while i < self.src.len() && is_ident_continue(self.src[i]) {
+                i += 1;
+            }
+            self.pos = i;
+            return;
+        }
+        self.push(TokenKind::Literal);
+        let mut i = self.pos + 1;
+        while i < self.src.len() {
+            match self.src[i] {
+                b'\\' => i += 2,
+                b'\'' => {
+                    i += 1;
+                    break;
+                }
+                b'\n' => break, // malformed; don't run away
+                _ => i += 1,
+            }
+        }
+        self.pos = i;
+    }
+
+    /// `r`/`b` can prefix raw strings (`r"`, `r#"`), byte strings (`b"`, `br"`), byte
+    /// chars (`b'`), raw identifiers (`r#ident`) — or just start a plain identifier.
+    fn raw_prefixed_or_ident(&mut self) {
+        let c = self.src[self.pos];
+        let n1 = self.peek(1);
+        let n2 = self.peek(2);
+        match (c, n1) {
+            (b'r', Some(b'"')) => {
+                self.pos += 1;
+                self.raw_string_literal();
+            }
+            (b'r', Some(b'#')) if n2 == Some(b'"') || n2 == Some(b'#') => {
+                self.pos += 1;
+                self.raw_string_literal();
+            }
+            (b'r', Some(b'#')) if n2.is_some_and(is_ident_start) => {
+                // Raw identifier: lex `ident` itself (keywords-as-names are still names).
+                self.pos += 2;
+                self.ident();
+            }
+            (b'b', Some(b'"')) => {
+                self.pos += 1;
+                self.string_literal();
+            }
+            (b'b', Some(b'\'')) => {
+                self.pos += 1;
+                self.char_or_lifetime();
+            }
+            (b'b', Some(b'r')) if n2 == Some(b'"') || n2 == Some(b'#') => {
+                self.pos += 2;
+                self.raw_string_literal();
+            }
+            _ => self.ident(),
+        }
+    }
+
+    fn ident(&mut self) {
+        let start = self.pos;
+        let mut i = self.pos;
+        while i < self.src.len() && is_ident_continue(self.src[i]) {
+            i += 1;
+        }
+        let text = String::from_utf8_lossy(&self.src[start..i]).into_owned();
+        self.push(TokenKind::Ident(text));
+        self.pos = i;
+    }
+
+    /// Numeric literal: digits with embedded underscores/type suffixes, an optional
+    /// fractional part (only when followed by a digit, so `0..n` stays two tokens), and
+    /// an optional signed exponent.
+    fn number(&mut self) {
+        self.push(TokenKind::Literal);
+        let mut i = self.pos;
+        while i < self.src.len() && is_ident_continue(self.src[i]) {
+            i += 1;
+        }
+        if self.src.get(i) == Some(&b'.') && self.src.get(i + 1).is_some_and(|c| c.is_ascii_digit())
+        {
+            i += 1;
+            while i < self.src.len() && is_ident_continue(self.src[i]) {
+                i += 1;
+            }
+        }
+        if i > 0
+            && matches!(self.src.get(i - 1), Some(b'e') | Some(b'E'))
+            && matches!(self.src.get(i), Some(b'+') | Some(b'-'))
+        {
+            i += 1;
+            while i < self.src.len() && self.src.get(i).is_some_and(|c| c.is_ascii_digit()) {
+                i += 1;
+            }
+        }
+        self.pos = i;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter_map(|t| t.ident().map(String::from))
+            .collect()
+    }
+
+    #[test]
+    fn words_inside_comments_and_strings_are_not_code_idents() {
+        let src = r#"
+            // this is never memory-unsafe, promise
+            /* unsafe unwrap */
+            let x = "unsafe { panic!() }";
+            let y = 'u';
+        "#;
+        assert!(idents(src).iter().all(|w| w != "unsafe" && w != "panic"));
+        assert_eq!(idents(src), vec!["let", "x", "let", "y"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> &'a str { x }");
+        let lits = toks.iter().filter(|t| t.kind == TokenKind::Literal).count();
+        assert_eq!(lits, 0, "lifetimes must not be lexed as char literals");
+        let toks = lex("let c = 'a'; let nl = '\\n'; let q = '\\'';");
+        let lits = toks.iter().filter(|t| t.kind == TokenKind::Literal).count();
+        assert_eq!(lits, 3);
+    }
+
+    #[test]
+    fn raw_strings_and_nested_block_comments_are_single_tokens() {
+        let toks = lex(r##"let s = r#"quote " inside"#; /* outer /* inner */ still */ x"##);
+        let idents: Vec<_> = toks.iter().filter_map(|t| t.ident()).collect();
+        assert_eq!(idents, vec!["let", "s", "x"]);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_everywhere() {
+        let src = "a\n\"two\nlines\"\nb\n/* c1\nc2 */\nc";
+        let toks = lex(src);
+        let find = |name: &str| {
+            toks.iter()
+                .find(|t| t.ident() == Some(name))
+                .map(|t| t.line)
+        };
+        assert_eq!(find("a"), Some(1));
+        assert_eq!(find("b"), Some(4));
+        assert_eq!(find("c"), Some(7));
+    }
+
+    #[test]
+    fn comment_text_is_preserved_with_doc_markers() {
+        let toks = lex("//! inner\n/// doc\n// SAFETY: fine\ncode();");
+        let comments: Vec<_> = toks.iter().filter_map(|t| t.comment()).collect();
+        assert_eq!(comments, vec!["! inner", "/ doc", " SAFETY: fine"]);
+    }
+
+    #[test]
+    fn ranges_do_not_swallow_numbers() {
+        let toks = lex("for i in 0..n { v[i] = 1.5e-3; }");
+        let idents: Vec<_> = toks.iter().filter_map(|t| t.ident()).collect();
+        assert_eq!(idents, vec!["for", "i", "in", "n", "v", "i"]);
+        let dots = toks.iter().filter(|t| t.is_punct('.')).count();
+        assert_eq!(dots, 2, "the `..` range keeps both dots");
+    }
+}

@@ -1,0 +1,205 @@
+//! `tasd-lint`: the workspace invariant checker.
+//!
+//! A self-contained static-analysis library (no dependencies — this environment has
+//! no registry access, so no `syn`; a hand-rolled token scanner is enough for the
+//! rules below). Four rule families, driven by `lint.toml` at the repo root:
+//!
+//! 1. **unsafe-audit** — every `unsafe` must carry an adjacent `// SAFETY:` (or
+//!    `# Safety` doc section); all sites are inventoried.
+//! 2. **hot-path** — no panicking constructs (`unwrap`/`expect`/`panic!`-family
+//!    macros/slice indexing) in `// lint: hot-path` regions without an allow.
+//! 3. **warm-path** — no allocating calls in `// lint: warm-path` regions without
+//!    an allow.
+//! 4. **lock-order** — every mutex acquisition registered in `lint.toml`, nested
+//!    acquisitions consistent with the declared order.
+//!
+//! See `crates/lint/README.md` for the marker syntax and the allowlist workflow.
+
+pub mod analysis;
+pub mod config;
+pub mod diagnostics;
+pub mod lexer;
+pub mod rules;
+pub mod walk;
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use analysis::FileAnalysis;
+use config::Config;
+use diagnostics::{AllowSite, LockSite, UnsafeSite, Violation};
+
+/// Everything one run over the workspace produced.
+pub struct Report {
+    pub violations: Vec<Violation>,
+    pub unsafe_sites: Vec<UnsafeSite>,
+    pub allow_sites: Vec<AllowSite>,
+    pub lock_sites: Vec<LockSite>,
+    pub files_scanned: usize,
+}
+
+/// Lexes and checks every configured source file under `root`.
+pub fn check_workspace(root: &Path, config: &Config) -> io::Result<Report> {
+    let files = walk::collect_sources(root, config)?;
+    let mut report = Report {
+        violations: Vec::new(),
+        unsafe_sites: Vec::new(),
+        allow_sites: Vec::new(),
+        lock_sites: Vec::new(),
+        files_scanned: files.len(),
+    };
+    for rel in &files {
+        let text = fs::read_to_string(root.join(rel))?;
+        check_file(rel, &text, config, &mut report);
+    }
+    report
+        .violations
+        .sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    Ok(report)
+}
+
+/// Runs all rules over one file's source text, appending results to `report`.
+pub fn check_file(path: &str, text: &str, config: &Config, report: &mut Report) {
+    let analysis = FileAnalysis::build(path, lexer::lex(text));
+    report
+        .violations
+        .extend(analysis.violations.iter().cloned());
+    report
+        .allow_sites
+        .extend(analysis.allow_sites.iter().cloned());
+    let (violations, sites) = rules::unsafe_audit::check(&analysis);
+    report.violations.extend(violations);
+    report.unsafe_sites.extend(sites);
+    report.violations.extend(rules::hot_path::check(&analysis));
+    report
+        .violations
+        .extend(rules::warm_path::check(&analysis, config));
+    let (violations, sites) = rules::lock_order::check(&analysis, config);
+    report.violations.extend(violations);
+    report.lock_sites.extend(sites);
+}
+
+impl Report {
+    /// Machine-readable inventory, as JSON (hand-rolled: the crate is
+    /// dependency-free by design).
+    pub fn inventory_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str("  \"summary\": {\n");
+        out.push_str(&format!(
+            "    \"unsafe_sites\": {},\n    \"allow_sites\": {},\n    \"lock_sites\": {},\n    \"violations\": {}\n",
+            self.unsafe_sites.len(),
+            self.allow_sites.len(),
+            self.lock_sites.len(),
+            self.violations.len()
+        ));
+        out.push_str("  },\n");
+
+        out.push_str("  \"unsafe_sites\": [\n");
+        push_list(&mut out, &self.unsafe_sites, |s| {
+            format!(
+                "    {{\"path\": {}, \"line\": {}, \"kind\": {}, \"has_safety_comment\": {}}}",
+                json_str(&s.path),
+                s.line,
+                json_str(&s.kind),
+                s.has_safety_comment
+            )
+        });
+        out.push_str("  ],\n");
+
+        out.push_str("  \"allow_sites\": [\n");
+        push_list(&mut out, &self.allow_sites, |s| {
+            let rules = s
+                .rules
+                .iter()
+                .map(|r| json_str(r))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "    {{\"path\": {}, \"line\": {}, \"rules\": [{}], \"region\": {}, \"justification\": {}}}",
+                json_str(&s.path),
+                s.line,
+                rules,
+                s.region,
+                json_str(&s.justification)
+            )
+        });
+        out.push_str("  ],\n");
+
+        out.push_str("  \"lock_sites\": [\n");
+        push_list(&mut out, &self.lock_sites, |s| {
+            let name = match &s.lock_name {
+                Some(name) => json_str(name),
+                None => "null".to_string(),
+            };
+            format!(
+                "    {{\"path\": {}, \"line\": {}, \"lock\": {}, \"receiver\": {}, \"kind\": {}, \"function\": {}}}",
+                json_str(&s.path),
+                s.line,
+                name,
+                json_str(&s.receiver),
+                json_str(s.kind.as_str()),
+                json_str(&s.function)
+            )
+        });
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+fn push_list<T>(out: &mut String, items: &[T], render: impl Fn(&T) -> String) {
+    for (i, item) in items.iter().enumerate() {
+        out.push_str(&render(item));
+        out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inventory_json_is_well_formed_enough() {
+        let mut report = Report {
+            violations: Vec::new(),
+            unsafe_sites: Vec::new(),
+            allow_sites: Vec::new(),
+            lock_sites: Vec::new(),
+            files_scanned: 0,
+        };
+        check_file(
+            "a.rs",
+            "fn f(p: *const u8) -> u8 { unsafe { *p } }\n",
+            &Config::default(),
+            &mut report,
+        );
+        let json = report.inventory_json();
+        assert!(json.contains("\"unsafe_sites\": 1"), "{json}");
+        assert!(json.contains("\"has_safety_comment\": false"), "{json}");
+        assert_eq!(report.violations.len(), 1);
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+}

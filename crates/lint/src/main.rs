@@ -1,0 +1,141 @@
+//! CLI for the workspace invariant checker.
+//!
+//! ```text
+//! tasd-lint --check                 # default: print violations, exit 1 if any
+//! tasd-lint --inventory             # print the JSON inventory of unsafe/allow/lock sites
+//! tasd-lint --root <dir>            # override repo root (default: walk up to lint.toml)
+//! tasd-lint --config <file>         # override config path (default: <root>/lint.toml)
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 usage or configuration error.
+
+use std::env;
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use tasd_lint::config::Config;
+
+#[derive(PartialEq)]
+enum Mode {
+    Check,
+    Inventory,
+}
+
+fn main() -> ExitCode {
+    let mut mode = Mode::Check;
+    let mut root: Option<PathBuf> = None;
+    let mut config_path: Option<PathBuf> = None;
+
+    let mut args = env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => mode = Mode::Check,
+            "--inventory" => mode = Mode::Inventory,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage_error("--root requires a directory"),
+            },
+            "--config" => match args.next() {
+                Some(file) => config_path = Some(PathBuf::from(file)),
+                None => return usage_error("--config requires a file"),
+            },
+            "--help" | "-h" => {
+                println!(
+                    "tasd-lint: workspace invariant checker\n\
+                     \n\
+                       --check       print violations (default); exit 1 if any\n\
+                       --inventory   print the JSON inventory of unsafe/allow/lock sites\n\
+                       --root DIR    repo root (default: nearest ancestor with lint.toml)\n\
+                       --config FILE config path (default: <root>/lint.toml)"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let root = match root.or_else(find_root) {
+        Some(root) => root,
+        None => {
+            eprintln!(
+                "tasd-lint: no lint.toml found between the current directory and /; \
+                 pass --root"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let config_path = config_path.unwrap_or_else(|| root.join("lint.toml"));
+    let config_text = match fs::read_to_string(&config_path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("tasd-lint: cannot read {}: {e}", config_path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let config = match Config::parse(&config_text) {
+        Ok(config) => config,
+        Err(e) => {
+            eprintln!("tasd-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = match tasd_lint::check_workspace(&root, &config) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("tasd-lint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    match mode {
+        Mode::Inventory => {
+            print!("{}", report.inventory_json());
+        }
+        Mode::Check => {
+            for v in &report.violations {
+                println!("{v}");
+            }
+            if report.violations.is_empty() {
+                println!(
+                    "tasd-lint: clean — {} files, {} unsafe sites (all documented), \
+                     {} allowlist entries, {} lock sites",
+                    report.files_scanned,
+                    report.unsafe_sites.len(),
+                    report.allow_sites.len(),
+                    report.lock_sites.len()
+                );
+            } else {
+                println!(
+                    "tasd-lint: {} violation(s) in {} files",
+                    report.violations.len(),
+                    report.files_scanned
+                );
+            }
+        }
+    }
+    if report.violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+/// Nearest ancestor of the current directory containing `lint.toml`.
+fn find_root() -> Option<PathBuf> {
+    let mut dir = env::current_dir().ok()?;
+    loop {
+        if dir.join("lint.toml").is_file() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn usage_error(message: &str) -> ExitCode {
+    eprintln!("tasd-lint: {message} (try --help)");
+    ExitCode::from(2)
+}

@@ -1,0 +1,161 @@
+//! Rule 2: no panicking constructs inside `// lint: hot-path` regions.
+//!
+//! Flags `.unwrap()` / `.expect(..)`, panicking macros (`panic!`, `unreachable!`,
+//! `todo!`, `unimplemented!`, `assert!`, `assert_eq!`, `assert_ne!` — the
+//! `debug_assert*` family is deliberately permitted), and slice/array indexing.
+//! Each finding can be silenced with `allow(panic)` / `allow(indexing)` plus a
+//! justification.
+
+use crate::analysis::{next_code, prev_code, FileAnalysis};
+use crate::diagnostics::{Rule, Violation};
+use crate::lexer::TokenKind;
+
+const PANICKING_METHODS: &[&str] = &["unwrap", "expect"];
+const PANICKING_MACROS: &[&str] = &[
+    "panic",
+    "unreachable",
+    "todo",
+    "unimplemented",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+];
+
+pub fn check(analysis: &FileAnalysis) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let tokens = &analysis.tokens;
+    for idx in 0..tokens.len() {
+        let line = tokens[idx].line;
+        if !analysis.in_hot(line) {
+            continue;
+        }
+        match &tokens[idx].kind {
+            TokenKind::Ident(word) if PANICKING_METHODS.contains(&word.as_str()) => {
+                let after_dot = prev_code(tokens, idx).is_some_and(|p| tokens[p].is_punct('.'));
+                if after_dot && !analysis.allowed(line, "panic") {
+                    violations.push(violation(
+                        analysis,
+                        Rule::HotPathPanic,
+                        line,
+                        format!(".{word}() in hot-path region (allow(panic) or return an error)"),
+                    ));
+                }
+            }
+            TokenKind::Ident(word) if PANICKING_MACROS.contains(&word.as_str()) => {
+                let is_macro = next_code(tokens, idx).is_some_and(|n| tokens[n].is_punct('!'));
+                if is_macro && !analysis.allowed(line, "panic") {
+                    violations.push(violation(
+                        analysis,
+                        Rule::HotPathPanic,
+                        line,
+                        format!("{word}! in hot-path region (allow(panic) or use debug_assert)"),
+                    ));
+                }
+            }
+            TokenKind::Punct('[')
+                if is_index_expression(analysis, idx) && !analysis.allowed(line, "indexing") =>
+            {
+                violations.push(violation(
+                    analysis,
+                    Rule::HotPathIndexing,
+                    line,
+                    "slice indexing in hot-path region (allow(indexing) or use get())".to_string(),
+                ));
+            }
+            _ => {}
+        }
+    }
+    violations
+}
+
+/// `[` opens an *index expression* (which can panic) only when it follows a value:
+/// an identifier, a `)` call/paren result, or a `]` prior index. Array literals,
+/// slice patterns (`let [a, b] = ..`), types, `vec![..]` (previous token `!`), and
+/// attributes (`#[..]`) all fail that test or are excluded by keyword.
+fn is_index_expression(analysis: &FileAnalysis, open_idx: usize) -> bool {
+    let tokens = &analysis.tokens;
+    let prev = match prev_code(tokens, open_idx) {
+        Some(p) => p,
+        None => return false,
+    };
+    match &tokens[prev].kind {
+        TokenKind::Ident(word) => !matches!(word.as_str(), "let" | "mut" | "ref"),
+        TokenKind::Punct(')') | TokenKind::Punct(']') => true,
+        _ => false,
+    }
+}
+
+fn violation(analysis: &FileAnalysis, rule: Rule, line: usize, message: String) -> Violation {
+    Violation {
+        rule,
+        path: analysis.path.clone(),
+        line,
+        message,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(src: &str) -> Vec<Violation> {
+        check(&FileAnalysis::build("test.rs", lex(src)))
+    }
+
+    #[test]
+    fn unmarked_code_is_not_scanned() {
+        assert!(run("fn f(v: Vec<u8>) -> u8 { v.first().copied().unwrap() }\n").is_empty());
+    }
+
+    #[test]
+    fn panicking_constructs_are_caught_at_their_lines() {
+        let violations = run("// lint: hot-path\n\
+             fn f(v: &[f32], o: Option<f32>) -> f32 {\n\
+                 let a = o.unwrap();\n\
+                 let b = o.expect(\"msg\");\n\
+                 if v.is_empty() { panic!(\"empty\"); }\n\
+                 a + b + v[0]\n\
+             }\n");
+        let lines: Vec<usize> = violations.iter().map(|v| v.line).collect();
+        assert_eq!(lines, vec![3, 4, 5, 6], "{violations:?}");
+        assert_eq!(violations[3].rule, Rule::HotPathIndexing);
+    }
+
+    #[test]
+    fn allows_silence_specific_rules_only() {
+        let violations = run(
+            "// lint: hot-path, allow(indexing): len checked by caller\n\
+             fn f(v: &[f32]) -> f32 {\n\
+                 let x = v[0];\n\
+                 x + v.first().unwrap() // lint: allow(panic): first checked above\n\
+             }\n",
+        );
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn debug_assert_and_unwrap_or_are_permitted() {
+        let violations = run("// lint: hot-path\n\
+             fn f(o: Option<f32>) -> f32 {\n\
+                 debug_assert!(o.is_some());\n\
+                 o.unwrap_or(0.0)\n\
+             }\n");
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn non_index_brackets_are_not_flagged() {
+        let violations = run("// lint: hot-path\n\
+             fn f() -> Vec<f32> {\n\
+                 #[allow(unused_mut)]\n\
+                 let mut a = [0.0f32; 4];\n\
+                 let [x, y, ..] = a;\n\
+                 let v: Vec<f32> = vec![x, y];\n\
+                 a[0] = 1.0;\n\
+                 v\n\
+             }\n");
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert_eq!(violations[0].line, 7);
+    }
+}

@@ -1,0 +1,587 @@
+//! Rule 4: lock registration and ordering.
+//!
+//! Catalogs every synchronization acquisition site (`.lock()`, the `lock_or_panic`
+//! helper, `.read()`/`.write()` on registered rwlocks, and condvar waits), requires
+//! each mutex acquisition to match a `[[lock]]` registration in `lint.toml`, and
+//! flags same-function nested acquisitions that contradict the declared order: while
+//! holding a lock, only locks that appear *later* in `[lock_order].order` may be
+//! taken.
+//!
+//! The analysis is textual and per-function. Guard liveness is over-approximated:
+//! a guard `let`-bound to a simple identifier is considered held until the end of
+//! its enclosing brace block (or an explicit `drop(name)`), and any other guard is a
+//! temporary held until the next `;` at or below its brace depth — which also covers
+//! `if let` scrutinee temporaries. Cross-function nesting (a callee taking a lock
+//! while the caller holds one) is out of scope; the declared order documents it.
+
+use crate::analysis::{matching_close_brace, next_code, prev_code, FileAnalysis};
+use crate::config::{Config, LockSpec};
+use crate::diagnostics::{LockSite, LockSiteKind, Rule, Violation};
+use crate::lexer::TokenKind;
+
+struct RawSite {
+    /// Token index of the method/helper identifier.
+    idx: usize,
+    /// Token index where the receiver expression starts (for `let`-binding lookback).
+    stmt_start: usize,
+    line: usize,
+    receiver: Vec<String>,
+    kind: LockSiteKind,
+}
+
+pub fn check(analysis: &FileAnalysis, config: &Config) -> (Vec<Violation>, Vec<LockSite>) {
+    let mut violations = Vec::new();
+    let mut catalog = Vec::new();
+    let tokens = &analysis.tokens;
+
+    // Phase 1: match raw sites against the registry and catalog them.
+    struct Matched<'a> {
+        raw: RawSite,
+        lock: Option<&'a LockSpec>,
+    }
+    let mut matched: Vec<Matched<'_>> = Vec::new();
+    for raw in find_raw_sites(tokens) {
+        let lock = best_registration(config, &analysis.path, &raw.receiver);
+        let requires_registration = matches!(raw.kind, LockSiteKind::Lock | LockSiteKind::Helper);
+        match (&lock, raw.kind) {
+            // `.read()`/`.write()` identifiers are far too common to demand global
+            // registration; they participate only when the receiver is a registered
+            // rwlock.
+            (None, LockSiteKind::Read | LockSiteKind::Write) => continue,
+            (Some(spec), LockSiteKind::Read | LockSiteKind::Write) if spec.kind != "rwlock" => {
+                continue
+            }
+            (None, _) if requires_registration => {
+                violations.push(Violation {
+                    rule: Rule::LockUnregistered,
+                    path: analysis.path.clone(),
+                    line: raw.line,
+                    message: format!(
+                        "lock acquisition on `{}` matches no [[lock]] registration in lint.toml",
+                        raw.receiver.join(".")
+                    ),
+                });
+            }
+            _ => {}
+        }
+        let function = analysis
+            .enclosing_fn(raw.idx)
+            .map(|f| f.name.clone())
+            .unwrap_or_default();
+        catalog.push(LockSite {
+            path: analysis.path.clone(),
+            line: raw.line,
+            lock_name: lock.map(|l| l.name.clone()),
+            receiver: raw.receiver.join("."),
+            kind: raw.kind,
+            function,
+        });
+        matched.push(Matched { raw, lock });
+    }
+
+    // Phase 2: per-function nesting check against the declared order.
+    for f in analysis.fns.iter() {
+        let (body_open, body_close) = match f.body {
+            Some(range) => range,
+            None => continue,
+        };
+        // Held set: (declared order index, lock name, token index where the guard dies).
+        let mut held: Vec<(usize, String, usize)> = Vec::new();
+        for m in matched.iter().filter(|m| {
+            body_open <= m.raw.idx
+                && m.raw.idx <= body_close
+                && analysis
+                    .enclosing_fn(m.raw.idx)
+                    .is_some_and(|inner| inner.fn_idx == f.fn_idx)
+        }) {
+            held.retain(|&(_, _, end)| end >= m.raw.idx);
+            let spec = match m.lock {
+                Some(spec) if !spec.exempt => spec,
+                _ => continue,
+            };
+            if m.raw.kind == LockSiteKind::CondvarWait {
+                continue;
+            }
+            let order = match config.order_index(&spec.name) {
+                Some(order) => order,
+                None => continue, // validated at config load; defensive
+            };
+            for (held_order, held_name, _) in &held {
+                if order < *held_order {
+                    violations.push(Violation {
+                        rule: Rule::LockOrder,
+                        path: analysis.path.clone(),
+                        line: m.raw.line,
+                        message: format!(
+                            "acquiring `{}` while holding `{held_name}` violates the declared \
+                             lock order (`{}` must be taken first)",
+                            spec.name, spec.name
+                        ),
+                    });
+                } else if order == *held_order {
+                    violations.push(Violation {
+                        rule: Rule::LockOrder,
+                        path: analysis.path.clone(),
+                        line: m.raw.line,
+                        message: format!("re-acquiring `{}` while it is already held", spec.name),
+                    });
+                }
+            }
+            let end = guard_end(tokens, &m.raw, body_open, body_close);
+            held.push((order, spec.name.clone(), end));
+        }
+    }
+
+    (violations, catalog)
+}
+
+/// Scans for acquisition-shaped token patterns.
+fn find_raw_sites(tokens: &[crate::lexer::Token]) -> Vec<RawSite> {
+    let mut sites = Vec::new();
+    for idx in 0..tokens.len() {
+        let word = match tokens[idx].ident() {
+            Some(word) => word,
+            None => continue,
+        };
+        let line = tokens[idx].line;
+        match word {
+            "lock" | "read" | "write" | "wait" => {
+                let dot = match prev_code(tokens, idx) {
+                    Some(p) if tokens[p].is_punct('.') => p,
+                    _ => continue,
+                };
+                let open = match next_code(tokens, idx) {
+                    Some(n) if tokens[n].is_punct('(') => n,
+                    _ => continue,
+                };
+                let kind = match word {
+                    "lock" => LockSiteKind::Lock,
+                    "read" => LockSiteKind::Read,
+                    "write" => LockSiteKind::Write,
+                    _ => {
+                        // `.wait()` with no argument is a latch/handle join, not a
+                        // condvar wait; only `cv.wait(guard)` counts.
+                        let has_args =
+                            next_code(tokens, open).is_some_and(|n| !tokens[n].is_punct(')'));
+                        if !has_args {
+                            continue;
+                        }
+                        LockSiteKind::CondvarWait
+                    }
+                };
+                let (receiver, stmt_start) = receiver_before(tokens, dot);
+                if receiver.is_empty() {
+                    continue;
+                }
+                sites.push(RawSite {
+                    idx,
+                    stmt_start,
+                    line,
+                    receiver,
+                    kind,
+                });
+            }
+            "lock_or_panic" | "wait_or_panic" => {
+                let open = match next_code(tokens, idx) {
+                    Some(n) if tokens[n].is_punct('(') => n,
+                    _ => continue,
+                };
+                // Skip the definition site (`fn lock_or_panic(...)`).
+                if prev_code(tokens, idx).and_then(|p| tokens[p].ident()) == Some("fn") {
+                    continue;
+                }
+                let receiver = first_arg_path(tokens, open);
+                if receiver.is_empty() {
+                    continue;
+                }
+                let kind = if word == "lock_or_panic" {
+                    LockSiteKind::Helper
+                } else {
+                    LockSiteKind::CondvarWait
+                };
+                sites.push(RawSite {
+                    idx,
+                    stmt_start: idx,
+                    line,
+                    receiver,
+                    kind,
+                });
+            }
+            _ => {}
+        }
+    }
+    sites
+}
+
+/// Walks a `ident(.ident)*` chain backwards from the `.` at `dot_idx`. Returns the
+/// chain segments in source order plus the token index of the first segment.
+fn receiver_before(tokens: &[crate::lexer::Token], dot_idx: usize) -> (Vec<String>, usize) {
+    let mut segments = Vec::new();
+    let mut cursor = dot_idx;
+    let mut start = dot_idx;
+    while let Some(seg) = prev_code(tokens, cursor) {
+        match &tokens[seg].kind {
+            TokenKind::Ident(name) => {
+                segments.push(name.clone());
+                start = seg;
+            }
+            _ => break,
+        }
+        match prev_code(tokens, seg) {
+            Some(p) if tokens[p].is_punct('.') => cursor = p,
+            _ => break,
+        }
+    }
+    segments.reverse();
+    (segments, start)
+}
+
+/// Extracts the `&path.to.lock` dot-path from the first argument of a helper call.
+fn first_arg_path(tokens: &[crate::lexer::Token], open_idx: usize) -> Vec<String> {
+    let mut segments = Vec::new();
+    let mut cursor = open_idx;
+    let mut expect_ident = true;
+    while let Some(n) = next_code(tokens, cursor) {
+        match &tokens[n].kind {
+            TokenKind::Punct('&') | TokenKind::Punct('*') => {}
+            TokenKind::Ident(name) if expect_ident => {
+                segments.push(name.clone());
+                expect_ident = false;
+            }
+            TokenKind::Punct('.') if !expect_ident => expect_ident = true,
+            _ => break,
+        }
+        cursor = n;
+    }
+    segments
+}
+
+/// Longest-receiver-suffix registration whose file prefix matches this path.
+fn best_registration<'a>(
+    config: &'a Config,
+    path: &str,
+    receiver: &[String],
+) -> Option<&'a LockSpec> {
+    config
+        .locks
+        .iter()
+        .filter(|lock| {
+            // `file` may be an exact path or a directory prefix (with or without a
+            // trailing slash).
+            let prefix = lock.file.trim_end_matches('/');
+            path == prefix || path.starts_with(&format!("{prefix}/"))
+        })
+        .filter(|lock| {
+            let want: Vec<&str> = lock.receiver.split('.').collect();
+            want.len() <= receiver.len()
+                && receiver[receiver.len() - want.len()..]
+                    .iter()
+                    .zip(&want)
+                    .all(|(a, b)| a == b)
+        })
+        .max_by_key(|lock| lock.receiver.split('.').count())
+}
+
+/// Token index at which a guard acquired at `raw` stops being held.
+fn guard_end(
+    tokens: &[crate::lexer::Token],
+    raw: &RawSite,
+    body_open: usize,
+    body_close: usize,
+) -> usize {
+    let binding =
+        let_binding_name(tokens, raw.stmt_start).filter(|_| chain_yields_guard(tokens, raw));
+    if let Some(name) = binding {
+        let block_close = enclosing_block_close(tokens, body_open, raw.idx).unwrap_or(body_close);
+        // An explicit `drop(name)` before the block closes ends the guard early.
+        let mut cursor = raw.idx;
+        while let Some(n) = next_code(tokens, cursor) {
+            if n >= block_close {
+                break;
+            }
+            if tokens[n].ident() == Some("drop") {
+                if let Some(open) = next_code(tokens, n) {
+                    if tokens[open].is_punct('(') {
+                        if let Some(arg) = next_code(tokens, open) {
+                            if tokens[arg].ident() == Some(name.as_str()) {
+                                return n;
+                            }
+                        }
+                    }
+                }
+            }
+            cursor = n;
+        }
+        return block_close;
+    }
+    // Temporary: held until the next `;` at or below the site's brace depth.
+    let mut depth = 0isize;
+    let end = body_close.min(tokens.len().saturating_sub(1));
+    for (i, t) in tokens.iter().enumerate().take(end + 1).skip(raw.idx) {
+        match &t.kind {
+            TokenKind::Punct('{') => depth += 1,
+            TokenKind::Punct('}') => depth -= 1,
+            TokenKind::Punct(';') if depth <= 0 => return i,
+            _ => {}
+        }
+    }
+    body_close
+}
+
+/// True when the expression at the acquisition site evaluates to the guard itself:
+/// the call chain ends after the acquisition call, optionally followed by
+/// `.unwrap()` / `.expect(..)`. A longer chain (`.lock().unwrap().len()`) yields a
+/// derived value, so the guard is a statement temporary even if the result is
+/// `let`-bound.
+fn chain_yields_guard(tokens: &[crate::lexer::Token], raw: &RawSite) -> bool {
+    let open = match next_code(tokens, raw.idx) {
+        Some(n) if tokens[n].is_punct('(') => n,
+        _ => return false,
+    };
+    let mut close = match matching_close_paren(tokens, open) {
+        Some(c) => c,
+        None => return false,
+    };
+    loop {
+        let dot = match next_code(tokens, close) {
+            Some(n) if tokens[n].is_punct('.') => n,
+            _ => return true, // chain ends here: the value is the guard
+        };
+        let method = match next_code(tokens, dot) {
+            Some(m) => m,
+            None => return true,
+        };
+        if !matches!(tokens[method].ident(), Some("unwrap") | Some("expect")) {
+            return false;
+        }
+        let next_open = match next_code(tokens, method) {
+            Some(n) if tokens[n].is_punct('(') => n,
+            _ => return false,
+        };
+        close = match matching_close_paren(tokens, next_open) {
+            Some(c) => c,
+            None => return false,
+        };
+    }
+}
+
+/// Token index of the `)` matching the `(` at `open_idx`.
+fn matching_close_paren(tokens: &[crate::lexer::Token], open_idx: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (off, token) in tokens[open_idx..].iter().enumerate() {
+        if token.is_punct('(') {
+            depth += 1;
+        } else if token.is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(open_idx + off);
+            }
+        }
+    }
+    None
+}
+
+/// If the code tokens immediately before `stmt_start` are `let [mut] name =`,
+/// returns `name`.
+fn let_binding_name(tokens: &[crate::lexer::Token], stmt_start: usize) -> Option<String> {
+    let eq = prev_code(tokens, stmt_start)?;
+    if !tokens[eq].is_punct('=') {
+        return None;
+    }
+    let name_idx = prev_code(tokens, eq)?;
+    let name = tokens[name_idx].ident()?.to_string();
+    if name == "mut" || name == "let" {
+        return None;
+    }
+    let before = prev_code(tokens, name_idx)?;
+    match tokens[before].ident()? {
+        "let" => Some(name),
+        "mut" => {
+            let before2 = prev_code(tokens, before)?;
+            if tokens[before2].ident()? == "let" {
+                Some(name)
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Innermost `{` enclosing `site_idx` within the function body, returned as its
+/// matching `}` index.
+fn enclosing_block_close(
+    tokens: &[crate::lexer::Token],
+    body_open: usize,
+    site_idx: usize,
+) -> Option<usize> {
+    let mut stack = Vec::new();
+    for (i, t) in tokens.iter().enumerate().take(site_idx + 1).skip(body_open) {
+        match &t.kind {
+            TokenKind::Punct('{') => stack.push(i),
+            TokenKind::Punct('}') => {
+                stack.pop();
+            }
+            _ => {}
+        }
+    }
+    stack
+        .pop()
+        .and_then(|open| matching_close_brace(tokens, open))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn test_config() -> Config {
+        Config {
+            lock_order: vec!["a.outer".into(), "b.inner".into()],
+            locks: vec![
+                LockSpec {
+                    name: "a.outer".into(),
+                    file: "test.rs".into(),
+                    receiver: "outer".into(),
+                    kind: "mutex".into(),
+                    exempt: false,
+                },
+                LockSpec {
+                    name: "b.inner".into(),
+                    file: "test.rs".into(),
+                    receiver: "shared.inner".into(),
+                    kind: "mutex".into(),
+                    exempt: false,
+                },
+            ],
+            ..Config::default()
+        }
+    }
+
+    fn run(src: &str) -> (Vec<Violation>, Vec<LockSite>) {
+        check(&FileAnalysis::build("test.rs", lex(src)), &test_config())
+    }
+
+    #[test]
+    fn declared_order_passes_and_is_cataloged() {
+        let (violations, catalog) = run("fn f(&self) {\n\
+                 let g = self.outer.lock().unwrap();\n\
+                 let h = self.shared.inner.lock().unwrap();\n\
+                 drop((g, h));\n\
+             }\n");
+        assert!(violations.is_empty(), "{violations:?}");
+        assert_eq!(catalog.len(), 2);
+        assert_eq!(catalog[0].lock_name.as_deref(), Some("a.outer"));
+        assert_eq!(catalog[1].lock_name.as_deref(), Some("b.inner"));
+        assert_eq!(catalog[1].function, "f");
+    }
+
+    #[test]
+    fn reversed_nesting_is_flagged_at_the_inner_site() {
+        let (violations, _) = run("fn f(&self) {\n\
+                 let h = self.shared.inner.lock().unwrap();\n\
+                 let g = self.outer.lock().unwrap();\n\
+                 drop((g, h));\n\
+             }\n");
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert_eq!(violations[0].rule, Rule::LockOrder);
+        assert_eq!(violations[0].line, 3);
+    }
+
+    #[test]
+    fn block_scoped_guard_does_not_leak_into_later_acquisitions() {
+        let (violations, _) = run("fn f(&self) {\n\
+                 {\n\
+                     let h = self.shared.inner.lock().unwrap();\n\
+                     h.touch();\n\
+                 }\n\
+                 let g = self.outer.lock().unwrap();\n\
+                 drop(g);\n\
+             }\n");
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn explicit_drop_releases_a_let_bound_guard() {
+        let (violations, _) = run("fn f(&self) {\n\
+                 let h = self.shared.inner.lock().unwrap();\n\
+                 drop(h);\n\
+                 let g = self.outer.lock().unwrap();\n\
+                 drop(g);\n\
+             }\n");
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn temporary_guard_dies_at_its_statement() {
+        let (violations, _) = run("fn f(&self) {\n\
+                 let n = self.shared.inner.lock().unwrap().len();\n\
+                 let g = self.outer.lock().unwrap();\n\
+                 drop((g, n));\n\
+             }\n");
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn unregistered_lock_is_flagged() {
+        let (violations, catalog) = run("fn f(&self) {\n\
+                 let g = self.mystery.lock().unwrap();\n\
+                 drop(g);\n\
+             }\n");
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].rule, Rule::LockUnregistered);
+        assert_eq!(violations[0].line, 2);
+        assert!(catalog[0].lock_name.is_none());
+    }
+
+    #[test]
+    fn helper_calls_count_as_acquisitions() {
+        let (violations, catalog) = run("fn f(&self) {\n\
+                 let h = lock_or_panic(&self.shared.inner, \"inner\");\n\
+                 let g = lock_or_panic(&self.outer, \"outer\");\n\
+                 drop((g, h));\n\
+             }\n");
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert_eq!(violations[0].line, 3);
+        assert_eq!(catalog[0].kind, LockSiteKind::Helper);
+    }
+
+    #[test]
+    fn condvar_wait_is_cataloged_but_not_an_order_edge() {
+        let (violations, catalog) = run("fn f(&self) {\n\
+                 let mut g = self.outer.lock().unwrap();\n\
+                 g = self.cv.wait(g).unwrap();\n\
+                 drop(g);\n\
+                 let l = latch.wait();\n\
+                 drop(l);\n\
+             }\n");
+        assert!(violations.is_empty(), "{violations:?}");
+        let kinds: Vec<LockSiteKind> = catalog.iter().map(|s| s.kind).collect();
+        assert_eq!(kinds, vec![LockSiteKind::Lock, LockSiteKind::CondvarWait]);
+    }
+
+    #[test]
+    fn exempt_locks_are_cataloged_without_ordering() {
+        let mut config = test_config();
+        config.locks.push(LockSpec {
+            name: "helper".into(),
+            file: "test.rs".into(),
+            receiver: "mutex".into(),
+            kind: "mutex".into(),
+            exempt: true,
+        });
+        let (violations, catalog) = check(
+            &FileAnalysis::build(
+                "test.rs",
+                lex("fn f(&self) {\n\
+                     let h = self.shared.inner.lock().unwrap();\n\
+                     let g = mutex.lock().unwrap();\n\
+                     drop((g, h));\n\
+                 }\n"),
+            ),
+            &config,
+        );
+        assert!(violations.is_empty(), "{violations:?}");
+        assert_eq!(catalog.len(), 2);
+    }
+}

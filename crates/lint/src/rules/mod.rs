@@ -1,0 +1,7 @@
+//! The four rule families. Each takes the shared [`crate::analysis::FileAnalysis`]
+//! and reports violations plus inventory records.
+
+pub mod hot_path;
+pub mod lock_order;
+pub mod unsafe_audit;
+pub mod warm_path;

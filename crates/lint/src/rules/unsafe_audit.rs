@@ -1,0 +1,172 @@
+//! Rule 1: every `unsafe` block/fn/impl/trait must carry an adjacent safety contract
+//! (`// SAFETY:` or a `# Safety` doc section) within the few lines above it. All
+//! sites are inventoried regardless of outcome.
+
+use crate::analysis::{next_code, FileAnalysis};
+use crate::diagnostics::{Rule, UnsafeSite, Violation};
+use crate::lexer::TokenKind;
+
+/// How far above the `unsafe` keyword the *nearest* comment block may end and still
+/// count as adjacent. A contiguous comment run reaching into this window is searched
+/// in full (a thorough contract may be arbitrarily long); the window only bounds the
+/// gap, so a stale comment at the top of the function does not satisfy the rule by
+/// accident.
+const SAFETY_COMMENT_WINDOW: usize = 12;
+
+pub fn check(analysis: &FileAnalysis) -> (Vec<Violation>, Vec<UnsafeSite>) {
+    let mut violations = Vec::new();
+    let mut sites = Vec::new();
+    let tokens = &analysis.tokens;
+    for idx in 0..tokens.len() {
+        if tokens[idx].ident() != Some("unsafe") {
+            continue;
+        }
+        let line = tokens[idx].line;
+        let kind = match next_code(tokens, idx) {
+            Some(n) => match &tokens[n].kind {
+                TokenKind::Punct('{') => "block",
+                TokenKind::Ident(word) => match word.as_str() {
+                    "fn" | "impl" | "trait" | "extern" => word.as_str(),
+                    _ => "block",
+                },
+                _ => "block",
+            },
+            None => "block",
+        };
+        // Walk back: code tokens are skipped while still inside the window; once a
+        // comment is reached, its whole contiguous run counts, however long.
+        let mut has_safety_comment = false;
+        let mut in_comment_run = false;
+        for t in tokens[..idx].iter().rev() {
+            match t.comment() {
+                Some(text) => {
+                    if !in_comment_run && t.line + SAFETY_COMMENT_WINDOW < line {
+                        break;
+                    }
+                    in_comment_run = true;
+                    if text.contains("SAFETY:") || text.contains("# Safety") {
+                        has_safety_comment = true;
+                        break;
+                    }
+                }
+                None => {
+                    if in_comment_run || t.line + SAFETY_COMMENT_WINDOW < line {
+                        break;
+                    }
+                }
+            }
+        }
+        if !has_safety_comment {
+            violations.push(Violation {
+                rule: Rule::UnsafeAudit,
+                path: analysis.path.clone(),
+                line,
+                message: format!(
+                    "`unsafe` {kind} has no adjacent `// SAFETY:` contract \
+                     (expected within {SAFETY_COMMENT_WINDOW} lines above)"
+                ),
+            });
+        }
+        sites.push(UnsafeSite {
+            path: analysis.path.clone(),
+            line,
+            kind: kind.to_string(),
+            has_safety_comment,
+        });
+    }
+    (violations, sites)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(src: &str) -> (Vec<Violation>, Vec<UnsafeSite>) {
+        check(&FileAnalysis::build("test.rs", lex(src)))
+    }
+
+    #[test]
+    fn undocumented_unsafe_block_is_flagged_at_its_line() {
+        let (violations, sites) = run("fn f(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n");
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].line, 2);
+        assert_eq!(sites.len(), 1);
+        assert_eq!(sites[0].kind, "block");
+        assert!(!sites[0].has_safety_comment);
+    }
+
+    #[test]
+    fn safety_comment_satisfies_the_rule() {
+        let (violations, sites) = run("fn f(p: *const u8) -> u8 {\n\
+                 // SAFETY: caller guarantees p is valid for reads.\n\
+                 unsafe { *p }\n\
+             }\n");
+        assert!(violations.is_empty(), "{violations:?}");
+        assert!(sites[0].has_safety_comment);
+    }
+
+    #[test]
+    fn doc_safety_section_satisfies_unsafe_fn() {
+        let (violations, sites) = run("/// Reads a byte.\n\
+             ///\n\
+             /// # Safety\n\
+             /// `p` must be valid.\n\
+             unsafe fn read(p: *const u8) -> u8 { *p }\n");
+        assert!(violations.is_empty(), "{violations:?}");
+        assert_eq!(sites[0].kind, "fn");
+    }
+
+    #[test]
+    fn long_contract_block_counts_in_full() {
+        // The SAFETY line sits far above the `unsafe` token, but the comment run is
+        // contiguous down into the window, so the whole block is searched.
+        let body: String = (0..SAFETY_COMMENT_WINDOW + 3)
+            .map(|i| format!("// invariant {i} holds.\n"))
+            .collect();
+        let src = format!(
+            "fn f(p: *const u8) -> u8 {{\n// SAFETY: the contract:\n{body}unsafe {{ *p }}\n}}\n"
+        );
+        let (violations, sites) = run(&src);
+        assert!(violations.is_empty(), "{violations:?}");
+        assert!(sites[0].has_safety_comment);
+    }
+
+    #[test]
+    fn comment_run_separated_by_code_does_not_count() {
+        // The SAFETY comment documents the setup call, not the unsafe block: the code
+        // token between the two comment runs cuts the search off even in-window.
+        let (violations, _) = run("fn f(p: *const u8) -> u8 {\n\
+                 // SAFETY: documents the call below, not the unsafe block.\n\
+                 setup();\n\
+                 // an unrelated note right above the block\n\
+                 unsafe { *p }\n\
+             }\n");
+        assert_eq!(violations.len(), 1);
+    }
+
+    #[test]
+    fn far_away_comment_does_not_count() {
+        let blanks = "\n".repeat(SAFETY_COMMENT_WINDOW + 2);
+        let src =
+            format!("// SAFETY: stale.{blanks}fn f(p: *const u8) -> u8 {{ unsafe {{ *p }} }}\n");
+        let (violations, _) = run(&src);
+        assert_eq!(violations.len(), 1);
+    }
+
+    #[test]
+    fn the_word_unsafe_in_comments_and_strings_is_ignored() {
+        let (violations, sites) =
+            run("// unsafe is mentioned here\nfn f() { let s = \"unsafe\"; drop(s); }\n");
+        assert!(violations.is_empty());
+        assert!(sites.is_empty());
+    }
+
+    #[test]
+    fn unsafe_impl_is_classified() {
+        let (violations, sites) =
+            run("// SAFETY: Latch owns its state behind a mutex.\nunsafe impl Send for L {}\n");
+        assert!(violations.is_empty());
+        assert_eq!(sites[0].kind, "impl");
+    }
+}

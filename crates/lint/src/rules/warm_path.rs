@@ -1,0 +1,190 @@
+//! Rule 3: no allocating calls inside `// lint: warm-path` regions.
+//!
+//! Flags allocating method calls (`.to_vec()`, `.to_owned()`, `.to_string()`,
+//! `.clone()`, `.collect()`), allocating macros (`vec!`, `format!`), and
+//! constructor paths (`Vec::new`, `Box::new`, `String::with_capacity`, ... plus any
+//! `Type::method` listed in `lint.toml` `extra_alloc_paths`). Silence with
+//! `allow(alloc)` plus a justification.
+
+use crate::analysis::{next_code, prev_code, FileAnalysis};
+use crate::config::Config;
+use crate::diagnostics::{Rule, Violation};
+use crate::lexer::TokenKind;
+
+const ALLOC_METHODS: &[&str] = &["to_vec", "to_owned", "to_string", "clone", "collect"];
+const ALLOC_MACROS: &[&str] = &["vec", "format"];
+const ALLOC_TYPE_HEADS: &[&str] = &[
+    "Vec", "Box", "String", "VecDeque", "HashMap", "HashSet", "BTreeMap", "BTreeSet", "Arc", "Rc",
+];
+const ALLOC_CONSTRUCTORS: &[&str] = &["new", "with_capacity", "from"];
+
+pub fn check(analysis: &FileAnalysis, config: &Config) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let tokens = &analysis.tokens;
+    for idx in 0..tokens.len() {
+        let line = tokens[idx].line;
+        if !analysis.in_warm(line) || analysis.allowed(line, "alloc") {
+            continue;
+        }
+        let word = match tokens[idx].ident() {
+            Some(word) => word,
+            None => continue,
+        };
+        if ALLOC_METHODS.contains(&word)
+            && prev_code(tokens, idx).is_some_and(|p| tokens[p].is_punct('.'))
+        {
+            violations.push(violation(analysis, line, format!(".{word}()")));
+            continue;
+        }
+        if ALLOC_MACROS.contains(&word)
+            && next_code(tokens, idx).is_some_and(|n| tokens[n].is_punct('!'))
+        {
+            violations.push(violation(analysis, line, format!("{word}!")));
+            continue;
+        }
+        if let Some(head) = path_head(analysis, idx) {
+            let qualified = format!("{head}::{word}");
+            let builtin =
+                ALLOC_TYPE_HEADS.contains(&head.as_str()) && ALLOC_CONSTRUCTORS.contains(&word);
+            if builtin || config.extra_alloc_paths.contains(&qualified) {
+                violations.push(violation(analysis, line, qualified));
+            }
+        }
+    }
+    violations
+}
+
+/// For an identifier preceded by `::`, returns the path head (`Vec` in `Vec::new`
+/// and in the turbofish form `Vec::<f32>::new`).
+fn path_head(analysis: &FileAnalysis, idx: usize) -> Option<String> {
+    let tokens = &analysis.tokens;
+    let mut cursor = expect_double_colon(analysis, idx)?;
+    loop {
+        match &tokens[cursor].kind {
+            TokenKind::Ident(head) => return Some(head.clone()),
+            TokenKind::Punct('>') => {
+                // Skip a turbofish segment `::<...>` and continue left of it.
+                let mut depth = 1isize;
+                while depth > 0 {
+                    cursor = prev_code(tokens, cursor)?;
+                    match &tokens[cursor].kind {
+                        TokenKind::Punct('>') => depth += 1,
+                        TokenKind::Punct('<') => depth -= 1,
+                        _ => {}
+                    }
+                }
+                cursor = expect_double_colon(analysis, cursor)?;
+            }
+            _ => return None,
+        }
+    }
+}
+
+/// If the two code tokens before `idx` are `::`, returns the index of the token
+/// before them.
+fn expect_double_colon(analysis: &FileAnalysis, idx: usize) -> Option<usize> {
+    let tokens = &analysis.tokens;
+    let second = prev_code(tokens, idx)?;
+    if !tokens[second].is_punct(':') {
+        return None;
+    }
+    let first = prev_code(tokens, second)?;
+    if !tokens[first].is_punct(':') {
+        return None;
+    }
+    prev_code(tokens, first)
+}
+
+fn violation(analysis: &FileAnalysis, line: usize, what: String) -> Violation {
+    Violation {
+        rule: Rule::WarmPathAlloc,
+        path: analysis.path.clone(),
+        line,
+        message: format!(
+            "{what} allocates in warm-path region (allow(alloc) or reuse a prepared buffer)"
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(src: &str) -> Vec<Violation> {
+        run_with(src, Config::default())
+    }
+
+    fn run_with(src: &str, config: Config) -> Vec<Violation> {
+        check(&FileAnalysis::build("test.rs", lex(src)), &config)
+    }
+
+    #[test]
+    fn unmarked_code_is_not_scanned() {
+        assert!(run("fn f(v: &[f32]) -> Vec<f32> { v.to_vec() }\n").is_empty());
+    }
+
+    #[test]
+    fn allocating_calls_are_caught_at_their_lines() {
+        let violations = run("// lint: warm-path\n\
+             fn f(v: &[f32]) -> Vec<f32> {\n\
+                 let a = v.to_vec();\n\
+                 let b: Vec<f32> = Vec::with_capacity(4);\n\
+                 let c = vec![0.0f32];\n\
+                 let d = Vec::<f32>::new();\n\
+                 let s = format!(\"{}\", a.len());\n\
+                 drop((b, c, d, s));\n\
+                 a\n\
+             }\n");
+        let lines: Vec<usize> = violations.iter().map(|v| v.line).collect();
+        assert_eq!(lines, vec![3, 4, 5, 6, 7], "{violations:?}");
+    }
+
+    #[test]
+    fn extra_alloc_paths_from_config_are_flagged() {
+        let config = Config {
+            extra_alloc_paths: vec!["Matrix::zeros".to_string()],
+            ..Config::default()
+        };
+        let violations = run("// lint: warm-path\n\
+             fn f() {\n\
+                 let m = Matrix::zeros(4, 4);\n\
+                 let ok = Matrix::view(&m);\n\
+                 drop(ok);\n\
+             }\n");
+        assert!(
+            violations.is_empty(),
+            "no config, no extra flag: {violations:?}"
+        );
+        let violations = {
+            let src = "// lint: warm-path\n\
+                       fn f() {\n\
+                           let m = Matrix::zeros(4, 4);\n\
+                           drop(m);\n\
+                       }\n";
+            run_with(src, config)
+        };
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert_eq!(violations[0].line, 3);
+    }
+
+    #[test]
+    fn allow_alloc_silences_with_justification() {
+        let violations = run("// lint: warm-path\n\
+             fn f(v: &[f32]) -> Vec<f32> {\n\
+                 v.to_vec() // lint: allow(alloc): fallback densify, cold operands only\n\
+             }\n");
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn non_allocating_paths_are_not_flagged() {
+        let violations = run("// lint: warm-path\n\
+             fn f(v: &[f32]) -> f32 {\n\
+                 let n = v.len();\n\
+                 let m = f32::from(1u8);\n\
+                 v.iter().sum::<f32>() + m + n as f32\n\
+             }\n");
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+}

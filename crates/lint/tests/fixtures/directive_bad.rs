@@ -1,0 +1,2 @@
+// lint: hot-path, allow(panic):
+pub fn missing_justification() {}

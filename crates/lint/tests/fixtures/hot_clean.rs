@@ -1,0 +1,10 @@
+// lint: hot-path, allow(indexing): i is validated by the caller
+pub fn justified(v: &[f32], i: usize) -> f32 {
+    // lint: allow(panic): v is non-empty by construction
+    let first = v.first().unwrap();
+    first + v[i]
+}
+
+pub fn unmarked_code_may_panic(v: &[f32]) -> f32 {
+    v.first().unwrap() + v[0]
+}

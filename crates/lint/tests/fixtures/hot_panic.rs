@@ -1,0 +1,5 @@
+// lint: hot-path
+pub fn broken(v: &[f32], i: usize) -> f32 {
+    let first = v.first().unwrap();
+    first + v[i]
+}

@@ -1,0 +1,20 @@
+use std::sync::Mutex;
+
+pub struct S {
+    outer: Mutex<u32>,
+    inner: Mutex<u32>,
+}
+
+impl S {
+    pub fn reversed(&self) -> u32 {
+        let i = self.inner.lock().unwrap();
+        let o = self.outer.lock().unwrap();
+        *i + *o
+    }
+
+    pub fn declared(&self) -> u32 {
+        let o = self.outer.lock().unwrap();
+        let i = self.inner.lock().unwrap();
+        *o + *i
+    }
+}

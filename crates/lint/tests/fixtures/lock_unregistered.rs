@@ -1,0 +1,5 @@
+use std::sync::Mutex;
+
+pub fn grab(m: &Mutex<u32>) -> u32 {
+    *m.lock().unwrap()
+}

@@ -1,0 +1,9 @@
+/// Reads one byte.
+///
+/// # Safety
+///
+/// `p` must be valid for reads.
+pub unsafe fn read(p: *const u8) -> u8 {
+    // SAFETY: the caller upholds this fn's `# Safety` contract.
+    unsafe { *p }
+}

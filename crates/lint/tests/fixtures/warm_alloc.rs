@@ -1,0 +1,9 @@
+// lint: warm-path
+pub fn broken(v: &[f32]) -> Vec<f32> {
+    v.to_vec()
+}
+
+// lint: warm-path
+pub fn macro_alloc(n: usize) -> Vec<f32> {
+    vec![0.0; n]
+}

@@ -1,0 +1,8 @@
+// lint: warm-path, allow(alloc): one-time fallback densify, measured and accepted
+pub fn justified(v: &[f32]) -> Vec<f32> {
+    v.to_vec()
+}
+
+pub fn unmarked_code_may_allocate(v: &[f32]) -> Vec<f32> {
+    v.to_vec()
+}

@@ -1,0 +1,38 @@
+//! Self-check: `tasd-lint` must run clean over this very workspace, with every
+//! `unsafe` site documented. This is the same gate CI runs via
+//! `cargo run -p tasd-lint -- --check`, kept as a test so `cargo test` alone
+//! catches regressions.
+
+use std::path::Path;
+
+use tasd_lint::config::Config;
+
+#[test]
+fn the_workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves");
+    let text = std::fs::read_to_string(root.join("lint.toml")).expect("lint.toml at repo root");
+    let config = Config::parse(&text).expect("lint.toml parses");
+    let report = tasd_lint::check_workspace(&root, &config).expect("workspace scan succeeds");
+    assert!(
+        report.violations.is_empty(),
+        "workspace must be lint-clean:\n{}",
+        report
+            .violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        report.unsafe_sites.iter().all(|s| s.has_safety_comment),
+        "every unsafe site needs a SAFETY contract"
+    );
+    // The executor's lifetime-erasing transmute is the workspace's only unsafe site.
+    // If this number moves, the new site needs a SAFETY contract and review — see
+    // crates/lint/README.md.
+    assert_eq!(report.unsafe_sites.len(), 1, "{:?}", report.unsafe_sites);
+    assert!(report.files_scanned > 100, "scan looks truncated");
+}

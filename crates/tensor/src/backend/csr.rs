@@ -23,6 +23,7 @@ impl GemmBackend for CsrBackend {
         "csr"
     }
 
+    // lint: hot-path, warm-path
     fn gemm_rows_into(
         &self,
         lhs: &dyn GemmOperand,

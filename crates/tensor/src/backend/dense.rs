@@ -63,6 +63,8 @@ impl DenseBackend {
     }
 
     /// The blocked kernel over a contiguous row-major slab of `A` rows.
+    // lint: hot-path, warm-path, allow(indexing): tile edges are clamped with .min(k)
+    // and .min(n), and the row slabs are m_rows*k / m_rows*n elements by contract
     fn gemm_blocked(&self, a_rows: &[f32], k: usize, b: &Matrix, c_rows: &mut [f32], n: usize) {
         if k == 0 || n == 0 {
             return;
@@ -134,6 +136,8 @@ impl GemmBackend for DenseBackend {
         "dense"
     }
 
+    // lint: hot-path, warm-path, allow(indexing): scratch is allocated at
+    // (r1 - r0) * k right above its row slices, and operand columns are below k
     fn gemm_rows_into(
         &self,
         lhs: &dyn GemmOperand,
@@ -149,6 +153,8 @@ impl GemmBackend for DenseBackend {
             return;
         }
         // Densify the row block into scratch, then stream through the blocked kernel.
+        // lint: allow(alloc): correctness fallback for non-native operands — the
+        // engine's prepared paths pack operands dense before choosing this backend
         let mut scratch = vec![0.0f32; (r1 - r0) * k];
         for i in r0..r1 {
             let row = &mut scratch[(i - r0) * k..(i - r0 + 1) * k];

@@ -197,6 +197,8 @@ pub(crate) fn check_shapes(
 
 /// Format-agnostic row kernel used by backends as the fallback for non-native operands:
 /// per stored entry, `c_row += value * b[col]`.
+// lint: hot-path, warm-path, allow(indexing): the debug_assert pins c_rows to
+// exactly (r1 - r0) * n_cols elements, so every row slice below is in bounds
 pub(crate) fn gemm_rows_generic(
     lhs: &dyn GemmOperand,
     b: &Matrix,

@@ -171,6 +171,8 @@ impl CsrMatrix {
     ///
     /// Panics if the row range, `b`, or `c_rows` are inconsistent with this matrix. Use the
     /// backend layer ([`crate::backend`]) for checked dispatch.
+    // lint: hot-path, warm-path, allow(panic, indexing): the asserts are this kernel's
+    // documented # Panics contract, and they pin the slab and row-pointer indexing below
     pub fn spmm_rows_into(
         &self,
         b: &Matrix,
