@@ -15,8 +15,10 @@
 //!   on serving-sized terms, while mid-density terms stay N:M.
 //!
 //! Every measurement is recorded to `BENCH_backends.json` at the repository root
-//! (`{name, config, ns_per_iter}`), so planner constants can be re-derived on new
-//! hardware by re-running this bench.
+//! (`{name, config, ns_per_iter}`, plus `gflops` computed from the *effectual* flop
+//! count `2 · nnz · n_cols` for the single-kernel entries), so planner constants can be
+//! re-derived on new hardware — and kernel throughput tracked across PRs — by re-running
+//! this bench.
 //!
 //! Run with: `cargo bench --bench backends` (append `-- --test` for the smoke mode).
 
@@ -31,12 +33,18 @@ use tasd_tensor::{gemm, CsrMatrix, Matrix, MatrixGenerator, NmCompressed, NmPatt
 
 const SIZE: usize = 512;
 
-fn run_backend(backend: &dyn GemmBackend, a: &dyn GemmOperand, b: &Matrix) -> Matrix {
-    let mut c = Matrix::zeros(a.shape().0, b.cols());
+/// One kernel execution into a reused, re-zeroed output buffer. Reusing `c` keeps every
+/// kernel entry's working set at the same addresses — fresh per-iteration allocations
+/// land on different pages depending on how much heap churn preceded the entry, which
+/// skews cross-kernel comparisons by more than the margins the planner tables care
+/// about (the memset is identical work for every entry, so ratios stay comparable).
+fn run_backend(backend: &dyn GemmBackend, a: &dyn GemmOperand, b: &Matrix, c: &mut Matrix) {
+    let rows = a.shape().0;
+    c.rows_slice_mut(0, rows).fill(0.0);
     backend
-        .gemm_into(std::hint::black_box(a), std::hint::black_box(b), &mut c)
+        .gemm_into(std::hint::black_box(a), std::hint::black_box(b), c)
         .unwrap();
-    c
+    std::hint::black_box(&*c);
 }
 
 fn bench_whole_operand(rec: &mut BenchRecorder, sparsity: f64) {
@@ -51,28 +59,42 @@ fn bench_whole_operand(rec: &mut BenchRecorder, sparsity: f64) {
     let pattern = NmPattern::new(4, 8).unwrap();
     let nm = NmCompressed::from_dense(&a, pattern).unwrap();
 
+    // Effectual work: skipped zeros are not useful flops, so throughput is comparable
+    // across sparsity levels.
+    let flops = 2 * GemmOperand::nnz(&a) as u64 * b.cols() as u64;
+    let nm_flops = 2 * GemmOperand::nnz(&nm) as u64 * b.cols() as u64;
+
+    // One output buffer shared by every kernel entry below (see `run_backend`).
+    let mut c = Matrix::zeros(SIZE, SIZE);
+
     // The seed's scalar i-k-j kernel, as the fixed reference point.
-    rec.measure("scalar_gemm_reference", &label, || {
+    rec.measure_flops("scalar_gemm_reference", &label, flops, || {
         gemm(std::hint::black_box(&a), std::hint::black_box(&b)).unwrap()
     });
     let dense = DenseBackend::default();
-    rec.measure("dense_blocked", &label, || run_backend(&dense, &a, &b));
-    let csr_backend = CsrBackend;
-    rec.measure("csr", &label, || run_backend(&csr_backend, &csr, &b));
+    rec.measure_flops("dense_blocked", &label, flops, || {
+        run_backend(&dense, &a, &b, &mut c)
+    });
+    let csr_backend = CsrBackend::default();
+    rec.measure_flops("csr", &label, flops, || {
+        run_backend(&csr_backend, &csr, &b, &mut c)
+    });
     // The generic entry-iteration fallback (CSR backend over dense storage): the cost
     // prepared execution avoids — measured, not assumed.
-    rec.measure("csr_on_dense_operand", &label, || {
-        run_backend(&csr_backend, &a, &b)
+    rec.measure_flops("csr_on_dense_operand", &label, flops, || {
+        run_backend(&csr_backend, &a, &b, &mut c)
     });
-    let nm_backend = NmBackend;
-    rec.measure("nm_4_8", &label, || run_backend(&nm_backend, &nm, &b));
+    let nm_backend = NmBackend::default();
+    rec.measure_flops("nm_4_8", &label, nm_flops, || {
+        run_backend(&nm_backend, &nm, &b, &mut c)
+    });
     let parallel_dense = ParallelBackend::default();
-    rec.measure("parallel_dense", &label, || {
-        run_backend(&parallel_dense, &a, &b)
+    rec.measure_flops("parallel_dense", &label, flops, || {
+        run_backend(&parallel_dense, &a, &b, &mut c)
     });
-    let parallel_csr = ParallelBackend::over(Arc::new(CsrBackend));
-    rec.measure("parallel_csr", &label, || {
-        run_backend(&parallel_csr, &csr, &b)
+    let parallel_csr = ParallelBackend::over(Arc::new(CsrBackend::default()));
+    rec.measure_flops("parallel_csr", &label, flops, || {
+        run_backend(&parallel_csr, &csr, &b, &mut c)
     });
 
     // The engine's automatic path end-to-end: planned backends over a lossless two-term
@@ -104,19 +126,21 @@ fn bench_term_kernels(rec: &mut BenchRecorder, sparsity: f64, m: usize, k: usize
         sparsity * 100.0
     );
 
-    let nm_backend = NmBackend;
-    let t_nm = rec.measure("term_nm_native", &label, || {
-        run_backend(&nm_backend, &term, &b)
+    let flops = 2 * GemmOperand::nnz(&term) as u64 * n_cols as u64;
+    let mut c = Matrix::zeros(m, n_cols);
+    let nm_backend = NmBackend::default();
+    let t_nm = rec.measure_flops("term_nm_native", &label, flops, || {
+        run_backend(&nm_backend, &term, &b, &mut c)
     });
     let csr_packed = term.to_csr();
-    let csr_backend = CsrBackend;
-    let t_csr = rec.measure("term_csr_packed", &label, || {
-        run_backend(&csr_backend, &csr_packed, &b)
+    let csr_backend = CsrBackend::default();
+    let t_csr = rec.measure_flops("term_csr_packed", &label, flops, || {
+        run_backend(&csr_backend, &csr_packed, &b, &mut c)
     });
     let dense_packed = term.to_dense();
     let dense_backend = DenseBackend::default();
-    rec.measure("term_dense_packed", &label, || {
-        run_backend(&dense_backend, &dense_packed, &b)
+    rec.measure_flops("term_dense_packed", &label, flops, || {
+        run_backend(&dense_backend, &dense_packed, &b, &mut c)
     });
     println!(
         "  -> csr/nm speedup at density {density:.3}: {:.2}x",

@@ -54,7 +54,7 @@ fn bench_gemm_kernels(c: &mut Criterion) {
             c_out
         });
     });
-    let nm_backend = NmBackend;
+    let nm_backend = NmBackend::default();
     group.bench_function("nm_2_8_backend", |bench| {
         bench.iter(|| {
             let mut c_out = Matrix::zeros(nm.rows(), b.cols());
@@ -68,7 +68,7 @@ fn bench_gemm_kernels(c: &mut Criterion) {
             c_out
         });
     });
-    let csr_backend = CsrBackend;
+    let csr_backend = CsrBackend::default();
     group.bench_function("csr_backend", |bench| {
         bench.iter(|| {
             let mut c_out = Matrix::zeros(csr.rows(), b.cols());

@@ -234,7 +234,9 @@ pub mod testing {
 ///
 /// The offline `serde_json` shim cannot serialize, so this module writes its (flat,
 /// known-shape) JSON by hand. Each record is `{name, config, ns_per_iter}` — benchmark
-/// identity, workload description, and best-observed wall-clock per iteration.
+/// identity, workload description, and best-observed wall-clock per iteration — plus
+/// an optional `gflops` throughput field for kernel benches that declare their flop
+/// count ([`BenchRecorder::measure_flops`]).
 pub mod bench_json {
     use std::io::Write;
     use std::path::PathBuf;
@@ -249,6 +251,10 @@ pub mod bench_json {
         pub config: String,
         /// Best observed wall-clock per iteration, in nanoseconds.
         pub ns_per_iter: u128,
+        /// Throughput in GFLOP/s derived from a declared per-iteration flop count
+        /// ([`BenchRecorder::measure_flops`]); `None` for benches that measure
+        /// latency of mixed work rather than a single kernel.
+        pub gflops: Option<f64>,
     }
 
     /// Whether the process runs in `cargo bench -- --test` smoke mode: every routine
@@ -310,7 +316,30 @@ pub mod bench_json {
                 name: name.to_string(),
                 config: config.to_string(),
                 ns_per_iter: best.as_nanos(),
+                gflops: None,
             });
+            best
+        }
+
+        /// [`measure`](Self::measure) for a kernel whose per-iteration flop count is
+        /// known: additionally records throughput (`flops / best_time`) as a `gflops`
+        /// field, making kernel progress comparable across PRs even as workload
+        /// shapes change. Use the *effectual* flop count (`2 · nnz · n_cols` for a
+        /// sparse GEMM), so throughput reflects useful work, not skipped zeros.
+        pub fn measure_flops<O>(
+            &mut self,
+            name: &str,
+            config: &str,
+            flops: u64,
+            f: impl FnMut() -> O,
+        ) -> Duration {
+            let best = self.measure(name, config, f);
+            if let Some(r) = self.records.last_mut() {
+                let ns = r.ns_per_iter.max(1) as f64;
+                let gflops = flops as f64 / ns; // flops per ns == GFLOP/s
+                r.gflops = Some(gflops);
+                println!("{}/{name} [{config}]: {gflops:.2} GFLOP/s", self.bench);
+            }
             best
         }
 
@@ -320,6 +349,7 @@ pub mod bench_json {
                 name: name.to_string(),
                 config: config.to_string(),
                 ns_per_iter: duration.as_nanos(),
+                gflops: None,
             });
         }
 
@@ -345,9 +375,13 @@ pub mod bench_json {
             writeln!(out, "  \"results\": [")?;
             for (i, r) in self.records.iter().enumerate() {
                 let comma = if i + 1 == self.records.len() { "" } else { "," };
+                let gflops = match r.gflops {
+                    Some(g) => format!(", \"gflops\": {g:.3}"),
+                    None => String::new(),
+                };
                 writeln!(
                     out,
-                    "    {{\"name\": \"{}\", \"config\": \"{}\", \"ns_per_iter\": {}}}{comma}",
+                    "    {{\"name\": \"{}\", \"config\": \"{}\", \"ns_per_iter\": {}{gflops}}}{comma}",
                     escape(&r.name),
                     escape(&r.config),
                     r.ns_per_iter
@@ -388,6 +422,17 @@ pub mod bench_json {
             assert!(d.as_nanos() > 0 || d.is_zero());
             assert_eq!(rec.records().len(), 1);
             assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+        }
+
+        #[test]
+        fn measure_flops_records_throughput() {
+            let mut rec = BenchRecorder::new("smoke_test", 1);
+            rec.measure_flops("kernel", "cfg", 1_000_000, || std::hint::black_box(0));
+            let r = &rec.records()[0];
+            assert!(r.gflops.is_some_and(|g| g > 0.0));
+            // Plain measure leaves the field unset.
+            rec.measure("latency", "cfg", || std::hint::black_box(0));
+            assert!(rec.records()[1].gflops.is_none());
         }
 
         #[test]

@@ -242,9 +242,21 @@
 //!   registered in `lint.toml`'s lock table; nested acquisitions must follow the
 //!   declared order `dispatch → session → slot → engine memos → executor pool →
 //!   queue → latch`, so the serving layer cannot deadlock against the executor.
-//! * **Unsafe audit.** The workspace's one `unsafe` site (the executor's
-//!   lifetime-erasing transmute) carries an adjacent `// SAFETY:` contract; new
-//!   sites without one fail CI.
+//! * **Unsafe audit.** Every `unsafe` site carries an adjacent `// SAFETY:` (or
+//!   `# Safety` doc) contract, and the full inventory is pinned: `lint.toml`'s
+//!   `[unsafe_audit] expected_sites` count must match exactly, so a new `unsafe`
+//!   fails CI until it is both contracted and consciously added to the budget. The
+//!   current sites are the executor's lifetime-erasing transmute and the AVX/FMA
+//!   microkernels in `tasd-tensor`'s `backend::simd`.
+//! * **SIMD dispatch.** Instruction-set selection happens exactly once per backend
+//!   construction ([`SimdLevel::detect`](tasd_tensor::SimdLevel) — cached per
+//!   process, overridable with `TASD_SIMD=portable` and pinned per-backend via
+//!   `with_simd`): kernels never branch on `is_x86_feature_detected!` per call, and
+//!   a `target_feature` kernel is only ever entered behind the construction-time
+//!   check. All tiers honor the backend layer's zero-annihilation contract, so
+//!   results (including NaN/Inf placement) are tier-independent; CI runs the
+//!   backend suites once at the detected tier and once with the portable fallback
+//!   forced.
 //!
 //! [`Matrix::fingerprint`]: tasd_tensor::Matrix::fingerprint
 
@@ -458,8 +470,8 @@ impl EngineBuilder {
     pub fn build(self) -> ExecutionEngine {
         let seq: [Arc<dyn GemmBackend>; 3] = [
             Arc::new(DenseBackend::default()),
-            Arc::new(CsrBackend),
-            Arc::new(NmBackend),
+            Arc::new(CsrBackend::default()),
+            Arc::new(NmBackend::default()),
         ];
         // The engine makes the sequential-vs-parallel call during planning, so the
         // parallel wrappers themselves never bail back to sequential.
@@ -1430,7 +1442,7 @@ mod tests {
     fn forced_backend_is_used_for_everything() {
         use tasd_tensor::backend::CsrBackend;
         let e = ExecutionEngine::builder()
-            .backend(Arc::new(CsrBackend))
+            .backend(Arc::new(CsrBackend::default()))
             .build();
         let mut gen = MatrixGenerator::seeded(5);
         let a = gen.normal(24, 24, 0.0, 1.0);

@@ -107,7 +107,9 @@ impl BackendTable {
     ///
     /// The bench's `term_{nm_native,csr_packed,dense_packed}` sweeps measure the same
     /// decomposed term through all three kernels at several densities; this parser
-    /// re-derives the density edges from those triplets:
+    /// pools the triplets recorded at the same density across shapes (the table is
+    /// keyed by density alone) and re-derives the density edges from the pooled
+    /// samples:
     ///
     /// * the CSR/N:M edge is the midpoint between the highest sampled density where the
     ///   CSR kernel decisively beats the native N:M kernel (by ≥ 5%) and the lowest
@@ -129,7 +131,7 @@ impl BackendTable {
 
     /// [`from_bench_json`](Self::from_bench_json) on already-loaded file contents.
     pub fn from_bench_json_str(text: &str) -> Option<BackendTable> {
-        let samples = parse_term_samples(text)?;
+        let samples = pool_by_density(&parse_term_samples(text)?);
         if samples.is_empty() {
             return None;
         }
@@ -283,6 +285,45 @@ fn parse_term_samples(text: &str) -> Option<Vec<TermSample>> {
             })
             .collect(),
     )
+}
+
+/// Pools term samples recorded at the same density (to the nearest hundredth) across
+/// shapes, summing each kernel's time over the group. The table is keyed by density
+/// alone, so the bench's per-shape triplets at one density are one regime observation,
+/// not several: without pooling, a near-margin split between shapes at a single density
+/// (CSR decisively ahead on one shape, marginally on another) would read as
+/// non-monotone data and needlessly reject the whole recording.
+fn pool_by_density(samples: &[TermSample]) -> Vec<TermSample> {
+    use std::collections::BTreeMap;
+
+    #[derive(Default)]
+    struct Acc {
+        density_sum: f64,
+        n: u32,
+        nm: u64,
+        csr: u64,
+        dense: u64,
+    }
+    let mut groups: BTreeMap<i64, Acc> = BTreeMap::new();
+    for s in samples {
+        let acc = groups
+            .entry((s.density * 100.0).round() as i64)
+            .or_default();
+        acc.density_sum += s.density;
+        acc.n += 1;
+        acc.nm += s.nm_ns;
+        acc.csr += s.csr_ns;
+        acc.dense += s.dense_ns;
+    }
+    groups
+        .into_values()
+        .map(|a| TermSample {
+            density: a.density_sum / f64::from(a.n),
+            nm_ns: a.nm,
+            csr_ns: a.csr,
+            dense_ns: a.dense,
+        })
+        .collect()
 }
 
 /// The `density=<float>` annotation inside a term sweep's config string.
@@ -488,10 +529,11 @@ mod tests {
     fn from_bench_json_derives_the_table_from_the_checked_in_recording() {
         let table = BackendTable::from_bench_json(BENCH_BACKENDS_JSON)
             .expect("the checked-in BENCH_backends.json must parse");
-        // The recording's term sweeps: CSR decisively beats native N:M at density 0.095
-        // (≥ 16%) and only marginally (< 5%) at ≈ 0.245, so the derived edge falls
-        // between the two; no sampled density crosses into dense, so the measured 0.85
-        // dense crossover stands.
+        // The recording's term sweeps, pooled across shapes per density: the SIMD CSR
+        // kernel decisively beats native N:M at density 0.095 (≥ 20%) and only
+        // marginally (< 5%) at ≈ 0.245, so the derived edge falls between the two; no
+        // sampled density crosses into dense, so the measured 0.85 dense crossover
+        // stands.
         assert_eq!(table.choose(0.095, 512, 512), BackendKind::Csr);
         assert_eq!(table.choose(0.12, 512, 512), BackendKind::Csr);
         assert_eq!(table.choose(0.25, 512, 512), BackendKind::Nm);
@@ -519,6 +561,29 @@ mod tests {
             ]}"#
         )
         .is_none());
+    }
+
+    #[test]
+    fn samples_at_one_density_pool_across_shapes() {
+        // Two shapes at the same density straddling the 5% win margin (decisive on one,
+        // marginal on the other) are one pooled observation — not non-monotone data.
+        // Pooled at d=0.24: csr 1650 vs nm 1755 → 1.06× ≥ 5%, so CSR still wins there
+        // and at the lower density; it wins everywhere sampled → bucket extends to the
+        // dense crossover.
+        let text = r#"{"bench": "backends", "results": [
+            {"name": "term_nm_native", "config": "a density=0.1 x", "ns_per_iter": 200},
+            {"name": "term_csr_packed", "config": "a density=0.1 x", "ns_per_iter": 100},
+            {"name": "term_dense_packed", "config": "a density=0.1 x", "ns_per_iter": 900},
+            {"name": "term_nm_native", "config": "b density=0.235 x", "ns_per_iter": 555},
+            {"name": "term_csr_packed", "config": "b density=0.235 x", "ns_per_iter": 450},
+            {"name": "term_dense_packed", "config": "b density=0.235 x", "ns_per_iter": 900},
+            {"name": "term_nm_native", "config": "c density=0.24 x", "ns_per_iter": 1200},
+            {"name": "term_csr_packed", "config": "c density=0.24 x", "ns_per_iter": 1200},
+            {"name": "term_dense_packed", "config": "c density=0.24 x", "ns_per_iter": 9000}
+        ]}"#;
+        let table = BackendTable::from_bench_json_str(text).expect("pooled samples tune");
+        assert_eq!(table.choose(0.5, 512, 512), BackendKind::Csr);
+        assert_eq!(table.choose(0.9, 512, 512), BackendKind::Dense);
     }
 
     #[test]

@@ -571,7 +571,7 @@ mod tests {
         let x = MatrixGenerator::seeded(16).normal(9, 12, 0.0, 1.0);
         let default = mlp.forward(engine(), &x);
         let csr_only = ExecutionEngine::builder()
-            .backend(std::sync::Arc::new(tasd_tensor::CsrBackend))
+            .backend(std::sync::Arc::new(tasd_tensor::CsrBackend::default()))
             .build();
         let sequential = ExecutionEngine::builder().parallel(false).build();
         assert!(mlp.forward(&csr_only, &x).approx_eq(&default, 1e-5));

@@ -40,6 +40,11 @@ pub struct Config {
     pub lock_order: Vec<String>,
     /// Registered locks.
     pub locks: Vec<LockSpec>,
+    /// Exact number of `unsafe` sites the workspace is budgeted for
+    /// (`[unsafe_audit].expected_sites`). When set, a scan finding any other count is
+    /// a violation: removing a site must shrink the budget, adding one must grow it —
+    /// consciously, in review, alongside its SAFETY contract.
+    pub expected_unsafe_sites: Option<usize>,
 }
 
 /// A configuration or parse failure, with the offending line when known.
@@ -132,6 +137,10 @@ impl Config {
                 ("lock_order", "order") => {
                     config.lock_order = value.into_str_array(lineno, "order")?;
                 }
+                ("unsafe_audit", "expected_sites") => {
+                    config.expected_unsafe_sites =
+                        Some(value.into_count(lineno, "expected_sites")?);
+                }
                 (section, key) => {
                     return Err(err(lineno, format!("unknown key `{key}` in [{section}]")));
                 }
@@ -217,6 +226,16 @@ impl Value {
         match self {
             Value::StrArray(v) => Ok(v),
             _ => Err(err(lineno, format!("`{key}` must be an array of strings"))),
+        }
+    }
+
+    fn into_count(self, lineno: usize, key: &str) -> Result<usize, ConfigError> {
+        match self {
+            Value::Int(n) if n >= 0 => Ok(n as usize),
+            _ => Err(err(
+                lineno,
+                format!("`{key}` must be a non-negative integer"),
+            )),
         }
     }
 }
@@ -339,6 +358,9 @@ extra_alloc_paths = ["Matrix::zeros"]
 [lock_order]
 order = ["a.first", "b.second"]
 
+[unsafe_audit]
+expected_sites = 7
+
 [[lock]]
 name = "a.first"
 file = "src/a.rs"
@@ -369,6 +391,20 @@ exempt = true
         assert!(config.locks[2].exempt);
         assert_eq!(config.order_index("b.second"), Some(1));
         assert_eq!(config.order_index("helper"), None);
+        assert_eq!(config.expected_unsafe_sites, Some(7));
+    }
+
+    #[test]
+    fn negative_unsafe_budget_is_rejected() {
+        let bad = "[unsafe_audit]\nexpected_sites = -1\n";
+        assert!(Config::parse(bad).is_err());
+        // And the key stays optional.
+        assert_eq!(
+            Config::parse("")
+                .expect("empty parses")
+                .expected_unsafe_sites,
+            None
+        );
     }
 
     #[test]

@@ -53,6 +53,29 @@ pub fn check_workspace(root: &Path, config: &Config) -> io::Result<Report> {
         let text = fs::read_to_string(root.join(rel))?;
         check_file(rel, &text, config, &mut report);
     }
+    // The workspace-wide unsafe budget: the inventory tripwire. A mismatch in either
+    // direction is a violation, so the count in `lint.toml` moves only deliberately.
+    if let Some(expected) = config.expected_unsafe_sites {
+        let found = report.unsafe_sites.len();
+        if found != expected {
+            report.violations.push(Violation {
+                rule: diagnostics::Rule::UnsafeAudit,
+                path: "lint.toml".to_string(),
+                line: 0,
+                message: format!(
+                    "workspace has {found} unsafe site(s) but [unsafe_audit].expected_sites \
+                     budgets {expected}; update the budget alongside the SAFETY-contracted \
+                     change (sites: {})",
+                    report
+                        .unsafe_sites
+                        .iter()
+                        .map(|s| format!("{}:{}", s.path, s.line))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+            });
+        }
+    }
     report
         .violations
         .sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));

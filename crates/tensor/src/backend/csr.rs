@@ -1,22 +1,55 @@
 //! Unstructured sparse (CSR-style) GEMM backend.
 
+use super::simd::SimdLevel;
 use super::{gemm_rows_generic, CostHint, GemmBackend, GemmOperand};
 use crate::Matrix;
 
-/// Unstructured sparse row kernel: exactly one MAC per stored non-zero per output column.
+/// Unstructured sparse row kernel: exactly one SIMD axpy per stored non-zero.
 ///
 /// This is the software analogue of an unstructured sparse datapath (SIGMA / DSTC style):
 /// work scales with `nnz`, independent of the logical shape, at the price of per-entry
-/// indirection into `B`. CSR operands run on their native kernel; dense and compressed
-/// N:M operands are driven through their row-entry iterators — no conversion pass, the
-/// entries are consumed where they are stored.
+/// indirection into `B`. CSR operands run on their native kernel — each stored entry
+/// streams its `B` row through an 8-wide SIMD axpy ([`super::simd::axpy`]) at the tier
+/// detected once at construction; dense and compressed N:M operands are driven through
+/// their row-entry iterators — no conversion pass, the entries are consumed where they
+/// are stored.
 ///
-/// The density regime where this beats [`DenseBackend`](super::DenseBackend) — measured
-/// at everything below ~0.85 density on a 512³ GEMM — comes from `tasd-bench`'s
-/// `backends` bench, which is what the execution engine's planning thresholds are
-/// calibrated from.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct CsrBackend;
+/// The density regime where this beats [`DenseBackend`](super::DenseBackend) comes from
+/// `tasd-bench`'s `backends` bench, which is what the execution engine's planning
+/// thresholds are calibrated from.
+#[derive(Debug, Clone, Copy)]
+pub struct CsrBackend {
+    /// SIMD tier the native row kernel dispatches to, fixed at construction.
+    simd: SimdLevel,
+}
+
+impl CsrBackend {
+    /// A backend at the tier detected once per process.
+    pub fn new() -> Self {
+        CsrBackend {
+            simd: SimdLevel::detected(),
+        }
+    }
+
+    /// Pins the SIMD tier (e.g. [`SimdLevel::Portable`] to force the fallback arm in
+    /// tests).
+    #[must_use]
+    pub fn with_simd(mut self, level: SimdLevel) -> Self {
+        self.simd = level;
+        self
+    }
+
+    /// The SIMD tier the native row kernel runs at.
+    pub fn simd_level(&self) -> SimdLevel {
+        self.simd
+    }
+}
+
+impl Default for CsrBackend {
+    fn default() -> Self {
+        Self::new()
+    }
+}
 
 impl GemmBackend for CsrBackend {
     fn name(&self) -> &'static str {
@@ -34,7 +67,7 @@ impl GemmBackend for CsrBackend {
         n_cols: usize,
     ) {
         if let Some(csr) = lhs.as_csr() {
-            csr.spmm_rows_into(b, r0, r1, c_rows, n_cols);
+            csr.spmm_rows_into_simd(b, r0, r1, c_rows, n_cols, self.simd);
             return;
         }
         gemm_rows_generic(lhs, b, r0, r1, c_rows, n_cols);
@@ -62,7 +95,7 @@ mod tests {
         let b = gen.normal(37, 13, 0.0, 1.0);
         let csr = CsrMatrix::from_dense(&a);
         let mut c = Matrix::zeros(29, 13);
-        CsrBackend.gemm_into(&csr, &b, &mut c).unwrap();
+        CsrBackend::default().gemm_into(&csr, &b, &mut c).unwrap();
         assert!(c.approx_eq(&gemm(&a, &b).unwrap(), 1e-4));
     }
 
@@ -72,7 +105,23 @@ mod tests {
         let a = gen.sparse_normal(10, 24, 0.6);
         let b = gen.normal(24, 8, 0.0, 1.0);
         let mut c = Matrix::zeros(10, 8);
-        CsrBackend.gemm_into(&a, &b, &mut c).unwrap();
+        CsrBackend::default().gemm_into(&a, &b, &mut c).unwrap();
         assert!(c.approx_eq(&gemm(&a, &b).unwrap(), 1e-4));
+    }
+
+    #[test]
+    fn portable_tier_matches_detected_tier() {
+        let mut gen = MatrixGenerator::seeded(23);
+        let a = gen.sparse_normal(17, 41, 0.7);
+        let b = gen.normal(41, 19, 0.0, 1.0);
+        let csr = CsrMatrix::from_dense(&a);
+        let mut fast = Matrix::zeros(17, 19);
+        let mut portable = Matrix::zeros(17, 19);
+        CsrBackend::new().gemm_into(&csr, &b, &mut fast).unwrap();
+        CsrBackend::new()
+            .with_simd(SimdLevel::Portable)
+            .gemm_into(&csr, &b, &mut portable)
+            .unwrap();
+        assert!(fast.approx_eq(&portable, 1e-5));
     }
 }

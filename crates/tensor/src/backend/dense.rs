@@ -1,11 +1,13 @@
-//! Cache-blocked dense GEMM backend.
+//! Cache-blocked dense GEMM backend over runtime-dispatched SIMD tiles.
 
+use super::simd::{self, SimdLevel};
 use super::{CostHint, GemmBackend, GemmOperand};
 use crate::Matrix;
 
-/// Cache-blocked dense kernel with register blocking and exact-zero skipping.
+/// Cache-blocked dense kernel: register-blocked 4×8 SIMD FMA tiles under two levels of
+/// cache blocking, with exact-zero skipping.
 ///
-/// Two levels of blocking:
+/// Three levels of structure, outermost first:
 ///
 /// * **Cache blocking** — the loop nest tiles the reduction (`K`) and output-column (`N`)
 ///   dimensions so that one `block_k × block_n` panel of `B` stays cache-resident while
@@ -15,30 +17,42 @@ use crate::Matrix;
 ///   element loaded from cache feeds four multiply-accumulate streams instead of one.
 ///   This cuts `B` traffic 4× — the dominant cost of a row-major GEMM, where the naive
 ///   kernel re-streams all of `B` once per output row.
+/// * **SIMD inner tile** — the four-row body is a 4×8 microkernel
+///   ([`simd::axpy4`]): each 8-lane load of `B` feeds four FMA streams. The
+///   instruction tier (256-bit AVX/FMA vs. the hand-unrolled portable fallback) is
+///   detected **once at construction** ([`SimdLevel::detect`], overridable with
+///   [`with_simd`](DenseBackend::with_simd) or `TASD_SIMD=portable`) — no kernel call
+///   ever re-runs feature detection.
 ///
 /// ```text
 /// for jb in N-blocks            // C and B column panel
 ///   for kb in K-blocks          // B row panel stays hot
 ///     for i in row block by 4   // 4 output rows share each B load
 ///       for p in kb (some a[i..i+4, p] != 0)
-///         c[i+q, jb..] += a[i+q, p] * b[p, jb..]   (q = 0..4)
+///         axpy4: c[i+q, jb..] += a[i+q, p] * b[p, jb..]  8 lanes/step  (q = 0..4)
 /// ```
 ///
-/// A reduction step is skipped when all four `A` operands are exact zeros, so very sparse
-/// inputs stay cheap (individual zeros inside a live group multiply by zero — branch-free).
+/// A reduction step is skipped when all four `A` operands are exact zeros, so very
+/// sparse inputs stay cheap; within a live group, zero lanes are skipped per-lane —
+/// the [`GemmBackend`] zero-annihilation contract, which keeps this kernel's non-finite
+/// behavior identical to the scalar reference and the sparse kernels.
 ///
 /// Compressed operands are densified one row block at a time into a scratch slab before
-/// hitting the blocked kernel; the scratch fill is linear in the block size and is reported
-/// as overhead in [`GemmBackend::cost_hint`]. That trade — decompress then stream — is what
-/// makes this backend the right choice for *dense-ish* TASD terms, while truly sparse terms
-/// belong on [`CsrBackend`](super::CsrBackend) / [`NmBackend`](super::NmBackend); the
-/// crossover is measured in `tasd-bench`'s `backends` bench.
+/// hitting the blocked kernel; the scratch fill is linear in the block size and is
+/// reported as overhead in [`GemmBackend::cost_hint`]. That trade — decompress then
+/// stream — is what makes this backend the right choice for *dense-ish* TASD terms,
+/// while truly sparse terms belong on [`CsrBackend`](super::CsrBackend) /
+/// [`NmBackend`](super::NmBackend); the crossover is measured in `tasd-bench`'s
+/// `backends` bench and re-derived into the engine's `BackendTable` from
+/// `BENCH_backends.json`.
 #[derive(Debug, Clone)]
 pub struct DenseBackend {
     /// Reduction-dimension tile size.
     block_k: usize,
     /// Output-column tile size.
     block_n: usize,
+    /// SIMD tier the inner tiles dispatch to, fixed at construction.
+    simd: SimdLevel,
 }
 
 impl DenseBackend {
@@ -54,12 +68,29 @@ impl DenseBackend {
     /// Panics if either block size is zero.
     pub fn with_block_sizes(block_k: usize, block_n: usize) -> Self {
         assert!(block_k > 0 && block_n > 0, "tile sizes must be positive");
-        DenseBackend { block_k, block_n }
+        DenseBackend {
+            block_k,
+            block_n,
+            simd: SimdLevel::detected(),
+        }
+    }
+
+    /// Pins the SIMD tier (e.g. [`SimdLevel::Portable`] to force the fallback arm in
+    /// tests); [`Default`] uses the tier detected once per process.
+    #[must_use]
+    pub fn with_simd(mut self, level: SimdLevel) -> Self {
+        self.simd = level;
+        self
     }
 
     /// The `(block_k, block_n)` tile sizes.
     pub fn block_sizes(&self) -> (usize, usize) {
         (self.block_k, self.block_n)
+    }
+
+    /// The SIMD tier the inner tiles run at.
+    pub fn simd_level(&self) -> SimdLevel {
+        self.simd
     }
 
     /// The blocked kernel over a contiguous row-major slab of `A` rows.
@@ -72,11 +103,11 @@ impl DenseBackend {
         let m_rows = a_rows.len() / k;
         for jb in (0..n).step_by(self.block_n) {
             let j_end = (jb + self.block_n).min(n);
-            let width = j_end - jb;
             for kb in (0..k).step_by(self.block_k) {
                 let k_end = (kb + self.block_k).min(k);
                 let mut i = 0;
-                // Register-blocked body: 4 output rows share every B load.
+                // Register-blocked body: 4 output rows share every B load through the
+                // 4×8 SIMD tile.
                 while i + 4 <= m_rows {
                     let (a0, rest) = a_rows[i * k..].split_at(k);
                     let (a1, rest) = rest.split_at(k);
@@ -87,18 +118,12 @@ impl DenseBackend {
                     let (c0, c1) = (&mut c0[jb..j_end], &mut c1[jb..j_end]);
                     let (c2, c3) = (&mut c2[jb..j_end], &mut c3[jb..j_end]);
                     for p in kb..k_end {
-                        let (v0, v1, v2, v3) = (a0[p], a1[p], a2[p], a3[p]);
-                        if v0 == 0.0 && v1 == 0.0 && v2 == 0.0 && v3 == 0.0 {
+                        let vs = [a0[p], a1[p], a2[p], a3[p]];
+                        if vs == [0.0, 0.0, 0.0, 0.0] {
                             continue;
                         }
                         let b_row = &b.row(p)[jb..j_end];
-                        for j in 0..width {
-                            let bv = b_row[j];
-                            c0[j] += v0 * bv;
-                            c1[j] += v1 * bv;
-                            c2[j] += v2 * bv;
-                            c3[j] += v3 * bv;
-                        }
+                        simd::axpy4(self.simd, vs, b_row, c0, c1, c2, c3);
                     }
                     i += 4;
                 }
@@ -111,9 +136,7 @@ impl DenseBackend {
                             continue;
                         }
                         let b_row = &b.row(p)[jb..j_end];
-                        for (cv, bv) in c_row.iter_mut().zip(b_row) {
-                            *cv += a_ip * bv;
-                        }
+                        simd::axpy(self.simd, a_ip, b_row, c_row);
                     }
                     i += 1;
                 }
@@ -127,6 +150,7 @@ impl Default for DenseBackend {
         DenseBackend {
             block_k: Self::DEFAULT_BLOCK_K,
             block_n: Self::DEFAULT_BLOCK_N,
+            simd: SimdLevel::detected(),
         }
     }
 }
@@ -166,8 +190,18 @@ impl GemmBackend for DenseBackend {
     fn cost_hint(&self, lhs: &dyn GemmOperand, n_cols: usize) -> CostHint {
         let (rows, k) = lhs.shape();
         // The blocked kernel touches every A element (the zero test) even though only
-        // non-zeros multiply; count reads at quarter MAC weight.
-        let scan = (rows as u64 * k as u64) / 4;
+        // non-zeros multiply. Calibration from the SIMD bench sweep in
+        // `BENCH_backends.json` (512³, AVX/FMA tier): 13.4M effectual MACs in 2.32 ms
+        // at s90 and 67.1M in 8.83 ms at s50 fit ≈ 0.12 ns per SIMD MAC — about half
+        // the scalar kernel's rate, so the scalar zero test now weighs roughly twice
+        // what it did against the seed's scalar kernel: half a MAC per element, up
+        // from the seed's quarter. (The fit's remaining nnz-independent ≈ 0.7 ms is
+        // per-tile B/C traffic that scales with `n_cols`, which the planner already
+        // accounts for in compute, not a per-element scan cost.)
+        let scan = (rows as u64 * k as u64) / 2;
+        // Scratch densification is one store per element — about the same cost per
+        // element as the zero-test scan on the SIMD kernels (both are scalar, cache-
+        // resident passes), plus the entry iteration to produce it.
         let densify = if lhs.as_dense().is_some() {
             0
         } else {
@@ -196,6 +230,22 @@ mod tests {
             let mut c = Matrix::zeros(m, n);
             DenseBackend::default().gemm_into(&a, &b, &mut c).unwrap();
             assert!(c.approx_eq(&reference, 1e-3), "{m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn portable_tier_is_bitwise_identical_to_the_scalar_reference() {
+        let mut gen = MatrixGenerator::seeded(14);
+        for (m, k, n) in [(6, 40, 33), (5, 17, 8), (9, 64, 31)] {
+            let a = gen.sparse_normal(m, k, 0.5);
+            let b = gen.normal(k, n, 0.0, 1.0);
+            let reference = gemm(&a, &b).unwrap();
+            let backend = DenseBackend::default().with_simd(SimdLevel::Portable);
+            let mut c = Matrix::zeros(m, n);
+            backend.gemm_into(&a, &b, &mut c).unwrap();
+            // The portable tile performs exactly the scalar operations in the scalar
+            // order, so this is equality, not tolerance.
+            assert_eq!(c, reference, "{m}x{k}x{n}");
         }
     }
 

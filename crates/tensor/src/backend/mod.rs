@@ -16,6 +16,12 @@
 //!   operands directly, the software analogue of a sparse-tensor-core datapath.
 //! * [`ParallelBackend`] — row-block tiling across threads over *any* inner backend.
 //!
+//! Every kernel's inner loop is an 8-wide f32 SIMD microkernel from the [`simd`] layer
+//! (re-exported here as [`SimdLevel`]): the instruction tier — 256-bit AVX/FMA on x86-64
+//! hardware that has it, a hand-unrolled portable loop everywhere else — is detected once
+//! at backend construction and stored in the backend, so no kernel call ever re-runs
+//! feature detection.
+//!
 //! Backends accept every operand: when the operand is not in a backend's native format the
 //! backend falls back to a correct (if slower) path, so backend choice is purely a
 //! performance decision. That is what lets the execution engine in the `tasd` crate pick a
@@ -54,6 +60,7 @@ mod nm;
 mod operand;
 mod packed;
 mod parallel;
+pub mod simd;
 
 pub use csr::CsrBackend;
 pub use dense::DenseBackend;
@@ -62,6 +69,7 @@ pub use nm::NmBackend;
 pub use operand::GemmOperand;
 pub use packed::{PackedKind, PackedOperand};
 pub use parallel::ParallelBackend;
+pub use simd::SimdLevel;
 
 use crate::{Matrix, Result, TensorError};
 use std::fmt;
@@ -89,6 +97,18 @@ impl CostHint {
 ///
 /// Implementations must be [`Sync`] + [`Send`]: the engine shares one backend across
 /// threads, and [`ParallelBackend`] drives inner backends from worker threads.
+///
+/// # Zero annihilation (non-finite contract)
+///
+/// An exact-zero operand entry (stored or implicit) **never contributes to the output**,
+/// even when the corresponding `B` row contains `NaN` or `±Inf` — zeros annihilate
+/// (`0 · NaN` is treated as `0`), rather than propagating non-finite values per IEEE-754
+/// `0.0 * NaN = NaN`. This is the only contract a sparse backend *can* honor — CSR and
+/// N:M kernels never see unstored zeros — so the dense and SIMD kernels skip exact-zero
+/// operand lanes to match. Consequence: which outputs are non-finite is determined by
+/// the operand's sparsity pattern alone and is identical across every backend, SIMD
+/// tier, and blocking strategy. Pinned by `zero_operand_entries_annihilate_nonfinite_b`
+/// in `tests/simd_kernels.rs`.
 pub trait GemmBackend: fmt::Debug + Sync + Send {
     /// Short stable name for plans, logs, and bench labels (e.g. `"dense"`, `"csr"`).
     fn name(&self) -> &'static str;
@@ -211,6 +231,11 @@ pub(crate) fn gemm_rows_generic(
     for i in r0..r1 {
         let c_row = &mut c_rows[(i - r0) * n_cols..(i - r0 + 1) * n_cols];
         lhs.for_each_in_row(i, &mut |col, value| {
+            // Zero-annihilation contract: stored zeros (e.g. N:M padding lanes) must
+            // not propagate NaN/Inf from B.
+            if value == 0.0 {
+                return;
+            }
             let b_row = b.row(col);
             for (cv, bv) in c_row.iter_mut().zip(b_row) {
                 *cv += value * bv;
@@ -237,10 +262,12 @@ mod tests {
     fn all_backends() -> Vec<Box<dyn GemmBackend>> {
         vec![
             Box::new(DenseBackend::default()),
-            Box::new(CsrBackend),
-            Box::new(NmBackend),
+            Box::new(CsrBackend::default()),
+            Box::new(NmBackend::default()),
             Box::new(ParallelBackend::default()),
-            Box::new(ParallelBackend::over(std::sync::Arc::new(CsrBackend))),
+            Box::new(ParallelBackend::over(std::sync::Arc::new(
+                CsrBackend::default(),
+            ))),
         ]
     }
 
@@ -374,7 +401,7 @@ mod tests {
     #[test]
     fn cost_hints_scale_with_nnz() {
         let (a, csr, _, b) = operands(0.9);
-        let backend = CsrBackend;
+        let backend = CsrBackend::default();
         let hint = backend.cost_hint(&csr, b.cols());
         assert_eq!(hint.compute_macs, csr.nnz() as u64 * b.cols() as u64);
         let dense_hint = DenseBackend::default().cost_hint(&a, b.cols());

@@ -1,5 +1,6 @@
 //! Structured N:M sparse GEMM backend.
 
+use super::simd::SimdLevel;
 use super::{gemm_rows_generic, CostHint, GemmBackend, GemmOperand};
 use crate::Matrix;
 
@@ -7,14 +8,47 @@ use crate::Matrix;
 /// directly — the software analogue of a sparse-tensor-core datapath, and the backend a
 /// TASD series term normally executes on.
 ///
-/// Compressed N:M operands run on their native block kernel; other formats fall back to
-/// row-entry iteration. Because N:M metadata fixes at most `N` entries per `M`-element
-/// block, the native kernel enjoys bounded, regular per-block work — the property that
-/// makes the format cheap in hardware — but in software its cost is the same
-/// one-MAC-per-stored-value as CSR, so the planner treats the two as cost-equivalent and
-/// picks by format instead.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct NmBackend;
+/// Compressed N:M operands run on their native block kernel — each stored value streams
+/// its metadata-indexed `B` row through an 8-wide SIMD axpy ([`super::simd::axpy`]) at
+/// the tier detected once at construction, the software shape of IndexMAC's indexed
+/// vector MACs; other formats fall back to row-entry iteration. Because N:M metadata
+/// fixes at most `N` entries per `M`-element block, the native kernel enjoys bounded,
+/// regular per-block work — the property that makes the format cheap in hardware — but
+/// in software its cost is the same one-axpy-per-stored-value as CSR, so the planner
+/// treats the two as cost-equivalent and picks by format instead.
+#[derive(Debug, Clone, Copy)]
+pub struct NmBackend {
+    /// SIMD tier the native block kernel dispatches to, fixed at construction.
+    simd: SimdLevel,
+}
+
+impl NmBackend {
+    /// A backend at the tier detected once per process.
+    pub fn new() -> Self {
+        NmBackend {
+            simd: SimdLevel::detected(),
+        }
+    }
+
+    /// Pins the SIMD tier (e.g. [`SimdLevel::Portable`] to force the fallback arm in
+    /// tests).
+    #[must_use]
+    pub fn with_simd(mut self, level: SimdLevel) -> Self {
+        self.simd = level;
+        self
+    }
+
+    /// The SIMD tier the native block kernel runs at.
+    pub fn simd_level(&self) -> SimdLevel {
+        self.simd
+    }
+}
+
+impl Default for NmBackend {
+    fn default() -> Self {
+        Self::new()
+    }
+}
 
 impl GemmBackend for NmBackend {
     fn name(&self) -> &'static str {
@@ -31,7 +65,7 @@ impl GemmBackend for NmBackend {
         n_cols: usize,
     ) {
         if let Some(nm) = lhs.as_nm() {
-            nm.spmm_rows_into(b, r0, r1, c_rows, n_cols);
+            nm.spmm_rows_into_simd(b, r0, r1, c_rows, n_cols, self.simd);
             return;
         }
         gemm_rows_generic(lhs, b, r0, r1, c_rows, n_cols);
@@ -60,7 +94,7 @@ mod tests {
         let nm = NmCompressed::from_dense_strict(&a, pattern).unwrap();
         let b = gen.normal(32, 12, 0.0, 1.0);
         let mut c = Matrix::zeros(24, 12);
-        NmBackend.gemm_into(&nm, &b, &mut c).unwrap();
+        NmBackend::default().gemm_into(&nm, &b, &mut c).unwrap();
         assert!(c.approx_eq(&gemm(&a, &b).unwrap(), 1e-4));
     }
 
@@ -70,7 +104,24 @@ mod tests {
         let a = gen.sparse_normal(9, 16, 0.4);
         let b = gen.normal(16, 5, 0.0, 1.0);
         let mut c = Matrix::zeros(9, 5);
-        NmBackend.gemm_into(&a, &b, &mut c).unwrap();
+        NmBackend::default().gemm_into(&a, &b, &mut c).unwrap();
         assert!(c.approx_eq(&gemm(&a, &b).unwrap(), 1e-4));
+    }
+
+    #[test]
+    fn portable_tier_matches_detected_tier() {
+        let mut gen = MatrixGenerator::seeded(33);
+        let pattern = NmPattern::new(2, 8).unwrap();
+        let a = pattern.view(&gen.sparse_normal(16, 40, 0.5));
+        let nm = NmCompressed::from_dense_strict(&a, pattern).unwrap();
+        let b = gen.normal(40, 11, 0.0, 1.0);
+        let mut fast = Matrix::zeros(16, 11);
+        let mut portable = Matrix::zeros(16, 11);
+        NmBackend::new().gemm_into(&nm, &b, &mut fast).unwrap();
+        NmBackend::new()
+            .with_simd(SimdLevel::Portable)
+            .gemm_into(&nm, &b, &mut portable)
+            .unwrap();
+        assert!(fast.approx_eq(&portable, 1e-5));
     }
 }

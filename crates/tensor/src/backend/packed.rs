@@ -172,11 +172,13 @@ mod tests {
         let t = term(0.8);
         let b = MatrixGenerator::seeded(7).normal(32, 16, 0.0, 1.0);
         let mut reference = Matrix::zeros(24, 16);
-        NmBackend.gemm_into(&t, &b, &mut reference).unwrap();
+        NmBackend::default()
+            .gemm_into(&t, &b, &mut reference)
+            .unwrap();
         let cases: [(&dyn GemmBackend, PackedKind); 3] = [
             (&DenseBackend::default(), PackedKind::Dense),
-            (&CsrBackend, PackedKind::Csr),
-            (&NmBackend, PackedKind::Nm),
+            (&CsrBackend::default(), PackedKind::Csr),
+            (&NmBackend::default(), PackedKind::Nm),
         ];
         for (backend, kind) in cases {
             let (packed, _) = PackedOperand::pack_nm_term(&t, kind);

@@ -75,11 +75,16 @@ impl GemmBackend for ParallelBackend {
         let (m, _) = lhs.shape();
         let n_cols = b.cols();
         let workers = rayon::current_num_threads();
-        // Cost hints scan the operand's non-zeros; skip that scan when the threshold is 0
-        // (the execution engine pre-decides parallelism and builds wrappers that way).
-        let below_threshold = self.min_parallel_macs > 0
-            && self.inner.cost_hint(lhs, n_cols).total() < self.min_parallel_macs;
-        if workers <= 1 || m < 2 || below_threshold {
+        // Cost hints scan the operand's non-zeros, an O(nnz) pass — only pay for it once
+        // the cheap structural checks say parallelism is even possible (single worker and
+        // single-row calls go inline regardless of the hint), and skip it too when the
+        // threshold is 0 (the execution engine pre-decides parallelism and builds
+        // wrappers that way).
+        let below_threshold = || {
+            self.min_parallel_macs > 0
+                && self.inner.cost_hint(lhs, n_cols).total() < self.min_parallel_macs
+        };
+        if workers <= 1 || m < 2 || below_threshold() {
             self.inner
                 .gemm_rows_into(lhs, b, 0, m, c.rows_slice_mut(0, m), n_cols);
             return Ok(());
@@ -155,8 +160,8 @@ mod tests {
         let reference = gemm(&a, &b).unwrap();
         let inners: [Arc<dyn GemmBackend>; 3] = [
             Arc::new(DenseBackend::default()),
-            Arc::new(CsrBackend),
-            Arc::new(NmBackend),
+            Arc::new(CsrBackend::default()),
+            Arc::new(NmBackend::default()),
         ];
         for inner in inners {
             let name = inner.name();
@@ -177,6 +182,58 @@ mod tests {
         let mut c = Matrix::zeros(5, 4);
         parallel.gemm_into(&a, &b, &mut c).unwrap();
         assert!(c.approx_eq(&gemm(&a, &b).unwrap(), 1e-4));
+    }
+
+    #[test]
+    fn inline_path_never_pays_the_cost_hint_scan() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        /// Inner backend that counts cost_hint calls (each one is an O(nnz) operand
+        /// scan the inline path must not pay).
+        #[derive(Debug)]
+        struct CountingBackend {
+            inner: DenseBackend,
+            hints: AtomicU64,
+        }
+        impl GemmBackend for CountingBackend {
+            fn name(&self) -> &'static str {
+                "counting"
+            }
+            fn gemm_rows_into(
+                &self,
+                lhs: &dyn GemmOperand,
+                b: &Matrix,
+                r0: usize,
+                r1: usize,
+                c_rows: &mut [f32],
+                n_cols: usize,
+            ) {
+                self.inner.gemm_rows_into(lhs, b, r0, r1, c_rows, n_cols);
+            }
+            fn cost_hint(&self, lhs: &dyn GemmOperand, n_cols: usize) -> CostHint {
+                self.hints.fetch_add(1, Ordering::Relaxed);
+                self.inner.cost_hint(lhs, n_cols)
+            }
+        }
+
+        let mut gen = MatrixGenerator::seeded(44);
+        // m = 1 forces the structural inline path on any worker count, so this test is
+        // deterministic whether the ambient rayon pool has 1 thread or 64.
+        let a = gen.normal(1, 32, 0.0, 1.0);
+        let b = gen.normal(32, 16, 0.0, 1.0);
+        let counting = Arc::new(CountingBackend {
+            inner: DenseBackend::default(),
+            hints: AtomicU64::new(0),
+        });
+        let parallel = ParallelBackend::over(counting.clone());
+        let mut c = Matrix::zeros(1, 16);
+        parallel.gemm_into(&a, &b, &mut c).unwrap();
+        assert!(c.approx_eq(&gemm(&a, &b).unwrap(), 1e-4));
+        assert_eq!(
+            counting.hints.load(Ordering::Relaxed),
+            0,
+            "structurally-inline calls must not scan the operand for a cost hint"
+        );
     }
 
     #[test]

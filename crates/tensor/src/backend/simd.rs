@@ -1,0 +1,444 @@
+//! Runtime-dispatched SIMD microkernels for the GEMM backends.
+//!
+//! Every backend's innermost loop is some variant of an `axpy`: one left-hand value
+//! broadcast against a contiguous span of `B`, accumulated into the matching span of
+//! `C`. This module provides that primitive at three instruction tiers and picks the
+//! tier **once**, at backend construction — never per call:
+//!
+//! * [`SimdLevel::Avx2Fma`] / [`SimdLevel::AvxFma`] — 256-bit 8-lane f32 FMA through
+//!   `std::arch` intrinsics, selected when the CPU reports the features at runtime.
+//!   The two tiers share the same f32 kernels (AVX2 adds integer ops, nothing for
+//!   f32 FMA panels); they are kept distinct so bench labels and telemetry name the
+//!   actual ISA tier, and so a future integer-metadata kernel (IndexMAC-style lane
+//!   gathers for N:M operands) can specialize without re-detection.
+//! * [`SimdLevel::Portable`] — a hand-unrolled 8-wide scalar kernel with eight
+//!   independent accumulation statements per step: safe code the autovectorizer
+//!   reliably turns into the widest SSE/AVX the build target allows, and the always-
+//!   available fallback on non-x86-64 targets or when forced for testing.
+//!
+//! Detection happens in [`SimdLevel::detect`]; backends capture the result in a field
+//! at construction (`is_x86_feature_detected!` never runs on a kernel path). The
+//! `TASD_SIMD` environment variable (`portable`, `avx-fma`, `avx2-fma`) overrides
+//! detection at construction time — CI uses `TASD_SIMD=portable` to force the fallback
+//! arm through the whole suite on hardware that would otherwise dispatch AVX.
+//!
+//! # Numerical contract
+//!
+//! The portable kernel performs exactly the scalar `c[j] += v * b[j]` operations in
+//! element order — bitwise identical to the scalar reference kernels. The FMA tiers
+//! fuse the multiply-add (one rounding instead of two), so results may differ from the
+//! scalar path in the last ULP; agreement is within `1e-6` relative on well-scaled
+//! inputs (pinned by `tests/simd_kernels.rs`). All tiers honor the backends'
+//! zero-annihilation contract ([`GemmBackend`](super::GemmBackend)): a caller only
+//! invokes these kernels for non-zero `v` lanes.
+
+use std::sync::OnceLock;
+
+/// The instruction tier a backend's inner kernels run at, fixed at construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimdLevel {
+    /// 256-bit f32 FMA, CPU reports AVX2+FMA (shares kernels with [`SimdLevel::AvxFma`]).
+    Avx2Fma,
+    /// 256-bit f32 FMA, CPU reports AVX+FMA.
+    AvxFma,
+    /// Hand-unrolled 8-wide scalar fallback — always available, autovectorizer-friendly,
+    /// bitwise identical to the scalar reference kernels.
+    Portable,
+}
+
+impl SimdLevel {
+    /// Short stable name for bench labels and logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdLevel::Avx2Fma => "avx2-fma",
+            SimdLevel::AvxFma => "avx-fma",
+            SimdLevel::Portable => "portable",
+        }
+    }
+
+    /// Detects the best available tier, honoring a `TASD_SIMD` override.
+    ///
+    /// An override naming a tier the CPU does not support falls back to the best
+    /// supported tier (never silently to a *wider* one); unknown values are ignored.
+    /// This is the construction-time entry — backends call it once and store the
+    /// result, so no kernel path ever re-runs feature detection.
+    pub fn detect() -> SimdLevel {
+        Self::resolve(
+            std::env::var("TASD_SIMD").ok().as_deref(),
+            Self::best_supported(),
+        )
+    }
+
+    /// Applies a `TASD_SIMD`-style override against the best hardware-supported tier
+    /// (factored out of [`detect`](Self::detect) so tests need not mutate process env).
+    fn resolve(requested: Option<&str>, best: SimdLevel) -> SimdLevel {
+        match requested {
+            Some("portable") => SimdLevel::Portable,
+            Some("avx-fma") if best != SimdLevel::Portable => SimdLevel::AvxFma,
+            Some("avx2-fma") if best == SimdLevel::Avx2Fma => SimdLevel::Avx2Fma,
+            _ => best,
+        }
+    }
+
+    /// The process-wide detected tier, computed once and cached. This is what code
+    /// without a construction seam (e.g. [`CsrMatrix::spmm`](crate::CsrMatrix::spmm)
+    /// convenience entries) dispatches on: one relaxed atomic load, no per-call
+    /// feature detection.
+    pub fn detected() -> SimdLevel {
+        static DETECTED: OnceLock<SimdLevel> = OnceLock::new();
+        *DETECTED.get_or_init(SimdLevel::detect)
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    fn best_supported() -> SimdLevel {
+        if is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma") {
+            SimdLevel::Avx2Fma
+        } else if is_x86_feature_detected!("avx") && is_x86_feature_detected!("fma") {
+            SimdLevel::AvxFma
+        } else {
+            SimdLevel::Portable
+        }
+    }
+
+    #[cfg(not(target_arch = "x86_64"))]
+    fn best_supported() -> SimdLevel {
+        SimdLevel::Portable
+    }
+}
+
+/// `c[j] += v * b[j]` across equal-length spans — the single-row inner kernel behind
+/// the CSR, N:M, and dense-remainder row loops. Callers skip `v == 0.0` (the
+/// zero-annihilation contract); `b` and `c` must have equal lengths.
+// lint: hot-path, warm-path
+#[inline]
+pub fn axpy(level: SimdLevel, v: f32, b: &[f32], c: &mut [f32]) {
+    debug_assert_eq!(b.len(), c.len(), "axpy span mismatch");
+    match level {
+        SimdLevel::Portable => axpy_portable(v, b, c),
+        // SAFETY: these levels are only constructed after `is_x86_feature_detected!`
+        // confirmed AVX and FMA at detection time (SimdLevel::detect), so the
+        // target-feature kernel's ISA requirement is met on this CPU.
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2Fma | SimdLevel::AvxFma => unsafe { axpy_fma(v, b, c) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => axpy_portable(v, b, c),
+    }
+}
+
+/// Four-row fused axpy: `c_q[j] += v[q] * b[j]` for `q = 0..4` — the register-blocked
+/// dense kernel's inner tile, where four output rows share every `B` load. Lanes whose
+/// `v` is exactly zero are skipped per the zero-annihilation contract; when all four
+/// lanes are live the fused path amortizes each `B` load across four FMA streams.
+// lint: hot-path, warm-path, allow(indexing): v is [f32; 4], so the fixed indices
+// 0..4 cannot be out of bounds
+#[inline]
+pub fn axpy4(
+    level: SimdLevel,
+    v: [f32; 4],
+    b: &[f32],
+    c0: &mut [f32],
+    c1: &mut [f32],
+    c2: &mut [f32],
+    c3: &mut [f32],
+) {
+    if v[0] != 0.0 && v[1] != 0.0 && v[2] != 0.0 && v[3] != 0.0 {
+        match level {
+            SimdLevel::Portable => axpy4_portable(v, b, c0, c1, c2, c3),
+            // SAFETY: these levels are only constructed after runtime detection
+            // confirmed AVX and FMA (see SimdLevel::detect), so the target-feature
+            // kernel may be called on this CPU.
+            #[cfg(target_arch = "x86_64")]
+            SimdLevel::Avx2Fma | SimdLevel::AvxFma => unsafe { axpy4_fma(v, b, c0, c1, c2, c3) },
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => axpy4_portable(v, b, c0, c1, c2, c3),
+        }
+        return;
+    }
+    // Mixed-zero group: per-lane dispatch so zero lanes contribute nothing (0·NaN
+    // must not leak into C) while live lanes keep the wide kernel.
+    for (vq, cq) in [(v[0], c0), (v[1], c1), (v[2], c2), (v[3], c3)] {
+        if vq != 0.0 {
+            axpy(level, vq, b, cq);
+        }
+    }
+}
+
+/// Hand-unrolled 8-wide portable axpy: eight independent statements per step keep eight
+/// accumulation streams in flight (the autovectorizer maps them onto whatever vector
+/// width the build target has), and each element still sees exactly the scalar
+/// `c[j] += v * b[j]` — bitwise identical to the reference kernels.
+// lint: hot-path, warm-path, allow(indexing): chunks_exact yields exactly-8-element
+// windows, so the fixed indices 0..8 are always in bounds
+fn axpy_portable(v: f32, b: &[f32], c: &mut [f32]) {
+    let mut cw = c.chunks_exact_mut(8);
+    let mut bw = b.chunks_exact(8);
+    for (cb, bb) in (&mut cw).zip(&mut bw) {
+        cb[0] += v * bb[0];
+        cb[1] += v * bb[1];
+        cb[2] += v * bb[2];
+        cb[3] += v * bb[3];
+        cb[4] += v * bb[4];
+        cb[5] += v * bb[5];
+        cb[6] += v * bb[6];
+        cb[7] += v * bb[7];
+    }
+    for (cv, bv) in cw.into_remainder().iter_mut().zip(bw.remainder()) {
+        *cv += v * bv;
+    }
+}
+
+/// Portable four-row fused axpy (all lanes live): one pass over `b`, four accumulation
+/// streams per load, same per-element operation order as four sequential
+/// [`axpy_portable`] calls — so results stay bitwise identical to the scalar kernels.
+// lint: hot-path, warm-path
+fn axpy4_portable(
+    v: [f32; 4],
+    b: &[f32],
+    c0: &mut [f32],
+    c1: &mut [f32],
+    c2: &mut [f32],
+    c3: &mut [f32],
+) {
+    let [v0, v1, v2, v3] = v;
+    for ((((bv, cv0), cv1), cv2), cv3) in b
+        .iter()
+        .zip(c0.iter_mut())
+        .zip(c1.iter_mut())
+        .zip(c2.iter_mut())
+        .zip(c3.iter_mut())
+    {
+        let bv = *bv;
+        *cv0 += v0 * bv;
+        *cv1 += v1 * bv;
+        *cv2 += v2 * bv;
+        *cv3 += v3 * bv;
+    }
+}
+
+/// 256-bit FMA axpy: 8 f32 lanes per step, unaligned loads (matrix rows carry no
+/// alignment guarantee), scalar fused tail.
+///
+/// # Safety
+///
+/// The caller must have verified at runtime that this CPU supports AVX and FMA
+/// (`SimdLevel::detect` does; the dispatchers above only reach here through a
+/// detection-gated level).
+// lint: hot-path, warm-path, allow(indexing): `tail` starts at the last full 8-lane
+// chunk, so every scalar index below is within both slices
+// SAFETY: see the # Safety section — callable only behind runtime AVX+FMA detection.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx", enable = "fma")]
+unsafe fn axpy_fma(v: f32, b: &[f32], c: &mut [f32]) {
+    use std::arch::x86_64::{_mm256_fmadd_ps, _mm256_loadu_ps, _mm256_set1_ps, _mm256_storeu_ps};
+    let n = c.len().min(b.len());
+    let chunks = n / 8;
+    let bp = b.as_ptr();
+    let cp = c.as_mut_ptr();
+    // SAFETY: `i * 8 + 8 <= chunks * 8 <= n` bounds every 8-lane load/store inside
+    // both slices; unaligned load/store intrinsics carry no alignment requirement.
+    unsafe {
+        let vv = _mm256_set1_ps(v);
+        for i in 0..chunks {
+            let at = i * 8;
+            let bv = _mm256_loadu_ps(bp.add(at));
+            let cv = _mm256_loadu_ps(cp.add(at));
+            _mm256_storeu_ps(cp.add(at), _mm256_fmadd_ps(vv, bv, cv));
+        }
+    }
+    for j in chunks * 8..n {
+        c[j] = v.mul_add(b[j], c[j]);
+    }
+}
+
+/// 256-bit FMA four-row fused axpy (all lanes live): each 8-lane `B` load feeds four
+/// FMA streams — the 4×8 tile the register-blocked dense kernel is built from.
+///
+/// # Safety
+///
+/// The caller must have verified at runtime that this CPU supports AVX and FMA
+/// (`SimdLevel::detect` does; the dispatchers above only reach here through a
+/// detection-gated level).
+// lint: hot-path, warm-path, allow(indexing): `tail` indices start at the last full
+// 8-lane chunk, so every scalar index below is within all five slices
+// SAFETY: see the # Safety section — callable only behind runtime AVX+FMA detection.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx", enable = "fma")]
+unsafe fn axpy4_fma(
+    v: [f32; 4],
+    b: &[f32],
+    c0: &mut [f32],
+    c1: &mut [f32],
+    c2: &mut [f32],
+    c3: &mut [f32],
+) {
+    use std::arch::x86_64::{_mm256_fmadd_ps, _mm256_loadu_ps, _mm256_set1_ps, _mm256_storeu_ps};
+    let n = b
+        .len()
+        .min(c0.len())
+        .min(c1.len())
+        .min(c2.len())
+        .min(c3.len());
+    let chunks = n / 8;
+    let bp = b.as_ptr();
+    let (p0, p1, p2, p3) = (
+        c0.as_mut_ptr(),
+        c1.as_mut_ptr(),
+        c2.as_mut_ptr(),
+        c3.as_mut_ptr(),
+    );
+    // SAFETY: `i * 8 + 8 <= chunks * 8 <= n` and `n` is the minimum of all five slice
+    // lengths, so every 8-lane load/store is in bounds for its slice; the unaligned
+    // intrinsics carry no alignment requirement, and the four output slices are
+    // disjoint `&mut` borrows by construction.
+    unsafe {
+        let v0 = _mm256_set1_ps(v[0]);
+        let v1 = _mm256_set1_ps(v[1]);
+        let v2 = _mm256_set1_ps(v[2]);
+        let v3 = _mm256_set1_ps(v[3]);
+        for i in 0..chunks {
+            let at = i * 8;
+            let bv = _mm256_loadu_ps(bp.add(at));
+            _mm256_storeu_ps(
+                p0.add(at),
+                _mm256_fmadd_ps(v0, bv, _mm256_loadu_ps(p0.add(at))),
+            );
+            _mm256_storeu_ps(
+                p1.add(at),
+                _mm256_fmadd_ps(v1, bv, _mm256_loadu_ps(p1.add(at))),
+            );
+            _mm256_storeu_ps(
+                p2.add(at),
+                _mm256_fmadd_ps(v2, bv, _mm256_loadu_ps(p2.add(at))),
+            );
+            _mm256_storeu_ps(
+                p3.add(at),
+                _mm256_fmadd_ps(v3, bv, _mm256_loadu_ps(p3.add(at))),
+            );
+        }
+    }
+    for j in chunks * 8..n {
+        let bv = b[j];
+        c0[j] = v[0].mul_add(bv, c0[j]);
+        c1[j] = v[1].mul_add(bv, c1[j]);
+        c2[j] = v[2].mul_add(bv, c2[j]);
+        c3[j] = v[3].mul_add(bv, c3[j]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scalar_axpy(v: f32, b: &[f32], c: &mut [f32]) {
+        for (cv, bv) in c.iter_mut().zip(b) {
+            *cv += v * bv;
+        }
+    }
+
+    fn spans(n: usize) -> (Vec<f32>, Vec<f32>) {
+        let b: Vec<f32> = (0..n).map(|j| (j as f32 * 0.37).sin()).collect();
+        let c: Vec<f32> = (0..n).map(|j| (j as f32 * 0.11).cos()).collect();
+        (b, c)
+    }
+
+    #[test]
+    fn portable_axpy_is_bitwise_scalar_across_remainders() {
+        for n in 0..=33 {
+            let (b, c0) = spans(n);
+            let mut expect = c0.clone();
+            scalar_axpy(1.7, &b, &mut expect);
+            let mut got = c0.clone();
+            axpy(SimdLevel::Portable, 1.7, &b, &mut got);
+            assert_eq!(got, expect, "width {n}");
+        }
+    }
+
+    #[test]
+    fn detected_level_axpy_agrees_with_scalar() {
+        let level = SimdLevel::detected();
+        for n in [1, 7, 8, 9, 31, 64, 250] {
+            let (b, c0) = spans(n);
+            let mut expect = c0.clone();
+            scalar_axpy(-0.83, &b, &mut expect);
+            let mut got = c0.clone();
+            axpy(level, -0.83, &b, &mut got);
+            for (g, e) in got.iter().zip(&expect) {
+                assert!(
+                    (g - e).abs() <= 1e-6 * e.abs().max(1.0),
+                    "{level:?} width {n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn axpy4_matches_four_single_axpys() {
+        for level in [SimdLevel::Portable, SimdLevel::detected()] {
+            for n in [1, 8, 13, 40] {
+                let (b, c0) = spans(n);
+                let vs = [0.5, -1.25, 0.0, 3.0]; // includes a zero lane
+                let mut expect: Vec<Vec<f32>> = (0..4).map(|_| c0.clone()).collect();
+                for (q, row) in expect.iter_mut().enumerate() {
+                    if vs[q] != 0.0 {
+                        axpy(level, vs[q], &b, row);
+                    }
+                }
+                let mut got: Vec<Vec<f32>> = (0..4).map(|_| c0.clone()).collect();
+                let [g0, g1, g2, g3] = &mut got[..] else {
+                    unreachable!()
+                };
+                axpy4(level, vs, &b, g0, g1, g2, g3);
+                for q in 0..4 {
+                    for (g, e) in got[q].iter().zip(&expect[q]) {
+                        assert!(
+                            (g - e).abs() <= 1e-6 * e.abs().max(1.0),
+                            "{level:?} lane {q} width {n}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_lanes_never_touch_nonfinite_b() {
+        // The zero-annihilation contract at the kernel level: a zero lane in axpy4
+        // must not propagate NaN from B.
+        for level in [SimdLevel::Portable, SimdLevel::detected()] {
+            let b = vec![f32::NAN; 16];
+            let mut rows: Vec<Vec<f32>> = (0..4).map(|_| vec![1.0; 16]).collect();
+            let [c0, c1, c2, c3] = &mut rows[..] else {
+                unreachable!()
+            };
+            axpy4(level, [0.0, 2.0, 0.0, 0.0], &b, c0, c1, c2, c3);
+            assert!(rows[0].iter().all(|x| *x == 1.0), "{level:?}");
+            assert!(rows[1].iter().all(|x| x.is_nan()), "{level:?}");
+            assert!(rows[2].iter().all(|x| *x == 1.0), "{level:?}");
+            assert!(rows[3].iter().all(|x| *x == 1.0), "{level:?}");
+        }
+    }
+
+    #[test]
+    fn override_resolution_never_widens_past_hardware() {
+        use SimdLevel::*;
+        // Forcing portable always wins; forcing a wider tier than the hardware has
+        // falls back to the best supported; unknown values are ignored.
+        for best in [Avx2Fma, AvxFma, Portable] {
+            assert_eq!(SimdLevel::resolve(Some("portable"), best), Portable);
+            assert_eq!(SimdLevel::resolve(Some("quantum"), best), best);
+            assert_eq!(SimdLevel::resolve(None, best), best);
+        }
+        assert_eq!(SimdLevel::resolve(Some("avx2-fma"), Avx2Fma), Avx2Fma);
+        assert_eq!(SimdLevel::resolve(Some("avx2-fma"), AvxFma), AvxFma);
+        assert_eq!(SimdLevel::resolve(Some("avx2-fma"), Portable), Portable);
+        assert_eq!(SimdLevel::resolve(Some("avx-fma"), Avx2Fma), AvxFma);
+        assert_eq!(SimdLevel::resolve(Some("avx-fma"), Portable), Portable);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(SimdLevel::Portable.name(), "portable");
+        assert_eq!(SimdLevel::AvxFma.name(), "avx-fma");
+        assert_eq!(SimdLevel::Avx2Fma.name(), "avx2-fma");
+    }
+}

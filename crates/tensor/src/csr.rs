@@ -5,6 +5,7 @@
 //! only non-zeros with explicit column indices, and its SpMM performs exactly one MAC per
 //! stored value per output column.
 
+use crate::backend::simd::{self, SimdLevel};
 use crate::{Matrix, Result, TensorError};
 use serde::{Deserialize, Serialize};
 
@@ -181,6 +182,29 @@ impl CsrMatrix {
         c_rows: &mut [f32],
         n_cols: usize,
     ) {
+        self.spmm_rows_into_simd(b, r0, r1, c_rows, n_cols, SimdLevel::detected());
+    }
+
+    /// [`spmm_rows_into`](Self::spmm_rows_into) at an explicit SIMD tier: each stored
+    /// non-zero streams its `B` row through an 8-wide axpy at `level`. Stored zeros are
+    /// skipped — the backend layer's zero-annihilation contract
+    /// ([`crate::backend::GemmBackend`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row range, `b`, or `c_rows` are inconsistent with this matrix. Use the
+    /// backend layer ([`crate::backend`]) for checked dispatch.
+    // lint: hot-path, warm-path, allow(panic, indexing): the asserts are this kernel's
+    // documented # Panics contract, and they pin the slab and row-pointer indexing below
+    pub fn spmm_rows_into_simd(
+        &self,
+        b: &Matrix,
+        r0: usize,
+        r1: usize,
+        c_rows: &mut [f32],
+        n_cols: usize,
+        level: SimdLevel,
+    ) {
         assert!(
             r0 <= r1 && r1 <= self.rows,
             "row range {r0}..{r1} out of bounds"
@@ -196,10 +220,10 @@ impl CsrMatrix {
             let c_row = &mut c_rows[(i - r0) * n_cols..(i - r0 + 1) * n_cols];
             for k in self.row_ptr[i]..self.row_ptr[i + 1] {
                 let v = self.values[k];
-                let b_row = b.row(self.col_idx[k]);
-                for (cv, bv) in c_row.iter_mut().zip(b_row) {
-                    *cv += v * bv;
+                if v == 0.0 {
+                    continue;
                 }
+                simd::axpy(level, v, b.row(self.col_idx[k]), c_row);
             }
         }
     }

@@ -7,6 +7,7 @@
 //! [`NmCompressed::spmm`] kernel performs only the effectual MACs — one per stored value
 //! per output column — which is what the accelerator model counts.
 
+use crate::backend::simd::{self, SimdLevel};
 use crate::nm::NmPattern;
 use crate::{Matrix, Result, TensorError};
 use serde::{Deserialize, Serialize};
@@ -227,6 +228,30 @@ impl NmCompressed {
         c_rows: &mut [f32],
         n_cols: usize,
     ) {
+        self.spmm_rows_into_simd(b, r0, r1, c_rows, n_cols, SimdLevel::detected());
+    }
+
+    /// [`spmm_rows_into`](Self::spmm_rows_into) at an explicit SIMD tier: each stored
+    /// value's lane metadata indexes its `B` row, which streams through an 8-wide axpy
+    /// at `level` — indexed vector MACs, IndexMAC-style. Stored zeros (padding lanes)
+    /// are skipped — the backend layer's zero-annihilation contract
+    /// ([`crate::backend::GemmBackend`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row range, `b`, or `c_rows` are inconsistent with this matrix. Use the
+    /// backend layer ([`crate::backend`]) for checked dispatch.
+    // lint: hot-path, warm-path, allow(panic, indexing): the asserts are this kernel's
+    // documented # Panics contract, and they pin the slab and block-pointer indexing below
+    pub fn spmm_rows_into_simd(
+        &self,
+        b: &Matrix,
+        r0: usize,
+        r1: usize,
+        c_rows: &mut [f32],
+        n_cols: usize,
+        level: SimdLevel,
+    ) {
         assert!(
             r0 <= r1 && r1 <= self.rows,
             "row range {r0}..{r1} out of bounds"
@@ -246,12 +271,11 @@ impl NmCompressed {
                 let base_col = blk_in_row * m_block;
                 let blk = i * bpr + blk_in_row;
                 for e in &self.entries[self.block_ptr[blk]..self.block_ptr[blk + 1]] {
-                    let k = base_col + e.lane as usize;
-                    let b_row = b.row(k);
-                    let v = e.value;
-                    for (cv, bv) in c_row.iter_mut().zip(b_row) {
-                        *cv += v * bv;
+                    if e.value == 0.0 {
+                        continue;
                     }
+                    let k = base_col + e.lane as usize;
+                    simd::axpy(level, e.value, b.row(k), c_row);
                 }
             }
         }

@@ -44,8 +44,8 @@ fn run_stress(threads: usize) {
     let mut gen = MatrixGenerator::seeded(0xBEEF + threads as u64);
     let inners: [Arc<dyn GemmBackend>; 3] = [
         Arc::new(DenseBackend::default()),
-        Arc::new(CsrBackend),
-        Arc::new(NmBackend),
+        Arc::new(CsrBackend::default()),
+        Arc::new(NmBackend::default()),
     ];
     for (case, (a, b)) in stress_cases(&mut gen).iter().enumerate() {
         let reference = gemm(a, b).unwrap();

@@ -59,7 +59,7 @@ fn engines() -> Vec<(&'static str, Arc<ExecutionEngine>)> {
             "forced-csr",
             Arc::new(
                 ExecutionEngine::builder()
-                    .backend(Arc::new(CsrBackend))
+                    .backend(Arc::new(CsrBackend::default()))
                     .build(),
             ),
         ),
@@ -67,7 +67,7 @@ fn engines() -> Vec<(&'static str, Arc<ExecutionEngine>)> {
             "forced-nm",
             Arc::new(
                 ExecutionEngine::builder()
-                    .backend(Arc::new(NmBackend))
+                    .backend(Arc::new(NmBackend::default()))
                     .build(),
             ),
         ),
