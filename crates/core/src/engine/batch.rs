@@ -35,14 +35,114 @@ use super::shard::ShardedSeries;
 use super::{ExecutionEngine, MatmulPlan};
 use crate::config::TasdConfig;
 use serde::{Deserialize, Serialize};
+use std::any::Any;
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
+use std::time::Duration;
 use tasd_tensor::backend::{pack_panels, unpack_panels};
-use tasd_tensor::{Matrix, Result, TensorError};
+use tasd_tensor::{Matrix, TensorError};
 
 /// Default fairness cap: a group is admitted at most this many slots after its arrival
 /// rank, however expensive its plan is (0 would mean strict FIFO).
 pub const DEFAULT_FAIRNESS_CAP: usize = 8;
+
+/// Why a request failed to produce an output — the serving layer's structured error
+/// taxonomy (see the "Failure semantics" section of the [engine module docs](super)).
+///
+/// Every [`BatchResponse::output`] error is one of these; a failed request never
+/// poisons its batch, its window, or the session. [`ShapeMismatch`](Self::ShapeMismatch)
+/// renders identically to [`TensorError::ShapeMismatch`], so error text observed by
+/// pre-existing callers is unchanged.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ServingError {
+    /// The request's operand shapes are inconsistent; rejected at admission.
+    ShapeMismatch {
+        /// Operation that rejected the shapes.
+        op: &'static str,
+        /// Left-hand shape at the point of mismatch.
+        lhs: (usize, usize),
+        /// Right-hand shape at the point of mismatch.
+        rhs: (usize, usize),
+    },
+    /// A kernel (or decomposition) panicked while executing this request's group. The
+    /// payload is the panic message; only the panicking group fails — the rest of the
+    /// window completes bitwise-identically.
+    KernelPanicked {
+        /// The panic's message payload (or a placeholder for non-string payloads).
+        payload: String,
+    },
+    /// The request's deadline passed before its window executed.
+    DeadlineExceeded,
+    /// The session's bounded queue was full and the overload policy rejected this
+    /// request at admission.
+    QueueFull,
+    /// The request was cancelled through [`ResponseHandle::cancel`](super::ResponseHandle::cancel)
+    /// before its response was delivered.
+    Cancelled,
+    /// The session was shut down (or drained) before this request could be admitted.
+    ShuttingDown,
+    /// The underlying execution returned a (non-shape) tensor error.
+    Execution(TensorError),
+}
+
+impl std::fmt::Display for ServingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            // Keep the exact TensorError::ShapeMismatch rendering: callers that matched
+            // on the message before the ServingError migration still see the same text.
+            ServingError::ShapeMismatch { op, lhs, rhs } => write!(
+                f,
+                "shape mismatch in {op}: lhs is {}x{}, rhs is {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            ServingError::KernelPanicked { payload } => {
+                write!(f, "kernel panicked while serving this request: {payload}")
+            }
+            ServingError::DeadlineExceeded => {
+                write!(f, "request deadline exceeded before execution")
+            }
+            ServingError::QueueFull => write!(f, "serving queue is full"),
+            ServingError::Cancelled => write!(f, "request was cancelled"),
+            ServingError::ShuttingDown => write!(f, "serving session is shutting down"),
+            ServingError::Execution(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServingError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServingError::Execution(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for ServingError {
+    fn from(e: TensorError) -> Self {
+        match e {
+            TensorError::ShapeMismatch { op, lhs, rhs } => {
+                ServingError::ShapeMismatch { op, lhs, rhs }
+            }
+            other => ServingError::Execution(other),
+        }
+    }
+}
+
+/// Renders a panic payload for [`ServingError::KernelPanicked`]: the `&str` / `String`
+/// message when the payload carries one (as `panic!` payloads do), a placeholder
+/// otherwise.
+pub(crate) fn describe_panic(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// One serving request: multiply (a possibly decomposed) `a` by `b`.
 ///
@@ -59,6 +159,12 @@ pub struct BatchRequest {
     pub b: Matrix,
     /// Decomposition to apply to `a` before multiplying; `None` executes the exact GEMM.
     pub config: Option<TasdConfig>,
+    /// Optional absolute deadline on the serving session's [`Clock`](super::Clock)
+    /// timeline: if it passes before the request's window executes, the request resolves
+    /// to [`ServingError::DeadlineExceeded`] instead of running. `None` (the default)
+    /// never expires. Engine-level [`submit`](ExecutionEngine::submit) ignores
+    /// deadlines — it has no clock; only the serving session enforces them.
+    pub deadline: Option<Duration>,
 }
 
 impl BatchRequest {
@@ -69,6 +175,7 @@ impl BatchRequest {
             a: a.into(),
             b,
             config: Some(config),
+            deadline: None,
         }
     }
 
@@ -78,7 +185,16 @@ impl BatchRequest {
             a: a.into(),
             b,
             config: None,
+            deadline: None,
         }
+    }
+
+    /// Sets an absolute deadline (an instant on the serving session's clock, e.g.
+    /// `session.now() + budget`). See [`deadline`](Self::deadline).
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
     }
 }
 
@@ -86,16 +202,31 @@ impl BatchRequest {
 #[derive(Debug, Clone)]
 pub struct BatchResponse {
     /// Index of the request this responds to (== its position in the submitted batch).
+    /// 0 for responses fabricated outside any window (cancellation, expiry, shutdown).
     pub index: usize,
-    /// The product, or the shape error that rejected the request at admission.
-    pub output: Result<Matrix>,
-    /// Arrival-ranked id of the group this request executed with (`None` if rejected).
+    /// The product, or the structured [`ServingError`] that failed the request.
+    pub output: Result<Matrix, ServingError>,
+    /// Arrival-ranked id of the group this request executed with (`None` if it failed).
     pub group: Option<usize>,
-    /// Estimated effectual MACs of this request's plan (0 if rejected).
+    /// Estimated effectual MACs of this request's plan (0 if it failed at admission).
     pub plan_cost: u64,
     /// Whether this request's decomposition was served from the cache. `false` for dense
     /// requests and for the request batch that actually performed the decomposition.
     pub cache_hit: bool,
+}
+
+impl BatchResponse {
+    /// A failed response carrying `error` and no execution metadata — what cancellation,
+    /// deadline expiry, queue rejection, shutdown, and panic containment deliver.
+    pub(crate) fn failed(index: usize, error: ServingError) -> Self {
+        BatchResponse {
+            index,
+            output: Err(error),
+            group: None,
+            plan_cost: 0,
+            cache_hit: false,
+        }
+    }
 }
 
 /// Per-group serving telemetry (one entry per operand group, indexed by group id).
@@ -130,6 +261,9 @@ pub struct BatchTelemetry {
     pub requests: usize,
     /// Requests rejected at admission (per-request shape errors).
     pub rejected: usize,
+    /// Requests that resolved to [`ServingError::KernelPanicked`] because their group's
+    /// preparation or kernel pass panicked (contained per group; see the module docs).
+    pub panicked: usize,
     /// Fairness cap the scheduler ran with.
     pub fairness_cap: usize,
     /// Per-group telemetry, indexed by arrival-ranked group id.
@@ -225,6 +359,10 @@ enum GroupExec {
     },
     /// Exact GEMM group: the memoized plan for the packed output width.
     Dense { plan: Arc<MatmulPlan> },
+    /// The group's preparation (decomposition / planning) panicked: every member
+    /// resolves to this error, and the group flows through scheduling with cost 0 so
+    /// telemetry and admission invariants hold for the rest of the batch.
+    Failed { error: ServingError },
 }
 
 /// A request group while the batch is still being assembled: one shared operand
@@ -233,6 +371,10 @@ struct Group {
     members: Vec<usize>,
     fingerprint: u64,
 }
+
+/// One group's kernel pass result: the packed wide output plus (cache_hit, decomposed),
+/// or the structured error that failed every member.
+type GroupOutcome = std::result::Result<(Matrix, bool, bool), ServingError>;
 
 /// A group after costing: the execution strategy is resolved and the summed plan cost is
 /// known, so the schedule/execute loop never meets a half-built group.
@@ -283,7 +425,7 @@ impl ExecutionEngine {
                 rejected += 1;
                 responses[i] = Some(BatchResponse {
                     index: i,
-                    output: Err(TensorError::ShapeMismatch {
+                    output: Err(ServingError::ShapeMismatch {
                         op: "batch request",
                         lhs: req.a.shape(),
                         rhs: req.b.shape(),
@@ -321,32 +463,55 @@ impl ExecutionEngine {
                 let first = &requests[group.members[0]];
                 let a = &first.a;
                 let packed_width: usize = group.members.iter().map(|&i| requests[i].b.cols()).sum();
-                let (per_col_macs, exec): (u64, GroupExec) = match &first.config {
-                    Some(cfg) => {
-                        // Oversized operands route through the shard policy (when one is
-                        // configured): one prepared series per row shard, each a
-                        // first-class cache entry keyed by the shard's own fingerprint.
-                        // Decomposition is row-local, so the summed shard nnz equals the
-                        // whole-matrix nnz and the cost estimate is unchanged.
-                        if let Some(policy) = self.shard_policy_for(a.rows()).cloned() {
-                            let series = self.prepare_sharded(a, cfg, &policy);
-                            let macs = series.nnz() as u64;
-                            let cache_hit = series.all_cache_hits();
-                            (macs, GroupExec::Sharded { series, cache_hit })
-                        } else {
-                            let (series, cache_hit) =
-                                self.prepare_with_fingerprint(a.as_ref(), cfg, group.fingerprint);
-                            let macs = series.nnz() as u64;
-                            (macs, GroupExec::Prepared { series, cache_hit })
+                // A panicking decomposition (or planner) fails only its own group: the
+                // group becomes GroupExec::Failed and still flows through scheduling,
+                // so every other group — and every telemetry invariant — is untouched.
+                let prep = catch_unwind(AssertUnwindSafe(|| -> (u64, GroupExec) {
+                    match &first.config {
+                        Some(cfg) => {
+                            // Oversized operands route through the shard policy (when
+                            // one is configured): one prepared series per row shard,
+                            // each a first-class cache entry keyed by the shard's own
+                            // fingerprint. Decomposition is row-local, so the summed
+                            // shard nnz equals the whole-matrix nnz and the cost
+                            // estimate is unchanged.
+                            if let Some(policy) = self.shard_policy_for(a.rows()).cloned() {
+                                let series = self.prepare_sharded(a, cfg, &policy);
+                                let macs = series.nnz() as u64;
+                                let cache_hit = series.all_cache_hits();
+                                (macs, GroupExec::Sharded { series, cache_hit })
+                            } else {
+                                let (series, cache_hit) = self.prepare_with_fingerprint(
+                                    a.as_ref(),
+                                    cfg,
+                                    group.fingerprint,
+                                );
+                                let macs = series.nnz() as u64;
+                                (macs, GroupExec::Prepared { series, cache_hit })
+                            }
+                        }
+                        None => {
+                            let plan = self.plan_gemm_memoized(
+                                a.as_ref(),
+                                group.fingerprint,
+                                packed_width,
+                            );
+                            // lint: allow(indexing): plan_terms never returns an empty plan
+                            let macs = (plan.terms[0].density * a.len() as f64) as u64;
+                            (macs, GroupExec::Dense { plan })
                         }
                     }
-                    None => {
-                        let plan =
-                            self.plan_gemm_memoized(a.as_ref(), group.fingerprint, packed_width);
-                        // lint: allow(indexing): plan_terms never returns an empty plan
-                        let macs = (plan.terms[0].density * a.len() as f64) as u64;
-                        (macs, GroupExec::Dense { plan })
-                    }
+                }));
+                let (per_col_macs, exec) = match prep {
+                    Ok(prepped) => prepped,
+                    Err(payload) => (
+                        0,
+                        GroupExec::Failed {
+                            error: ServingError::KernelPanicked {
+                                payload: describe_panic(payload.as_ref()),
+                            },
+                        },
+                    ),
                 };
                 let mut plan_cost = 0u64;
                 for &i in &group.members {
@@ -368,49 +533,74 @@ impl ExecutionEngine {
         let order = admission_order(&group_costs, self.fairness_cap());
         let mut group_telemetry: Vec<Option<GroupTelemetry>> =
             (0..costed.len()).map(|_| None).collect();
+        let mut panicked = 0usize;
         for (slot, &gid) in order.iter().enumerate() {
             let group = &costed[gid];
             let first = &requests[group.members[0]];
             let panels: Vec<&Matrix> = group.members.iter().map(|&i| &requests[i].b).collect();
-            // lint: allow(panic): admission rejected every request whose panel row
-            // count disagrees with the shared operand, so the survivors pack cleanly
-            let wide_b = pack_panels(&panels).expect("group panels share the operand width");
-            let (wide_c, cache_hit, decomposed) = match &group.exec {
-                GroupExec::Prepared { series, cache_hit } => {
-                    let c = self
-                        .series_gemm_prepared(series, &wide_b)
-                        // lint: allow(panic): admission checked b.rows() == a.cols()
-                        .expect("shapes validated at admission");
-                    (c, *cache_hit, !*cache_hit)
+            // The window's failure containment: a panicking kernel pass fails only its
+            // own group — every member gets a KernelPanicked response, the loop moves
+            // to the next admitted group, and the surviving groups' outputs are bitwise
+            // identical to a fault-free batch (group passes are independent).
+            let executed: std::result::Result<GroupOutcome, Box<dyn Any + Send>> =
+                catch_unwind(AssertUnwindSafe(|| -> GroupOutcome {
+                    let wide_b = pack_panels(&panels)?;
+                    Ok(match &group.exec {
+                        GroupExec::Prepared { series, cache_hit } => {
+                            let c = self.series_gemm_prepared(series, &wide_b)?;
+                            (c, *cache_hit, !*cache_hit)
+                        }
+                        GroupExec::Sharded { series, cache_hit } => {
+                            // One packed multi-RHS pass per shard, each writing its
+                            // disjoint row range of the wide output; bitwise identical
+                            // to the unsharded pass.
+                            let c = self.series_gemm_sharded(series, &wide_b)?;
+                            (c, *cache_hit, !*cache_hit)
+                        }
+                        GroupExec::Dense { plan } => {
+                            let mut c = Matrix::zeros(first.a.rows(), wide_b.cols());
+                            self.gemm_into_with_plan(first.a.as_ref(), &wide_b, &mut c, plan)?;
+                            (c, false, false)
+                        }
+                        GroupExec::Failed { error } => return Err(error.clone()),
+                    })
+                }));
+            let outcome = match executed {
+                Ok(outcome) => outcome,
+                Err(payload) => Err(ServingError::KernelPanicked {
+                    payload: describe_panic(payload.as_ref()),
+                }),
+            };
+            let (cache_hit, decomposed) = match outcome {
+                Ok((wide_c, cache_hit, decomposed)) => {
+                    let widths: Vec<usize> = panels.iter().map(|p| p.cols()).collect();
+                    for (&i, out) in group.members.iter().zip(unpack_panels(&wide_c, &widths)) {
+                        responses[i] = Some(BatchResponse {
+                            index: i,
+                            output: Ok(out),
+                            group: Some(gid),
+                            plan_cost: member_cost[i],
+                            cache_hit,
+                        });
+                    }
+                    (cache_hit, decomposed)
                 }
-                GroupExec::Sharded { series, cache_hit } => {
-                    // One packed multi-RHS pass per shard, each writing its disjoint row
-                    // range of the wide output; bitwise identical to the unsharded pass.
-                    let c = self
-                        .series_gemm_sharded(series, &wide_b)
-                        // lint: allow(panic): admission checked b.rows() == a.cols()
-                        .expect("shapes validated at admission");
-                    (c, *cache_hit, !*cache_hit)
-                }
-                GroupExec::Dense { plan } => {
-                    let mut c = Matrix::zeros(first.a.rows(), wide_b.cols());
-                    self.gemm_into_with_plan(first.a.as_ref(), &wide_b, &mut c, plan)
-                        // lint: allow(panic): admission checked b.rows() == a.cols(),
-                        // and c is allocated with the packed output shape right above
-                        .expect("shapes validated at admission");
-                    (c, false, false)
+                Err(error) => {
+                    if matches!(error, ServingError::KernelPanicked { .. }) {
+                        panicked += group.members.len();
+                    }
+                    for &i in &group.members {
+                        responses[i] = Some(BatchResponse {
+                            index: i,
+                            output: Err(error.clone()),
+                            group: Some(gid),
+                            plan_cost: member_cost[i],
+                            cache_hit: false,
+                        });
+                    }
+                    (false, false)
                 }
             };
-            let widths: Vec<usize> = panels.iter().map(|p| p.cols()).collect();
-            for (&i, out) in group.members.iter().zip(unpack_panels(&wide_c, &widths)) {
-                responses[i] = Some(BatchResponse {
-                    index: i,
-                    output: Ok(out),
-                    group: Some(gid),
-                    plan_cost: member_cost[i],
-                    cache_hit,
-                });
-            }
             group_telemetry[gid] = Some(GroupTelemetry {
                 fingerprint: group.fingerprint,
                 members: group.members.clone(),
@@ -433,6 +623,7 @@ impl ExecutionEngine {
         let telemetry = BatchTelemetry {
             requests: n,
             rejected,
+            panicked,
             fairness_cap: self.fairness_cap(),
             decompositions: groups.iter().filter(|g| g.decomposed).count() as u64,
             cache_hits: stats_after.hits - stats_before.hits,

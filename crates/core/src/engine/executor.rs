@@ -27,9 +27,12 @@
 //!   threads, same as the old scoped pool — but concurrent batches now *share* those
 //!   threads instead of each spawning their own.
 //!
-//! Worker panics are caught per job, forwarded to the submitting caller, and re-raised
-//! there (`resume_unwind`), so a panicking kernel behaves exactly as it did under
-//! `std::thread::scope`: the caller unwinds, the pool survives.
+//! Worker panics are caught **per job** and carried back to the submitting caller
+//! indexed by job: [`Executor::run_all_isolated`] returns the per-job payloads so the
+//! caller can fail exactly the work a panic belongs to (what the batch executor's
+//! per-group containment builds on), while [`Executor::run_all`] re-raises the first
+//! payload (`resume_unwind`) after the whole batch has settled — in both cases the
+//! caller, never the pool, owns the failure: the pool survives.
 
 use std::any::Any;
 use std::collections::VecDeque;
@@ -56,8 +59,9 @@ struct Queue {
     shutdown: bool,
 }
 
-/// Completion latch for one `run_all` batch: counts outstanding jobs and carries the
-/// first panic payload back to the submitting caller.
+/// Completion latch for one `run_all` batch: counts outstanding jobs and carries every
+/// job's panic payload — indexed by job — back to the submitting caller, so the caller
+/// can attribute each panic to the exact job that raised it.
 struct Latch {
     state: Mutex<LatchState>,
     cv: Condvar,
@@ -65,7 +69,7 @@ struct Latch {
 
 struct LatchState {
     remaining: usize,
-    panic: Option<Box<dyn Any + Send>>,
+    panics: Vec<Option<Box<dyn Any + Send>>>,
 }
 
 impl Latch {
@@ -73,19 +77,18 @@ impl Latch {
         Latch {
             state: Mutex::new(LatchState {
                 remaining: jobs,
-                panic: None,
+                panics: (0..jobs).map(|_| None).collect(),
             }),
             cv: Condvar::new(),
         }
     }
 
-    // lint: hot-path
-    fn complete(&self, panic: Option<Box<dyn Any + Send>>) {
+    // lint: hot-path, allow(indexing): index enumerates the same jobs vector the
+    // panics vector was sized from in Latch::new
+    fn complete(&self, index: usize, panic: Option<Box<dyn Any + Send>>) {
         let mut state = lock_or_panic(&self.state, "latch");
         state.remaining -= 1;
-        if state.panic.is_none() {
-            state.panic = panic;
-        }
+        state.panics[index] = panic;
         if state.remaining == 0 {
             self.cv.notify_all();
         }
@@ -96,15 +99,15 @@ impl Latch {
         lock_or_panic(&self.state, "latch").remaining == 0
     }
 
-    /// Blocks until every job of the batch has completed, then returns the first panic
-    /// payload (if any job panicked).
+    /// Blocks until every job of the batch has completed, then returns the per-job
+    /// panic payloads (`None` for jobs that finished cleanly).
     // lint: hot-path
-    fn wait(&self) -> Option<Box<dyn Any + Send>> {
+    fn wait(&self) -> Vec<Option<Box<dyn Any + Send>>> {
         let mut state = lock_or_panic(&self.state, "latch");
         while state.remaining > 0 {
             state = wait_or_panic(&self.cv, state, "latch");
         }
-        state.panic.take()
+        std::mem::take(&mut state.panics)
     }
 }
 
@@ -175,54 +178,70 @@ impl Executor {
 
     /// Runs every job to completion, distributing them over the pool; blocks until the
     /// last one finishes, helping with queued work while it waits. Jobs may borrow from
-    /// the caller's stack. If any job panics, the panic is re-raised here after the
-    /// whole batch has settled.
+    /// the caller's stack. If any job panics, the first panic (by job index) is
+    /// re-raised here after the whole batch has settled.
+    // lint: hot-path
+    pub(crate) fn run_all<'scope>(&self, jobs: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
+        let mut panics = self.run_all_isolated(jobs);
+        if let Some(payload) = panics.iter_mut().find_map(Option::take) {
+            resume_unwind(payload);
+        }
+    }
+
+    /// [`run_all`](Self::run_all) with per-job panic isolation: every job runs to
+    /// completion (panicking or not), and the return value maps each job index to its
+    /// panic payload — `None` for jobs that finished cleanly. Nothing is re-raised:
+    /// the caller decides what a panic fails (this is what lets the batch executor
+    /// fail one request group without taking the window down).
     ///
     /// With one worker (or one job) everything runs inline on the caller — the
     /// single-core configuration pays no queue or thread cost.
     // lint: hot-path
-    pub(crate) fn run_all<'scope>(&self, jobs: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
+    pub(crate) fn run_all_isolated<'scope>(
+        &self,
+        jobs: Vec<Box<dyn FnOnce() + Send + 'scope>>,
+    ) -> Vec<Option<Box<dyn Any + Send>>> {
         if jobs.is_empty() {
-            return;
+            return Vec::new();
         }
         if self.workers == 1 || jobs.len() == 1 {
-            for job in jobs {
-                job();
-            }
-            return;
+            return jobs
+                .into_iter()
+                .map(|job| catch_unwind(AssertUnwindSafe(job)).err())
+                .collect();
         }
         self.ensure_spawned();
         let latch = Arc::new(Latch::new(jobs.len()));
         {
             let mut queue = lock_or_panic(&self.shared.queue, "executor queue");
-            for job in jobs {
+            for (index, job) in jobs.into_iter().enumerate() {
                 // SAFETY: erasing `'scope` to `'static` is sound because the
                 // completion latch pins the erased job's lifetime inside `'scope`:
                 //
                 // * `latch` starts at `jobs.len()` and every wrapper below decrements
                 //   it exactly once — the job runs under `catch_unwind`, so the
                 //   decrement happens even if the job panics.
-                // * `run_all` does not return before `latch` reaches zero (both
-                //   `break` arms of the help loop go through `latch.wait()`), so every
-                //   erased job has been consumed — run to completion by a pool thread
-                //   or by this caller — before the borrows it captures expire.
+                // * `run_all_isolated` does not return before `latch` reaches zero
+                //   (both `break` arms of the help loop go through `latch.wait()`), so
+                //   every erased job has been consumed — run to completion by a pool
+                //   thread or by this caller — before the borrows it captures expire.
                 // * No erased job outlives the queue unrun: `shutdown` is only set in
                 //   `Drop`, which takes `&mut self` and therefore cannot overlap an
-                //   in-flight `run_all` borrow of `self`.
+                //   in-flight `run_all_isolated` borrow of `self`.
                 let job = unsafe {
                     std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, QueuedJob>(job)
                 };
                 let latch = Arc::clone(&latch);
                 queue.jobs.push_back(Box::new(move || {
                     let panic = catch_unwind(AssertUnwindSafe(job)).err();
-                    latch.complete(panic);
+                    latch.complete(index, panic);
                 }));
             }
         }
         self.shared.work_cv.notify_all();
         // Help while waiting: run queued jobs (ours or anyone's) instead of sleeping.
         // See the module docs for why this makes nested run_all deadlock-free.
-        let panic = loop {
+        loop {
             if latch.is_done() {
                 break latch.wait();
             }
@@ -235,9 +254,6 @@ impl Executor {
                 // the latch until the last one completes.
                 None => break latch.wait(),
             }
-        };
-        if let Some(payload) = panic {
-            resume_unwind(payload);
         }
     }
 }

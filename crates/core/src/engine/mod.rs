@@ -220,6 +220,45 @@
 //!    memo's pinned operands (at most `fingerprint_memo_capacity` live matrices) to the
 //!    budget.
 //!
+//! # Failure semantics
+//!
+//! Serving degrades per request, never per process. The taxonomy is the [`ServingError`]
+//! enum carried in every [`BatchResponse::output`]:
+//!
+//! * **`ShapeMismatch`** — admission-time rejection: the request's dimensions cannot
+//!   multiply. Decided before any kernel runs; the rest of the batch is unaffected.
+//! * **`KernelPanicked`** — a panic during that request's *group* (decomposition,
+//!   packing, or the kernel itself). The batch executor runs each group under
+//!   `catch_unwind`, so a panicking group fails exactly its own member requests and
+//!   every other group in the window completes **bitwise-identically** to a fault-free
+//!   run. A panic in the window dispatch itself (outside any group) fails the whole
+//!   window the same way — waiters are woken with the error, never left hanging on an
+//!   unfilled slot.
+//! * **`DeadlineExceeded`** — the request's [`BatchRequest::with_deadline`] instant (on
+//!   the session's injectable [`Clock`]) passed before its window executed: resolved
+//!   without spending kernel time, at dispatch or when shed by
+//!   [`OverloadPolicy::ShedExpiredFirst`]. Engine-level [`submit`](ExecutionEngine::submit)
+//!   has no clock and ignores deadlines.
+//! * **`QueueFull`** — admission control: the session's bounded queue
+//!   ([`ServingEngine::with_queue_capacity`]) was full and the [`OverloadPolicy`] chose
+//!   rejection. The handle comes back already resolved; enqueue never blocks.
+//! * **`Cancelled`** — the caller withdrew the request via [`ResponseHandle::cancel`].
+//!   Best-effort against execution: still-parked requests are skipped at dispatch,
+//!   already-executing ones run and their result is discarded (first write wins).
+//! * **`ShuttingDown`** — the session closed admission. [`ServingEngine::drain`] still
+//!   *executes* everything already parked; [`ServingEngine::shutdown`] abandons parked
+//!   requests with this error and waits out any in-flight window. Either way **every
+//!   outstanding handle resolves** — no path leaks a waiter.
+//! * **`Execution`** — a structured [`TensorError`] from the kernels that is not a
+//!   shape mismatch (e.g. corrupt compressed input).
+//!
+//! The contract is provable on demand: a seeded, deterministic [`FaultPlan`] wraps any
+//! backend ([`FaultyBackend`]) or arms engine failpoints
+//! ([`EngineBuilder::fault_plan`]) to inject panics, latency, or transient errors at
+//! chosen call indices, and `tests/serving_faults.rs` replays chaos schedules against
+//! the guarantees above (exact-k isolation, bitwise-identical survivors, zero lost
+//! handles under concurrent shutdown).
+//!
 //! # Enforced invariants
 //!
 //! The contracts above are not prose-only: `tasd-lint` (`crates/lint`, run in CI as
@@ -240,8 +279,11 @@
 //! * **Lock order.** Every `Mutex` is acquired through
 //!   `sync::lock_or_panic` (poison propagation that names the lock) and is
 //!   registered in `lint.toml`'s lock table; nested acquisitions must follow the
-//!   declared order `dispatch → session → slot → engine memos → executor pool →
-//!   queue → latch`, so the serving layer cannot deadlock against the executor.
+//!   declared order `dispatch → clock → session → slot → engine memos → executor
+//!   pool → queue → latch → faults`, so the serving layer cannot deadlock against
+//!   the executor (the deadline clock and the fault plan keep their locks at the
+//!   edges: the clock is read before deeper locks are taken, the fault plan's lock
+//!   is released before an injected fault fires).
 //! * **Unsafe audit.** Every `unsafe` site carries an adjacent `// SAFETY:` (or
 //!   `# Safety` doc) contract, and the full inventory is pinned: `lint.toml`'s
 //!   `[unsafe_audit] expected_sites` count must match exactly, so a new `unsafe`
@@ -262,7 +304,9 @@
 
 mod batch;
 mod cache;
+mod clock;
 mod executor;
+mod faults;
 mod plan;
 mod prepared;
 mod serving;
@@ -270,14 +314,17 @@ mod shard;
 mod sync;
 
 pub use batch::{
-    admission_order, BatchRequest, BatchResponse, BatchTelemetry, GroupTelemetry,
+    admission_order, BatchRequest, BatchResponse, BatchTelemetry, GroupTelemetry, ServingError,
     DEFAULT_FAIRNESS_CAP,
 };
 pub use cache::{CacheEntryStats, CacheStats, DecompositionCache};
+pub use clock::{Clock, MockClock, MonotonicClock};
+pub use faults::{FaultKind, FaultPlan, FaultRecord, FaultSite, FaultyBackend};
 pub use plan::{BackendKind, BackendTable, MatmulPlan, TermPlan};
 pub use prepared::{PreparedSeries, PreparedTerm};
 pub use serving::{
-    ResponseHandle, ServingEngine, ServingStats, DEFAULT_MAX_BATCH, DEFAULT_MAX_WAIT_TICKS,
+    OverloadPolicy, ResponseHandle, ServingEngine, ServingStats, DEFAULT_MAX_BATCH,
+    DEFAULT_MAX_WAIT_TICKS,
 };
 pub use shard::{
     PreparedShard, ShardPolicy, ShardTelemetry, ShardedEngine, ShardedSeries, ShardedTelemetry,
@@ -336,6 +383,7 @@ pub struct EngineBuilder {
     shard_policy: Option<ShardPolicy>,
     shard_min_rows: usize,
     workers: Option<usize>,
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl EngineBuilder {
@@ -458,6 +506,16 @@ impl EngineBuilder {
         self
     }
 
+    /// Arms the engine's internal failpoints (decomposition, window dispatch) against
+    /// `plan` — the fault-injection side of the chaos harness ([`FaultPlan`] also wraps
+    /// backends directly via [`FaultyBackend`]). Test-oriented: an unarmed engine (the
+    /// default) pays nothing but an `Option` check per failpoint.
+    #[must_use]
+    pub fn fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
     /// Builds the engine and wraps it in a [`ServingEngine`] session with the default
     /// micro-batch window — the one-call entry point to the serving lifecycle (see the
     /// [module docs](self)). Tune the window with
@@ -515,6 +573,7 @@ impl EngineBuilder {
             shard_splits: Mutex::new(shard::ShardSplitMemo::default()),
             executor: executor::Executor::new(workers),
             counters: PrepCounters::default(),
+            faults: self.faults,
         }
     }
 }
@@ -534,6 +593,7 @@ impl Default for EngineBuilder {
             shard_min_rows: DEFAULT_SHARD_MIN_ROWS,
             bench_json: None,
             workers: None,
+            faults: None,
         }
     }
 }
@@ -699,12 +759,30 @@ pub struct ExecutionEngine {
     /// concurrent caller) drains through this queue — nothing spawns per call.
     executor: executor::Executor,
     counters: PrepCounters,
+    /// Armed fault-injection plan ([`EngineBuilder::fault_plan`]); `None` in production.
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl ExecutionEngine {
     /// Starts building an engine.
     pub fn builder() -> EngineBuilder {
         EngineBuilder::default()
+    }
+
+    /// Trips the armed [`FaultPlan`] at `site`, if any. A triggered fault escalates to
+    /// a panic here (transient errors included — a failpoint has no `Result` channel);
+    /// the serving layer's isolation converts it into a per-request
+    /// [`ServingError::KernelPanicked`], which is exactly the behavior the chaos suite
+    /// exercises.
+    // lint: hot-path
+    pub(crate) fn failpoint(&self, site: FaultSite) {
+        if let Some(plan) = &self.faults {
+            if let Err(error) = plan.trip(site) {
+                // lint: allow(panic): only reachable with a fault plan armed — firing
+                // the injected fault is this site's entire purpose.
+                panic!("injected transient fault: {error}");
+            }
+        }
     }
 
     /// The process-wide default engine (default builder settings), which the back-compat
@@ -1017,6 +1095,7 @@ impl ExecutionEngine {
             shape: a.shape(),
             config: config.clone(),
         };
+        self.failpoint(FaultSite::Decompose);
         let series = Arc::new(decompose(a, config));
         let prepared = Arc::new(PreparedSeries::prepare(series, fingerprint, |d, r, c| {
             self.kind_for_packed(d, r, c)

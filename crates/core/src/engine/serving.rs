@@ -53,13 +53,32 @@
 //! returns (serialized with the dispatcher, so it composes with concurrent enqueuers).
 //! Code that owns its batches can keep calling either; code that wants coalescing
 //! switches to `enqueue` + handles and lets the window do the batching.
+//!
+//! # Deadlines, overload, and shutdown
+//!
+//! A request may carry an absolute deadline ([`BatchRequest::with_deadline`]) on the
+//! session's [`Clock`](super::Clock) timeline; a request that expires before its window
+//! executes resolves to [`ServingError::DeadlineExceeded`] instead of spending kernel
+//! time. The queue can be bounded
+//! ([`with_queue_capacity`](ServingEngine::with_queue_capacity)) with an
+//! [`OverloadPolicy`] choosing between rejecting new arrivals and shedding
+//! already-expired parked requests first. [`ResponseHandle::cancel`] withdraws one
+//! request, and [`drain`](ServingEngine::drain) / [`shutdown`](ServingEngine::shutdown)
+//! close admission — drain executes the parked window first, shutdown abandons it with
+//! [`ServingError::ShuttingDown`]. Every one of these paths resolves every handle:
+//! rejection happens *through* the handle, never by withholding one. See the
+//! [engine module docs](super#failure-semantics) for the full failure taxonomy.
 
-use super::batch::{BatchRequest, BatchResponse, BatchTelemetry};
+use super::batch::{describe_panic, BatchRequest, BatchResponse, BatchTelemetry, ServingError};
+use super::clock::{Clock, MonotonicClock};
+use super::faults::FaultSite;
 use super::sync::{lock_or_panic, wait_or_panic};
 use super::ExecutionEngine;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
 
 /// Default micro-batch window size: the open window dispatches when it holds this many
 /// requests (matches the largest batch the serving bench gates).
@@ -80,6 +99,8 @@ struct Pending {
 /// handles).
 struct ServingShared {
     engine: Arc<ExecutionEngine>,
+    /// The session's deadline time source (monotonic in production, stepped in tests).
+    clock: Arc<dyn Clock>,
     state: Mutex<SessionState>,
     /// Serializes window execution: whoever closes a window runs it alone, while
     /// enqueuers keep filling the next window.
@@ -90,6 +111,9 @@ struct SessionState {
     pending: VecDeque<Pending>,
     clock: u64,
     next_id: u64,
+    /// Set by [`ServingEngine::drain`] / [`ServingEngine::shutdown`]: admission is
+    /// closed, every later enqueue resolves to [`ServingError::ShuttingDown`].
+    closed: bool,
     stats: ServingStats,
 }
 
@@ -108,45 +132,97 @@ pub struct ServingStats {
     pub max_window: usize,
     /// Logical clock advances ([`tick`](ServingEngine::tick) calls).
     pub ticks: u64,
+    /// Requests rejected at enqueue with [`ServingError::QueueFull`] (bounded queue).
+    pub rejected_full: u64,
+    /// Requests resolved [`ServingError::DeadlineExceeded`] — shed at admission or
+    /// filtered out at dispatch.
+    pub expired: u64,
+    /// Expired parked requests shed at admission under
+    /// [`OverloadPolicy::ShedExpiredFirst`] (a subset of [`expired`](Self::expired)).
+    pub shed: u64,
+    /// Requests withdrawn through [`ResponseHandle::cancel`].
+    pub cancelled: u64,
+    /// Requests refused after close or abandoned by [`ServingEngine::shutdown`]
+    /// (resolved [`ServingError::ShuttingDown`]).
+    pub shutdown_rejected: u64,
+    /// Windows whose dispatch itself unwound — every in-window request resolved
+    /// [`ServingError::KernelPanicked`]. Kernel panics contained *per group* by the
+    /// batch executor do not count here.
+    pub window_panics: u64,
 }
 
-/// One request's delivery slot: fulfilled exactly once by the window that executes it.
+/// What [`enqueue`](ServingEngine::enqueue) does when the bounded queue
+/// ([`with_queue_capacity`](ServingEngine::with_queue_capacity)) is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverloadPolicy {
+    /// Resolve the incoming request with [`ServingError::QueueFull`] immediately.
+    #[default]
+    RejectNew,
+    /// First shed parked requests whose deadlines have already expired (resolving them
+    /// with [`ServingError::DeadlineExceeded`]), then reject the incoming request only
+    /// if the queue is still full.
+    ShedExpiredFirst,
+}
+
+/// One request's delivery slot: resolved exactly once, read at most once.
+///
+/// Resolution and consumption are separate facts: taking the response out does **not**
+/// re-open the slot. A request resolved while still parked (cancelled, shed on expiry)
+/// whose caller immediately consumes the response must stay *resolved* in the queue —
+/// otherwise the dispatcher would see an "unresolved" slot and execute work nobody can
+/// observe, and `shutdown` would count an already-answered request as abandoned.
+struct SlotState {
+    resolved: bool,
+    response: Option<BatchResponse>,
+}
+
 struct ResponseSlot {
-    state: Mutex<Option<BatchResponse>>,
+    state: Mutex<SlotState>,
     cv: Condvar,
 }
 
 impl ResponseSlot {
     fn new() -> Self {
         ResponseSlot {
-            state: Mutex::new(None),
+            state: Mutex::new(SlotState {
+                resolved: false,
+                response: None,
+            }),
             cv: Condvar::new(),
         }
     }
 
+    /// Delivers `response` if the slot was never resolved — **first write wins** — and
+    /// reports whether this call was the delivery. A slot can race between its window's
+    /// result, [`ResponseHandle::cancel`], deadline expiry, and shutdown; whichever
+    /// writes first decides the outcome and the losers' responses are discarded.
     // lint: hot-path
-    fn fulfill(&self, response: BatchResponse) {
+    fn fulfill(&self, response: BatchResponse) -> bool {
         let mut state = lock_or_panic(&self.state, "response slot");
-        debug_assert!(state.is_none(), "a response slot is fulfilled exactly once");
-        *state = Some(response);
+        if state.resolved {
+            return false;
+        }
+        state.resolved = true;
+        state.response = Some(response);
         self.cv.notify_all();
+        true
     }
 
     // lint: hot-path
     fn is_ready(&self) -> bool {
-        lock_or_panic(&self.state, "response slot").is_some()
+        lock_or_panic(&self.state, "response slot").resolved
     }
 
     // lint: hot-path
     fn try_take(&self) -> Option<BatchResponse> {
-        lock_or_panic(&self.state, "response slot").take()
+        lock_or_panic(&self.state, "response slot").response.take()
     }
 
     // lint: hot-path
     fn wait_take(&self) -> BatchResponse {
         let mut state = lock_or_panic(&self.state, "response slot");
         loop {
-            match state.take() {
+            match state.response.take() {
                 Some(response) => return response,
                 None => state = wait_or_panic(&self.cv, state, "response slot"),
             }
@@ -221,6 +297,24 @@ impl ResponseHandle {
         }
         self.slot.wait_take()
     }
+
+    /// Withdraws this request, resolving its slot with [`ServingError::Cancelled`];
+    /// returns whether the cancellation won (i.e. no response had been delivered yet).
+    ///
+    /// Cancellation is best-effort against execution: a request still parked in the
+    /// open window is skipped at dispatch (no kernel time spent), while one already
+    /// inside an executing window runs to completion and its result is discarded —
+    /// first write wins, and `cancel` wrote first.
+    pub fn cancel(&self) -> bool {
+        let cancelled = self
+            .slot
+            .fulfill(BatchResponse::failed(0, ServingError::Cancelled));
+        if cancelled {
+            let mut state = lock_or_panic(&self.shared.state, "serving session");
+            state.stats.cancelled += 1;
+        }
+        cancelled
+    }
 }
 
 /// Closes and executes the open window (no-op when it is empty), returning its
@@ -239,6 +333,7 @@ fn dispatch_window(shared: &Arc<ServingShared>) -> Option<BatchTelemetry> {
 /// past a blocking waiter's close and hang it.
 // lint: hot-path
 fn dispatch_locked(shared: &Arc<ServingShared>) -> Option<BatchTelemetry> {
+    let now = shared.clock.now();
     let window: Vec<Pending> = {
         let mut state = lock_or_panic(&shared.state, "serving session");
         state.pending.drain(..).collect()
@@ -246,18 +341,66 @@ fn dispatch_locked(shared: &Arc<ServingShared>) -> Option<BatchTelemetry> {
     if window.is_empty() {
         return None;
     }
+    // Filter the drained window before spending kernel time: already-resolved slots
+    // (cancelled) are dropped, expired deadlines are resolved without executing.
     let mut requests = Vec::with_capacity(window.len());
     let mut slots = Vec::with_capacity(window.len());
+    let mut expired = 0u64;
     for pending in window {
+        if pending.slot.is_ready() {
+            continue;
+        }
+        if pending
+            .request
+            .deadline
+            .is_some_and(|deadline| deadline <= now)
+        {
+            if pending
+                .slot
+                .fulfill(BatchResponse::failed(0, ServingError::DeadlineExceeded))
+            {
+                expired += 1;
+            }
+            continue;
+        }
         requests.push(pending.request);
         slots.push(pending.slot);
     }
-    let (responses, telemetry) = shared.engine.submit_with_telemetry(requests);
-    record_window(shared, responses.len());
-    for (response, slot) in responses.into_iter().zip(slots) {
-        slot.fulfill(response);
+    if expired > 0 {
+        let mut state = lock_or_panic(&shared.state, "serving session");
+        state.stats.expired += expired;
     }
-    Some(telemetry)
+    if requests.is_empty() {
+        return None;
+    }
+    let executed = catch_unwind(AssertUnwindSafe(|| {
+        shared.engine.failpoint(FaultSite::WindowDispatch);
+        shared.engine.submit_with_telemetry(requests)
+    }));
+    match executed {
+        Ok((responses, telemetry)) => {
+            record_window(shared, responses.len());
+            for (response, slot) in responses.into_iter().zip(slots) {
+                slot.fulfill(response);
+            }
+            Some(telemetry)
+        }
+        Err(payload) => {
+            // The dispatch itself unwound (kernel panics inside a group are contained
+            // per group by the batch executor and never reach here). Waiters must not
+            // hang on slots this window will never fill: fail every remaining request
+            // and keep the session alive for the next window.
+            let error = ServingError::KernelPanicked {
+                payload: describe_panic(payload.as_ref()),
+            };
+            for slot in slots {
+                slot.fulfill(BatchResponse::failed(0, error.clone()));
+            }
+            let mut state = lock_or_panic(&shared.state, "serving session");
+            state.stats.window_panics += 1;
+            None
+        }
+    }
 }
 
 // lint: hot-path
@@ -283,26 +426,40 @@ pub struct ServingEngine {
     shared: Arc<ServingShared>,
     max_batch: usize,
     max_wait: u64,
+    queue_capacity: Option<usize>,
+    overload: OverloadPolicy,
 }
 
 impl ServingEngine {
     /// A serving session over `engine`, with the default window
-    /// ([`DEFAULT_MAX_WAIT_TICKS`], [`DEFAULT_MAX_BATCH`]). Any number of sessions may
-    /// share one engine — they share its caches and its executor.
+    /// ([`DEFAULT_MAX_WAIT_TICKS`], [`DEFAULT_MAX_BATCH`]) and a wall-clock
+    /// [`MonotonicClock`] for deadlines. Any number of sessions may share one engine —
+    /// they share its caches and its executor.
     pub fn over(engine: Arc<ExecutionEngine>) -> Self {
+        ServingEngine::over_with_clock(engine, Arc::new(MonotonicClock::new()))
+    }
+
+    /// A serving session over `engine` reading deadlines from `clock` — inject a
+    /// [`MockClock`](super::MockClock) to make deadline behavior deterministic in
+    /// tests (step it instead of sleeping).
+    pub fn over_with_clock(engine: Arc<ExecutionEngine>, clock: Arc<dyn Clock>) -> Self {
         ServingEngine {
             shared: Arc::new(ServingShared {
                 engine,
+                clock,
                 state: Mutex::new(SessionState {
                     pending: VecDeque::new(),
                     clock: 0,
                     next_id: 0,
+                    closed: false,
                     stats: ServingStats::default(),
                 }),
                 dispatch: Mutex::new(()),
             }),
             max_batch: DEFAULT_MAX_BATCH,
             max_wait: DEFAULT_MAX_WAIT_TICKS,
+            queue_capacity: None,
+            overload: OverloadPolicy::default(),
         }
     }
 
@@ -331,6 +488,27 @@ impl ServingEngine {
         self
     }
 
+    /// Bounds the open window's queue: once `capacity` requests are parked (clamped to
+    /// at least 1), further enqueues hit the [`OverloadPolicy`] instead of growing the
+    /// queue without limit. Unbounded by default.
+    ///
+    /// Like the window parameters, the bound is per-clone — configure it before sharing
+    /// the session so every serving thread enforces one policy.
+    #[must_use]
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = Some(capacity.max(1));
+        self
+    }
+
+    /// Sets what a full bounded queue does with an incoming request (default
+    /// [`OverloadPolicy::RejectNew`]). Has no effect until
+    /// [`with_queue_capacity`](Self::with_queue_capacity) bounds the queue.
+    #[must_use]
+    pub fn with_overload_policy(mut self, policy: OverloadPolicy) -> Self {
+        self.overload = policy;
+        self
+    }
+
     /// The engine this session serves through.
     pub fn engine(&self) -> &Arc<ExecutionEngine> {
         &self.shared.engine
@@ -344,6 +522,28 @@ impl ServingEngine {
     /// The configured window age limit, in ticks.
     pub fn max_wait(&self) -> u64 {
         self.max_wait
+    }
+
+    /// The configured queue bound, or `None` when the queue is unbounded.
+    pub fn queue_capacity(&self) -> Option<usize> {
+        self.queue_capacity
+    }
+
+    /// The configured overload policy.
+    pub fn overload_policy(&self) -> OverloadPolicy {
+        self.overload
+    }
+
+    /// The session clock's current reading — the timeline
+    /// [`BatchRequest::with_deadline`] deadlines are expressed on.
+    pub fn now(&self) -> Duration {
+        self.shared.clock.now()
+    }
+
+    /// Whether admission has been closed by [`drain`](Self::drain) /
+    /// [`shutdown`](Self::shutdown).
+    pub fn is_closed(&self) -> bool {
+        lock_or_panic(&self.shared.state, "serving session").closed
     }
 
     /// Requests currently parked in the open window.
@@ -361,6 +561,12 @@ impl ServingEngine {
     /// Enqueues one request into the open window and returns its handle. Dispatches the
     /// window when it reaches [`max_batch`](Self::with_max_batch) (or immediately, when
     /// [`max_wait`](Self::with_max_wait) is 0).
+    ///
+    /// Admission can refuse the request — session closed
+    /// ([`ServingError::ShuttingDown`]) or bounded queue full
+    /// ([`ServingError::QueueFull`], after any [`OverloadPolicy`] shedding) — in which
+    /// case the returned handle is already resolved with that error: enqueue never
+    /// blocks and never withholds a handle.
     // lint: hot-path
     pub fn enqueue(&self, request: BatchRequest) -> ResponseHandle {
         let (handle, should_dispatch) = self.park(request);
@@ -371,29 +577,73 @@ impl ServingEngine {
     }
 
     /// Parks `request` in the open window; reports whether the window must dispatch.
+    /// Refused requests come back with their slot already resolved (see
+    /// [`enqueue`](Self::enqueue)).
     // lint: hot-path
     fn park(&self, request: BatchRequest) -> (ResponseHandle, bool) {
         let slot = Arc::new(ResponseSlot::new());
+        // Read the clock before the session lock: the clock has its own lock (mock
+        // clocks) and stays un-nested under the session's.
+        let now = if self.queue_capacity.is_some() {
+            Some(self.shared.clock.now())
+        } else {
+            None
+        };
         let mut state = lock_or_panic(&self.shared.state, "serving session");
         let id = state.next_id;
         state.next_id += 1;
+        let handle = ResponseHandle {
+            id,
+            slot: Arc::clone(&slot),
+            shared: Arc::clone(&self.shared),
+        };
+        if state.closed {
+            state.stats.shutdown_rejected += 1;
+            drop(state);
+            slot.fulfill(BatchResponse::failed(0, ServingError::ShuttingDown));
+            return (handle, false);
+        }
+        if let Some(cap) = self.queue_capacity {
+            if state.pending.len() >= cap && self.overload == OverloadPolicy::ShedExpiredFirst {
+                let now = now.unwrap_or_default();
+                // Split borrow: walk `pending` while bumping `stats` on the same guard.
+                let st = &mut *state;
+                let parked: Vec<Pending> = st.pending.drain(..).collect();
+                for pending in parked {
+                    if pending.slot.is_ready() {
+                        // Already cancelled — its seat is free either way.
+                        continue;
+                    }
+                    let expired = pending.request.deadline.is_some_and(|d| d <= now);
+                    if expired
+                        && pending
+                            .slot
+                            .fulfill(BatchResponse::failed(0, ServingError::DeadlineExceeded))
+                    {
+                        st.stats.expired += 1;
+                        st.stats.shed += 1;
+                        continue;
+                    }
+                    st.pending.push_back(pending);
+                }
+            }
+            if state.pending.len() >= cap {
+                state.stats.rejected_full += 1;
+                drop(state);
+                slot.fulfill(BatchResponse::failed(0, ServingError::QueueFull));
+                return (handle, false);
+            }
+        }
         state.stats.enqueued += 1;
         let enqueued_at = state.clock;
         state.pending.push_back(Pending {
             request,
-            slot: Arc::clone(&slot),
+            slot,
             enqueued_at,
         });
         let full = state.pending.len() >= self.max_batch || self.max_wait == 0;
         drop(state);
-        (
-            ResponseHandle {
-                id,
-                slot,
-                shared: Arc::clone(&self.shared),
-            },
-            full,
-        )
+        (handle, full)
     }
 
     /// Advances the session's logical clock by one tick and dispatches the open window
@@ -422,6 +672,49 @@ impl ServingEngine {
     /// window's telemetry, or `None` if it was empty.
     pub fn flush(&self) -> Option<BatchTelemetry> {
         dispatch_window(&self.shared)
+    }
+
+    /// Graceful close: shuts admission (later enqueues resolve
+    /// [`ServingError::ShuttingDown`]), then **executes** the parked window so every
+    /// already-accepted request still gets its real response. Returns that final
+    /// window's telemetry, or `None` if nothing was parked. Idempotent.
+    pub fn drain(&self) -> Option<BatchTelemetry> {
+        {
+            let mut state = lock_or_panic(&self.shared.state, "serving session");
+            state.closed = true;
+        }
+        dispatch_window(&self.shared)
+    }
+
+    /// Immediate close: shuts admission and **abandons** the parked window, resolving
+    /// every parked handle with [`ServingError::ShuttingDown`] without executing it,
+    /// then waits out any in-flight window so the session is quiesced on return.
+    /// Returns how many parked requests were abandoned. Idempotent; prefer
+    /// [`drain`](Self::drain) when parked work should still complete.
+    pub fn shutdown(&self) -> u64 {
+        let parked: Vec<Pending> = {
+            let mut state = lock_or_panic(&self.shared.state, "serving session");
+            state.closed = true;
+            state.pending.drain(..).collect()
+        };
+        let mut abandoned = 0u64;
+        for pending in parked {
+            if pending
+                .slot
+                .fulfill(BatchResponse::failed(0, ServingError::ShuttingDown))
+            {
+                abandoned += 1;
+            }
+        }
+        if abandoned > 0 {
+            let mut state = lock_or_panic(&self.shared.state, "serving session");
+            state.stats.shutdown_rejected += abandoned;
+        }
+        // Taking (and immediately releasing) the dispatch lock waits out a window that
+        // was already executing, so in-flight handles are resolved by the time we
+        // return.
+        drop(lock_or_panic(&self.shared.dispatch, "dispatch"));
+        abandoned
     }
 
     /// Synchronous batch execution through the session: drains the open window, then
@@ -589,5 +882,113 @@ mod tests {
         s.flush();
         let first = h.try_take().expect("ready after flush");
         assert!(first.output.is_ok());
+    }
+
+    #[test]
+    fn bounded_queue_rejects_new_when_full() {
+        let mut gen = MatrixGenerator::seeded(68);
+        let a = Arc::new(gen.sparse_normal(16, 16, 0.5));
+        let s = serving(8)
+            .with_max_wait(100)
+            .with_max_batch(100)
+            .with_queue_capacity(2);
+        let h1 = s.enqueue(request(&mut gen, &a));
+        let h2 = s.enqueue(request(&mut gen, &a));
+        let h3 = s.enqueue(request(&mut gen, &a));
+        assert!(h3.is_ready(), "rejection resolves the handle immediately");
+        assert_eq!(
+            h3.wait().output.unwrap_err(),
+            ServingError::QueueFull,
+            "third enqueue must be rejected by the bounded queue"
+        );
+        assert_eq!(s.stats().rejected_full, 1);
+        assert_eq!(s.stats().enqueued, 2, "rejected requests are not enqueued");
+        s.flush();
+        assert!(h1.wait().output.is_ok());
+        assert!(h2.wait().output.is_ok());
+    }
+
+    #[test]
+    fn cancel_skips_execution_and_resolves_the_handle() {
+        let mut gen = MatrixGenerator::seeded(69);
+        let a = Arc::new(gen.sparse_normal(16, 16, 0.5));
+        let s = serving(8).with_max_wait(100).with_max_batch(100);
+        let h = s.enqueue(request(&mut gen, &a));
+        let kept = s.enqueue(request(&mut gen, &a));
+        assert!(h.cancel(), "first cancel wins the slot");
+        assert!(!h.cancel(), "second cancel loses to the first");
+        let telemetry = s.flush().expect("one live request remains");
+        assert_eq!(
+            telemetry.requests, 1,
+            "cancelled request must not reach the executor"
+        );
+        assert_eq!(h.wait().output.unwrap_err(), ServingError::Cancelled);
+        assert!(kept.wait().output.is_ok());
+        assert_eq!(s.stats().cancelled, 1);
+    }
+
+    #[test]
+    fn consuming_a_cancelled_response_keeps_the_slot_resolved() {
+        // Regression: `wait`/`try_take` used to `Option::take` the only record of
+        // resolution, so a cancelled request whose caller consumed the response while
+        // it was still parked looked unresolved again — the next dispatch executed it
+        // (kernel time nobody can observe) and `shutdown` counted it as abandoned.
+        let mut gen = MatrixGenerator::seeded(72);
+        let a = Arc::new(gen.sparse_normal(16, 16, 0.5));
+        let s = serving(8).with_max_wait(100).with_max_batch(100);
+        let cancelled = s.enqueue(request(&mut gen, &a));
+        let kept = s.enqueue(request(&mut gen, &a));
+        assert!(cancelled.cancel());
+        // Consume the Cancelled response while the request is still parked.
+        assert_eq!(
+            cancelled.wait().output.unwrap_err(),
+            ServingError::Cancelled
+        );
+        let telemetry = s.flush().expect("one live request remains");
+        assert_eq!(
+            telemetry.requests, 1,
+            "a consumed cancellation must still be skipped at dispatch"
+        );
+        assert!(kept.wait().output.is_ok());
+        // Same fact at shutdown: a consumed-while-parked resolution is not "abandoned".
+        let answered = s.enqueue(request(&mut gen, &a));
+        assert!(answered.cancel());
+        assert_eq!(answered.wait().output.unwrap_err(), ServingError::Cancelled);
+        assert_eq!(
+            s.shutdown(),
+            0,
+            "shutdown must not re-resolve a request whose caller already took its answer"
+        );
+    }
+
+    #[test]
+    fn shutdown_abandons_parked_and_closes_admission() {
+        let mut gen = MatrixGenerator::seeded(70);
+        let a = Arc::new(gen.sparse_normal(16, 16, 0.5));
+        let s = serving(8).with_max_wait(100).with_max_batch(100);
+        let parked = s.enqueue(request(&mut gen, &a));
+        assert_eq!(s.shutdown(), 1);
+        assert!(s.is_closed());
+        assert_eq!(
+            parked.wait().output.unwrap_err(),
+            ServingError::ShuttingDown
+        );
+        let late = s.enqueue(request(&mut gen, &a));
+        assert_eq!(late.wait().output.unwrap_err(), ServingError::ShuttingDown);
+        assert_eq!(s.stats().shutdown_rejected, 2);
+        assert_eq!(s.shutdown(), 0, "shutdown is idempotent");
+    }
+
+    #[test]
+    fn drain_executes_parked_then_closes() {
+        let mut gen = MatrixGenerator::seeded(71);
+        let a = Arc::new(gen.sparse_normal(16, 16, 0.5));
+        let s = serving(8).with_max_wait(100).with_max_batch(100);
+        let parked = s.enqueue(request(&mut gen, &a));
+        let telemetry = s.drain().expect("drain executes the parked window");
+        assert_eq!(telemetry.requests, 1);
+        assert!(parked.wait().output.is_ok(), "drain completes parked work");
+        let late = s.enqueue(request(&mut gen, &a));
+        assert_eq!(late.wait().output.unwrap_err(), ServingError::ShuttingDown);
     }
 }

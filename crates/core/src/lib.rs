@@ -80,10 +80,11 @@ pub use config::TasdConfig;
 pub use decompose::{decompose, decompose_with_residual};
 pub use engine::{
     BackendKind, BackendTable, BatchRequest, BatchResponse, BatchTelemetry, CacheEntryStats,
-    CacheStats, DecompositionCache, EngineBuilder, ExecutionEngine, GroupTelemetry, MatmulPlan,
-    PrepStats, PreparedSeries, PreparedShard, PreparedTerm, ResponseHandle, ServingEngine,
-    ServingStats, ShardPolicy, ShardTelemetry, ShardedEngine, ShardedSeries, ShardedTelemetry,
-    TermPlan,
+    CacheStats, Clock, DecompositionCache, EngineBuilder, ExecutionEngine, FaultKind, FaultPlan,
+    FaultRecord, FaultSite, FaultyBackend, GroupTelemetry, MatmulPlan, MockClock, MonotonicClock,
+    OverloadPolicy, PrepStats, PreparedSeries, PreparedShard, PreparedTerm, ResponseHandle,
+    ServingEngine, ServingError, ServingStats, ShardPolicy, ShardTelemetry, ShardedEngine,
+    ShardedSeries, ShardedTelemetry, TermPlan,
 };
 pub use series::{series_gemm, series_gemm_into, DecompositionReport, TasdSeries};
 

@@ -401,16 +401,35 @@ impl ServingMlp {
     ///
     /// Panics if any request's width does not match the first layer.
     pub fn forward_batch(&self, engine: &ExecutionEngine, inputs: &[Matrix]) -> Vec<Matrix> {
+        self.try_forward_batch(engine, inputs)
+            .expect("shapes checked by the snapshot; no serving faults on this path")
+    }
+
+    /// [`forward_batch`](Self::forward_batch) with structured failure: any request
+    /// failing (a width mismatch surfacing as
+    /// [`ServingError::ShapeMismatch`](tasd::ServingError), or an injected/real kernel
+    /// fault as [`KernelPanicked`](tasd::ServingError::KernelPanicked)) fails the pass
+    /// with that request's error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// The first failing request's [`ServingError`](tasd::ServingError), scanning
+    /// layer by layer in request order.
+    pub fn try_forward_batch(
+        &self,
+        engine: &ExecutionEngine,
+        inputs: &[Matrix],
+    ) -> Result<Vec<Matrix>, tasd::ServingError> {
         let mut xs: Vec<Matrix> = inputs.to_vec();
         for layer in &self.layers {
             let requests: Vec<BatchRequest> = xs.iter().map(|x| layer.request(x)).collect();
             xs = engine
                 .submit(requests)
                 .into_iter()
-                .map(|response| layer.epilogue(response.output.expect("shapes checked above")))
-                .collect();
+                .map(|response| Ok(layer.epilogue(response.output?)))
+                .collect::<Result<_, tasd::ServingError>>()?;
         }
-        xs
+        Ok(xs)
     }
 
     /// Batched serving forward pass through a [`ServingEngine`] session's handle API:
@@ -429,24 +448,54 @@ impl ServingMlp {
     ///
     /// # Panics
     ///
-    /// Panics if any request's width does not match the first layer.
+    /// Panics if any request's width does not match the first layer, or if the session
+    /// refuses/fails a request (queue full, shutting down, kernel fault) — use
+    /// [`try_forward_batch_serving`](Self::try_forward_batch_serving) to observe those
+    /// as errors instead.
     pub fn forward_batch_serving(&self, serving: &ServingEngine, inputs: &[Matrix]) -> Vec<Matrix> {
+        self.try_forward_batch_serving(serving, inputs)
+            .expect("shapes checked by the snapshot; session healthy on this path")
+    }
+
+    /// [`forward_batch_serving`](Self::forward_batch_serving) with structured failure:
+    /// every per-request serving outcome — admission rejection
+    /// ([`QueueFull`](tasd::ServingError::QueueFull),
+    /// [`ShuttingDown`](tasd::ServingError::ShuttingDown)), deadline expiry,
+    /// cancellation, or a contained kernel panic — surfaces as that request's
+    /// [`ServingError`](tasd::ServingError) instead of a panic.
+    ///
+    /// # Errors
+    ///
+    /// The first failing request's [`ServingError`](tasd::ServingError), scanning
+    /// layer by layer in request order. Later handles in the same layer are still
+    /// waited (their windows resolve them), so no handle leaks.
+    pub fn try_forward_batch_serving(
+        &self,
+        serving: &ServingEngine,
+        inputs: &[Matrix],
+    ) -> Result<Vec<Matrix>, tasd::ServingError> {
         let mut xs: Vec<Matrix> = inputs.to_vec();
         for layer in &self.layers {
             let handles: Vec<ResponseHandle> = xs
                 .iter()
                 .map(|x| serving.enqueue(layer.request(x)))
                 .collect();
-            xs = handles
+            // Wait every handle before surfacing the first error: the responses are
+            // already scheduled, and abandoning a handle mid-layer would discard them.
+            let outputs: Vec<Result<Matrix, tasd::ServingError>> = handles
                 .into_iter()
                 .map(|handle| {
                     // `wait` closes the open window if this request is still parked, so
                     // the drain can never hang on a window nobody else fills.
-                    layer.epilogue(handle.wait().output.expect("shapes checked above"))
+                    handle.wait().output
                 })
                 .collect();
+            xs = outputs
+                .into_iter()
+                .map(|output| Ok(layer.epilogue(output?)))
+                .collect::<Result<_, tasd::ServingError>>()?;
         }
-        xs
+        Ok(xs)
     }
 }
 

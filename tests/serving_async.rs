@@ -16,8 +16,11 @@
 //!   captured at build time ([`EngineBuilder::workers`]), and worker placement never
 //!   changes results.
 
-use std::sync::Arc;
-use tasd::{BatchRequest, BatchResponse, ExecutionEngine, ServingEngine, ShardPolicy, TasdConfig};
+use std::sync::{Arc, Barrier};
+use tasd::{
+    BatchRequest, BatchResponse, ExecutionEngine, ServingEngine, ServingError, ShardPolicy,
+    TasdConfig,
+};
 use tasd_tensor::{Matrix, MatrixGenerator};
 
 /// Threads the stress tests fan out over (the acceptance criterion names ≥ 4).
@@ -338,6 +341,70 @@ fn window_coalesces_late_arrivals_into_one_decomposition() {
             "window outputs must match individual submits"
         );
     }
+}
+
+/// The drain-while-enqueue race: `shutdown()` fired into the middle of a 4-thread
+/// enqueue storm never loses a handle — every single enqueue returns a handle that
+/// resolves to a real response or `ShuttingDown`, with nothing hung and nothing
+/// double-counted.
+#[test]
+fn concurrent_shutdown_never_loses_a_handle() {
+    const PER_THREAD: usize = 24;
+    let workload = Workload::new();
+    let serving = ServingEngine::over(Arc::new(workload.engine()))
+        .with_max_wait(2)
+        .with_max_batch(4);
+    let barrier = Barrier::new(THREADS + 1);
+    let outcomes: Vec<(u64, u64)> = std::thread::scope(|scope| {
+        let enqueuers: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let serving = serving.clone();
+                let workload = &workload;
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    barrier.wait();
+                    let mut pending = Vec::new();
+                    for (i, request) in workload.requests(t, PER_THREAD).into_iter().enumerate() {
+                        pending.push(serving.enqueue(request));
+                        if i % 3 == t % 3 {
+                            serving.tick();
+                        }
+                    }
+                    let mut served = 0u64;
+                    let mut refused = 0u64;
+                    for handle in pending {
+                        match handle.wait().output {
+                            Ok(_) => served += 1,
+                            Err(ServingError::ShuttingDown) => refused += 1,
+                            Err(other) => panic!("shutdown race leaked an error: {other}"),
+                        }
+                    }
+                    (served, refused)
+                })
+            })
+            .collect();
+        barrier.wait();
+        // Race the close into the middle of the storm.
+        serving.shutdown();
+        enqueuers
+            .into_iter()
+            .map(|h| h.join().expect("enqueuer thread panicked"))
+            .collect()
+    });
+
+    let served: u64 = outcomes.iter().map(|(ok, _)| ok).sum();
+    let refused: u64 = outcomes.iter().map(|(_, down)| down).sum();
+    assert_eq!(
+        served + refused,
+        (THREADS * PER_THREAD) as u64,
+        "every handle resolves exactly once — none lost to the race"
+    );
+    let stats = serving.stats();
+    assert_eq!(
+        stats.dispatched, served,
+        "every accepted-and-executed request produced exactly one Ok outcome"
+    );
+    assert!(serving.is_closed());
 }
 
 /// Handles are well-behaved at the edges: polling before dispatch, waiting without a
