@@ -110,6 +110,7 @@ fn bench_serving(_c: &mut Criterion) {
     measure_sharded(&mut rec);
     measure_serving_async(&mut rec);
     measure_overload(&mut rec);
+    measure_serving_net(&mut rec);
     rec.write().expect("BENCH_serving.json must be writable");
 }
 
@@ -651,6 +652,140 @@ fn measure_overload(rec: &mut BenchRecorder) {
          over the no-overload warm path; measured {ratio:.3}x \
          (shed {shed_t:?} vs no-overload {no_overload_t:?})"
     );
+}
+
+/// The network serving path: an in-process `tasd-serve` server on a loopback socket,
+/// its background ticker owning window close.
+///
+/// Correctness gate (always run, including `-- --test` smoke mode): 4 concurrent
+/// connections × 16 requests through the socket return outputs **bitwise identical**
+/// to an in-process `ServingEngine::submit` of the same requests on a separate engine
+/// instance — the wire codec and the ticker-owned window must be invisible in the
+/// result bits.
+///
+/// Timing: a closed-loop load-generator run records per-request latency percentiles
+/// and throughput into `BENCH_serving.json` as `serving_net/{p50,p95,p99,rps}` (the
+/// `rps` record stores mean time per completed request; the requests-per-second
+/// figure is in its config string).
+fn measure_serving_net(rec: &mut BenchRecorder) {
+    use tasd_serve::loadgen::{LoadShape, LoadSpec};
+    use tasd_serve::{Client, Frame, Server, ServerConfig};
+
+    const NET_CONNECTIONS: usize = 4;
+    const NET_REQUESTS: usize = 16;
+    const NET_CFG: &str = "2:8+1:8";
+
+    let server_cfg = ServerConfig {
+        tick_interval: Duration::from_millis(1),
+        ..ServerConfig::default()
+    };
+    let mut server = Server::bind("127.0.0.1:0", server_cfg).expect("bind loopback");
+    let addr = server.local_addr();
+
+    // -- Gate: socket responses ≡ in-process submit, bitwise. --------------------------
+    let cfg = TasdConfig::parse(NET_CFG).unwrap();
+    let operands = |c: usize| -> Vec<(Matrix, Matrix)> {
+        let mut gen = MatrixGenerator::seeded(0x7C9 + c as u64);
+        (0..NET_REQUESTS)
+            .map(|_| {
+                (
+                    gen.sparse_normal(96, 128, 0.9),
+                    gen.normal(128, PANEL_COLS, 0.0, 1.0),
+                )
+            })
+            .collect()
+    };
+    let over_wire: Vec<Vec<Matrix>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..NET_CONNECTIONS)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    operands(c)
+                        .iter()
+                        .enumerate()
+                        .map(|(i, (a, b))| {
+                            client
+                                .request(i as u64, a, b, Some(NET_CFG), None)
+                                .expect("send");
+                            match client.recv().expect("recv").expect("open") {
+                                Frame::Response { output, .. } => output,
+                                other => panic!("conn {c} req {i}: unexpected {other:?}"),
+                            }
+                        })
+                        .collect()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("net gate connection"))
+            .collect()
+    });
+    let reference_session = ServingEngine::over(Arc::new(ExecutionEngine::builder().build()));
+    for (c, wire_outputs) in over_wire.iter().enumerate() {
+        let reference = reference_session.submit(
+            operands(c)
+                .into_iter()
+                .map(|(a, b)| BatchRequest::decomposed(a, cfg.clone(), b))
+                .collect(),
+        );
+        for (i, (r, w)) in reference.iter().zip(wire_outputs).enumerate() {
+            assert_eq!(
+                r.output.as_ref().unwrap(),
+                w,
+                "net gate: conn {c} req {i} differs from in-process submit"
+            );
+        }
+    }
+    println!(
+        "serving net gate: {NET_CONNECTIONS} connections x {NET_REQUESTS} requests \
+         bitwise identical to in-process submit"
+    );
+
+    // -- Trajectory: closed-loop load run (latency percentiles + throughput). ----------
+    let spec = LoadSpec {
+        connections: NET_CONNECTIONS,
+        requests_per_connection: if quick_mode() { 4 } else { 64 },
+        shapes: vec![
+            LoadShape {
+                rows: 96,
+                cols: 128,
+                sparsity: 0.9,
+            },
+            LoadShape {
+                rows: 128,
+                cols: 96,
+                sparsity: 0.7,
+            },
+        ],
+        panel_cols: PANEL_COLS,
+        config: Some(NET_CFG.to_string()),
+        deadline_micros: None,
+        seed: 0x10AD,
+    };
+    let report = tasd_serve::loadgen::run(addr, &spec).expect("load run");
+    assert_eq!(report.errors, 0, "load traffic must not be rejected");
+    let label = format!(
+        "net conns={NET_CONNECTIONS} reqs={} shapes=96x128@0.9+128x96@0.7 \
+         panels={PANEL_COLS} cfg={NET_CFG} tick=1ms",
+        spec.requests_per_connection
+    );
+    rec.record("serving_net/p50", &label, report.p50);
+    rec.record("serving_net/p95", &label, report.p95);
+    rec.record("serving_net/p99", &label, report.p99);
+    // Mean time per completed request; the rps figure rides in the config string.
+    rec.record(
+        "serving_net/rps",
+        &format!("{label} rps={:.1}", report.throughput_rps),
+        report.elapsed / report.requests.max(1) as u32,
+    );
+    if !quick_mode() {
+        println!(
+            "serving net: p50 {:?} p95 {:?} p99 {:?} at {:.1} req/s over {} connections",
+            report.p50, report.p95, report.p99, report.throughput_rps, NET_CONNECTIONS
+        );
+    }
+    server.shutdown();
 }
 
 criterion_group!(

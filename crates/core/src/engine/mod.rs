@@ -104,13 +104,21 @@
 //!    [`flush`](ServingEngine::flush) / blocks on [`ResponseHandle::wait`]. Until
 //!    then, late arrivals keep joining — `k` stragglers against one operand become
 //!    **one** decomposition and one packed kernel pass instead of `k`.
+//!    The logical clock needs an **owner**: in production that is the session's
+//!    background ticker ([`ServingEngine::spawn_ticker`]), a wall-clock thread whose
+//!    [`TickerHandle`] bounds window-close latency by `max_wait × interval` real time
+//!    no matter what callers do — without one, a parked request with no follow-up
+//!    traffic waits forever unless its own caller blocks in `wait()`.
 //! 3. **Group + execute** — the closed window runs through the batch executor below:
 //!    same grouping key, same shortest-plan-first admission, same packed passes, same
 //!    shard routing. Every `submit` contract holds per window.
 //! 4. **Handle** — each response lands in its handle:
 //!    [`is_ready`](ResponseHandle::is_ready) / [`try_take`](ResponseHandle::try_take)
 //!    poll, [`wait`](ResponseHandle::wait) blocks (closing the open window first, so a
-//!    lone waiter never hangs).
+//!    lone waiter never hangs), and
+//!    [`wait_without_dispatch`](ResponseHandle::wait_without_dispatch) blocks
+//!    *passively* — preserving the window's coalescing — for consumers running under a
+//!    ticker-owned session (the network serving front-end's writer threads).
 //!
 //! **Migrating from `submit`.** [`ExecutionEngine::submit`] keeps working unchanged —
 //! it *is* the window executor, invoked with a caller-assembled window. A session's
@@ -312,6 +320,7 @@ mod prepared;
 mod serving;
 mod shard;
 mod sync;
+mod ticker;
 
 pub use batch::{
     admission_order, BatchRequest, BatchResponse, BatchTelemetry, GroupTelemetry, ServingError,
@@ -330,6 +339,7 @@ pub use shard::{
     PreparedShard, ShardPolicy, ShardTelemetry, ShardedEngine, ShardedSeries, ShardedTelemetry,
     DEFAULT_SHARD_MIN_ROWS,
 };
+pub use ticker::TickerHandle;
 
 use crate::config::TasdConfig;
 use crate::decompose::decompose;

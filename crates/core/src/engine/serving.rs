@@ -36,6 +36,21 @@
 //! [`Executor`](super::ExecutionEngine::workers) — never on per-call threads — so any
 //! number of serving threads drive exactly one worker pool.
 //!
+//! # Window ownership: who ticks?
+//!
+//! [`tick`](ServingEngine::tick) is deliberately caller-driven logical time — tests
+//! step it deterministically. But a deployment must give the clock an **owner**:
+//! without one, a request parked with `max_wait > 0` and no follow-up traffic waits
+//! forever (nobody ticks, nobody flushes, and a poll-only caller never closes the
+//! window). [`spawn_ticker`](ServingEngine::spawn_ticker) is that owner — a background
+//! thread ticking every `interval` of wall-clock time, bounding window-close latency by
+//! `max_wait × interval` real time regardless of caller behavior. With a ticker
+//! running, [`ResponseHandle::wait_without_dispatch`] becomes safe: a response consumer
+//! (e.g. a network connection's writer thread) can block on delivery without collapsing
+//! the window the way [`wait`](ResponseHandle::wait) would. Sessions driven purely by
+//! logical ticks (tests, simulations) simply never spawn one — `tick()` semantics are
+//! unchanged either way.
+//!
 //! # Determinism
 //!
 //! Which window a request lands in is timing-dependent under concurrency; the *bits* of
@@ -295,6 +310,23 @@ impl ResponseHandle {
         if !self.slot.is_ready() {
             dispatch_window(&self.shared);
         }
+        self.slot.wait_take()
+    }
+
+    /// Blocks until the response is delivered **without** closing the open window — the
+    /// passive wait for callers that must not force dispatch.
+    ///
+    /// Where [`wait`](Self::wait) trades coalescing for a latency bound (a lone waiter
+    /// closes the window itself), `wait_without_dispatch` preserves the window and
+    /// trusts someone else to own it: the session's background ticker
+    /// ([`spawn_ticker`](ServingEngine::spawn_ticker)), another enqueuer, or an explicit
+    /// [`flush`](ServingEngine::flush). This is what a network writer thread uses — it
+    /// delivers responses in order without collapsing every window to size 1.
+    ///
+    /// **Caution:** on a session with no window owner (no ticker, no other traffic),
+    /// this call blocks until one appears. Use [`wait`](Self::wait) when this handle's
+    /// caller is the only actor.
+    pub fn wait_without_dispatch(self) -> BatchResponse {
         self.slot.wait_take()
     }
 
@@ -651,8 +683,10 @@ impl ServingEngine {
     /// Returns `true` if a window was dispatched.
     ///
     /// Ticks are *logical* time, driven by the caller (a poll loop, a request-arrival
-    /// heartbeat, a test): the session never spawns a timer thread, so window timing is
-    /// deterministic and testable.
+    /// heartbeat, a test): the session never spawns a timer thread on its own, so
+    /// window timing stays deterministic and testable. Production deployments opt into
+    /// wall-clock ticking with [`spawn_ticker`](Self::spawn_ticker), which makes a
+    /// background thread this method's sole caller.
     // lint: hot-path
     pub fn tick(&self) -> bool {
         let due = {

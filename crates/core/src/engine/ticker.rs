@@ -1,0 +1,227 @@
+//! Wall-clock window ownership: a background thread that drives [`ServingEngine::tick`].
+//!
+//! The session's [`tick`](ServingEngine::tick) clock is *logical* on purpose — tests
+//! step it deterministically, and the session itself never spawns threads. But logical
+//! time has an owner problem in production: if **nobody** ticks, a request parked in
+//! the open window with `max_wait > 0` waits for the next enqueue, flush, or blocking
+//! `wait()` — and if its caller only polls (or is a network writer that must not force
+//! dispatch), it waits forever. That is a real latency bug, not a missing feature: the
+//! window's age limit is meaningless unless someone owns the clock.
+//!
+//! [`ServingEngine::spawn_ticker`] closes the gap. It spawns one background thread that
+//! calls `tick()` every `interval` of real time, making the session's window-close
+//! latency bounded by `max_wait × interval` wall-clock **regardless of caller
+//! behavior**. The ticker is the window's *owner*: once it runs, pollers, droppers, and
+//! passive waiters ([`wait_without_dispatch`](super::ResponseHandle::wait_without_dispatch))
+//! are all safe — no enqueue-and-touch-nothing caller can park a request indefinitely.
+//!
+//! Determinism is preserved where it matters: the ticker is strictly additive — it
+//! calls the same public `tick()` everyone else may call, so logical-tick tests that
+//! never spawn one (stepping `tick()` / [`MockClock`](super::MockClock) by hand) keep
+//! their exact semantics, and a ticked session's *results* are still bitwise
+//! independent of window composition (the serving module's contract).
+//!
+//! The [`TickerHandle`] owns the thread: [`stop`](TickerHandle::stop) (or drop) signals
+//! it and joins, so a ticker never outlives the scope that spawned it. The handle keeps
+//! the session alive through its clone of the engine — stop the ticker before expecting
+//! session memory to be released.
+
+use super::serving::ServingEngine;
+use super::sync::{lock_or_panic, wait_timeout_or_panic};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Stop signal shared between a [`TickerHandle`] and its thread.
+struct TickerShared {
+    /// `true` once [`TickerHandle::stop`] (or drop) has asked the thread to exit.
+    stop: Mutex<bool>,
+    cv: Condvar,
+}
+
+/// Owner handle of a background ticker thread, from [`ServingEngine::spawn_ticker`].
+///
+/// Dropping the handle stops the thread and joins it (so a panicking ticker thread
+/// surfaces at the owner, not silently). Keep the handle alive for as long as the
+/// session should keep its wall-clock window owner.
+#[derive(Debug)]
+pub struct TickerHandle {
+    shared: Arc<TickerShared>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for TickerShared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TickerShared").finish_non_exhaustive()
+    }
+}
+
+impl TickerHandle {
+    /// Signals the ticker thread to exit and joins it. Pending sleep is interrupted, so
+    /// stop latency is bounded by one in-flight `tick()`, not by the interval.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a panic that escaped the ticker thread (a `tick()` can panic only if
+    /// the session's engine state was already torn).
+    pub fn stop(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        {
+            let mut stop = lock_or_panic(&self.shared.stop, "serving ticker");
+            *stop = true;
+        }
+        self.shared.cv.notify_all();
+        if let Some(thread) = self.thread.take() {
+            if let Err(payload) = thread.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+}
+
+impl Drop for TickerHandle {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            // Already unwinding: still stop the thread, but swallow a join panic
+            // instead of aborting the process with a double panic.
+            {
+                let mut stop = lock_or_panic(&self.shared.stop, "serving ticker");
+                *stop = true;
+            }
+            self.shared.cv.notify_all();
+            if let Some(thread) = self.thread.take() {
+                let _ = thread.join();
+            }
+        } else {
+            self.stop_and_join();
+        }
+    }
+}
+
+impl ServingEngine {
+    /// Spawns a background thread that owns this session's window clock: it calls
+    /// [`tick`](Self::tick) every `interval` of wall-clock time until the returned
+    /// [`TickerHandle`] is stopped or dropped.
+    ///
+    /// With a ticker running, the open window's close latency is bounded by
+    /// `max_wait × interval` real time no matter what callers do — a request enqueued
+    /// and then never touched (no further enqueues, no `wait`, no manual `tick`) still
+    /// resolves. This is the production window owner; see the [module docs](self) and
+    /// [`ResponseHandle::wait_without_dispatch`](super::ResponseHandle::wait_without_dispatch),
+    /// the passive wait that relies on it.
+    ///
+    /// The ticker drives the session this engine handle was configured with (its
+    /// `max_wait`, via the shared logical clock); `interval` is clamped to at least
+    /// 1 µs so a zero interval cannot spin a core. Multiple tickers on one session are
+    /// harmless (ticks are idempotent once the window is empty) but pointless — spawn
+    /// one per session.
+    pub fn spawn_ticker(&self, interval: Duration) -> TickerHandle {
+        let interval = interval.max(Duration::from_micros(1));
+        let shared = Arc::new(TickerShared {
+            stop: Mutex::new(false),
+            cv: Condvar::new(),
+        });
+        let session = self.clone();
+        let thread_shared = Arc::clone(&shared);
+        let thread = std::thread::Builder::new()
+            .name("tasd-serving-ticker".to_string())
+            .spawn(move || loop {
+                let stopped = {
+                    let mut stop = lock_or_panic(&thread_shared.stop, "serving ticker");
+                    if !*stop {
+                        stop = wait_timeout_or_panic(
+                            &thread_shared.cv,
+                            stop,
+                            interval,
+                            "serving ticker",
+                        );
+                    }
+                    *stop
+                };
+                if stopped {
+                    return;
+                }
+                // The ticker lock is released before ticking: tick() takes the session
+                // (and possibly dispatch) locks, and the stop signal must never wait
+                // behind a window execution.
+                session.tick();
+            })
+            .expect("spawning the serving ticker thread");
+        TickerHandle {
+            shared,
+            thread: Some(thread),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::batch::BatchRequest;
+    use super::super::ExecutionEngine;
+    use super::*;
+    use crate::config::TasdConfig;
+    use std::time::Instant;
+    use tasd_tensor::MatrixGenerator;
+
+    /// Polls `ready` until it returns true or `limit` elapses; reports success.
+    fn resolves_within(limit: Duration, mut ready: impl FnMut() -> bool) -> bool {
+        let start = Instant::now();
+        while start.elapsed() < limit {
+            if ready() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        ready()
+    }
+
+    #[test]
+    fn ticker_resolves_a_parked_request_with_no_caller_traffic() {
+        let mut gen = MatrixGenerator::seeded(0x71C4);
+        let a = std::sync::Arc::new(gen.sparse_normal(16, 16, 0.5));
+        let serving = ExecutionEngine::builder().serving().with_max_wait(2);
+        let _ticker = serving.spawn_ticker(Duration::from_millis(1));
+        let handle = serving.enqueue(BatchRequest::decomposed(
+            a,
+            TasdConfig::parse("2:8").unwrap(),
+            gen.normal(16, 2, 0.0, 1.0),
+        ));
+        // Touch nothing: no further enqueue, no wait, no manual tick. The ticker alone
+        // must close the window within bounded wall-clock.
+        assert!(
+            resolves_within(Duration::from_secs(10), || handle.is_ready()),
+            "background ticker must dispatch the parked window"
+        );
+        assert!(serving.stats().ticks >= 2, "the ticker drove the clock");
+    }
+
+    #[test]
+    fn ticker_stops_promptly_and_is_idempotent_under_drop() {
+        let serving = ExecutionEngine::builder().serving();
+        let ticker = serving.spawn_ticker(Duration::from_secs(3600));
+        // Stop must interrupt the hour-long sleep, not wait it out.
+        let start = Instant::now();
+        ticker.stop();
+        assert!(
+            start.elapsed() < Duration::from_secs(30),
+            "stop must interrupt the interval sleep"
+        );
+        // A second ticker on the same session spawns and drops cleanly.
+        let again = serving.spawn_ticker(Duration::from_millis(1));
+        drop(again);
+    }
+
+    #[test]
+    fn ticker_on_an_idle_session_dispatches_nothing() {
+        let serving = ExecutionEngine::builder().serving();
+        let ticker = serving.spawn_ticker(Duration::from_micros(100));
+        std::thread::sleep(Duration::from_millis(10));
+        ticker.stop();
+        let stats = serving.stats();
+        assert!(stats.ticks >= 1, "the ticker ticked");
+        assert_eq!(stats.windows, 0, "an empty window never dispatches");
+    }
+}

@@ -84,7 +84,7 @@ pub use engine::{
     FaultRecord, FaultSite, FaultyBackend, GroupTelemetry, MatmulPlan, MockClock, MonotonicClock,
     OverloadPolicy, PrepStats, PreparedSeries, PreparedShard, PreparedTerm, ResponseHandle,
     ServingEngine, ServingError, ServingStats, ShardPolicy, ShardTelemetry, ShardedEngine,
-    ShardedSeries, ShardedTelemetry, TermPlan,
+    ShardedSeries, ShardedTelemetry, TermPlan, TickerHandle,
 };
 pub use series::{series_gemm, series_gemm_into, DecompositionReport, TasdSeries};
 

@@ -1,0 +1,138 @@
+//! `tasd-loadgen` — closed-loop load generator for `tasd-serve`.
+//!
+//! ```text
+//! tasd-loadgen [--addr 127.0.0.1:7474] [--conns 4] [--requests 16]
+//!              [--shapes 128x256@0.9,256x128@0.7] [--panel-cols 32]
+//!              [--config 2:8+1:8 | --dense] [--deadline-us N] [--seed N] [--json]
+//! ```
+//!
+//! Prints the merged latency/throughput report; `--json` emits a machine-readable
+//! line instead.
+
+use std::net::ToSocketAddrs;
+use std::process::ExitCode;
+
+use tasd_serve::loadgen::{run, LoadShape, LoadSpec};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: tasd-loadgen [--addr HOST:PORT] [--conns N] [--requests N] \
+         [--shapes RxC@S,...] [--panel-cols N] [--config CFG | --dense] \
+         [--deadline-us N] [--seed N] [--json]"
+    );
+    ExitCode::FAILURE
+}
+
+/// Parses one `RxC@S` shape, the sparsity suffix optional (default 0.9).
+fn parse_shape(text: &str) -> Option<LoadShape> {
+    let (dims, sparsity) = match text.split_once('@') {
+        Some((dims, sparsity)) => (dims, sparsity.parse().ok()?),
+        None => (text, 0.9),
+    };
+    let (rows, cols) = dims.split_once('x')?;
+    Some(LoadShape {
+        rows: rows.parse().ok()?,
+        cols: cols.parse().ok()?,
+        sparsity,
+    })
+}
+
+fn parse<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>, flag: &str) -> Option<T> {
+    let value = args.next()?;
+    match value.parse() {
+        Ok(parsed) => Some(parsed),
+        Err(_) => {
+            eprintln!("tasd-loadgen: bad value {value:?} for {flag}");
+            None
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut addr = "127.0.0.1:7474".to_string();
+    let mut spec = LoadSpec::default();
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => match args.next() {
+                Some(value) => addr = value,
+                None => return usage(),
+            },
+            "--conns" => match parse(&mut args, "--conns") {
+                Some(value) => spec.connections = value,
+                None => return usage(),
+            },
+            "--requests" => match parse(&mut args, "--requests") {
+                Some(value) => spec.requests_per_connection = value,
+                None => return usage(),
+            },
+            "--shapes" => match args.next() {
+                Some(value) => {
+                    let shapes: Option<Vec<LoadShape>> =
+                        value.split(',').map(parse_shape).collect();
+                    match shapes {
+                        Some(shapes) if !shapes.is_empty() => spec.shapes = shapes,
+                        _ => {
+                            eprintln!("tasd-loadgen: bad --shapes {value:?}");
+                            return usage();
+                        }
+                    }
+                }
+                None => return usage(),
+            },
+            "--panel-cols" => match parse(&mut args, "--panel-cols") {
+                Some(value) => spec.panel_cols = value,
+                None => return usage(),
+            },
+            "--config" => match args.next() {
+                Some(value) => spec.config = Some(value),
+                None => return usage(),
+            },
+            "--dense" => spec.config = None,
+            "--deadline-us" => match parse(&mut args, "--deadline-us") {
+                Some(value) => spec.deadline_micros = Some(value),
+                None => return usage(),
+            },
+            "--seed" => match parse(&mut args, "--seed") {
+                Some(value) => spec.seed = value,
+                None => return usage(),
+            },
+            "--json" => json = true,
+            _ => return usage(),
+        }
+    }
+    let resolved = match addr.to_socket_addrs().ok().and_then(|mut it| it.next()) {
+        Some(resolved) => resolved,
+        None => {
+            eprintln!("tasd-loadgen: cannot resolve {addr}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(resolved, &spec) {
+        Ok(report) => {
+            if json {
+                println!(
+                    "{{\"requests\":{},\"ok\":{},\"errors\":{},\"elapsed_s\":{:.6},\
+                     \"p50_us\":{},\"p95_us\":{},\"p99_us\":{},\"mean_us\":{},\"rps\":{:.2}}}",
+                    report.requests,
+                    report.ok,
+                    report.errors,
+                    report.elapsed.as_secs_f64(),
+                    report.p50.as_micros(),
+                    report.p95.as_micros(),
+                    report.p99.as_micros(),
+                    report.mean.as_micros(),
+                    report.throughput_rps,
+                );
+            } else {
+                println!("{report}");
+            }
+            ExitCode::SUCCESS
+        }
+        Err(error) => {
+            eprintln!("tasd-loadgen: {error}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! `tasd-serve` — the network serving daemon.
+//!
+//! ```text
+//! tasd-serve [--addr 127.0.0.1:7474] [--max-batch 32] [--max-wait 2]
+//!            [--tick-us 1000] [--queue-cap N] [--shed] [--max-frame-mb 64]
+//! ```
+//!
+//! Runs until a `Shutdown` control frame arrives (the supervisor-friendly stop path;
+//! see the server module docs).
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use tasd::OverloadPolicy;
+use tasd_serve::{Server, ServerConfig};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: tasd-serve [--addr HOST:PORT] [--max-batch N] [--max-wait TICKS] \
+         [--tick-us MICROS] [--queue-cap N] [--shed] [--max-frame-mb MIB]"
+    );
+    ExitCode::FAILURE
+}
+
+fn parse<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>, flag: &str) -> Option<T> {
+    let value = args.next()?;
+    match value.parse() {
+        Ok(parsed) => Some(parsed),
+        Err(_) => {
+            eprintln!("tasd-serve: bad value {value:?} for {flag}");
+            None
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut addr = "127.0.0.1:7474".to_string();
+    let mut config = ServerConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => match args.next() {
+                Some(value) => addr = value,
+                None => return usage(),
+            },
+            "--max-batch" => match parse(&mut args, "--max-batch") {
+                Some(value) => config.max_batch = value,
+                None => return usage(),
+            },
+            "--max-wait" => match parse(&mut args, "--max-wait") {
+                Some(value) => config.max_wait_ticks = value,
+                None => return usage(),
+            },
+            "--tick-us" => match parse::<u64>(&mut args, "--tick-us") {
+                Some(value) => config.tick_interval = Duration::from_micros(value),
+                None => return usage(),
+            },
+            "--queue-cap" => match parse(&mut args, "--queue-cap") {
+                Some(value) => config.queue_capacity = Some(value),
+                None => return usage(),
+            },
+            "--shed" => config.overload = OverloadPolicy::ShedExpiredFirst,
+            "--max-frame-mb" => match parse::<usize>(&mut args, "--max-frame-mb") {
+                Some(value) => config.max_frame_bytes = value << 20,
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    let mut server = match Server::bind(&addr, config) {
+        Ok(server) => server,
+        Err(error) => {
+            eprintln!("tasd-serve: cannot bind {addr}: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("tasd-serve listening on {}", server.local_addr());
+    server.wait();
+    println!("tasd-serve: shut down cleanly");
+    ExitCode::SUCCESS
+}

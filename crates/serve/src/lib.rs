@@ -1,0 +1,38 @@
+//! # tasd-serve — network serving front-end for the TASD serving engine
+//!
+//! This crate puts [`tasd::ServingEngine`] behind a TCP socket:
+//!
+//! * [`wire`] — the length-prefixed binary frame format (requests, responses,
+//!   structured error frames, session control) with a hardened, panic-free decoder;
+//! * [`server`] — the server: one shared serving session, a per-connection
+//!   reader/writer thread pair, and a background [`TickerHandle`] that owns the
+//!   session's logical clock so window-close latency is bounded by wall-clock
+//!   `max_wait × tick_interval` no matter what clients do;
+//! * [`client`] — a minimal blocking client for tests and tools;
+//! * [`loadgen`] — a closed-loop load generator that replays mixed-shape traffic and
+//!   reports p50/p95/p99 latency and throughput.
+//!
+//! # Error frames, not dropped connections
+//!
+//! Admission-control outcomes ([`QueueFull`](wire::ErrorCode::QueueFull),
+//! [`DeadlineExceeded`](wire::ErrorCode::DeadlineExceeded),
+//! [`ShuttingDown`](wire::ErrorCode::ShuttingDown)) and execution failures all travel
+//! back as [`Frame::Error`](wire::Frame::Error) with the request's id — a client never
+//! learns about overload from a reset connection. Only an unrecoverable protocol
+//! violation (bytes that do not decode) closes the connection, and even that is
+//! preceded by a [`BadFrame`](wire::ErrorCode::BadFrame) error frame.
+//!
+//! [`TickerHandle`]: tasd::TickerHandle
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod client;
+pub mod loadgen;
+pub mod server;
+pub mod wire;
+
+pub use client::Client;
+pub use loadgen::{LoadReport, LoadShape, LoadSpec};
+pub use server::{Server, ServerConfig};
+pub use wire::{ControlOp, ErrorCode, Frame, RecvError, WireError};

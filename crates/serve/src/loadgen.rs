@@ -1,0 +1,222 @@
+//! A closed-loop load generator for `tasd-serve`.
+//!
+//! Each connection runs on its own thread, replaying a round-robin mix of matrix
+//! shapes (operands pre-generated per shape, so measured time is serving time, not
+//! generation time) and measuring per-request send→receive latency. The merged
+//! report carries p50/p95/p99/mean latency and completed-request throughput —
+//! exactly what the serving bench records as `serving_net/*`.
+
+use std::io;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+use tasd_tensor::{Matrix, MatrixGenerator};
+
+use crate::client::Client;
+use crate::wire::Frame;
+
+/// One operand shape in the traffic mix: an `rows × cols` sparse left operand.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadShape {
+    /// Left-operand rows.
+    pub rows: usize,
+    /// Left-operand cols (also the right operand's rows).
+    pub cols: usize,
+    /// Fraction of zero entries in the left operand.
+    pub sparsity: f64,
+}
+
+/// What traffic to replay.
+#[derive(Debug, Clone)]
+pub struct LoadSpec {
+    /// Concurrent connections, each on its own thread.
+    pub connections: usize,
+    /// Closed-loop requests issued per connection.
+    pub requests_per_connection: usize,
+    /// Shapes replayed round-robin per connection.
+    pub shapes: Vec<LoadShape>,
+    /// Right-operand panel width shared by every request.
+    pub panel_cols: usize,
+    /// Decomposition config for every request; `None` runs the exact GEMM.
+    pub config: Option<String>,
+    /// Relative deadline per request, in microseconds.
+    pub deadline_micros: Option<u64>,
+    /// Base RNG seed; connection `i` derives `seed + i`.
+    pub seed: u64,
+}
+
+impl Default for LoadSpec {
+    fn default() -> Self {
+        LoadSpec {
+            connections: 4,
+            requests_per_connection: 16,
+            shapes: vec![
+                LoadShape {
+                    rows: 128,
+                    cols: 256,
+                    sparsity: 0.9,
+                },
+                LoadShape {
+                    rows: 256,
+                    cols: 128,
+                    sparsity: 0.7,
+                },
+            ],
+            panel_cols: 32,
+            config: Some("2:8+1:8".to_string()),
+            deadline_micros: None,
+            seed: 0x7a5d,
+        }
+    }
+}
+
+/// What a load run measured.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Requests issued.
+    pub requests: u64,
+    /// Requests answered with a response frame.
+    pub ok: u64,
+    /// Requests answered with an error frame.
+    pub errors: u64,
+    /// Wall-clock span of the whole run.
+    pub elapsed: Duration,
+    /// Median send→receive latency.
+    pub p50: Duration,
+    /// 95th-percentile latency.
+    pub p95: Duration,
+    /// 99th-percentile latency.
+    pub p99: Duration,
+    /// Mean latency.
+    pub mean: Duration,
+    /// Completed requests (ok + errors) per wall-clock second.
+    pub throughput_rps: f64,
+}
+
+impl std::fmt::Display for LoadReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} requests ({} ok, {} errors) in {:.3}s — p50 {:?}, p95 {:?}, p99 {:?}, mean {:?}, {:.1} req/s",
+            self.requests,
+            self.ok,
+            self.errors,
+            self.elapsed.as_secs_f64(),
+            self.p50,
+            self.p95,
+            self.p99,
+            self.mean,
+            self.throughput_rps,
+        )
+    }
+}
+
+struct ConnectionOutcome {
+    latencies: Vec<Duration>,
+    ok: u64,
+    errors: u64,
+}
+
+fn run_connection(
+    addr: SocketAddr,
+    spec: &LoadSpec,
+    connection_index: usize,
+) -> io::Result<ConnectionOutcome> {
+    let mut gen = MatrixGenerator::seeded(spec.seed + connection_index as u64);
+    let operands: Vec<(Matrix, Matrix)> = spec
+        .shapes
+        .iter()
+        .map(|shape| {
+            (
+                gen.sparse_normal(shape.rows, shape.cols, shape.sparsity),
+                gen.normal(shape.cols, spec.panel_cols, 0.0, 1.0),
+            )
+        })
+        .collect();
+    let mut client = Client::connect(addr)?;
+    let mut outcome = ConnectionOutcome {
+        latencies: Vec::with_capacity(spec.requests_per_connection),
+        ok: 0,
+        errors: 0,
+    };
+    for request_index in 0..spec.requests_per_connection {
+        let (a, b) = &operands[request_index % operands.len()];
+        let id = request_index as u64;
+        let started = Instant::now();
+        client.request(id, a, b, spec.config.as_deref(), spec.deadline_micros)?;
+        let answer = client
+            .recv()
+            .map_err(|e| io::Error::other(e.to_string()))?
+            .ok_or_else(|| io::Error::other("server closed mid-run"))?;
+        outcome.latencies.push(started.elapsed());
+        match answer {
+            Frame::Response { .. } => outcome.ok += 1,
+            Frame::Error { .. } => outcome.errors += 1,
+            other => {
+                return Err(io::Error::other(format!(
+                    "unexpected frame answering a request: {other:?}"
+                )))
+            }
+        }
+    }
+    Ok(outcome)
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p / 100.0).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Replays `spec` against the server at `addr` and merges every connection's
+/// measurements. Fails fast on the first transport error.
+pub fn run(addr: SocketAddr, spec: &LoadSpec) -> io::Result<LoadReport> {
+    assert!(spec.connections > 0, "at least one connection");
+    assert!(!spec.shapes.is_empty(), "at least one shape");
+    let started = Instant::now();
+    let outcomes: Vec<io::Result<ConnectionOutcome>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..spec.connections)
+            .map(|connection_index| {
+                scope.spawn(move || run_connection(addr, spec, connection_index))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| {
+                handle
+                    .join()
+                    .unwrap_or_else(|_| Err(io::Error::other("load connection panicked")))
+            })
+            .collect()
+    });
+    let elapsed = started.elapsed();
+    let mut latencies = Vec::new();
+    let mut ok = 0u64;
+    let mut errors = 0u64;
+    for outcome in outcomes {
+        let outcome = outcome?;
+        latencies.extend(outcome.latencies);
+        ok += outcome.ok;
+        errors += outcome.errors;
+    }
+    latencies.sort_unstable();
+    let completed = ok + errors;
+    let mean = if latencies.is_empty() {
+        Duration::ZERO
+    } else {
+        latencies.iter().sum::<Duration>() / latencies.len() as u32
+    };
+    Ok(LoadReport {
+        requests: completed,
+        ok,
+        errors,
+        elapsed,
+        p50: percentile(&latencies, 50.0),
+        p95: percentile(&latencies, 95.0),
+        p99: percentile(&latencies, 99.0),
+        mean,
+        throughput_rps: completed as f64 / elapsed.as_secs_f64().max(f64::EPSILON),
+    })
+}

@@ -1,0 +1,265 @@
+//! Wire-codec hardening suite for `tasd-serve`.
+//!
+//! Two contracts, per `crates/serve/README.md`:
+//!
+//! * **Round trip is bitwise** — any frame (random shapes, including 0-row/0-col
+//!   matrices; optional config/deadline) encodes and decodes back to itself exactly.
+//! * **No panic on untrusted bytes** — every malformed input (truncation at every
+//!   byte boundary, header/payload length mismatch, oversized declarations,
+//!   arithmetic-overflow headers, unknown type/op/code/flag bytes, trailing garbage,
+//!   and arbitrary single-byte corruption of valid frames) yields a structured
+//!   [`WireError`], never a panic or a wild allocation.
+
+use proptest::prelude::*;
+use tasd_serve::wire::{
+    decode_frame, decode_frame_body, encode_frame, ControlOp, ErrorCode, Frame,
+    DEFAULT_MAX_FRAME_BYTES,
+};
+use tasd_serve::WireError;
+use tasd_tensor::MatrixGenerator;
+
+/// Strategy: (rows, cols, sparsity, seed) for a request operand — zero dims included.
+fn shape() -> impl Strategy<Value = (usize, usize, f64, u64)> {
+    (0usize..24, 0usize..24, 0.0f64..1.0, 0u64..1_000)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn request_roundtrip_is_bitwise(
+        (rows, cols, sparsity, seed) in shape(),
+        panel in 0usize..12,
+        id in 0u64..u64::MAX,
+        with_config in 0u8..2,
+        with_deadline in 0u8..2,
+        deadline in 0u64..10_000_000,
+    ) {
+        let mut gen = MatrixGenerator::seeded(seed);
+        let frame = Frame::Request {
+            id,
+            config: (with_config == 1).then(|| "2:8+1:8".to_string()),
+            deadline_micros: (with_deadline == 1).then_some(deadline),
+            a: gen.sparse_normal(rows, cols, sparsity),
+            b: gen.normal(cols, panel, 0.0, 1.0),
+        };
+        let bytes = encode_frame(&frame).expect("encodable");
+        let (back, consumed) = decode_frame(&bytes, DEFAULT_MAX_FRAME_BYTES).expect("well-formed");
+        prop_assert_eq!(consumed, bytes.len());
+        // Frame equality on Matrix is element equality; f32 round trip through raw LE
+        // bits is exact, so equality here is bitwise identity.
+        prop_assert_eq!(back, frame);
+    }
+
+    #[test]
+    fn response_roundtrip_is_bitwise(
+        (rows, cols, sparsity, seed) in shape(),
+        id in 0u64..u64::MAX,
+    ) {
+        let output = MatrixGenerator::seeded(seed).sparse_normal(rows, cols, sparsity);
+        let frame = Frame::Response { id, output };
+        let bytes = encode_frame(&frame).expect("encodable");
+        let (back, _) = decode_frame(&bytes, DEFAULT_MAX_FRAME_BYTES).expect("well-formed");
+        prop_assert_eq!(back, frame);
+    }
+
+    #[test]
+    fn every_prefix_of_a_valid_frame_is_a_structured_truncation(
+        (rows, cols, sparsity, seed) in shape(),
+    ) {
+        let mut gen = MatrixGenerator::seeded(seed);
+        let frame = Frame::Request {
+            id: seed,
+            config: Some("1:4".to_string()),
+            deadline_micros: Some(77),
+            a: gen.sparse_normal(rows, cols, sparsity),
+            b: gen.normal(cols, 3, 0.0, 1.0),
+        };
+        let bytes = encode_frame(&frame).expect("encodable");
+        for cut in 0..bytes.len() {
+            let err = decode_frame(&bytes[..cut], DEFAULT_MAX_FRAME_BYTES)
+                .expect_err("strict prefixes never decode");
+            prop_assert!(
+                matches!(err, WireError::Truncated { .. }),
+                "cut {}: {:?}", cut, err
+            );
+        }
+    }
+
+    #[test]
+    fn single_byte_corruption_never_panics(
+        (rows, cols, sparsity, seed) in shape(),
+        position_seed in 0usize..4096,
+        xor in 1u8..=255,
+    ) {
+        let mut gen = MatrixGenerator::seeded(seed);
+        let frame = Frame::Request {
+            id: 9,
+            config: Some("2:4".to_string()),
+            deadline_micros: None,
+            a: gen.sparse_normal(rows, cols, sparsity),
+            b: gen.normal(cols, 2, 0.0, 1.0),
+        };
+        let mut bytes = encode_frame(&frame).expect("encodable");
+        let position = position_seed % bytes.len();
+        bytes[position] ^= xor;
+        // Corrupting the length prefix or a payload byte may still decode (f32 bits
+        // are opaque); the contract is only that the decoder never panics and never
+        // reports success with leftover input.
+        let _ = decode_frame(&bytes, DEFAULT_MAX_FRAME_BYTES);
+    }
+}
+
+/// A hand-built corpus of malformed frame bodies, each pinned to its exact error.
+#[test]
+fn malformed_corpus_is_structured() {
+    let cases: Vec<(&str, Vec<u8>, WireError)> = vec![
+        ("empty body", vec![], WireError::EmptyFrame),
+        (
+            "unknown type",
+            vec![0x42],
+            WireError::UnknownFrameType(0x42),
+        ),
+        (
+            "unknown control op",
+            vec![0x02, 0xEE],
+            WireError::UnknownControlOp(0xEE),
+        ),
+        (
+            "unknown error code",
+            {
+                let mut body = vec![0x82];
+                body.extend_from_slice(&5u64.to_le_bytes());
+                body.push(0xCC);
+                body.extend_from_slice(&0u32.to_le_bytes());
+                body
+            },
+            WireError::UnknownErrorCode(0xCC),
+        ),
+        (
+            "reserved request flags",
+            {
+                let mut body = vec![0x01];
+                body.extend_from_slice(&1u64.to_le_bytes());
+                body.push(0b0000_0100);
+                body
+            },
+            WireError::UnknownRequestFlags(0b0000_0100),
+        ),
+        (
+            "trailing garbage after a control frame",
+            vec![0x02, 0x00, 0xAA],
+            WireError::TrailingBytes { extra: 1 },
+        ),
+        (
+            "non-utf8 config",
+            {
+                let mut body = vec![0x01];
+                body.extend_from_slice(&1u64.to_le_bytes());
+                body.push(0b01); // config present
+                body.extend_from_slice(&2u16.to_le_bytes());
+                body.extend_from_slice(&[0xFF, 0xFE]);
+                body
+            },
+            WireError::BadUtf8 {
+                context: "config string",
+            },
+        ),
+        (
+            "matrix dimension beyond the cap",
+            {
+                let mut body = vec![0x81]; // response
+                body.extend_from_slice(&1u64.to_le_bytes());
+                body.extend_from_slice(&u64::MAX.to_le_bytes()); // rows
+                body.extend_from_slice(&0u64.to_le_bytes()); // cols
+                body
+            },
+            WireError::DimensionTooLarge {
+                what: "matrix rows",
+                value: u64::MAX,
+            },
+        ),
+    ];
+    for (name, body, expected) in cases {
+        assert_eq!(
+            decode_frame_body(&body).expect_err(name),
+            expected,
+            "case: {name}"
+        );
+    }
+}
+
+/// The declared length is checked against the cap before any allocation, and a
+/// header/payload element-count mismatch is rejected in both directions.
+#[test]
+fn length_lies_are_rejected() {
+    // Declared length far beyond the cap (no 2 GiB buffer is ever allocated).
+    let mut framed = Vec::new();
+    framed.extend_from_slice(&(u32::MAX).to_le_bytes());
+    assert_eq!(
+        decode_frame(&framed, DEFAULT_MAX_FRAME_BYTES).expect_err("over cap"),
+        WireError::Oversized {
+            declared: u32::MAX as usize,
+            cap: DEFAULT_MAX_FRAME_BYTES,
+        }
+    );
+    // Zero-length body.
+    assert_eq!(
+        decode_frame(&0u32.to_le_bytes(), DEFAULT_MAX_FRAME_BYTES).expect_err("empty"),
+        WireError::EmptyFrame
+    );
+    // A response whose matrix header claims one more element than the payload holds.
+    let output = MatrixGenerator::seeded(3).sparse_normal(4, 4, 0.5);
+    let frame = Frame::Response { id: 1, output };
+    let mut bytes = encode_frame(&frame).expect("encodable");
+    let truncated_body = &bytes[4..bytes.len() - 4];
+    assert!(matches!(
+        decode_frame_body(truncated_body).expect_err("short payload"),
+        WireError::Truncated {
+            context: "matrix payload",
+            ..
+        }
+    ));
+    // ...and one fewer (extra bytes at frame level).
+    bytes.extend_from_slice(&[0u8; 4]);
+    assert_eq!(
+        decode_frame_body(&bytes[4..]).expect_err("long payload"),
+        WireError::TrailingBytes { extra: 4 }
+    );
+}
+
+/// Every control op and error code round-trips through its byte form.
+#[test]
+fn enums_roundtrip() {
+    for op in [
+        ControlOp::Ping,
+        ControlOp::Flush,
+        ControlOp::Drain,
+        ControlOp::Shutdown,
+        ControlOp::Stats,
+    ] {
+        let bytes = encode_frame(&Frame::Control(op)).expect("encodable");
+        let (back, _) = decode_frame(&bytes, DEFAULT_MAX_FRAME_BYTES).expect("well-formed");
+        assert_eq!(back, Frame::Control(op));
+    }
+    for code in [
+        ErrorCode::QueueFull,
+        ErrorCode::DeadlineExceeded,
+        ErrorCode::ShuttingDown,
+        ErrorCode::Cancelled,
+        ErrorCode::KernelPanicked,
+        ErrorCode::ShapeMismatch,
+        ErrorCode::Execution,
+        ErrorCode::BadFrame,
+        ErrorCode::BadRequest,
+    ] {
+        let frame = Frame::Error {
+            id: 7,
+            code,
+            message: "detail".to_string(),
+        };
+        let bytes = encode_frame(&frame).expect("encodable");
+        let (back, _) = decode_frame(&bytes, DEFAULT_MAX_FRAME_BYTES).expect("well-formed");
+        assert_eq!(back, frame);
+    }
+}

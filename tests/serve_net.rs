@@ -1,0 +1,318 @@
+//! Loopback integration suite for `tasd-serve`: the network front-end must be a
+//! transparent skin over the serving engine.
+//!
+//! Contracts, per `crates/serve/README.md` and the ISSUE acceptance gate:
+//!
+//! * **Bitwise transparency** — 4 concurrent connections × 16 requests through the
+//!   socket return outputs bitwise identical to an in-process
+//!   [`ServingEngine::submit`] of the same requests (the engine's determinism
+//!   contract extends across the wire).
+//! * **Error frames, not dropped connections** — queue-full, deadline-expired,
+//!   drain-raced and shutdown-raced requests all resolve to structured error frames
+//!   with the request's id; the TCP connection stays healthy wherever the protocol
+//!   allows.
+//! * **Mid-stream drain** — a connection that sees `Drain` acknowledged keeps its
+//!   socket: earlier requests complete, later requests get `ShuttingDown` frames.
+//! * **Malformed bytes** — a framing error is answered with a `BadFrame` error frame
+//!   (connection scope) and a clean close, never a panic or an RST.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use tasd::{BatchRequest, ExecutionEngine, ServingEngine, TasdConfig};
+use tasd_serve::wire::CONNECTION_SCOPE_ID;
+use tasd_serve::{Client, ControlOp, ErrorCode, Frame, Server, ServerConfig};
+use tasd_tensor::{Matrix, MatrixGenerator};
+
+const CONNECTIONS: usize = 4;
+const REQUESTS_PER_CONNECTION: usize = 16;
+const CONFIG: &str = "2:8+1:8";
+
+/// Connection `c`'s deterministic operand stream: mixed shapes, decomposed and dense.
+fn operands(c: usize) -> Vec<(Matrix, Matrix, bool)> {
+    let mut gen = MatrixGenerator::seeded(0x5EED + c as u64);
+    (0..REQUESTS_PER_CONNECTION)
+        .map(|i| {
+            let (rows, cols) = match i % 3 {
+                0 => (64, 96),
+                1 => (48, 64),
+                _ => (96, 48),
+            };
+            let a = gen.sparse_normal(rows, cols, 0.85);
+            let b = gen.normal(cols, 24, 0.0, 1.0);
+            (a, b, i % 2 == 0)
+        })
+        .collect()
+}
+
+fn bits(m: &Matrix) -> Vec<u32> {
+    m.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+/// The acceptance gate: concurrent socket traffic is bitwise identical to in-process
+/// submission of the same requests on a fresh engine.
+#[test]
+fn loopback_matches_in_process_submit_bitwise() {
+    if !tasd_bench::testing::require_parallelism(2, "loopback_matches_in_process_submit_bitwise") {
+        return;
+    }
+    let mut server = Server::bind("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let addr = server.local_addr();
+
+    let over_wire: Vec<Vec<Matrix>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CONNECTIONS)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    operands(c)
+                        .iter()
+                        .enumerate()
+                        .map(|(i, (a, b, decomposed))| {
+                            let config = decomposed.then_some(CONFIG);
+                            client.request(i as u64, a, b, config, None).expect("send");
+                            match client.recv().expect("recv").expect("open") {
+                                Frame::Response { id, output } => {
+                                    assert_eq!(id, i as u64, "FIFO order per connection");
+                                    output
+                                }
+                                other => panic!("conn {c} req {i}: unexpected {other:?}"),
+                            }
+                        })
+                        .collect()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("conn thread"))
+            .collect()
+    });
+    server.shutdown();
+
+    // In-process reference on a *separate* engine: the determinism contract says
+    // window composition and engine instance never change result bits.
+    let engine = Arc::new(ExecutionEngine::builder().build());
+    let session = ServingEngine::over(engine);
+    let config = TasdConfig::parse(CONFIG).expect("config");
+    for (c, wire_outputs) in over_wire.iter().enumerate() {
+        let requests: Vec<BatchRequest> = operands(c)
+            .into_iter()
+            .map(|(a, b, decomposed)| {
+                if decomposed {
+                    BatchRequest::decomposed(a, config.clone(), b)
+                } else {
+                    BatchRequest::dense(a, b)
+                }
+            })
+            .collect();
+        let reference = session.submit(requests);
+        assert_eq!(reference.len(), wire_outputs.len());
+        for (i, (reference, wire)) in reference.iter().zip(wire_outputs).enumerate() {
+            let reference = reference.output.as_ref().expect("in-process ok");
+            assert_eq!(
+                bits(reference),
+                bits(wire),
+                "conn {c} req {i}: wire output differs from in-process submit"
+            );
+        }
+    }
+}
+
+/// A drain raced against an open connection: earlier requests complete, the ack
+/// arrives, and *later* requests on the same (still-open) connection resolve to
+/// `ShuttingDown` error frames — no hang, no reset.
+#[test]
+fn mid_stream_drain_yields_shutting_down_frames() {
+    let mut server = Server::bind("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let mut gen = MatrixGenerator::seeded(0xD8A1);
+    let a = gen.sparse_normal(32, 48, 0.8);
+    let b = gen.normal(48, 8, 0.0, 1.0);
+
+    // Pipeline: request, drain, request — all before reading anything.
+    client
+        .request(1, &a, &b, Some(CONFIG), None)
+        .expect("send 1");
+    client.control(ControlOp::Drain).expect("drain");
+    client
+        .request(2, &a, &b, Some(CONFIG), None)
+        .expect("send 2");
+
+    match client.recv().expect("recv").expect("open") {
+        Frame::Response { id: 1, .. } => {}
+        other => panic!("first answer should be request 1's response, got {other:?}"),
+    }
+    assert_eq!(
+        client.recv().expect("recv").expect("open"),
+        Frame::ControlAck(ControlOp::Drain)
+    );
+    match client.recv().expect("recv").expect("open") {
+        Frame::Error {
+            id: 2,
+            code: ErrorCode::ShuttingDown,
+            ..
+        } => {}
+        other => panic!("post-drain request should be ShuttingDown, got {other:?}"),
+    }
+    // The connection is still healthy for control traffic.
+    client.control(ControlOp::Ping).expect("ping");
+    assert_eq!(
+        client.recv().expect("recv").expect("open"),
+        Frame::ControlAck(ControlOp::Ping)
+    );
+    server.shutdown();
+}
+
+/// Overload and deadline admission outcomes arrive as structured error frames.
+#[test]
+fn queue_full_and_deadline_yield_error_frames() {
+    // A tiny queue and a window that effectively never closes on its own: the first
+    // request parks, the second overflows the bounded queue.
+    let config = ServerConfig {
+        max_batch: 64,
+        max_wait_ticks: 1_000_000,
+        tick_interval: Duration::from_secs(3600),
+        queue_capacity: Some(1),
+        ..ServerConfig::default()
+    };
+    let mut server = Server::bind("127.0.0.1:0", config).expect("bind");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let mut gen = MatrixGenerator::seeded(0xF00D);
+    let a = gen.sparse_normal(16, 32, 0.7);
+    let b = gen.normal(32, 4, 0.0, 1.0);
+
+    client.request(1, &a, &b, None, None).expect("send 1");
+    client.request(2, &a, &b, None, None).expect("send 2");
+    client.control(ControlOp::Flush).expect("flush");
+
+    // FIFO: request 1 resolves once the flush closes the window; request 2 was
+    // rejected at admission; the ack trails both.
+    match client.recv().expect("recv").expect("open") {
+        Frame::Response { id: 1, .. } => {}
+        other => panic!("request 1 should succeed, got {other:?}"),
+    }
+    match client.recv().expect("recv").expect("open") {
+        Frame::Error {
+            id: 2,
+            code: ErrorCode::QueueFull,
+            ..
+        } => {}
+        other => panic!("request 2 should be QueueFull, got {other:?}"),
+    }
+    assert_eq!(
+        client.recv().expect("recv").expect("open"),
+        Frame::ControlAck(ControlOp::Flush)
+    );
+
+    // A zero-microsecond budget expires before its window dispatches.
+    client.request(3, &a, &b, None, Some(0)).expect("send 3");
+    client.control(ControlOp::Flush).expect("flush");
+    match client.recv().expect("recv").expect("open") {
+        Frame::Error {
+            id: 3,
+            code: ErrorCode::DeadlineExceeded,
+            ..
+        } => {}
+        other => panic!("request 3 should be DeadlineExceeded, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+/// Bytes that do not frame are answered with a connection-scoped `BadFrame` error
+/// frame followed by a clean close — the server never panics and never just resets.
+#[test]
+fn malformed_frame_gets_bad_frame_error_then_clean_close() {
+    let mut server = Server::bind("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    // A well-formed header declaring a 1-byte body with an unknown frame type.
+    stream.write_all(&[1, 0, 0, 0, 0x5A]).expect("write");
+    stream.flush().expect("flush");
+    let answer = tasd_serve::wire::read_frame(&mut stream, 1 << 20)
+        .expect("structured answer")
+        .expect("frame before close");
+    match answer {
+        Frame::Error {
+            id: CONNECTION_SCOPE_ID,
+            code: ErrorCode::BadFrame,
+            ..
+        } => {}
+        other => panic!("expected connection-scoped BadFrame, got {other:?}"),
+    }
+    // Then a clean EOF at a frame boundary.
+    assert!(tasd_serve::wire::read_frame(&mut stream, 1 << 20)
+        .expect("clean close")
+        .is_none());
+    server.shutdown();
+}
+
+/// The `Shutdown` control frame stops the whole server: the ack arrives, `wait()`
+/// returns, and the listener goes away.
+#[test]
+fn shutdown_control_stops_the_server() {
+    let mut server = Server::bind("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).expect("connect");
+    let mut gen = MatrixGenerator::seeded(0x0FF);
+    let a = gen.sparse_normal(16, 16, 0.5);
+    let b = gen.normal(16, 4, 0.0, 1.0);
+    client.request(1, &a, &b, None, None).expect("send");
+    match client.recv().expect("recv").expect("open") {
+        Frame::Response { id: 1, .. } => {}
+        other => panic!("expected a response first, got {other:?}"),
+    }
+    client.control(ControlOp::Shutdown).expect("shutdown");
+    assert_eq!(
+        client.recv().expect("recv").expect("open"),
+        Frame::ControlAck(ControlOp::Shutdown)
+    );
+    // wait() observes the control-frame-driven stop and tears down.
+    server.wait();
+    // The connection closes cleanly after the ack...
+    assert!(client.recv().expect("clean close").is_none());
+    // ...and a request racing the shutdown would have gotten a ShuttingDown error
+    // frame (covered by the session's own suite); here the listener itself is gone,
+    // so a *new* connection cannot complete a request round trip.
+    if let Ok(mut late) = Client::connect(addr) {
+        let outcome = late.request(9, &a, &b, None, None).and_then(|()| {
+            late.recv()
+                .map_err(|e| std::io::Error::other(e.to_string()))
+        });
+        assert!(
+            matches!(outcome, Ok(None) | Err(_)),
+            "a post-shutdown connection must not serve requests"
+        );
+    }
+}
+
+/// Stats frames round-trip the session's counters over the wire.
+#[test]
+fn stats_control_reports_session_counters() {
+    let mut server = Server::bind("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let mut gen = MatrixGenerator::seeded(0x57A7);
+    let a = gen.sparse_normal(24, 32, 0.6);
+    let b = gen.normal(32, 8, 0.0, 1.0);
+    for id in 0..3 {
+        client
+            .request(id, &a, &b, Some(CONFIG), None)
+            .expect("send");
+        match client.recv().expect("recv").expect("open") {
+            Frame::Response { .. } => {}
+            other => panic!("expected a response, got {other:?}"),
+        }
+    }
+    client.control(ControlOp::Stats).expect("stats");
+    match client.recv().expect("recv").expect("open") {
+        Frame::Stats(stats) => {
+            assert_eq!(stats.enqueued, 3);
+            assert_eq!(stats.dispatched, 3);
+            assert!(stats.windows >= 1);
+            // The wire counters are the session's own, not a copy-by-hand.
+            assert_eq!(server.session().stats().enqueued, 3);
+        }
+        other => panic!("expected a stats frame, got {other:?}"),
+    }
+    server.shutdown();
+}

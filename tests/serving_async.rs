@@ -438,3 +438,38 @@ fn handle_edge_cases() {
     assert!(bad.try_take().expect("flushed").output.is_err());
     assert!(good.try_take().expect("flushed").output.is_ok());
 }
+
+/// Regression — the unowned-ticker latency bug. A request parked with `max_wait > 0`
+/// and **no follow-up traffic** used to wait forever unless its caller blocked in
+/// `wait()` (force-closing the window) or somebody else happened to tick: nobody
+/// owned the logical clock. With a [`TickerHandle`](tasd::TickerHandle) attached, the
+/// window closes within `max_wait × interval` of *wall-clock* time, so a passive
+/// waiter resolves with nothing else touching the session.
+#[test]
+fn ticker_bounds_parked_request_latency_without_caller_traffic() {
+    let mut gen = MatrixGenerator::seeded(0x71CC);
+    let a = Arc::new(gen.sparse_normal(32, 32, 0.7));
+    let b = gen.normal(32, 4, 0.0, 1.0);
+    let serving = ExecutionEngine::builder()
+        .serving()
+        .with_max_batch(1024) // never closes on size
+        .with_max_wait(2);
+    let ticker = serving.spawn_ticker(std::time::Duration::from_millis(1));
+
+    let handle = serving.enqueue(BatchRequest::dense(a, b));
+    // Touch nothing: no tick, no flush, no blocking wait that would force-close the
+    // window. Only the background ticker can resolve this handle.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while !handle.is_ready() {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "parked request did not resolve: nobody ticked the session (unowned-ticker bug)"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    // The passive wait must not dispatch either — the ticker already did.
+    let response = handle.wait_without_dispatch();
+    assert!(response.output.is_ok());
+    assert!(serving.stats().ticks >= 1, "resolution came from ticks");
+    ticker.stop();
+}
