@@ -36,7 +36,15 @@
 //!    flooded handle `DeadlineExceeded`, answers the in-budget batch bitwise
 //!    identically to the no-overload path, and (timing gate, skipped in `-- --test`
 //!    quick mode) costs the in-budget requests ≤ 10% over the same session's
-//!    no-overload warm window path. Both sides are recorded as `serving_overload/*`.
+//!    no-overload warm window path. Both sides are recorded as `serving_overload/*`;
+//! 8. the **deploy** path ([`measure_serving_deploy`]): steady-state generation swaps
+//!    (`serving_deploy/swap` — pushes whose dirty shard is already cached), warm vs
+//!    cold restart (`serving_deploy/restart_{warm,cold}` — the warm side loads a
+//!    prepared-cache snapshot and must re-register with **zero** decompositions,
+//!    asserted every rep), and resolve+enqueue p99 while a pusher thread deploys
+//!    continuously vs steady state (`serving_deploy/enqueue_p99/*`), gated ≤ 1.10×
+//!    (timing gate skipped in `-- --test` quick mode) — a deploy may not meaningfully
+//!    stall the enqueue path.
 //!
 //! Run with: `cargo bench --bench serving` (append `-- --test` for the smoke mode).
 
@@ -44,8 +52,8 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tasd::{
-    BatchRequest, Clock, ExecutionEngine, MockClock, OverloadPolicy, ServingEngine, ServingError,
-    ShardPolicy, TasdConfig,
+    load_snapshot, save_snapshot, BatchRequest, Clock, ExecutionEngine, MockClock, OverloadPolicy,
+    ServingEngine, ServingError, ShardPolicy, TasdConfig, WeightStore,
 };
 use tasd_bench::bench_json::{quick_mode, BenchRecorder};
 use tasd_tensor::backend::{pack_panels, unpack_panels};
@@ -111,6 +119,7 @@ fn bench_serving(_c: &mut Criterion) {
     measure_serving_async(&mut rec);
     measure_overload(&mut rec);
     measure_serving_net(&mut rec);
+    measure_serving_deploy(&mut rec);
     rec.write().expect("BENCH_serving.json must be writable");
 }
 
@@ -786,6 +795,188 @@ fn measure_serving_net(rec: &mut BenchRecorder) {
         );
     }
     server.shutdown();
+}
+
+/// The deploy lifecycle: generation swaps, warm vs cold restarts, and the
+/// enqueue-during-deploy latency gate; recorded into `BENCH_serving.json` as
+/// `serving_deploy/*`.
+///
+/// Correctness gates (always run, including `-- --test` smoke mode):
+///
+/// 1. a steady-state push re-prepares only its dirty shard, and once both deploy
+///    variants' shards are cached a swap performs **zero** decompositions — the
+///    timed swap is pure hash + diff + cache hit + install;
+/// 2. a warm restart (snapshot load) re-registers the serving operand with **zero**
+///    decompositions — asserted on every timed rep, so the `restart_warm` record can
+///    never silently degrade into a re-decomposition;
+/// 3. the session serves bitwise-correct outputs against the final deployed
+///    generation.
+///
+/// Timing gate (skipped in quick mode): resolve+enqueue p99 with a pusher thread
+/// deploying continuously stays within 1.10× of the same path's steady-state p99 —
+/// deploys must never meaningfully stall admission.
+fn measure_serving_deploy(rec: &mut BenchRecorder) {
+    const DEPLOY_SHARD_ROWS: usize = 64; // M=256 rows -> 4 shards
+    const ENQUEUE_SAMPLES: usize = 4000;
+
+    let deploy_engine = || {
+        Arc::new(
+            ExecutionEngine::builder()
+                .shard_policy(ShardPolicy::FixedRows(DEPLOY_SHARD_ROWS))
+                .shard_min_rows(2)
+                .build(),
+        )
+    };
+    let mut gen = MatrixGenerator::seeded(0xDE9107);
+    let base = gen.sparse_normal(M, K, 0.9);
+    // The two deploy variants differ from `base` in one row each (distinct shards),
+    // so every swap between them has 1 dirty shard — and after each variant's first
+    // push that shard is already cached: the steady-state swap decomposes nothing.
+    let variant = |marker: f32, row: usize| {
+        let mut m = base.clone();
+        m[(row, 0)] = marker;
+        m
+    };
+    let panel = gen.normal(K, PANEL_COLS, 0.0, 1.0);
+    let label = format!("s90 {M}x{K} shards=4 dirty_shards=1 panels={PANEL_COLS} cfg=2:8+1:8");
+
+    let engine = deploy_engine();
+    let serving = ServingEngine::over(Arc::clone(&engine)).with_max_batch(64);
+    let store = Arc::new(WeightStore::new(Arc::clone(&engine)));
+    let cfg = TasdConfig::parse("2:8+1:8").unwrap();
+    store.register("w", base.clone(), cfg.clone()).unwrap();
+    // Warm both variants' dirty shards (gate 1: the second push of a variant is
+    // hash + diff + cache hit only).
+    let first = store.push("w", variant(1.0, 3)).unwrap();
+    assert_eq!(first.dirty_shards, 1, "one changed row, one dirty shard");
+    assert_eq!(first.prepares, 1);
+    store.push("w", variant(2.0, 200)).unwrap();
+    let warm_swap = store.push("w", variant(1.0, 3)).unwrap();
+    assert_eq!(
+        warm_swap.prepares, 0,
+        "a swap between cached variants must decompose nothing"
+    );
+
+    // -- serving_deploy/swap: steady-state generation swaps under parked load. ---------
+    let parked: Vec<_> = (0..8)
+        .map(|_| serving.enqueue(store.resolve("w").unwrap().request(panel.clone())))
+        .collect();
+    let mut toggle = 0u32;
+    let swap_t = rec.measure("serving_deploy/swap", &label, || {
+        toggle += 1;
+        let (marker, row) = if toggle.is_multiple_of(2) {
+            (1.0, 3)
+        } else {
+            (2.0, 200)
+        };
+        let report = store.push("w", variant(marker, row)).unwrap();
+        assert_eq!(
+            report.prepares, 0,
+            "steady-state swaps must stay cache-pure"
+        );
+        report
+    });
+    for handle in parked {
+        handle.cancel();
+    }
+    serving.flush();
+
+    // -- serving_deploy/enqueue_p99: admission latency, steady vs mid-deploy. ----------
+    let p99_of = |mut samples: Vec<Duration>| -> Duration {
+        samples.sort_unstable();
+        samples[samples.len() * 99 / 100 - 1]
+    };
+    let sample_enqueues = || -> Vec<Duration> {
+        (0..ENQUEUE_SAMPLES)
+            .map(|_| {
+                let start = Instant::now();
+                let handle = serving.enqueue(store.resolve("w").unwrap().request(panel.clone()));
+                let elapsed = start.elapsed();
+                handle.cancel();
+                elapsed
+            })
+            .collect()
+    };
+    let steady_p99 = p99_of(sample_enqueues());
+    let deploying = Arc::new(std::sync::atomic::AtomicBool::new(true));
+    let during_p99 = std::thread::scope(|scope| {
+        let pusher = {
+            let store = Arc::clone(&store);
+            let deploying = Arc::clone(&deploying);
+            let variant_a = variant(1.0, 3);
+            let variant_b = variant(2.0, 200);
+            scope.spawn(move || {
+                let mut swaps = 0u64;
+                while deploying.load(std::sync::atomic::Ordering::Relaxed) {
+                    let next = if swaps.is_multiple_of(2) {
+                        &variant_a
+                    } else {
+                        &variant_b
+                    };
+                    store.push("w", next.clone()).unwrap();
+                    swaps += 1;
+                }
+                swaps
+            })
+        };
+        let p99 = p99_of(sample_enqueues());
+        deploying.store(false, std::sync::atomic::Ordering::Relaxed);
+        let swaps = pusher.join().expect("deploy pusher");
+        assert!(swaps > 0, "the pusher must have deployed during sampling");
+        p99
+    });
+    serving.flush();
+    rec.record("serving_deploy/enqueue_p99/steady", &label, steady_p99);
+    rec.record("serving_deploy/enqueue_p99/during_swap", &label, during_p99);
+
+    // -- Gate 3: the final generation serves bitwise-correct outputs. ------------------
+    let final_generation = store.resolve("w").unwrap();
+    let handle = serving.enqueue(final_generation.request(panel.clone()));
+    serving.flush();
+    let served = handle.wait().output.expect("final generation serves");
+    let reference = ExecutionEngine::builder()
+        .build()
+        .decompose_gemm(final_generation.matrix(), &cfg, &panel)
+        .unwrap();
+    assert_eq!(served, reference, "deployed generation must serve bitwise");
+
+    // -- serving_deploy/restart_{cold,warm}: boot-to-registered wall clock. ------------
+    let snapshot_path =
+        std::env::temp_dir().join(format!("tasd-bench-deploy-{}.snapshot", std::process::id()));
+    save_snapshot(&engine, &snapshot_path).expect("snapshot write");
+    let restart_label = format!("s90 {M}x{K} shards=4 cfg=2:8+1:8 register-after-boot");
+    let cold_t = rec.measure("serving_deploy/restart_cold", &restart_label, || {
+        let engine = deploy_engine();
+        let store = WeightStore::new(Arc::clone(&engine));
+        let report = store.register("w", base.clone(), cfg.clone()).unwrap();
+        assert_eq!(report.prepares, 4, "a cold boot decomposes every shard");
+        report
+    });
+    let warm_t = rec.measure("serving_deploy/restart_warm", &restart_label, || {
+        let engine = deploy_engine();
+        assert!(load_snapshot(&engine, &snapshot_path).is_warm());
+        let store = WeightStore::new(Arc::clone(&engine));
+        let report = store.register("w", base.clone(), cfg.clone()).unwrap();
+        assert_eq!(report.prepares, 0, "a warm restart decomposes nothing");
+        report
+    });
+    let _ = std::fs::remove_file(&snapshot_path);
+
+    if quick_mode() {
+        println!("serving deploy gate: quick (--test) mode, timing gate skipped");
+        return;
+    }
+    println!(
+        "serving deploy: swap {swap_t:?}, restart warm {warm_t:?} vs cold {cold_t:?} \
+         ({:.2}x), enqueue p99 steady {steady_p99:?} vs during swap {during_p99:?}",
+        cold_t.as_secs_f64() / warm_t.as_secs_f64()
+    );
+    let ratio = during_p99.as_secs_f64() / steady_p99.as_secs_f64();
+    assert!(
+        ratio <= 1.10,
+        "resolve+enqueue p99 during continuous deploys must stay within 1.10x of \
+         steady state; measured {ratio:.3}x (during {during_p99:?} vs steady {steady_p99:?})"
+    );
 }
 
 criterion_group!(

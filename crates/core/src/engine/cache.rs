@@ -247,6 +247,36 @@ impl DecompositionCache {
         self.resident_allocs.clear();
         self.bytes_resident = 0;
     }
+
+    /// Every resident entry as `(key, prepared)` clones, in deterministic order
+    /// (fingerprint, then shape, then config). This is the read seam the snapshot
+    /// writer (`engine::persist`) serializes from — persistence never touches the
+    /// cache's internal maps, so the entry/recency/byte bookkeeping cannot be skewed
+    /// by taking a snapshot.
+    pub(crate) fn persistable_entries(&self) -> Vec<(CacheKey, Arc<PreparedSeries>)> {
+        let mut out: Vec<(CacheKey, Arc<PreparedSeries>)> = self
+            .entries
+            .iter()
+            .map(|(k, e)| (k.clone(), Arc::clone(&e.prepared)))
+            .collect();
+        out.sort_by(|(a, _), (b, _)| {
+            a.fingerprint
+                .cmp(&b.fingerprint)
+                .then(a.shape.cmp(&b.shape))
+                .then_with(|| a.config.to_string().cmp(&b.config.to_string()))
+        });
+        out
+    }
+
+    /// Adopts one entry recovered from a snapshot — the write seam matching
+    /// [`persistable_entries`](Self::persistable_entries). Routes through the same
+    /// first-insert-wins and allocation-dedup path as a live insert, so a load-adopt
+    /// cycle leaves `bytes_resident` (including aliased-allocation dedup) exactly as a
+    /// live population would, and never displaces an entry the running engine already
+    /// resolved.
+    pub(crate) fn adopt_entry(&mut self, key: CacheKey, prepared: Arc<PreparedSeries>) {
+        self.insert_or_get(key, prepared);
+    }
 }
 
 /// Counters describing cache behaviour, from
@@ -479,6 +509,48 @@ mod tests {
         let kept = off.insert_or_get(key(2), Arc::clone(&mine));
         assert!(Arc::ptr_eq(&kept, &mine));
         assert_eq!(off.stats().entries, 0);
+    }
+
+    #[test]
+    fn bytes_resident_dedup_survives_a_load_adopt_cycle() {
+        // Regression for the persistence seams: entries read out through
+        // `persistable_entries` and re-inserted through `adopt_entry` (a save/load
+        // cycle) must reproduce the dedup'd byte accounting of the original cache —
+        // including an allocation aliased by two keys — and adopting into a cache that
+        // already holds a key must keep the resident copy (first-insert-wins).
+        let mut cache = DecompositionCache::new(4);
+        let shared = series();
+        let per_entry = shared.storage_bytes();
+        cache.insert(key(1), Arc::clone(&shared));
+        cache.insert(key(2), Arc::clone(&shared)); // alias: same allocation, two keys
+        cache.insert(key(3), series());
+        assert_eq!(cache.stats().bytes_resident, 2 * per_entry);
+
+        let snapshot = cache.persistable_entries();
+        assert_eq!(snapshot.len(), 3);
+        assert!(
+            snapshot
+                .windows(2)
+                .all(|w| w[0].0.fingerprint <= w[1].0.fingerprint),
+            "snapshot order must be deterministic"
+        );
+
+        let mut restored = DecompositionCache::new(4);
+        for (k, prepared) in snapshot {
+            restored.adopt_entry(k, prepared);
+        }
+        assert_eq!(restored.stats().entries, 3);
+        assert_eq!(
+            restored.stats().bytes_resident,
+            2 * per_entry,
+            "aliased allocation must still be charged once after the cycle"
+        );
+
+        // Adopting over a live key must not displace the resident series.
+        let resident = restored.get(&key(1)).unwrap();
+        restored.adopt_entry(key(1), series());
+        assert!(Arc::ptr_eq(&restored.get(&key(1)).unwrap(), &resident));
+        assert_eq!(restored.stats().bytes_resident, 2 * per_entry);
     }
 
     #[test]

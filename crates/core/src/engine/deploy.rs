@@ -1,0 +1,587 @@
+//! Live weight deployment: named operands, row-level change tracking, and atomic
+//! generation swaps under live serving traffic.
+//!
+//! A [`WeightStore`] holds the *current* version of every named serving operand as an
+//! immutable [`Generation`]. Deploying new weights ([`push`](WeightStore::push)) is
+//! incremental end to end:
+//!
+//! 1. **Row diff** — every generation keeps a per-row content hash; a pushed matrix is
+//!    re-hashed row by row and diffed against the resident generation, so the store
+//!    knows exactly which rows changed.
+//! 2. **Zobrist fingerprint** — the store-level fingerprint of an operand is an XOR
+//!    fold of position-mixed row hashes, so a push updates it *incrementally*: XOR out
+//!    the dirty rows' old terms, XOR in their new ones, O(dirty) instead of O(rows)
+//!    (and independently verifiable by refolding from scratch).
+//! 3. **Shard-granular re-preparation** — preparation routes through the engine's
+//!    decomposition cache at the PR-4 row-shard granularity
+//!    ([`shard_policy_for`](super::ExecutionEngine::shard_policy_for)): a clean shard's
+//!    content fingerprint is unchanged, so its cache entry hits and only *dirty* shards
+//!    re-decompose. The [`DeployReport`] pins this down: `prepares` (actual
+//!    decompositions) tracks `dirty_shards`, not `total_shards`.
+//! 4. **Atomic swap** — the new [`Generation`] is installed under a brief store lock
+//!    *after* preparation completes. Requests resolve operands by cloning the resident
+//!    generation's `Arc` ([`resolve`](WeightStore::resolve)), so enqueue never blocks
+//!    on an in-progress deploy, in-flight windows keep executing the old generation's
+//!    matrix bitwise-unchanged (the `Arc` they captured at enqueue is immutable), and
+//!    new enqueues see the new weights the moment the swap lands.
+//!
+//! Preparation runs **outside** the store lock and under `catch_unwind`: a deploy that
+//! panics mid-preparation (see the chaos suite's [`FaultPlan`](super::FaultPlan)
+//! schedules) surfaces as [`DeployError::PreparePanicked`] and leaves the store
+//! exactly as it was — readers never observe a torn generation.
+
+use super::batch::describe_panic;
+use super::sync::lock_or_panic;
+use super::{BatchRequest, ExecutionEngine};
+use crate::config::TasdConfig;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
+use tasd_tensor::Matrix;
+
+const M: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Splitmix64-style finalizer (the same avalanche [`Matrix::fingerprint`] uses).
+#[inline]
+fn avalanche(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Content hash of one row (element bit patterns, so the diff is bitwise-exact:
+/// `-0.0` vs `0.0` or NaN payload changes count as changes).
+fn row_hash(row: &[f32]) -> u64 {
+    let mut h = M ^ row.len() as u64;
+    for &x in row {
+        h = (h ^ u64::from(x.to_bits())).wrapping_mul(M);
+    }
+    avalanche(h)
+}
+
+/// The zobrist term of row `r`: its content hash mixed with its position, so swapping
+/// two rows' contents changes the fold even though the multiset of hashes is equal.
+fn zobrist_term(hash: u64, row: usize) -> u64 {
+    avalanche(hash ^ avalanche(row as u64 ^ M))
+}
+
+/// XOR fold of every row's zobrist term — the from-scratch form of the store
+/// fingerprint ([`Generation::store_fingerprint`]). Pushes maintain it incrementally;
+/// tests verify both forms agree.
+pub(crate) fn zobrist_fold(row_hashes: &[u64]) -> u64 {
+    row_hashes
+        .iter()
+        .enumerate()
+        .fold(0, |acc, (r, &h)| acc ^ zobrist_term(h, r))
+}
+
+/// One immutable version of a named serving operand: the weights, their decomposition
+/// configuration, and the row-hash bookkeeping the next deploy will diff against.
+///
+/// Generations are handed out behind `Arc`s and never mutated: a request that resolved
+/// a generation before a swap keeps executing that exact matrix — bitwise — however
+/// many deploys land while it is in flight.
+#[derive(Debug)]
+pub struct Generation {
+    name: String,
+    number: u64,
+    matrix: Arc<Matrix>,
+    config: TasdConfig,
+    row_hashes: Vec<u64>,
+    store_fingerprint: u64,
+}
+
+impl Generation {
+    /// The operand's registered name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The store-wide generation number this version was installed at (monotonically
+    /// increasing across all named operands; see [`WeightStore::generation`]).
+    pub fn number(&self) -> u64 {
+        self.number
+    }
+
+    /// The weights themselves. Shared, immutable: this is the `Arc` serving requests
+    /// capture at enqueue.
+    pub fn matrix(&self) -> &Arc<Matrix> {
+        &self.matrix
+    }
+
+    /// The decomposition configuration requests against this operand use.
+    pub fn config(&self) -> &TasdConfig {
+        &self.config
+    }
+
+    /// The zobrist-folded store fingerprint of this version (see the [module
+    /// docs](self)). Not the engine cache key — that keys per shard — but a cheap
+    /// whole-operand identity deploys maintain incrementally.
+    pub fn store_fingerprint(&self) -> u64 {
+        self.store_fingerprint
+    }
+
+    /// Builds the serving request `self · b` against this generation's weights and
+    /// configuration. The operand `Arc` is captured here, at request-build time — the
+    /// swap-safety contract in the [module docs](self) follows from that.
+    pub fn request(&self, b: Matrix) -> BatchRequest {
+        BatchRequest::decomposed(Arc::clone(&self.matrix), self.config.clone(), b)
+    }
+}
+
+/// What a deploy did, returned by [`WeightStore::register`] / [`WeightStore::push`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeployReport {
+    /// The store generation counter after this deploy (unchanged when the push was a
+    /// no-op: zero dirty rows keeps the resident generation, `Arc` and all).
+    pub generation: u64,
+    /// Rows whose content hash changed.
+    pub dirty_rows: usize,
+    /// Total rows of the operand.
+    pub total_rows: usize,
+    /// Row shards (under the engine's shard policy) containing at least one dirty row —
+    /// the shards that actually had to re-decompose.
+    pub dirty_shards: usize,
+    /// Total row shards of the operand (1 when the engine does not shard it).
+    pub total_shards: usize,
+    /// Decompositions the engine performed during this deploy's preparation (delta of
+    /// [`PrepStats::prepares`](super::PrepStats::prepares); approximate under
+    /// concurrent unrelated traffic). For a push under a row-stable shard policy this
+    /// tracks `dirty_shards`, not `total_shards` — clean shards hit the cache.
+    pub prepares: u64,
+}
+
+/// Why a deploy was rejected. The store is left untouched in every case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DeployError {
+    /// [`WeightStore::push`] named an operand that was never
+    /// [`register`](WeightStore::register)ed.
+    UnknownOperand {
+        /// The name the push used.
+        name: String,
+    },
+    /// The pushed matrix's shape disagrees with the resident generation's (a deploy
+    /// replaces weights, it does not reshape the model).
+    ShapeMismatch {
+        /// The resident generation's shape.
+        expected: (usize, usize),
+        /// The pushed matrix's shape.
+        got: (usize, usize),
+    },
+    /// Preparation panicked (e.g. an injected [`FaultSite::Decompose`]
+    /// (super::FaultSite::Decompose) fault). The resident generation stays installed
+    /// and serving continues on it.
+    PreparePanicked {
+        /// The panic payload, when it carried a message.
+        payload: String,
+    },
+}
+
+impl std::fmt::Display for DeployError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeployError::UnknownOperand { name } => {
+                write!(f, "unknown operand {name:?}: register it before pushing")
+            }
+            DeployError::ShapeMismatch { expected, got } => write!(
+                f,
+                "pushed shape {}x{} does not match resident {}x{}",
+                got.0, got.1, expected.0, expected.1
+            ),
+            DeployError::PreparePanicked { payload } => {
+                write!(f, "preparation panicked during deploy: {payload}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeployError {}
+
+#[derive(Debug, Default)]
+struct StoreState {
+    entries: HashMap<String, Arc<Generation>>,
+    /// Monotonic deploy counter across all names; 0 = nothing ever deployed.
+    generation: u64,
+}
+
+/// The deployment surface: named operands, each resolving to its current
+/// [`Generation`], swapped atomically by [`register`](Self::register) /
+/// [`push`](Self::push). See the [module docs](self) for the full lifecycle.
+///
+/// The store's lock is held only for resolve/install — never across hashing or
+/// preparation — so [`resolve`](Self::resolve) (and therefore serving enqueue) never
+/// blocks on an in-progress deploy.
+#[derive(Debug)]
+pub struct WeightStore {
+    engine: Arc<ExecutionEngine>,
+    state: Mutex<StoreState>,
+}
+
+impl WeightStore {
+    /// An empty store preparing through `engine`'s decomposition cache.
+    pub fn new(engine: Arc<ExecutionEngine>) -> Self {
+        WeightStore {
+            engine,
+            state: Mutex::new(StoreState::default()),
+        }
+    }
+
+    /// The engine this store prepares through.
+    pub fn engine(&self) -> &Arc<ExecutionEngine> {
+        &self.engine
+    }
+
+    /// The store's deploy counter: incremented by every installed deploy, 0 when
+    /// nothing was ever deployed. Operators compare this against a client-side expected
+    /// value to verify a deploy landed (it is surfaced in the serve Stats frame).
+    pub fn generation(&self) -> u64 {
+        lock_or_panic(&self.state, "weight store").generation
+    }
+
+    /// The registered operand names, sorted (deterministic for tests and tooling).
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = lock_or_panic(&self.state, "weight store")
+            .entries
+            .keys()
+            .cloned()
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// The current generation of `name`, if registered. A brief lock and an `Arc`
+    /// clone — this is the per-request resolve path, and it never waits on a deploy.
+    pub fn resolve(&self, name: &str) -> Option<Arc<Generation>> {
+        lock_or_panic(&self.state, "weight store")
+            .entries
+            .get(name)
+            .map(Arc::clone)
+    }
+
+    /// Registers (or wholesale replaces) `name` with `matrix` decomposed under
+    /// `config`, preparing every shard. Use [`push`](Self::push) for incremental
+    /// updates to an existing name — `register` always prepares the full operand
+    /// (there is no prior generation under this config to diff against; replacing an
+    /// existing name's config invalidates all of its shards by definition).
+    ///
+    /// # Errors
+    ///
+    /// [`DeployError::PreparePanicked`] if preparation panicked; the store is left
+    /// unchanged.
+    pub fn register(
+        &self,
+        name: &str,
+        matrix: impl Into<Arc<Matrix>>,
+        config: TasdConfig,
+    ) -> Result<DeployReport, DeployError> {
+        let matrix = matrix.into();
+        let row_hashes: Vec<u64> = (0..matrix.rows())
+            .map(|r| row_hash(matrix.row(r)))
+            .collect();
+        let store_fingerprint = zobrist_fold(&row_hashes);
+        let total_shards = self.shard_ranges(&matrix).len();
+        let prepares = self.prepare_guarded(&matrix, &config)?;
+        let generation = {
+            let mut state = lock_or_panic(&self.state, "weight store");
+            state.generation += 1;
+            let number = state.generation;
+            state.entries.insert(
+                name.to_string(),
+                Arc::new(Generation {
+                    name: name.to_string(),
+                    number,
+                    matrix: Arc::clone(&matrix),
+                    config,
+                    row_hashes,
+                    store_fingerprint,
+                }),
+            );
+            number
+        };
+        Ok(DeployReport {
+            generation,
+            dirty_rows: matrix.rows(),
+            total_rows: matrix.rows(),
+            dirty_shards: total_shards,
+            total_shards,
+            prepares,
+        })
+    }
+
+    /// Pushes new weights for a registered operand, re-preparing **only the dirty
+    /// shards** (see the [module docs](self)) and then swapping the generation
+    /// atomically. A push whose every row hash is unchanged is a no-op: the resident
+    /// generation — its `Arc<Matrix>` identity included, which keeps the engine's
+    /// fingerprint memo warm — stays installed and the report shows zero dirty rows.
+    ///
+    /// # Errors
+    ///
+    /// [`DeployError::UnknownOperand`] for an unregistered name,
+    /// [`DeployError::ShapeMismatch`] when the shapes disagree, and
+    /// [`DeployError::PreparePanicked`] when preparation panicked. The store is left
+    /// unchanged in every error case.
+    pub fn push(
+        &self,
+        name: &str,
+        matrix: impl Into<Arc<Matrix>>,
+    ) -> Result<DeployReport, DeployError> {
+        let matrix = matrix.into();
+        let base = self
+            .resolve(name)
+            .ok_or_else(|| DeployError::UnknownOperand {
+                name: name.to_string(),
+            })?;
+        if matrix.shape() != base.matrix.shape() {
+            return Err(DeployError::ShapeMismatch {
+                expected: base.matrix.shape(),
+                got: matrix.shape(),
+            });
+        }
+        let row_hashes: Vec<u64> = (0..matrix.rows())
+            .map(|r| row_hash(matrix.row(r)))
+            .collect();
+        let dirty: Vec<usize> = (0..matrix.rows())
+            .filter(|&r| row_hashes[r] != base.row_hashes[r])
+            .collect();
+        if dirty.is_empty() {
+            return Ok(DeployReport {
+                generation: base.number,
+                dirty_rows: 0,
+                total_rows: matrix.rows(),
+                dirty_shards: 0,
+                total_shards: self.shard_ranges(&matrix).len(),
+                prepares: 0,
+            });
+        }
+        // Incremental zobrist update: XOR out the dirty rows' old terms, in the new.
+        // O(dirty rows); `zobrist_fold` from scratch is the cross-check (tested).
+        let store_fingerprint = dirty.iter().fold(base.store_fingerprint, |acc, &r| {
+            acc ^ zobrist_term(base.row_hashes[r], r) ^ zobrist_term(row_hashes[r], r)
+        });
+        let ranges = self.shard_ranges(&matrix);
+        let dirty_shards = ranges
+            .iter()
+            .filter(|&&(r0, r1)| {
+                let first_in_range = dirty.partition_point(|&r| r < r0);
+                dirty.get(first_in_range).is_some_and(|&r| r < r1)
+            })
+            .count();
+        // Preparation outside the store lock: clean shards hit the cache (their
+        // content fingerprints are unchanged), dirty shards decompose. A panic here
+        // must not tear the store — the old generation stays resolvable throughout.
+        let prepares = self.prepare_guarded(&matrix, &base.config)?;
+        let generation = {
+            let mut state = lock_or_panic(&self.state, "weight store");
+            state.generation += 1;
+            let number = state.generation;
+            let resident = state.entries.get(name);
+            // A concurrent push may have raced us since `base` was read; the row-hash
+            // state below is self-consistent either way (it was computed from the new
+            // matrix alone), but the incremental fingerprint delta was taken against
+            // `base` — refold from scratch if the base moved underneath us.
+            let store_fingerprint = if resident.is_some_and(|current| current.number != base.number)
+            {
+                zobrist_fold(&row_hashes)
+            } else {
+                store_fingerprint
+            };
+            state.entries.insert(
+                name.to_string(),
+                Arc::new(Generation {
+                    name: name.to_string(),
+                    number,
+                    matrix: Arc::clone(&matrix),
+                    config: base.config.clone(),
+                    row_hashes,
+                    store_fingerprint,
+                }),
+            );
+            number
+        };
+        Ok(DeployReport {
+            generation,
+            dirty_rows: dirty.len(),
+            total_rows: matrix.rows(),
+            dirty_shards,
+            total_shards: ranges.len(),
+            prepares,
+        })
+    }
+
+    /// The row ranges the engine's shard policy splits `matrix` into — the unit of
+    /// re-preparation. One whole-matrix range when the engine does not shard it.
+    ///
+    /// Row-count-only policies (`FixedRows`, `TargetShards`) produce stable ranges, so
+    /// a push's dirty-shard count is exact. `NnzBalanced` ranges depend on content and
+    /// can shift with a push — shifted clean shards then re-prepare too (the report's
+    /// `prepares` is the ground truth; `dirty_shards` is the content diff).
+    fn shard_ranges(&self, matrix: &Matrix) -> Vec<(usize, usize)> {
+        match self.engine.shard_policy_for(matrix.rows()) {
+            Some(policy) => policy.split(matrix),
+            None => vec![(0, matrix.rows())],
+        }
+    }
+
+    /// Warms the engine for serving `matrix` (sharded when the policy applies), under
+    /// `catch_unwind`, returning the decomposition count. Runs with no store lock held.
+    fn prepare_guarded(
+        &self,
+        matrix: &Arc<Matrix>,
+        config: &TasdConfig,
+    ) -> Result<u64, DeployError> {
+        let before = self.engine.prep_stats().prepares;
+        let engine = Arc::clone(&self.engine);
+        let operand = Arc::clone(matrix);
+        let config = config.clone();
+        catch_unwind(AssertUnwindSafe(move || {
+            engine.warm_serving_operand(&operand, &config)
+        }))
+        .map_err(|payload| DeployError::PreparePanicked {
+            payload: describe_panic(payload.as_ref()),
+        })?;
+        Ok(self.engine.prep_stats().prepares - before)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::ShardPolicy;
+    use super::*;
+    use tasd_tensor::MatrixGenerator;
+
+    fn sharded_engine() -> Arc<ExecutionEngine> {
+        Arc::new(
+            ExecutionEngine::builder()
+                .shard_policy(ShardPolicy::FixedRows(16))
+                .shard_min_rows(2)
+                .workers(1)
+                .build(),
+        )
+    }
+
+    fn cfg() -> TasdConfig {
+        TasdConfig::parse("2:8+1:8").unwrap()
+    }
+
+    #[test]
+    fn register_prepares_every_shard() {
+        let engine = sharded_engine();
+        let store = WeightStore::new(Arc::clone(&engine));
+        let a = MatrixGenerator::seeded(11).sparse_normal(64, 32, 0.8);
+        let report = store.register("mlp.0", a, cfg()).unwrap();
+        assert_eq!(report.generation, 1);
+        assert_eq!(report.total_shards, 4);
+        assert_eq!(report.dirty_shards, 4);
+        assert_eq!(report.prepares, 4, "one decomposition per shard");
+        assert_eq!(store.generation(), 1);
+        assert_eq!(store.names(), vec!["mlp.0".to_string()]);
+        let generation = store.resolve("mlp.0").unwrap();
+        assert_eq!(generation.number(), 1);
+        assert_eq!(generation.config(), &cfg());
+    }
+
+    #[test]
+    fn push_reprepares_only_dirty_shards() {
+        let engine = sharded_engine();
+        let store = WeightStore::new(Arc::clone(&engine));
+        let mut gen = MatrixGenerator::seeded(12);
+        let a = gen.sparse_normal(64, 32, 0.8);
+        store.register("w", a.clone(), cfg()).unwrap();
+        // Touch one row in the second 16-row shard.
+        let mut b = a.clone();
+        b[(20, 3)] += 1.0;
+        let report = store.push("w", b).unwrap();
+        assert_eq!(report.dirty_rows, 1);
+        assert_eq!(report.total_rows, 64);
+        assert_eq!(report.dirty_shards, 1);
+        assert_eq!(report.total_shards, 4);
+        assert_eq!(
+            report.prepares, 1,
+            "clean shards must be cache hits, only the dirty shard decomposes"
+        );
+        assert_eq!(report.generation, 2);
+        let resolved = store.resolve("w").unwrap();
+        assert_eq!(resolved.number(), 2);
+        assert_eq!(resolved.matrix()[(20, 3)], a[(20, 3)] + 1.0);
+    }
+
+    #[test]
+    fn identical_push_is_a_no_op_that_keeps_the_resident_arc() {
+        let engine = sharded_engine();
+        let store = WeightStore::new(engine);
+        let a = MatrixGenerator::seeded(13).sparse_normal(32, 16, 0.7);
+        store.register("w", a.clone(), cfg()).unwrap();
+        let before = store.resolve("w").unwrap();
+        let report = store.push("w", a).unwrap();
+        assert_eq!(report.dirty_rows, 0);
+        assert_eq!(report.dirty_shards, 0);
+        assert_eq!(report.prepares, 0);
+        assert_eq!(report.generation, before.number(), "generation unchanged");
+        let after = store.resolve("w").unwrap();
+        assert!(
+            Arc::ptr_eq(before.matrix(), after.matrix()),
+            "the resident allocation (and its fingerprint-memo entry) must survive"
+        );
+    }
+
+    #[test]
+    fn incremental_fingerprint_matches_from_scratch_fold() {
+        let engine = sharded_engine();
+        let store = WeightStore::new(engine);
+        let mut gen = MatrixGenerator::seeded(14);
+        let a = gen.sparse_normal(48, 24, 0.6);
+        store.register("w", a.clone(), cfg()).unwrap();
+        let mut b = a.clone();
+        b[(0, 0)] = 42.0;
+        b[(47, 23)] = -7.5;
+        store.push("w", b.clone()).unwrap();
+        let resolved = store.resolve("w").unwrap();
+        let scratch: Vec<u64> = (0..b.rows()).map(|r| row_hash(b.row(r))).collect();
+        assert_eq!(
+            resolved.store_fingerprint(),
+            zobrist_fold(&scratch),
+            "incremental zobrist delta must equal the from-scratch fold"
+        );
+        // Row *swaps* change the fingerprint even though the hash multiset is equal.
+        let swapped = zobrist_fold(&[scratch[1], scratch[0]]);
+        assert_ne!(swapped, zobrist_fold(&[scratch[0], scratch[1]]));
+    }
+
+    #[test]
+    fn push_errors_leave_the_store_untouched() {
+        let engine = sharded_engine();
+        let store = WeightStore::new(engine);
+        let a = MatrixGenerator::seeded(15).sparse_normal(32, 16, 0.5);
+        assert!(matches!(
+            store.push("ghost", a.clone()),
+            Err(DeployError::UnknownOperand { .. })
+        ));
+        store.register("w", a, cfg()).unwrap();
+        let wrong = Matrix::zeros(16, 16);
+        assert!(matches!(
+            store.push("w", wrong),
+            Err(DeployError::ShapeMismatch { .. })
+        ));
+        assert_eq!(store.generation(), 1);
+        assert_eq!(store.resolve("w").unwrap().number(), 1);
+    }
+
+    #[test]
+    fn unsharded_engines_deploy_as_one_shard() {
+        let engine = Arc::new(ExecutionEngine::builder().workers(1).build());
+        let store = WeightStore::new(engine);
+        let a = MatrixGenerator::seeded(16).sparse_normal(32, 16, 0.5);
+        let report = store.register("w", a.clone(), cfg()).unwrap();
+        assert_eq!(report.total_shards, 1);
+        assert_eq!(report.prepares, 1);
+        let mut b = a;
+        b[(3, 3)] = 9.0;
+        let report = store.push("w", b).unwrap();
+        assert_eq!(report.dirty_shards, 1);
+        assert_eq!(report.total_shards, 1);
+        assert_eq!(report.prepares, 1, "whole operand re-prepares unsharded");
+    }
+}

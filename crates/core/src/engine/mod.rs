@@ -267,6 +267,41 @@
 //! the guarantees above (exact-k isolation, bitwise-identical survivors, zero lost
 //! handles under concurrent shutdown).
 //!
+//! # Deploy lifecycle
+//!
+//! Serving survives a deploy — a weight push or a process restart — without
+//! re-spending preparation, via two companion modules:
+//!
+//! * **Generations** ([`WeightStore`]). Named operands resolve to immutable
+//!   [`Generation`] handles; a [`push`](WeightStore::push) re-hashes the new matrix
+//!   per row, diffs against the resident generation, re-prepares **only the row
+//!   shards containing dirty rows** (clean shards' content fingerprints are unchanged
+//!   → pure [`DecompositionCache`] hits), and installs the new generation under a
+//!   brief lock. The whole-operand store fingerprint is maintained zobrist-style —
+//!   XOR out dirty rows' old position-mixed hashes, XOR in the new — so it updates in
+//!   O(dirty rows). Swap semantics: [`resolve`](WeightStore::resolve) is a brief-lock
+//!   `Arc` clone, so *enqueue never blocks on a deploy*; in-flight requests keep the
+//!   `Arc<Matrix>` they captured at enqueue and finish **bitwise-correct on the old
+//!   version**, while every post-swap enqueue sees the new one. A deploy that fails
+//!   (shape mismatch, preparation panic) leaves the store untouched.
+//! * **Persistence** (`engine::persist`). [`save_snapshot`] serializes every resident
+//!   prepared series — packed terms, replayed per-term plans, fingerprints — to a
+//!   versioned, checksummed file (format spec in the module docs); [`load_snapshot`]
+//!   adopts entries back through the cache's dedicated seams, preserving
+//!   aliased-allocation byte accounting. Keys are *content* fingerprints, so a
+//!   restarted engine's first request against the same weights performs **zero
+//!   decompositions**. Invalidation is all-or-nothing per load: any defect (bad
+//!   magic, version skew, checksum mismatch, malformed entry) yields
+//!   [`LoadOutcome::Cold`] with a reason, the cache untouched — a stale or corrupt
+//!   snapshot can cost a cold start, never correctness. Snapshots do not invalidate
+//!   on config or shard-policy change either: mismatched keys simply never hit and
+//!   age out by LRU.
+//!
+//! `tasd-serve` exposes the lifecycle on the wire (`UpdateWeights` / `NamedRequest`
+//! frames; see `crates/serve/README.md`), and its `Stats` frame reports the store
+//! generation, resident cache bytes, and warm-start status so operators can verify a
+//! deploy landed.
+//!
 //! # Enforced invariants
 //!
 //! The contracts above are not prose-only: `tasd-lint` (`crates/lint`, run in CI as
@@ -313,8 +348,10 @@
 mod batch;
 mod cache;
 mod clock;
+mod deploy;
 mod executor;
 mod faults;
+mod persist;
 mod plan;
 mod prepared;
 mod serving;
@@ -328,7 +365,9 @@ pub use batch::{
 };
 pub use cache::{CacheEntryStats, CacheStats, DecompositionCache};
 pub use clock::{Clock, MockClock, MonotonicClock};
+pub use deploy::{DeployError, DeployReport, Generation, WeightStore};
 pub use faults::{FaultKind, FaultPlan, FaultRecord, FaultSite, FaultyBackend};
+pub use persist::{load_snapshot, save_snapshot, LoadOutcome, SnapshotStats};
 pub use plan::{BackendKind, BackendTable, MatmulPlan, TermPlan};
 pub use prepared::{PreparedSeries, PreparedTerm};
 pub use serving::{

@@ -1,0 +1,625 @@
+//! Prepared-cache persistence: snapshot the decomposition cache to a file, reload it
+//! at startup, and serve the first request of a restarted process with **zero**
+//! decompositions.
+//!
+//! Preparation (fingerprint → decompose → plan → pack) is the expensive half of the
+//! TASD economics; the [`DecompositionCache`] already makes it once-per-weights within
+//! a process. This module extends that across restarts: [`save_snapshot`] serializes
+//! every resident entry, [`load_snapshot`] adopts them back (through the cache's
+//! [`persistable_entries`](DecompositionCache::persistable_entries) /
+//! [`adopt_entry`](DecompositionCache::adopt_entry) seams — persistence never touches
+//! cache internals), and because entries are keyed by *content* fingerprint, a
+//! restarted engine's first `prepare` of the same weights is a pure cache hit.
+//!
+//! # Format (version 1)
+//!
+//! Little-endian throughout:
+//!
+//! ```text
+//! magic            8 bytes  "TASDCACH"
+//! version          u32      1
+//! series count     u32      unique prepared-series allocations
+//! per series:
+//!   fingerprint    u64      content fingerprint the series was prepared under
+//!   rows, cols     u32,u32  decomposed shape
+//!   config         u16 len + UTF-8, `TasdConfig` notation (e.g. "2:8+1:8")
+//!   term count     u16
+//!   per term:
+//!     backend      u8       planned kernel: 0 dense, 1 csr, 2 n:m
+//!     pattern      u8,u8    the term's N:M pattern (n, m)
+//!     entry count  u64
+//!     entries      (row u32, col u32, f32 bits u32) × count, row-major order
+//! entry count      u32      cache entries (≥ series count: keys may alias a series)
+//! per entry:
+//!   fingerprint    u64      cache-key fingerprint (shard fingerprint for shard keys)
+//!   rows, cols     u32,u32  cache-key shape
+//!   config         u16 len + UTF-8
+//!   series index   u32      into the series table
+//! checksum         u64      multiply-xor fold of every preceding byte
+//! ```
+//!
+//! Series are stored once and referenced by index, so two cache keys aliasing one
+//! allocation (e.g. a single-shard split resolving to its parent's series) still alias
+//! after a restart and `bytes_resident` dedup accounting is preserved. The per-term
+//! backend byte replays the plan: reloaded terms are re-packed for the *recorded*
+//! kernel, skipping the planner entirely — a snapshot carries terms, plans, and
+//! fingerprints, the full prepare-time state.
+//!
+//! # Invalidation
+//!
+//! Loading is strictly best-effort: **any** defect — missing file, short read, bad
+//! magic, unknown version, checksum mismatch, malformed config/pattern/term,
+//! out-of-bounds index, trailing bytes — yields [`LoadOutcome::Cold`] with a reason
+//! and leaves the cache exactly as it was. A cold start costs one decomposition per
+//! operand, never correctness. Snapshots are written to a sibling temp file and
+//! renamed into place, so a crash mid-save cannot tear an existing snapshot.
+
+use super::cache::CacheKey;
+use super::plan::BackendKind;
+use super::prepared::PreparedSeries;
+use super::sync::lock_or_panic;
+use super::ExecutionEngine;
+use crate::config::TasdConfig;
+use crate::series::TasdSeries;
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::io;
+use std::path::Path;
+use std::sync::Arc;
+use tasd_tensor::{Matrix, NmPattern};
+
+const MAGIC: [u8; 8] = *b"TASDCACH";
+const VERSION: u32 = 1;
+
+/// What [`save_snapshot`] wrote.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotStats {
+    /// Cache entries serialized.
+    pub entries: usize,
+    /// Unique prepared-series allocations serialized (≤ `entries` when keys alias).
+    pub series: usize,
+    /// Snapshot size on disk, in bytes.
+    pub bytes: usize,
+}
+
+/// How [`load_snapshot`] started the engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LoadOutcome {
+    /// The snapshot was intact; every entry was adopted into the cache. Requests
+    /// against the snapshotted weights now hit without decomposing.
+    Warm {
+        /// Cache entries adopted.
+        entries: usize,
+        /// Snapshot size read, in bytes.
+        bytes: usize,
+    },
+    /// The snapshot was absent or defective; the cache was left untouched and the
+    /// engine decomposes on first use as usual.
+    Cold {
+        /// What was wrong — for logs, never for control flow.
+        reason: String,
+    },
+}
+
+impl LoadOutcome {
+    /// `true` for [`LoadOutcome::Warm`].
+    pub fn is_warm(&self) -> bool {
+        matches!(self, LoadOutcome::Warm { .. })
+    }
+}
+
+/// Serializes every resident prepared series of `engine`'s decomposition cache to
+/// `path` (temp file + rename, so an existing snapshot is never torn). See the
+/// [module docs](self) for the format.
+///
+/// # Errors
+///
+/// I/O errors from writing, plus `InvalidInput` for entries the format cannot carry
+/// (dimensions beyond `u32`, configs beyond `u16` bytes — unreachable with the
+/// engine's own limits).
+pub fn save_snapshot(engine: &ExecutionEngine, path: &Path) -> io::Result<SnapshotStats> {
+    let entries = lock_or_panic(&engine.cache, "prepared cache").persistable_entries();
+    let bytes = encode_entries(&entries)?;
+    let series = unique_series(&entries);
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, &bytes)?;
+    std::fs::rename(&tmp, path)?;
+    Ok(SnapshotStats {
+        entries: entries.len(),
+        series,
+        bytes: bytes.len(),
+    })
+}
+
+/// Loads a snapshot written by [`save_snapshot`] and adopts every entry into
+/// `engine`'s decomposition cache. Infallible by design: defects yield
+/// [`LoadOutcome::Cold`] (see the [module docs](self) invalidation rules), never an
+/// error and never a panic. Adoption respects the cache's capacity and
+/// first-insert-wins semantics — a capacity-0 cache stays a pass-through, and entries
+/// the running engine already resolved are not displaced.
+pub fn load_snapshot(engine: &ExecutionEngine, path: &Path) -> LoadOutcome {
+    let bytes = match std::fs::read(path) {
+        Ok(bytes) => bytes,
+        Err(err) => {
+            return LoadOutcome::Cold {
+                reason: format!("snapshot {}: {err}", path.display()),
+            }
+        }
+    };
+    let entries = match decode_entries(&bytes) {
+        Ok(entries) => entries,
+        Err(reason) => return LoadOutcome::Cold { reason },
+    };
+    let count = entries.len();
+    let mut cache = lock_or_panic(&engine.cache, "prepared cache");
+    for (key, prepared) in entries {
+        cache.adopt_entry(key, prepared);
+    }
+    LoadOutcome::Warm {
+        entries: count,
+        bytes: bytes.len(),
+    }
+}
+
+fn unique_series(entries: &[(CacheKey, Arc<PreparedSeries>)]) -> usize {
+    let mut seen: Vec<usize> = entries
+        .iter()
+        .map(|(_, p)| Arc::as_ptr(p) as usize)
+        .collect();
+    seen.sort_unstable();
+    seen.dedup();
+    seen.len()
+}
+
+/// Multiply-xor fold of `bytes` (8-byte chunks, zero-padded tail), finalized with the
+/// same splitmix64 avalanche the fingerprints use.
+fn checksum(bytes: &[u8]) -> u64 {
+    const M: u64 = 0x9E37_79B9_7F4A_7C15;
+    let mut h = M ^ bytes.len() as u64;
+    for chunk in bytes.chunks(8) {
+        let mut lane = [0u8; 8];
+        lane[..chunk.len()].copy_from_slice(chunk);
+        h = (h ^ u64::from_le_bytes(lane)).wrapping_mul(M);
+    }
+    let mut x = h;
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+fn backend_byte(kind: BackendKind) -> u8 {
+    match kind {
+        BackendKind::Dense => 0,
+        BackendKind::Csr => 1,
+        BackendKind::Nm => 2,
+    }
+}
+
+fn byte_backend(byte: u8) -> Result<BackendKind, String> {
+    match byte {
+        0 => Ok(BackendKind::Dense),
+        1 => Ok(BackendKind::Csr),
+        2 => Ok(BackendKind::Nm),
+        other => Err(format!("snapshot: unknown backend byte {other}")),
+    }
+}
+
+struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn dim(&mut self, v: usize, what: &str) -> io::Result<()> {
+        let v = u32::try_from(v)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, format!("{what} > u32")))?;
+        self.u32(v);
+        Ok(())
+    }
+    fn str16(&mut self, s: &str, what: &str) -> io::Result<()> {
+        let len = u16::try_from(s.len()).map_err(|_| {
+            io::Error::new(io::ErrorKind::InvalidInput, format!("{what} > u16 bytes"))
+        })?;
+        self.u16(len);
+        self.buf.extend_from_slice(s.as_bytes());
+        Ok(())
+    }
+}
+
+/// Encodes `entries` into the version-1 snapshot format (checksum included). The
+/// in-memory half of [`save_snapshot`], split out so tests can corrupt and re-decode
+/// without a filesystem.
+pub(crate) fn encode_entries(entries: &[(CacheKey, Arc<PreparedSeries>)]) -> io::Result<Vec<u8>> {
+    // Deduplicate series by allocation so aliased keys keep aliasing after a reload.
+    let mut index_of: HashMap<usize, u32> = HashMap::new();
+    let mut series: Vec<&Arc<PreparedSeries>> = Vec::new();
+    for (_, prepared) in entries {
+        index_of
+            .entry(Arc::as_ptr(prepared) as usize)
+            .or_insert_with(|| {
+                series.push(prepared);
+                (series.len() - 1) as u32
+            });
+    }
+
+    let mut enc = Enc { buf: Vec::new() };
+    enc.buf.extend_from_slice(&MAGIC);
+    enc.u32(VERSION);
+    enc.u32(series.len() as u32);
+    for prepared in &series {
+        let (rows, cols) = prepared.shape();
+        enc.u64(prepared.fingerprint());
+        enc.dim(rows, "series rows")?;
+        enc.dim(cols, "series cols")?;
+        enc.str16(&prepared.series().config().to_string(), "series config")?;
+        let n_terms = u16::try_from(prepared.terms().len())
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "term count > u16"))?;
+        enc.u16(n_terms);
+        for (i, term) in prepared.series().terms().iter().enumerate() {
+            enc.u8(backend_byte(prepared.terms()[i].backend()));
+            let pattern = term.pattern();
+            enc.u8(pattern.n() as u8);
+            enc.u8(pattern.m() as u8);
+            enc.u64(term.nnz() as u64);
+            for row in 0..rows {
+                for (col, value) in term.row_entries(row) {
+                    enc.dim(row, "entry row")?;
+                    enc.dim(col, "entry col")?;
+                    enc.u32(value.to_bits());
+                }
+            }
+        }
+    }
+    enc.u32(entries.len() as u32);
+    for (key, prepared) in entries {
+        enc.u64(key.fingerprint);
+        enc.dim(key.shape.0, "key rows")?;
+        enc.dim(key.shape.1, "key cols")?;
+        enc.str16(&key.config.to_string(), "key config")?;
+        enc.u32(index_of[&(Arc::as_ptr(prepared) as usize)]);
+    }
+    let sum = checksum(&enc.buf);
+    enc.u64(sum);
+    Ok(enc.buf)
+}
+
+struct Dec<'a> {
+    rest: &'a [u8],
+}
+
+impl<'a> Dec<'a> {
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], String> {
+        if self.rest.len() < n {
+            return Err(format!(
+                "snapshot truncated at {what}: need {n} bytes, have {}",
+                self.rest.len()
+            ));
+        }
+        let (head, tail) = self.rest.split_at(n);
+        self.rest = tail;
+        Ok(head)
+    }
+    fn u8(&mut self, what: &str) -> Result<u8, String> {
+        Ok(self.take(1, what)?[0])
+    }
+    fn u16(&mut self, what: &str) -> Result<u16, String> {
+        Ok(u16::from_le_bytes(self.take(2, what)?.try_into().unwrap()))
+    }
+    fn u32(&mut self, what: &str) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+    fn u64(&mut self, what: &str) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+    fn str16(&mut self, what: &str) -> Result<&'a str, String> {
+        let len = self.u16(what)? as usize;
+        let bytes = self.take(len, what)?;
+        std::str::from_utf8(bytes).map_err(|_| format!("snapshot: {what} is not UTF-8"))
+    }
+    fn config(&mut self, what: &str) -> Result<TasdConfig, String> {
+        let text = self.str16(what)?;
+        TasdConfig::parse(text).map_err(|err| format!("snapshot: bad {what} {text:?}: {err}"))
+    }
+}
+
+/// Decodes a version-1 snapshot back into adoptable `(key, prepared)` entries, fully
+/// re-validated: checksum first, then every structural invariant (see the [module
+/// docs](self) invalidation rules). The returned `Arc`s preserve the on-disk aliasing.
+pub(crate) fn decode_entries(bytes: &[u8]) -> Result<Vec<(CacheKey, Arc<PreparedSeries>)>, String> {
+    if bytes.len() < MAGIC.len() + 4 + 4 + 4 + 8 {
+        return Err(format!("snapshot too short: {} bytes", bytes.len()));
+    }
+    let (body, sum_bytes) = bytes.split_at(bytes.len() - 8);
+    let recorded = u64::from_le_bytes(sum_bytes.try_into().unwrap());
+    let computed = checksum(body);
+    if recorded != computed {
+        return Err(format!(
+            "snapshot checksum mismatch: recorded {recorded:#018x}, computed {computed:#018x}"
+        ));
+    }
+    let mut dec = Dec { rest: body };
+    if dec.take(MAGIC.len(), "magic")? != MAGIC {
+        return Err("snapshot: bad magic (not a TASD cache snapshot)".to_string());
+    }
+    let version = dec.u32("version")?;
+    if version != VERSION {
+        return Err(format!(
+            "snapshot version {version} unsupported (expected {VERSION})"
+        ));
+    }
+
+    let series_count = dec.u32("series count")? as usize;
+    let mut series: Vec<Arc<PreparedSeries>> = Vec::with_capacity(series_count.min(1024));
+    for s in 0..series_count {
+        let fingerprint = dec.u64("series fingerprint")?;
+        let rows = dec.u32("series rows")? as usize;
+        let cols = dec.u32("series cols")? as usize;
+        rows.checked_mul(cols)
+            .filter(|&n| n <= 1 << 32)
+            .ok_or_else(|| format!("snapshot: series {s} shape {rows}x{cols} is implausible"))?;
+        let config = dec.config("series config")?;
+        let n_terms = dec.u16("term count")? as usize;
+        let mut kinds = Vec::with_capacity(n_terms);
+        let mut terms = Vec::with_capacity(n_terms);
+        for t in 0..n_terms {
+            kinds.push(byte_backend(dec.u8("backend")?)?);
+            let n = dec.u8("pattern n")? as usize;
+            let m = dec.u8("pattern m")? as usize;
+            let pattern = NmPattern::new(n, m)
+                .map_err(|err| format!("snapshot: series {s} term {t} pattern: {err}"))?;
+            let entry_count = dec.u64("entry count")? as usize;
+            if entry_count > rows * cols {
+                return Err(format!(
+                    "snapshot: series {s} term {t} claims {entry_count} entries in a {rows}x{cols} term"
+                ));
+            }
+            let mut dense = Matrix::zeros(rows, cols);
+            for e in 0..entry_count {
+                let row = dec.u32("entry row")? as usize;
+                let col = dec.u32("entry col")? as usize;
+                let bits = dec.u32("entry value")?;
+                if row >= rows || col >= cols {
+                    return Err(format!(
+                        "snapshot: series {s} term {t} entry {e} at ({row}, {col}) is out of bounds"
+                    ));
+                }
+                dense[(row, col)] = f32::from_bits(bits);
+            }
+            let term = tasd_tensor::NmCompressed::from_dense_strict(&dense, pattern)
+                .map_err(|err| format!("snapshot: series {s} term {t} does not conform: {err}"))?;
+            term.validate()
+                .map_err(|err| format!("snapshot: series {s} term {t} invalid: {err}"))?;
+            terms.push(term);
+        }
+        let raw = Arc::new(TasdSeries::new((rows, cols), config, terms));
+        // Replay the recorded per-term plan instead of re-running the planner: packing
+        // follows the exact kernels the snapshotting engine chose.
+        let next = Cell::new(0usize);
+        let prepared = PreparedSeries::prepare(raw, fingerprint, |_, _, _| {
+            let i = next.get();
+            next.set(i + 1);
+            kinds[i]
+        });
+        series.push(Arc::new(prepared));
+    }
+
+    let entry_count = dec.u32("entry count")? as usize;
+    let mut entries = Vec::with_capacity(entry_count.min(4096));
+    for e in 0..entry_count {
+        let fingerprint = dec.u64("key fingerprint")?;
+        let rows = dec.u32("key rows")? as usize;
+        let cols = dec.u32("key cols")? as usize;
+        let config = dec.config("key config")?;
+        let index = dec.u32("series index")? as usize;
+        let prepared = series.get(index).ok_or_else(|| {
+            format!("snapshot: entry {e} references series {index} of {series_count}")
+        })?;
+        entries.push((
+            CacheKey {
+                fingerprint,
+                shape: (rows, cols),
+                config,
+            },
+            Arc::clone(prepared),
+        ));
+    }
+    if !dec.rest.is_empty() {
+        return Err(format!(
+            "snapshot: {} trailing bytes after the entry table",
+            dec.rest.len()
+        ));
+    }
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::ShardPolicy;
+    use super::*;
+    use std::path::PathBuf;
+    use tasd_tensor::MatrixGenerator;
+
+    fn cfg() -> TasdConfig {
+        TasdConfig::parse("2:8+1:8").unwrap()
+    }
+
+    fn temp_path(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("tasd-persist-{}-{name}.bin", std::process::id()))
+    }
+
+    fn warm_engine() -> (Arc<ExecutionEngine>, Matrix) {
+        let engine = Arc::new(
+            ExecutionEngine::builder()
+                .shard_policy(ShardPolicy::FixedRows(16))
+                .shard_min_rows(2)
+                .workers(1)
+                .build(),
+        );
+        let a = MatrixGenerator::seeded(21).sparse_normal(48, 32, 0.75);
+        engine.warm_serving_operand(&Arc::new(a.clone()), &cfg());
+        (engine, a)
+    }
+
+    #[test]
+    fn snapshot_roundtrip_restores_every_entry() {
+        let (engine, a) = warm_engine();
+        let before = engine.cache_stats();
+        assert!(before.entries > 0);
+        let path = temp_path("roundtrip");
+        let stats = save_snapshot(&engine, &path).unwrap();
+        assert_eq!(stats.entries, before.entries);
+        assert!(stats.bytes > 0);
+
+        let restarted = Arc::new(
+            ExecutionEngine::builder()
+                .shard_policy(ShardPolicy::FixedRows(16))
+                .shard_min_rows(2)
+                .workers(1)
+                .build(),
+        );
+        let outcome = load_snapshot(&restarted, &path);
+        assert_eq!(
+            outcome,
+            LoadOutcome::Warm {
+                entries: before.entries,
+                bytes: stats.bytes
+            }
+        );
+        assert_eq!(restarted.cache_stats().entries, before.entries);
+        assert_eq!(
+            restarted.cache_stats().bytes_resident,
+            before.bytes_resident,
+            "byte accounting must survive the save/load cycle"
+        );
+
+        // The restarted engine's first preparation of the same weights is pure hits:
+        // zero decompositions (the warm-restart contract).
+        restarted.warm_serving_operand(&Arc::new(a), &cfg());
+        assert_eq!(restarted.prep_stats().prepares, 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn reloaded_series_are_bitwise_identical() {
+        let (engine, _) = warm_engine();
+        let entries = lock_or_panic(&engine.cache, "prepared cache").persistable_entries();
+        let bytes = encode_entries(&entries).unwrap();
+        let reloaded = decode_entries(&bytes).unwrap();
+        assert_eq!(reloaded.len(), entries.len());
+        for ((key, original), (rkey, restored)) in entries.iter().zip(&reloaded) {
+            assert_eq!(key, rkey);
+            assert_eq!(original.fingerprint(), restored.fingerprint());
+            assert_eq!(original.shape(), restored.shape());
+            assert_eq!(original.summary(), restored.summary(), "plans must replay");
+            let a = original.series().reconstruct();
+            let b = restored.series().reconstruct();
+            assert_eq!(a.as_slice(), b.as_slice(), "reconstruction must be bitwise");
+        }
+    }
+
+    #[test]
+    fn aliased_entries_still_alias_after_decode() {
+        let (engine, _) = warm_engine();
+        let mut entries = lock_or_panic(&engine.cache, "prepared cache").persistable_entries();
+        // Manufacture an alias: a second key resolving to the first entry's allocation.
+        let (first_key, first_series) = entries[0].clone();
+        entries.push((
+            CacheKey {
+                fingerprint: first_key.fingerprint ^ 1,
+                ..first_key
+            },
+            first_series,
+        ));
+        let decoded = decode_entries(&encode_entries(&entries).unwrap()).unwrap();
+        let last = decoded.len() - 1;
+        assert!(
+            Arc::ptr_eq(&decoded[0].1, &decoded[last].1),
+            "keys sharing an allocation on save must share one after load"
+        );
+    }
+
+    #[test]
+    fn every_corruption_is_a_clean_cold_start() {
+        let (engine, _) = warm_engine();
+        let path = temp_path("corrupt");
+        save_snapshot(&engine, &path).unwrap();
+        let good = std::fs::read(&path).unwrap();
+
+        let fresh = || Arc::new(ExecutionEngine::builder().workers(1).build());
+        let cold_reason = |bytes: &[u8], label: &str| {
+            let engine = fresh();
+            std::fs::write(&path, bytes).unwrap();
+            match load_snapshot(&engine, &path) {
+                LoadOutcome::Cold { reason } => {
+                    assert_eq!(engine.cache_stats().entries, 0, "{label}: cache untouched");
+                    reason
+                }
+                LoadOutcome::Warm { .. } => panic!("{label}: corrupt snapshot loaded warm"),
+            }
+        };
+
+        // Missing file.
+        let engine2 = fresh();
+        std::fs::remove_file(&path).unwrap();
+        assert!(!load_snapshot(&engine2, &path).is_warm());
+
+        // Empty, truncated, bit-flipped, bad magic, future version.
+        assert!(cold_reason(&[], "empty").contains("too short"));
+        assert!(cold_reason(&good[..good.len() / 2], "truncated").contains("checksum"));
+        let mut flipped = good.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x40;
+        assert!(cold_reason(&flipped, "bit flip").contains("checksum"));
+        let mut magic = good.clone();
+        magic[0] = b'X';
+        assert!(cold_reason(&magic, "magic").contains("checksum"));
+        let mut version = good.clone();
+        version[8] = 9;
+        assert!(cold_reason(&version, "version").contains("checksum"));
+        // Re-checksummed structural corruption gets past the checksum and must still be
+        // rejected by validation: point the final entry's series index out of range
+        // (the last four body bytes) and re-seal the snapshot.
+        let mut reindexed = good[..good.len() - 8].to_vec();
+        let len = reindexed.len();
+        reindexed[len - 4..].copy_from_slice(&u32::MAX.to_le_bytes());
+        let sum = checksum(&reindexed);
+        reindexed.extend_from_slice(&sum.to_le_bytes());
+        assert!(cold_reason(&reindexed, "series index").contains("references series"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn loading_never_displaces_live_entries() {
+        let (engine, a) = warm_engine();
+        let path = temp_path("displace");
+        save_snapshot(&engine, &path).unwrap();
+        // The engine keeps serving between save and (re)load; re-loading its own
+        // snapshot must keep the resident allocations (first-insert-wins), not churn.
+        let resident = engine.cache_stats();
+        let outcome = load_snapshot(&engine, &path);
+        assert!(outcome.is_warm());
+        assert_eq!(engine.cache_stats().entries, resident.entries);
+        assert_eq!(engine.cache_stats().bytes_resident, resident.bytes_resident);
+        engine.warm_serving_operand(&Arc::new(a), &cfg());
+        let prepares = engine.prep_stats().prepares;
+        engine.warm_serving_operand(
+            &Arc::new(MatrixGenerator::seeded(21).sparse_normal(48, 32, 0.75)),
+            &cfg(),
+        );
+        assert_eq!(engine.prep_stats().prepares, prepares, "still pure hits");
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -28,6 +28,11 @@
 //!   engine: enqueue requests, coalesce them into micro-batch windows, collect results
 //!   through [`ResponseHandle`]s (see the `tasd::engine` module docs' serving-session
 //!   lifecycle).
+//! * [`WeightStore`] / [`load_snapshot`] — the deploy lifecycle: named operands with
+//!   atomic generation swaps (push new weights under live traffic, re-preparing only
+//!   dirty row shards) and prepared-cache persistence (a restarted engine serves its
+//!   first request with zero decompositions). See the `tasd::engine` module docs'
+//!   "Deploy lifecycle" section.
 //! * [`compose`] — the pattern-composition algebra (paper Table 2): which effective N:M
 //!   patterns a piece of hardware supports once TASD chaining is allowed.
 //! * [`analysis`] — the synthetic-data studies of the paper's Appendix A (drop fractions vs
@@ -79,12 +84,13 @@ pub use compose::{compose_pattern_table, ComposedPattern, PatternMenu};
 pub use config::TasdConfig;
 pub use decompose::{decompose, decompose_with_residual};
 pub use engine::{
-    BackendKind, BackendTable, BatchRequest, BatchResponse, BatchTelemetry, CacheEntryStats,
-    CacheStats, Clock, DecompositionCache, EngineBuilder, ExecutionEngine, FaultKind, FaultPlan,
-    FaultRecord, FaultSite, FaultyBackend, GroupTelemetry, MatmulPlan, MockClock, MonotonicClock,
+    load_snapshot, save_snapshot, BackendKind, BackendTable, BatchRequest, BatchResponse,
+    BatchTelemetry, CacheEntryStats, CacheStats, Clock, DecompositionCache, DeployError,
+    DeployReport, EngineBuilder, ExecutionEngine, FaultKind, FaultPlan, FaultRecord, FaultSite,
+    FaultyBackend, Generation, GroupTelemetry, LoadOutcome, MatmulPlan, MockClock, MonotonicClock,
     OverloadPolicy, PrepStats, PreparedSeries, PreparedShard, PreparedTerm, ResponseHandle,
     ServingEngine, ServingError, ServingStats, ShardPolicy, ShardTelemetry, ShardedEngine,
-    ShardedSeries, ShardedTelemetry, TermPlan, TickerHandle,
+    ShardedSeries, ShardedTelemetry, SnapshotStats, TermPlan, TickerHandle, WeightStore,
 };
 pub use series::{series_gemm, series_gemm_into, DecompositionReport, TasdSeries};
 

@@ -73,6 +73,40 @@ impl Client {
         })
     }
 
+    /// Sends a multiply request against a *named* operand deployed on the server
+    /// (its current generation is resolved server-side at enqueue).
+    pub fn request_named(
+        &mut self,
+        id: u64,
+        name: &str,
+        b: &Matrix,
+        deadline_micros: Option<u64>,
+    ) -> io::Result<()> {
+        self.send(&Frame::NamedRequest {
+            id,
+            name: name.to_string(),
+            deadline_micros,
+            b: b.clone(),
+        })
+    }
+
+    /// Deploys weights under `name`. With `config` (e.g. `"2:8+1:8"`) this is a full
+    /// registration; without, an incremental push against the registered config that
+    /// re-prepares only dirty row shards. The server answers with an `UpdateAck` (or
+    /// a structured error frame) via [`recv`](Client::recv).
+    pub fn update_weights(
+        &mut self,
+        name: &str,
+        a: &Matrix,
+        config: Option<&str>,
+    ) -> io::Result<()> {
+        self.send(&Frame::UpdateWeights {
+            name: name.to_string(),
+            config: config.map(str::to_string),
+            a: a.clone(),
+        })
+    }
+
     /// Sends a control frame (the matching ack or stats frame arrives via
     /// [`recv`](Client::recv), after any in-flight responses).
     pub fn control(&mut self, op: ControlOp) -> io::Result<()> {

@@ -12,6 +12,19 @@
 //! * [`loadgen`] — a closed-loop load generator that replays mixed-shape traffic and
 //!   reports p50/p95/p99 latency and throughput.
 //!
+//! # Deploys on the wire
+//!
+//! The server fronts a [`tasd::WeightStore`]: an
+//! [`UpdateWeights`](wire::Frame::UpdateWeights) frame deploys named weights (full
+//! registration with a config, incremental push without — only dirty row shards
+//! re-prepare), answered by [`UpdateAck`](wire::Frame::UpdateAck);
+//! [`NamedRequest`](wire::Frame::NamedRequest) multiplies against the name's current
+//! generation, resolved at enqueue so a concurrent deploy never tears an in-flight
+//! request. [`Server::bind_restored`] starts from a prepared-cache snapshot (written
+//! by [`Server::snapshot`]) so a restarted server decomposes nothing on its first
+//! request; the [`Stats`](wire::Frame::Stats) frame reports the store generation,
+//! resident cache bytes, and warm-start status. Wire details: `README.md`.
+//!
 //! # Error frames, not dropped connections
 //!
 //! Admission-control outcomes ([`QueueFull`](wire::ErrorCode::QueueFull),
@@ -35,4 +48,4 @@ pub mod wire;
 pub use client::Client;
 pub use loadgen::{LoadReport, LoadShape, LoadSpec};
 pub use server::{Server, ServerConfig};
-pub use wire::{ControlOp, ErrorCode, Frame, RecvError, WireError};
+pub use wire::{ControlOp, ErrorCode, Frame, RecvError, StatsReport, WireError};

@@ -39,6 +39,7 @@
 
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
@@ -46,13 +47,14 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use tasd::{
-    BatchRequest, ExecutionEngine, OverloadPolicy, ResponseHandle, ServingEngine, TasdConfig,
-    TickerHandle,
+    load_snapshot, save_snapshot, BatchRequest, DeployError, ExecutionEngine, LoadOutcome,
+    OverloadPolicy, ResponseHandle, ServingEngine, SnapshotStats, TasdConfig, TickerHandle,
+    WeightStore,
 };
 
 use crate::wire::{
-    read_frame, write_frame, ControlOp, ErrorCode, Frame, RecvError, CONNECTION_SCOPE_ID,
-    DEFAULT_MAX_FRAME_BYTES,
+    read_frame, write_frame, ControlOp, ErrorCode, Frame, RecvError, StatsReport,
+    CONNECTION_SCOPE_ID, DEFAULT_MAX_FRAME_BYTES,
 };
 
 /// How the server's serving session and transport are shaped.
@@ -95,6 +97,12 @@ struct ConnectionRegistry {
 
 struct ServerShared {
     session: ServingEngine,
+    /// Named serving operands; `UpdateWeights` deploys into it, `NamedRequest`
+    /// resolves through it. Shares the session's engine (and its prepared cache).
+    store: Arc<WeightStore>,
+    /// Whether startup restored an intact prepared-cache snapshot (reported in the
+    /// `Stats` frame so operators can verify a warm restart).
+    warm_start: bool,
     /// Fast-path flag the accept loop polls between connections.
     stop: AtomicBool,
     /// Condvar-guarded stop latch [`Server::wait`] blocks on.
@@ -153,8 +161,34 @@ impl Server {
         config: ServerConfig,
         engine: Arc<ExecutionEngine>,
     ) -> io::Result<Server> {
+        Server::bind_inner(addr, config, engine, false)
+    }
+
+    /// [`bind_over`](Server::bind_over), restoring the engine's prepared cache from a
+    /// snapshot first (see [`tasd::load_snapshot`]). Returns the server together with
+    /// the load outcome; a defective snapshot is a *cold* start, never a bind error —
+    /// the warm-start flag in the `Stats` frame reflects the outcome. After a warm
+    /// start, the first request against snapshotted weights decomposes nothing.
+    pub fn bind_restored(
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+        engine: Arc<ExecutionEngine>,
+        snapshot: &Path,
+    ) -> io::Result<(Server, LoadOutcome)> {
+        let outcome = load_snapshot(&engine, snapshot);
+        let server = Server::bind_inner(addr, config, engine, outcome.is_warm())?;
+        Ok((server, outcome))
+    }
+
+    fn bind_inner(
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+        engine: Arc<ExecutionEngine>,
+        warm_start: bool,
+    ) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
+        let store = Arc::new(WeightStore::new(Arc::clone(&engine)));
         let mut session = ServingEngine::over(engine)
             .with_max_batch(config.max_batch)
             .with_max_wait(config.max_wait_ticks)
@@ -165,6 +199,8 @@ impl Server {
         let ticker = session.spawn_ticker(config.tick_interval);
         let shared = Arc::new(ServerShared {
             session,
+            store,
+            warm_start,
             stop: AtomicBool::new(false),
             stop_signal: Mutex::new(false),
             stop_cv: Condvar::new(),
@@ -194,6 +230,19 @@ impl Server {
     /// The serving session behind the socket — for stats and in-process comparison.
     pub fn session(&self) -> &ServingEngine {
         &self.shared.session
+    }
+
+    /// The server's weight store — the in-process twin of the `UpdateWeights` /
+    /// `NamedRequest` wire surface (deploys made here are visible on the wire and
+    /// vice versa).
+    pub fn store(&self) -> &Arc<WeightStore> {
+        &self.shared.store
+    }
+
+    /// Snapshots the engine's prepared cache to `path` (see [`tasd::save_snapshot`]);
+    /// a later [`bind_restored`](Server::bind_restored) over it starts warm.
+    pub fn snapshot(&self, path: &Path) -> io::Result<SnapshotStats> {
+        save_snapshot(self.shared.store.engine(), path)
     }
 
     /// Graceful session drain: closes admission and executes the parked window. The
@@ -391,6 +440,76 @@ fn reader_loop(shared: &ServerShared, stream: &TcpStream, tx: &mpsc::Sender<Writ
                     return;
                 }
             }
+            Frame::UpdateWeights { name, config, a } => {
+                // Deploys run inline on this reader thread: a push blocks only *this*
+                // connection's reads (deploys are rare and deploy clients are
+                // dedicated), while serving traffic on every other connection keeps
+                // enqueueing — the store is never locked across preparation.
+                let result = match config {
+                    Some(text) => match TasdConfig::parse(&text) {
+                        Ok(parsed) => shared.store.register(&name, a, parsed),
+                        Err(parse_error) => {
+                            let _ = tx.send(WriterMsg::Frame(Frame::Error {
+                                id: CONNECTION_SCOPE_ID,
+                                code: ErrorCode::BadRequest,
+                                message: format!("unparsable decomposition config: {parse_error}"),
+                            }));
+                            continue;
+                        }
+                    },
+                    None => shared.store.push(&name, a),
+                };
+                let answer = match result {
+                    Ok(report) => Frame::UpdateAck {
+                        name,
+                        generation: report.generation,
+                        dirty_rows: report.dirty_rows as u64,
+                        total_rows: report.total_rows as u64,
+                        dirty_shards: report.dirty_shards as u64,
+                        total_shards: report.total_shards as u64,
+                        prepares: report.prepares,
+                    },
+                    Err(error @ DeployError::UnknownOperand { .. }) => Frame::Error {
+                        id: CONNECTION_SCOPE_ID,
+                        code: ErrorCode::UnknownOperand,
+                        message: error.to_string(),
+                    },
+                    // ShapeMismatch / PreparePanicked (and any future rejection): the
+                    // resident generation keeps serving untouched.
+                    Err(error) => Frame::Error {
+                        id: CONNECTION_SCOPE_ID,
+                        code: ErrorCode::DeployRejected,
+                        message: error.to_string(),
+                    },
+                };
+                let _ = tx.send(WriterMsg::Frame(answer));
+            }
+            Frame::NamedRequest {
+                id,
+                name,
+                deadline_micros,
+                b,
+            } => {
+                // Resolve the operand's current generation *now*, at enqueue: the
+                // request keeps that generation's weights bitwise even if a deploy
+                // swaps the name before its window executes.
+                let Some(generation) = shared.store.resolve(&name) else {
+                    let _ = tx.send(WriterMsg::Frame(Frame::Error {
+                        id,
+                        code: ErrorCode::UnknownOperand,
+                        message: format!("unknown operand {name:?}: deploy it first"),
+                    }));
+                    continue;
+                };
+                let mut request = generation.request(b);
+                if let Some(micros) = deadline_micros {
+                    request = request.with_deadline(session.now() + Duration::from_micros(micros));
+                }
+                let handle = session.enqueue(request);
+                if tx.send(WriterMsg::Deliver { id, handle }).is_err() {
+                    return;
+                }
+            }
             Frame::Control(op) => match op {
                 ControlOp::Ping => {
                     let _ = tx.send(WriterMsg::Frame(Frame::ControlAck(ControlOp::Ping)));
@@ -412,13 +531,20 @@ fn reader_loop(shared: &ServerShared, stream: &TcpStream, tx: &mpsc::Sender<Writ
                     return;
                 }
                 ControlOp::Stats => {
-                    let _ = tx.send(WriterMsg::Frame(Frame::Stats(session.stats())));
+                    let report = StatsReport {
+                        serving: session.stats(),
+                        cache_generation: shared.store.generation(),
+                        bytes_resident: shared.store.engine().cache_stats().bytes_resident as u64,
+                        warm_start: shared.warm_start,
+                    };
+                    let _ = tx.send(WriterMsg::Frame(Frame::Stats(report)));
                 }
             },
             // Server-to-client frames arriving at the server are a protocol violation.
             Frame::Response { .. }
             | Frame::Error { .. }
             | Frame::ControlAck(_)
+            | Frame::UpdateAck { .. }
             | Frame::Stats(_) => {
                 let _ = tx.send(WriterMsg::Frame(Frame::Error {
                     id: CONNECTION_SCOPE_ID,

@@ -46,10 +46,13 @@ pub const CONNECTION_SCOPE_ID: u64 = u64::MAX;
 
 const TYPE_REQUEST: u8 = 0x01;
 const TYPE_CONTROL: u8 = 0x02;
+const TYPE_UPDATE_WEIGHTS: u8 = 0x03;
+const TYPE_NAMED_REQUEST: u8 = 0x04;
 const TYPE_RESPONSE: u8 = 0x81;
 const TYPE_ERROR: u8 = 0x82;
 const TYPE_CONTROL_ACK: u8 = 0x83;
 const TYPE_STATS: u8 = 0x84;
+const TYPE_UPDATE_ACK: u8 = 0x85;
 
 const FLAG_CONFIG: u8 = 0b01;
 const FLAG_DEADLINE: u8 = 0b10;
@@ -243,6 +246,13 @@ pub enum ErrorCode {
     /// The frame decoded but its content was unusable (e.g. an unparsable
     /// decomposition config). The connection stays open.
     BadRequest,
+    /// A [`Frame::NamedRequest`] or incremental [`Frame::UpdateWeights`] named an
+    /// operand the server's weight store has never registered.
+    UnknownOperand,
+    /// A deploy was rejected without touching the resident weights (shape mismatch
+    /// against the resident generation, or preparation failed); the old generation
+    /// keeps serving.
+    DeployRejected,
 }
 
 impl ErrorCode {
@@ -257,6 +267,8 @@ impl ErrorCode {
             ErrorCode::Execution => 7,
             ErrorCode::BadFrame => 8,
             ErrorCode::BadRequest => 9,
+            ErrorCode::UnknownOperand => 10,
+            ErrorCode::DeployRejected => 11,
         }
     }
 
@@ -271,6 +283,8 @@ impl ErrorCode {
             7 => Ok(ErrorCode::Execution),
             8 => Ok(ErrorCode::BadFrame),
             9 => Ok(ErrorCode::BadRequest),
+            10 => Ok(ErrorCode::UnknownOperand),
+            11 => Ok(ErrorCode::DeployRejected),
             other => Err(WireError::UnknownErrorCode(other)),
         }
     }
@@ -291,10 +305,30 @@ impl ErrorCode {
     }
 }
 
+/// The server-side counters answering [`ControlOp::Stats`]: the serving session's
+/// numbers plus the deploy-lifecycle state operators use to verify a weight push
+/// landed (compare `cache_generation` against the [`Frame::UpdateAck`] generation) and
+/// that a restart came back warm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsReport {
+    /// The serving session's counters.
+    pub serving: ServingStats,
+    /// The weight store's deploy counter (0 when nothing was ever deployed).
+    pub cache_generation: u64,
+    /// Resident bytes of the engine's decomposition cache (prepared series + packed
+    /// execution formats, deduped by allocation).
+    pub bytes_resident: u64,
+    /// Whether the server started from an intact prepared-cache snapshot (zero
+    /// decompositions on the first request against snapshotted weights).
+    pub warm_start: bool,
+}
+
 /// One protocol frame. Clients send [`Request`](Frame::Request) /
+/// [`NamedRequest`](Frame::NamedRequest) / [`UpdateWeights`](Frame::UpdateWeights) /
 /// [`Control`](Frame::Control); servers answer with [`Response`](Frame::Response) /
 /// [`Error`](Frame::Error) / [`ControlAck`](Frame::ControlAck) /
-/// [`Stats`](Frame::Stats). Responses on one connection arrive in request order.
+/// [`UpdateAck`](Frame::UpdateAck) / [`Stats`](Frame::Stats). Responses on one
+/// connection arrive in request order.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Frame {
     /// Multiply `a · b` (with `a` optionally TASD-decomposed under `config`).
@@ -313,6 +347,38 @@ pub enum Frame {
     },
     /// A session-control operation.
     Control(ControlOp),
+    /// Deploy weights under `name` into the server's weight store. With `config`, a
+    /// full registration (first deploy of the name, or a config change — every shard
+    /// prepares); without, an incremental push against the resident generation (only
+    /// dirty row shards re-prepare; the name must already be registered). Answered
+    /// with [`UpdateAck`](Frame::UpdateAck) or an [`Error`](Frame::Error) at
+    /// [`CONNECTION_SCOPE_ID`] ([`ErrorCode::UnknownOperand`] /
+    /// [`ErrorCode::DeployRejected`]); either way the previous generation keeps
+    /// serving until the ack.
+    UpdateWeights {
+        /// The operand's name in the server's weight store.
+        name: String,
+        /// Decomposition config string for a full registration; `None` pushes
+        /// incrementally under the registered config.
+        config: Option<String>,
+        /// The new weights.
+        a: Matrix,
+    },
+    /// Multiply `name · b` against the named operand's *current* generation (resolved
+    /// at enqueue: a concurrent [`UpdateWeights`](Frame::UpdateWeights) never tears an
+    /// in-flight request). Answered like [`Request`](Frame::Request), or with
+    /// [`ErrorCode::UnknownOperand`] if the name was never deployed.
+    NamedRequest {
+        /// Client-chosen correlation id, echoed on the answer.
+        id: u64,
+        /// The operand's name in the server's weight store.
+        name: String,
+        /// Relative deadline budget in microseconds from server receipt; `None` never
+        /// expires.
+        deadline_micros: Option<u64>,
+        /// Right-hand panel (`operand.cols() × width`).
+        b: Matrix,
+    },
     /// A successful answer to the request with the same `id`.
     Response {
         /// The request's correlation id.
@@ -332,8 +398,36 @@ pub enum Frame {
     },
     /// Acknowledges a [`Control`](Frame::Control) after the operation completed.
     ControlAck(ControlOp),
-    /// The session's counters, answering [`ControlOp::Stats`].
-    Stats(ServingStats),
+    /// Acknowledges an [`UpdateWeights`](Frame::UpdateWeights) after the new
+    /// generation is installed and serving. The numbers mirror the store's
+    /// `DeployReport`: how much actually changed and re-prepared.
+    UpdateAck {
+        /// The deployed operand's name.
+        name: String,
+        /// The store's generation counter after the deploy (unchanged for a no-op
+        /// push whose rows were all identical).
+        generation: u64,
+        /// Rows whose content changed.
+        dirty_rows: u64,
+        /// Total rows of the operand.
+        total_rows: u64,
+        /// Row shards containing at least one dirty row.
+        dirty_shards: u64,
+        /// Total row shards of the operand.
+        total_shards: u64,
+        /// Decompositions the deploy actually performed (tracks `dirty_shards`, not
+        /// `total_shards`: clean shards hit the prepared cache).
+        prepares: u64,
+    },
+    /// The server's counters, answering [`ControlOp::Stats`].
+    Stats(StatsReport),
+}
+
+/// Appends a `[len: u16 LE][UTF-8]` string field (config strings, operand names).
+fn encode_str16(s: &str, out: &mut Vec<u8>) {
+    debug_assert!(s.len() <= u16::MAX as usize, "string fields are short");
+    out.extend_from_slice(&(s.len() as u16).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
 }
 
 /// Appends a matrix in wire form (`[rows u64][cols u64][f32 ×]`) to `out`.
@@ -382,6 +476,16 @@ fn take_u64(buf: &mut &[u8], context: &'static str) -> Result<u64, WireError> {
     let mut raw = [0u8; 8];
     raw.copy_from_slice(bytes);
     Ok(u64::from_le_bytes(raw))
+}
+
+/// Decodes a `[len: u16 LE][UTF-8]` string field; `context` names it in errors
+/// ("config length"/"config string" style pairs collapse to one context here).
+fn take_str16(buf: &mut &[u8], context: &'static str) -> Result<String, WireError> {
+    let len = take_u16(buf, context)? as usize;
+    let bytes = take(buf, len, context)?;
+    Ok(std::str::from_utf8(bytes)
+        .map_err(|_| WireError::BadUtf8 { context })?
+        .to_string())
 }
 
 /// Decodes one wire-form matrix from the front of `buf`, advancing it. Validates the
@@ -463,6 +567,38 @@ pub fn encode_frame(frame: &Frame) -> Result<Vec<u8>, WireError> {
             body.push(TYPE_CONTROL);
             body.push(op.to_byte());
         }
+        Frame::UpdateWeights { name, config, a } => {
+            body.push(TYPE_UPDATE_WEIGHTS);
+            let mut flags = 0u8;
+            if config.is_some() {
+                flags |= FLAG_CONFIG;
+            }
+            body.push(flags);
+            encode_str16(name, &mut body);
+            if let Some(config) = config {
+                encode_str16(config, &mut body);
+            }
+            encode_matrix(a, &mut body);
+        }
+        Frame::NamedRequest {
+            id,
+            name,
+            deadline_micros,
+            b,
+        } => {
+            body.push(TYPE_NAMED_REQUEST);
+            body.extend_from_slice(&id.to_le_bytes());
+            let mut flags = 0u8;
+            if deadline_micros.is_some() {
+                flags |= FLAG_DEADLINE;
+            }
+            body.push(flags);
+            encode_str16(name, &mut body);
+            if let Some(deadline) = deadline_micros {
+                body.extend_from_slice(&deadline.to_le_bytes());
+            }
+            encode_matrix(b, &mut body);
+        }
         Frame::Response { id, output } => {
             body.push(TYPE_RESPONSE);
             body.extend_from_slice(&id.to_le_bytes());
@@ -480,8 +616,31 @@ pub fn encode_frame(frame: &Frame) -> Result<Vec<u8>, WireError> {
             body.push(TYPE_CONTROL_ACK);
             body.push(op.to_byte());
         }
-        Frame::Stats(stats) => {
+        Frame::UpdateAck {
+            name,
+            generation,
+            dirty_rows,
+            total_rows,
+            dirty_shards,
+            total_shards,
+            prepares,
+        } => {
+            body.push(TYPE_UPDATE_ACK);
+            encode_str16(name, &mut body);
+            for counter in [
+                *generation,
+                *dirty_rows,
+                *total_rows,
+                *dirty_shards,
+                *total_shards,
+                *prepares,
+            ] {
+                body.extend_from_slice(&counter.to_le_bytes());
+            }
+        }
+        Frame::Stats(report) => {
             body.push(TYPE_STATS);
+            let stats = &report.serving;
             for counter in [
                 stats.enqueued,
                 stats.dispatched,
@@ -495,6 +654,9 @@ pub fn encode_frame(frame: &Frame) -> Result<Vec<u8>, WireError> {
                 stats.cancelled,
                 stats.shutdown_rejected,
                 stats.window_panics,
+                report.cache_generation,
+                report.bytes_resident,
+                u64::from(report.warm_start),
             ] {
                 body.extend_from_slice(&counter.to_le_bytes());
             }
@@ -553,6 +715,40 @@ pub fn decode_frame_body(body: &[u8]) -> Result<Frame, WireError> {
             }
         }
         TYPE_CONTROL => Frame::Control(ControlOp::from_byte(take_u8(&mut buf, "control op")?)?),
+        TYPE_UPDATE_WEIGHTS => {
+            let flags = take_u8(&mut buf, "update flags")?;
+            if flags & !FLAG_CONFIG != 0 {
+                return Err(WireError::UnknownRequestFlags(flags));
+            }
+            let name = take_str16(&mut buf, "operand name")?;
+            let config = if flags & FLAG_CONFIG != 0 {
+                Some(take_str16(&mut buf, "config string")?)
+            } else {
+                None
+            };
+            let a = decode_matrix(&mut buf)?;
+            Frame::UpdateWeights { name, config, a }
+        }
+        TYPE_NAMED_REQUEST => {
+            let id = take_u64(&mut buf, "request id")?;
+            let flags = take_u8(&mut buf, "request flags")?;
+            if flags & !FLAG_DEADLINE != 0 {
+                return Err(WireError::UnknownRequestFlags(flags));
+            }
+            let name = take_str16(&mut buf, "operand name")?;
+            let deadline_micros = if flags & FLAG_DEADLINE != 0 {
+                Some(take_u64(&mut buf, "deadline")?)
+            } else {
+                None
+            };
+            let b = decode_matrix(&mut buf)?;
+            Frame::NamedRequest {
+                id,
+                name,
+                deadline_micros,
+                b,
+            }
+        }
         TYPE_RESPONSE => {
             let id = take_u64(&mut buf, "response id")?;
             let output = decode_matrix(&mut buf)?;
@@ -573,24 +769,47 @@ pub fn decode_frame_body(body: &[u8]) -> Result<Frame, WireError> {
         TYPE_CONTROL_ACK => {
             Frame::ControlAck(ControlOp::from_byte(take_u8(&mut buf, "control op")?)?)
         }
+        TYPE_UPDATE_ACK => {
+            let name = take_str16(&mut buf, "operand name")?;
+            let mut counters = [0u64; 6];
+            for counter in counters.iter_mut() {
+                *counter = take_u64(&mut buf, "update ack counter")?;
+            }
+            Frame::UpdateAck {
+                name,
+                generation: counters[0],
+                dirty_rows: counters[1],
+                total_rows: counters[2],
+                dirty_shards: counters[3],
+                total_shards: counters[4],
+                prepares: counters[5],
+            }
+        }
         TYPE_STATS => {
-            let mut counters = [0u64; 12];
+            let mut counters = [0u64; 15];
             for counter in counters.iter_mut() {
                 *counter = take_u64(&mut buf, "stats counter")?;
             }
-            Frame::Stats(ServingStats {
-                enqueued: counters[0],
-                dispatched: counters[1],
-                windows: counters[2],
-                coalesced_windows: counters[3],
-                max_window: counters[4] as usize,
-                ticks: counters[5],
-                rejected_full: counters[6],
-                expired: counters[7],
-                shed: counters[8],
-                cancelled: counters[9],
-                shutdown_rejected: counters[10],
-                window_panics: counters[11],
+            Frame::Stats(StatsReport {
+                serving: ServingStats {
+                    enqueued: counters[0],
+                    dispatched: counters[1],
+                    windows: counters[2],
+                    coalesced_windows: counters[3],
+                    max_window: counters[4] as usize,
+                    ticks: counters[5],
+                    rejected_full: counters[6],
+                    expired: counters[7],
+                    shed: counters[8],
+                    cancelled: counters[9],
+                    shutdown_rejected: counters[10],
+                    window_panics: counters[11],
+                },
+                cache_generation: counters[12],
+                bytes_resident: counters[13],
+                // Tolerant on purpose: any nonzero flag means warm (the encoder only
+                // ever writes 0 or 1).
+                warm_start: counters[14] != 0,
             })
         }
         other => return Err(WireError::UnknownFrameType(other)),
@@ -733,19 +952,55 @@ mod tests {
                 message: "truncated frame: matrix payload needs 12 bytes".to_string(),
             },
             Frame::ControlAck(ControlOp::Shutdown),
-            Frame::Stats(ServingStats {
-                enqueued: 1,
-                dispatched: 2,
-                windows: 3,
-                coalesced_windows: 4,
-                max_window: 5,
-                ticks: 6,
-                rejected_full: 7,
-                expired: 8,
-                shed: 9,
-                cancelled: 10,
-                shutdown_rejected: 11,
-                window_panics: 12,
+            Frame::UpdateWeights {
+                name: "mlp.0.weight".to_string(),
+                config: Some("2:8+1:8".to_string()),
+                a: sample_matrix(4, 6),
+            },
+            Frame::UpdateWeights {
+                name: "mlp.0.weight".to_string(),
+                config: None,
+                a: sample_matrix(4, 6),
+            },
+            Frame::NamedRequest {
+                id: 11,
+                name: "mlp.0.weight".to_string(),
+                deadline_micros: Some(2000),
+                b: sample_matrix(6, 3),
+            },
+            Frame::NamedRequest {
+                id: 12,
+                name: String::new(),
+                deadline_micros: None,
+                b: sample_matrix(6, 0),
+            },
+            Frame::UpdateAck {
+                name: "mlp.0.weight".to_string(),
+                generation: 3,
+                dirty_rows: 17,
+                total_rows: 256,
+                dirty_shards: 2,
+                total_shards: 8,
+                prepares: 2,
+            },
+            Frame::Stats(StatsReport {
+                serving: ServingStats {
+                    enqueued: 1,
+                    dispatched: 2,
+                    windows: 3,
+                    coalesced_windows: 4,
+                    max_window: 5,
+                    ticks: 6,
+                    rejected_full: 7,
+                    expired: 8,
+                    shed: 9,
+                    cancelled: 10,
+                    shutdown_rejected: 11,
+                    window_panics: 12,
+                },
+                cache_generation: 13,
+                bytes_resident: 14,
+                warm_start: true,
             }),
         ];
         for frame in frames {
@@ -774,6 +1029,39 @@ mod tests {
                 matches!(err, WireError::Truncated { .. }),
                 "cut at {cut}: {err:?}"
             );
+        }
+        // Same property for the deploy-era frames (string fields + flags + matrix).
+        for frame in [
+            Frame::UpdateWeights {
+                name: "w".to_string(),
+                config: Some("2:8".to_string()),
+                a: sample_matrix(3, 3),
+            },
+            Frame::NamedRequest {
+                id: 2,
+                name: "w".to_string(),
+                deadline_micros: Some(10),
+                b: sample_matrix(3, 2),
+            },
+            Frame::UpdateAck {
+                name: "w".to_string(),
+                generation: 1,
+                dirty_rows: 2,
+                total_rows: 3,
+                dirty_shards: 1,
+                total_shards: 1,
+                prepares: 1,
+            },
+        ] {
+            let bytes = encode_frame(&frame).expect("encodable");
+            for cut in 0..bytes.len() {
+                let err = decode_frame(&bytes[..cut], DEFAULT_MAX_FRAME_BYTES)
+                    .expect_err("every prefix is malformed");
+                assert!(
+                    matches!(err, WireError::Truncated { .. }),
+                    "cut at {cut}: {err:?}"
+                );
+            }
         }
     }
 
@@ -857,6 +1145,19 @@ mod tests {
         assert_eq!(
             decode_frame_body(&body),
             Err(WireError::UnknownRequestFlags(0b1000_0000))
+        );
+        // Deploy frames police their reserved bits too: UpdateWeights only knows the
+        // config flag, NamedRequest only the deadline flag.
+        assert_eq!(
+            decode_frame_body(&[TYPE_UPDATE_WEIGHTS, FLAG_DEADLINE]),
+            Err(WireError::UnknownRequestFlags(FLAG_DEADLINE))
+        );
+        let mut body = vec![TYPE_NAMED_REQUEST];
+        body.extend_from_slice(&1u64.to_le_bytes());
+        body.push(FLAG_CONFIG);
+        assert_eq!(
+            decode_frame_body(&body),
+            Err(WireError::UnknownRequestFlags(FLAG_CONFIG))
         );
     }
 

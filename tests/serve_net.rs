@@ -305,12 +305,17 @@ fn stats_control_reports_session_counters() {
     }
     client.control(ControlOp::Stats).expect("stats");
     match client.recv().expect("recv").expect("open") {
-        Frame::Stats(stats) => {
-            assert_eq!(stats.enqueued, 3);
-            assert_eq!(stats.dispatched, 3);
-            assert!(stats.windows >= 1);
+        Frame::Stats(report) => {
+            assert_eq!(report.serving.enqueued, 3);
+            assert_eq!(report.serving.dispatched, 3);
+            assert!(report.serving.windows >= 1);
             // The wire counters are the session's own, not a copy-by-hand.
             assert_eq!(server.session().stats().enqueued, 3);
+            // Deploy-lifecycle fields: nothing deployed, no snapshot restored, but
+            // the served decompositions are resident in the prepared cache.
+            assert_eq!(report.cache_generation, 0);
+            assert!(!report.warm_start);
+            assert!(report.bytes_resident > 0);
         }
         other => panic!("expected a stats frame, got {other:?}"),
     }
